@@ -1,0 +1,79 @@
+// Ablation: crash-early consistency checks (§2.6).
+//
+// The paper recommends that applications "try to crash as soon as possible
+// after their bugs get triggered" — frequent consistency checks shorten
+// dangerous paths and lower the probability of committing on one. This
+// bench sweeps the injector's slow-detection probability (the calibrated
+// quantity; see DESIGN.md §5) for one fault class and shows how Table 1's
+// violation fraction responds.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/workloads.h"
+#include "src/core/computation.h"
+#include "src/faults/injector.h"
+#include "src/statemachine/invariants.h"
+
+namespace {
+
+double ViolationFraction(double slow_probability, int target_crashes, uint64_t seed_base) {
+  int crashes = 0;
+  int violations = 0;
+  uint64_t seed = seed_base;
+  while (crashes < target_crashes && seed < seed_base + 40ull * target_crashes) {
+    ftx_apps::WorkloadSetup setup =
+        ftx_apps::MakeWorkload("postgres", 600, seed, /*interactive=*/false);
+    ftx_fault::FaultSpec spec;
+    spec.type = ftx_fault::FaultType::kHeapBitFlip;
+    spec.activation_step = 150 + static_cast<int64_t>(seed % 250);
+    spec.slow_detection_probability = slow_probability;
+    spec.continue_probability = 0.6;
+    spec.seed = seed * 31 + 7;
+    auto faulty = std::make_unique<ftx_fault::FaultyApp>(std::move(setup.apps[0]), spec);
+    ftx_fault::FaultyApp* faulty_raw = faulty.get();
+
+    ftx::ComputationOptions options;
+    options.seed = seed;
+    options.protocol = "cpvs";
+    options.max_recovery_attempts = 2;
+    std::vector<std::unique_ptr<ftx_dc::App>> apps;
+    apps.push_back(std::move(faulty));
+    ftx::Computation computation(options, std::move(apps));
+    computation.SetInputScript(0, setup.scripts[0]);
+    computation.Run();
+    ++seed;
+
+    if (!faulty_raw->outcome().crashed) {
+      continue;
+    }
+    ++crashes;
+    auto lose_work = ftx_sm::CheckLoseWorkOperational(computation.trace(), 0);
+    if (lose_work.applicable && lose_work.violated) {
+      ++violations;
+    }
+  }
+  return crashes == 0 ? 0.0 : static_cast<double>(violations) / crashes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = ftx_bench::FullScale(argc, argv);
+  int crashes = full ? 50 : 25;
+
+  std::printf("================================================================\n");
+  std::printf("Ablation: crash latency vs Lose-work violations (postgres, heap\n");
+  std::printf("bit flips, CPVS, %d crashes per point)\n\n", crashes);
+  std::printf("%22s %22s\n", "P(slow detection)", "Lose-work violations");
+  for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    double fraction = ViolationFraction(p, crashes, 40000 + static_cast<uint64_t>(p * 1000));
+    std::printf("%22.2f %21.0f%%\n", p, 100 * fraction);
+  }
+  std::printf("\nCrashing before the next commit (P(slow)=0) makes generic "
+              "recovery always\npossible for this fault class; every added "
+              "step of detection latency is\nanother commit window on the "
+              "dangerous path — the quantitative form of the\npaper's "
+              "crash-early advice.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the paper-reproduction bench binaries.
+
+#ifndef FTX_BENCH_BENCH_UTIL_H_
+#define FTX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/workloads.h"
+#include "src/core/experiment.h"
+
+namespace ftx_bench {
+
+// Parses "--full" (paper-scale runs) from argv.
+inline bool FullScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Runs one Fig. 8 cell: workload × protocol × {rio, dc-disk}.
+struct Fig8Cell {
+  int64_t checkpoints = 0;
+  double ckps_per_sec = 0.0;
+  double rio_overhead_pct = 0.0;
+  double disk_overhead_pct = 0.0;
+  double rio_fps = 0.0;
+  double disk_fps = 0.0;
+};
+
+inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& protocol, int scale,
+                            uint64_t seed) {
+  ftx::RunSpec spec;
+  spec.workload = workload;
+  spec.protocol = protocol;
+  spec.scale = scale;
+  spec.seed = seed;
+
+  spec.store = ftx::StoreKind::kRio;
+  ftx::OverheadRow rio = ftx::MeasureOverhead(spec);
+  spec.store = ftx::StoreKind::kDisk;
+  ftx::OverheadRow disk = ftx::MeasureOverhead(spec);
+
+  Fig8Cell cell;
+  cell.checkpoints = rio.checkpoints;
+  cell.ckps_per_sec = rio.checkpoints_per_second;
+  cell.rio_overhead_pct = rio.overhead_percent;
+  cell.disk_overhead_pct = disk.overhead_percent;
+  cell.rio_fps = rio.recoverable_fps;
+  cell.disk_fps = disk.recoverable_fps;
+  return cell;
+}
+
+inline void PrintFig8Header(const char* figure, const char* workload, int scale, bool fps_mode) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s (scale=%d)\n", figure, workload, scale);
+  std::printf("Fig. 8 reproduction: commit counts and overhead per protocol.\n");
+  if (fps_mode) {
+    std::printf("%-12s %10s %14s %14s\n", "protocol", "ckpts/s", "DC fps", "DC-disk fps");
+  } else {
+    std::printf("%-12s %10s %14s %14s\n", "protocol", "ckpts", "DC overhead", "DC-disk ovh");
+  }
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace ftx_bench
+
+#endif  // FTX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Figure 7 (plus Figures 5 and 6): dangerous-path statistics.
+//
+// Runs the single-process coloring algorithm over ensembles of random state
+// machines and reports how much of each machine becomes dangerous as the
+// crash density, fixed-ND fraction, and branching vary. The paper's §2.6
+// recommendations fall out of the numbers: more transient non-determinism
+// and earlier crashes both shrink dangerous paths.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/statemachine/dangerous_paths.h"
+#include "src/statemachine/random_model.h"
+
+namespace {
+
+double DangerousFraction(const ftx_sm::RandomGraphOptions& options, int trials,
+                         uint64_t seed_base) {
+  int64_t colored = 0;
+  int64_t total = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    ftx::Rng rng(seed_base + static_cast<uint64_t>(trial));
+    ftx_sm::StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
+    ftx_sm::DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+    colored += result.num_colored;
+    total += graph.num_edges();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(colored) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = ftx_bench::FullScale(argc, argv);
+  const int trials = full ? 400 : 100;
+
+  std::printf("================================================================\n");
+  std::printf("Fig. 7: dangerous-path coverage on random state machines\n");
+  std::printf("(%d machines of 64 states per cell)\n\n", trials);
+
+  ftx_sm::RandomGraphOptions base;
+  base.num_states = 64;
+
+  std::printf("Crash density sweep (branch=0.3, fixed-ND fraction=0.3):\n");
+  std::printf("%12s %22s\n", "P(crash)", "dangerous fraction");
+  for (double crash : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    ftx_sm::RandomGraphOptions options = base;
+    options.crash_probability = crash;
+    std::printf("%12.2f %21.1f%%\n", crash, 100 * DangerousFraction(options, trials, 1000));
+  }
+
+  std::printf("\nFixed-ND fraction sweep (crash=0.1): fixed non-determinism "
+              "cannot protect,\nso dangerous paths grow with it:\n");
+  std::printf("%12s %22s\n", "P(fixed)", "dangerous fraction");
+  for (double fixed : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    ftx_sm::RandomGraphOptions options = base;
+    options.fixed_nd_fraction = fixed;
+    std::printf("%12.2f %21.1f%%\n", fixed, 100 * DangerousFraction(options, trials, 2000));
+  }
+
+  std::printf("\nBranching sweep (crash=0.1): more transient choice points "
+              "mean more escape\nhatches, so dangerous paths shrink:\n");
+  std::printf("%12s %22s\n", "P(branch)", "dangerous fraction");
+  for (double branch : {0.05, 0.15, 0.3, 0.5, 0.8}) {
+    ftx_sm::RandomGraphOptions options = base;
+    options.branch_probability = branch;
+    options.fixed_nd_fraction = 0.0;
+    std::printf("%12.2f %21.1f%%\n", branch, 100 * DangerousFraction(options, trials, 3000));
+  }
+
+  std::printf("\nSection 2.6 in numbers: applications that crash sooner (higher "
+              "crash density\ncloser to the fault) and keep more transient "
+              "non-determinism leave fewer\nstates where a commit violates "
+              "Lose-work.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 8(b): magic under five Save-work protocols.
+//
+// Paper reference points (~190 commands at 1 s intervals):
+//   cand        903 ckpts   DC 2%   DC-disk 89%
+//   cand-log    432 ckpts   DC 2%   DC-disk 71%
+//   cpvs        190 ckpts   DC 2%   DC-disk 28%
+//   cbndvs      185 ckpts   DC 2%   DC-disk 27%
+//   cbndvs-log  185 ckpts   DC 2%   DC-disk 31%
+// Expected shape: CAND commits several times per command (magic's ND
+// events outnumber its visibles); logging halves CAND but cannot help
+// CBNDVS (unloggable timeofday/select keep it armed); DC-disk overheads
+// are dominated by the large per-command dirty footprint.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  bool full = ftx_bench::FullScale(argc, argv);
+  int scale = ftx_apps::DefaultScale("magic", full);
+
+  ftx_bench::PrintFig8Header("Fig 8(b)", "magic", scale, /*fps_mode=*/false);
+  for (const char* protocol : {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log"}) {
+    ftx_bench::Fig8Cell cell = ftx_bench::RunFig8Cell("magic", protocol, scale, /*seed=*/22);
+    std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
+                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
+                cell.disk_overhead_pct);
+  }
+  return 0;
+}

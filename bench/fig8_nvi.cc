@@ -1,0 +1,29 @@
+// Fig. 8(a): nvi under five Save-work protocols.
+//
+// Paper reference points (7,900-keystroke interactive run, 100 ms/key):
+//   cand       7958 ckpts   DC 1%   DC-disk 43%
+//   cand-log      5 ckpts   DC 0%   DC-disk 13%
+//   cpvs       7939 ckpts   DC 1%   DC-disk 44%
+//   cbndvs     7552 ckpts   DC 1%   DC-disk 42%
+//   cbndvs-log    3 ckpts   DC 0%   DC-disk 12%
+// Expected shape: CAND ≈ CPVS ≈ CBNDVS ≈ one commit per keystroke; logging
+// collapses commits to single digits; Rio overhead ~1%, disk ~40%+ without
+// logging and ~12% with.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  bool full = ftx_bench::FullScale(argc, argv);
+  int scale = ftx_apps::DefaultScale("nvi", full);
+
+  ftx_bench::PrintFig8Header("Fig 8(a)", "nvi", scale, /*fps_mode=*/false);
+  for (const char* protocol : {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log"}) {
+    ftx_bench::Fig8Cell cell = ftx_bench::RunFig8Cell("nvi", protocol, scale, /*seed=*/11);
+    std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
+                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
+                cell.disk_overhead_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 8(d): TreadMarks Barnes-Hut under all seven Save-work protocols.
+//
+// Paper reference points (4-process Barnes-Hut):
+//   cand       57825 ckpts   DC 199%   DC-disk 11499%
+//   cand-log   37704 ckpts   DC 126%   DC-disk  7700%
+//   cpvs       12202 ckpts   DC 129%   DC-disk  7346%
+//   cbndvs      8071 ckpts   DC 101%   DC-disk  5743%
+//   cbndvs-log  6241 ckpts   DC  73%   DC-disk  4973%
+//   cpv-2pc       15 ckpts   DC  12%   DC-disk   319%
+//   cbndv-2pc     10 ckpts   DC  12%   DC-disk   252%
+// Expected shape: commit counts ordered CAND > CAND-LOG > CPVS > CBNDVS >
+// CBNDVS-LOG >> 2PC (visible events are rare, so coordinated commits win
+// by orders of magnitude); DC-disk is unusable except under 2PC.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  bool full = ftx_bench::FullScale(argc, argv);
+  int scale = ftx_apps::DefaultScale("treadmarks", full);
+
+  ftx_bench::PrintFig8Header("Fig 8(d)", "treadmarks barnes-hut", scale, /*fps_mode=*/false);
+  for (const char* protocol :
+       {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log", "cpv-2pc", "cbndv-2pc"}) {
+    ftx_bench::Fig8Cell cell = ftx_bench::RunFig8Cell("treadmarks", protocol, scale, /*seed=*/44);
+    std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
+                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
+                cell.disk_overhead_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 8(c): xpilot under all seven Save-work protocols.
+//
+// Paper reference points (4 processes, full speed = 15 fps; reported as the
+// max checkpoint rate among processes and the sustained frame rate):
+//   cand       455 ckpt/s   DC 15 fps   DC-disk  0 fps
+//   cand-log   417 ckpt/s   DC 15 fps   DC-disk  0 fps
+//   cpvs        45 ckpt/s   DC 15 fps   DC-disk  8 fps
+//   cbndvs      44 ckpt/s   DC 15 fps   DC-disk  9 fps
+//   cbndvs-log  43 ckpt/s   DC 15 fps   DC-disk  9 fps
+//   cpv-2pc     56 ckpt/s   DC 15 fps   DC-disk  6 fps
+//   cbndv-2pc   50 ckpt/s   DC 15 fps   DC-disk  7 fps
+// Expected shape: 2PC *increases* commit frequency vs CPVS (the paper's
+// noted exception — every client render commits everyone); Discount
+// Checking sustains full speed everywhere; DC-disk degrades, to unplayable
+// for the CAND variants.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  bool full = ftx_bench::FullScale(argc, argv);
+  int scale = ftx_apps::DefaultScale("xpilot", full);
+
+  ftx_bench::PrintFig8Header("Fig 8(c)", "xpilot", scale, /*fps_mode=*/true);
+  for (const char* protocol :
+       {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log", "cpv-2pc", "cbndv-2pc"}) {
+    ftx_bench::Fig8Cell cell = ftx_bench::RunFig8Cell("xpilot", protocol, scale, /*seed=*/33);
+    std::printf("%-12s %10.0f %11.1f fps %11.1f fps\n", protocol, cell.ckps_per_sec, cell.rio_fps,
+                cell.disk_fps);
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) of the commit-path primitives behind
+// the Fig. 8 numbers: Vista write barriers and undo logging, commit/abort,
+// heap churn, the dangerous-paths coloring algorithm, the Save-work
+// checker, and simulated-cost lookups for both stable stores.
+//
+// These measure REAL host CPU time of the library's mechanisms (unlike the
+// fig8/table binaries, which report simulated time from the cost models).
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/statemachine/dangerous_paths.h"
+#include "src/statemachine/invariants.h"
+#include "src/statemachine/random_model.h"
+#include "src/storage/stable_store.h"
+#include "src/vista/heap.h"
+#include "src/vista/segment.h"
+
+namespace {
+
+void BM_SegmentWriteBarrier(benchmark::State& state) {
+  ftx_vista::Segment segment(4 << 20);
+  int64_t offset = 0;
+  for (auto _ : state) {
+    segment.WriteValue<uint64_t>(offset, 0x12345678);
+    offset = (offset + 64) % static_cast<int64_t>(segment.size() - 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentWriteBarrier);
+
+void BM_SegmentCommit(benchmark::State& state) {
+  const int64_t pages = state.range(0);
+  ftx_vista::Segment segment(16 << 20);
+  for (auto _ : state) {
+    for (int64_t p = 0; p < pages; ++p) {
+      segment.WriteValue<uint64_t>(p * 4096, static_cast<uint64_t>(p));
+    }
+    segment.Commit();
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_SegmentCommit)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_SegmentAbort(benchmark::State& state) {
+  const int64_t pages = state.range(0);
+  ftx_vista::Segment segment(16 << 20);
+  for (auto _ : state) {
+    for (int64_t p = 0; p < pages; ++p) {
+      segment.WriteValue<uint64_t>(p * 4096, static_cast<uint64_t>(p));
+    }
+    segment.Abort();
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_SegmentAbort)->Arg(16)->Arg(256);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  ftx_vista::Segment segment(8 << 20);
+  ftx_vista::SegmentHeap heap(&segment, 0, 4 << 20);
+  heap.Format();
+  for (auto _ : state) {
+    auto block = heap.Alloc(256);
+    benchmark::DoNotOptimize(block);
+    if (block.ok()) {
+      (void)heap.Free(*block);
+    }
+  }
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void BM_HeapGuardCheck(benchmark::State& state) {
+  ftx_vista::Segment segment(8 << 20);
+  ftx_vista::SegmentHeap heap(&segment, 0, 4 << 20);
+  heap.Format();
+  for (int i = 0; i < 200; ++i) {
+    (void)heap.Alloc(512);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.CheckGuards().ok());
+  }
+}
+BENCHMARK(BM_HeapGuardCheck);
+
+void BM_DangerousPathsColoring(benchmark::State& state) {
+  ftx::Rng rng(42);
+  ftx_sm::RandomGraphOptions options;
+  options.num_states = static_cast<int32_t>(state.range(0));
+  options.crash_probability = 0.1;
+  ftx_sm::StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftx_sm::ColorDangerousPaths(graph).num_colored);
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_DangerousPathsColoring)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SaveWorkChecker(benchmark::State& state) {
+  ftx::Rng rng(42);
+  ftx_sm::RandomTraceOptions options;
+  options.num_processes = 3;
+  options.events_per_process = static_cast<int>(state.range(0));
+  ftx_sm::Trace trace = ftx_sm::MakeRandomComputation(&rng, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftx_sm::CheckSaveWork(trace).violations.size());
+  }
+  state.SetItemsProcessed(state.iterations() * trace.TotalEvents());
+}
+BENCHMARK(BM_SaveWorkChecker)->Arg(50)->Arg(200);
+
+void BM_RioPersistCostModel(benchmark::State& state) {
+  ftx_store::RioStore rio;
+  int64_t bytes = 16 * 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rio.PersistCost(bytes).nanos());
+  }
+}
+BENCHMARK(BM_RioPersistCostModel);
+
+void BM_DiskPersistCostModel(benchmark::State& state) {
+  ftx_store::DiskModel disk_model;
+  ftx_store::DiskStore disk(&disk_model);
+  int64_t bytes = 16 * 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.PersistCost(bytes).nanos());
+  }
+}
+BENCHMARK(BM_DiskPersistCostModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

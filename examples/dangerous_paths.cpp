@@ -1,0 +1,138 @@
+// Figures 5-7: dangerous paths, or why generic recovery from propagation
+// failures is so often impossible.
+//
+// Builds the paper's example state machines, runs the single-process
+// coloring algorithm, and prints which events are dangerous to commit at.
+// Then demonstrates the multi-process variant: the same receive event is a
+// protective escape hatch or a fixed liability depending on whether the
+// sender committed before sending.
+//
+//   ./examples/dangerous_paths
+
+#include <cstdio>
+
+#include "src/statemachine/dangerous_paths.h"
+
+namespace {
+
+void Show(const char* title, const ftx_sm::StateMachineGraph& graph,
+          const ftx_sm::DangerousPathsResult& result) {
+  std::printf("%s\n", title);
+  for (const auto& edge : graph.edges()) {
+    std::printf("  s%d --%s%s%s--> s%d   %s\n", edge.from,
+                std::string(ftx_sm::EventKindName(edge.kind)).c_str(),
+                edge.label.empty() ? "" : ":", edge.label.c_str(), edge.to,
+                result.IsColored(edge.id) ? "DANGEROUS (no commit here)" : "safe");
+  }
+  std::printf("  -> %d of %d events are on dangerous paths\n\n", result.num_colored,
+              graph.num_edges());
+}
+
+}  // namespace
+
+int main() {
+  using ftx_sm::EventKind;
+
+  std::printf("Dangerous paths (Lose-work Theorem, Section 2.5)\n");
+  std::printf("================================================\n\n");
+
+  // Figure 6A: deterministic chain into a crash — committing anywhere dooms
+  // recovery.
+  {
+    ftx_sm::StateMachineGraph graph;
+    graph.EnsureStates(4);
+    graph.AddEdge(0, 1, EventKind::kInternal, "init");
+    graph.AddEdge(1, 2, EventKind::kInternal, "overwrite-ptr");
+    graph.AddEdge(2, 3, EventKind::kCrash, "deref-null");
+    Show("Figure 6A: deterministic path to a crash", graph, ftx_sm::ColorDangerousPaths(graph));
+  }
+
+  // Figure 6B: a transient ND event with a crash-free result protects its
+  // past: commit before it and recovery may take the safe branch.
+  {
+    ftx_sm::StateMachineGraph graph;
+    graph.EnsureStates(6);
+    graph.AddEdge(0, 1, EventKind::kInternal, "work");
+    graph.AddEdge(1, 2, EventKind::kTransientNd, "sched-A");
+    graph.AddEdge(1, 3, EventKind::kTransientNd, "sched-B");
+    graph.AddEdge(2, 4, EventKind::kCrash, "bug-fires");
+    graph.AddEdge(3, 5, EventKind::kInternal, "completes");
+    Show("Figure 6B: transient non-determinism as an escape hatch", graph,
+         ftx_sm::ColorDangerousPaths(graph));
+  }
+
+  // Figure 6C: the same shape with FIXED non-determinism (user input, disk
+  // fullness): the recovery system cannot rely on a different result, so
+  // the path stays dangerous.
+  {
+    ftx_sm::StateMachineGraph graph;
+    graph.EnsureStates(6);
+    graph.AddEdge(0, 1, EventKind::kInternal, "work");
+    graph.AddEdge(1, 2, EventKind::kFixedNd, "user-types-A");
+    graph.AddEdge(1, 3, EventKind::kFixedNd, "user-types-B");
+    graph.AddEdge(2, 4, EventKind::kCrash, "bug-fires");
+    graph.AddEdge(3, 5, EventKind::kInternal, "completes");
+    Show("Figure 6C: fixed non-determinism does not protect", graph,
+         ftx_sm::ColorDangerousPaths(graph));
+  }
+
+  // Figure 7 flavor: a longer machine mixing all the cases.
+  {
+    ftx_sm::StateMachineGraph graph;
+    graph.EnsureStates(9);
+    graph.AddEdge(0, 1, EventKind::kTransientNd, "timing-A");
+    graph.AddEdge(0, 2, EventKind::kTransientNd, "timing-B");
+    graph.AddEdge(1, 3, EventKind::kInternal, "parse");
+    graph.AddEdge(3, 4, EventKind::kFixedNd, "input-x");
+    graph.AddEdge(3, 5, EventKind::kFixedNd, "input-y");
+    graph.AddEdge(4, 6, EventKind::kCrash, "boundary-bug");
+    graph.AddEdge(5, 7, EventKind::kInternal, "render");
+    graph.AddEdge(2, 8, EventKind::kInternal, "idle");
+    Show("Figure 7: mixed machine with its dangerous paths shaded", graph,
+         ftx_sm::ColorDangerousPaths(graph));
+  }
+
+  // Multi-process: the receive's classification depends on the sender's
+  // commit position (the snapshot step of the multi-process algorithm).
+  std::printf("Multi-process classification (Section 2.5):\n");
+  {
+    ftx_sm::StateMachineGraph graph;
+    graph.EnsureStates(6);
+    auto entry = graph.AddEdge(0, 1, EventKind::kInternal, "work");
+    auto recv_doom = graph.AddEdge(1, 2, EventKind::kReceive, "recv-m");
+    graph.AddEdge(1, 3, EventKind::kReceive, "recv-m'");
+    graph.AddEdge(2, 4, EventKind::kCrash, "bug");
+    graph.AddEdge(3, 5, EventKind::kInternal, "fine");
+
+    // Case 1: sender has uncommitted transient ND -> the message could be
+    // regenerated differently -> receive is TRANSIENT -> entry is safe.
+    {
+      ftx_sm::Trace trace(2);
+      trace.Append(1, EventKind::kTransientNd);
+      trace.Append(1, EventKind::kSend, 10);
+      trace.Append(0, EventKind::kReceive, 10);
+      auto result = ftx_sm::MultiProcessDangerousPaths(graph, trace, 0,
+                                                       {{recv_doom, 10}});
+      std::printf("  sender ND uncommitted: receive is transient, entry edge %s\n",
+                  result.IsColored(entry) ? "DANGEROUS" : "safe");
+    }
+    // Case 2: sender committed its ND before sending -> the message is
+    // pinned -> receive is FIXED -> entry becomes dangerous.
+    {
+      ftx_sm::Trace trace(2);
+      trace.Append(1, EventKind::kTransientNd);
+      trace.Append(1, EventKind::kCommit);
+      trace.Append(1, EventKind::kSend, 10);
+      trace.Append(0, EventKind::kReceive, 10);
+      auto result = ftx_sm::MultiProcessDangerousPaths(graph, trace, 0,
+                                                       {{recv_doom, 10}});
+      std::printf("  sender ND committed:   receive is fixed,     entry edge %s\n",
+                  result.IsColored(entry) ? "DANGEROUS" : "safe");
+    }
+  }
+
+  std::printf("\nThe Lose-work Theorem: generic recovery from a propagation "
+              "failure is possible\niff no commit event lies on a dangerous "
+              "path.\n");
+  return 0;
+}

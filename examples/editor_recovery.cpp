@@ -1,0 +1,66 @@
+// Interactive-editor recovery: the nvi workload survives stop failures.
+//
+// Types a few hundred keystrokes into the gap-buffer editor, kills the
+// process twice mid-edit, recovers it, and verifies (a) the final buffer is
+// byte-identical to a failure-free run and (b) the echo stream the user saw
+// is consistent. Also contrasts commit counts across protocols — Fig. 8(a)
+// in miniature.
+//
+//   ./examples/editor_recovery
+
+#include <cstdio>
+
+#include "src/apps/nvi.h"
+#include "src/core/experiment.h"
+#include "src/recovery/consistency.h"
+
+int main() {
+  std::printf("nvi under failures (Fig. 8a workload)\n");
+  std::printf("=====================================\n\n");
+
+  const int keystrokes = 400;
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = keystrokes;
+  spec.seed = 2024;
+
+  // Failure-free reference (unrecoverable baseline build).
+  ftx::RunSpec baseline_spec = spec;
+  baseline_spec.mode = ftx_dc::RuntimeMode::kBaseline;
+  auto baseline = ftx::BuildComputation(baseline_spec);
+  baseline->Run();
+  std::string reference_text = ftx_apps::Nvi::BufferContents(baseline->runtime(0));
+  std::printf("failure-free run: %zu visible events, final buffer %zu bytes\n",
+              baseline->recorder().size(), reference_text.size());
+
+  // Recoverable run with two stop failures mid-edit.
+  for (const char* protocol : {"cpvs", "cbndvs-log"}) {
+    spec.protocol = protocol;
+    auto computation = ftx::BuildComputation(spec);
+    computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(8.0));
+    computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(25.0));
+    ftx::ComputationResult result = computation->Run();
+
+    std::string recovered_text = ftx_apps::Nvi::BufferContents(computation->runtime(0));
+    ftx_rec::ConsistencyResult consistency =
+        ftx_rec::CheckConsistentRecovery(baseline->recorder(), computation->recorder(), 1);
+
+    std::printf("\nprotocol %-11s: %s, %lld commits, %lld rollbacks\n", protocol,
+                result.all_done ? "completed" : "DID NOT COMPLETE",
+                static_cast<long long>(result.total_commits),
+                static_cast<long long>(result.total_rollbacks));
+    std::printf("  buffer identical to reference: %s\n",
+                recovered_text == reference_text ? "yes" : "NO");
+    std::printf("  echo stream consistent:        %s (%d duplicates tolerated)\n",
+                consistency.consistent ? "yes" : "NO", consistency.duplicates_tolerated);
+    if (!consistency.consistent) {
+      std::printf("  %s\n", consistency.diagnostic.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\nCPVS commits on every keystroke echo; CBNDVS-LOG logs the "
+              "keystrokes instead and\nalmost never commits — both uphold "
+              "Save-work, at very different commit budgets.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// magic: the VLSI CAD workload (Fig. 8b).
+//
+// A layout editor over a multi-layer cell grid. Each step is one user
+// command (paint / erase / wire-route / fill) composed of several input
+// keystrokes (fixed, loggable ND events), a couple of unloggable transient
+// ND events (timestamping and an X-event select — these are what keep
+// CAND-LOG's commit count high for magic), a burst of computation, a large
+// region of the grid dirtied, and one redraw (the visible event). Commands
+// arrive with one second of think time, the paper's pacing.
+//
+// The big per-command dirty footprint is what separates magic's DC-disk
+// overheads from nvi's: synchronous redo records carry hundreds of pages.
+
+#ifndef FTX_SRC_APPS_MAGIC_H_
+#define FTX_SRC_APPS_MAGIC_H_
+
+#include <vector>
+
+#include "src/checkpoint/app.h"
+#include "src/common/rng.h"
+
+namespace ftx_apps {
+
+struct MagicOptions {
+  ftx::Duration think_time = ftx::Seconds(1.0);
+  ftx::Duration work_per_command = ftx::Milliseconds(25);
+  int32_t grid_dim = 1024;  // grid is grid_dim x grid_dim cells (int32 each)
+  // Copy the affected region into the undo buffer before painting (magic's
+  // undo facility); this is a large part of the per-command dirty footprint.
+  bool undo_snapshot = true;
+};
+
+class Magic : public ftx_dc::App {
+ public:
+  explicit Magic(MagicOptions options = MagicOptions());
+
+  std::string_view name() const override { return "magic"; }
+  size_t SegmentBytes() const override;
+  int64_t HeapOffset() const override;
+  int64_t HeapBytes() const override { return 256 * 1024; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::FaultSurface fault_surface() const override;
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override;
+
+  // Number of nonzero cells (recovery tests compare layouts).
+  static int64_t PaintedCells(ftx_dc::ProcessEnv& env);
+
+  // Command script: each command is 2-3 keystroke tokens; the last token of
+  // a command carries the command descriptor.
+  static std::vector<ftx::Bytes> MakeScript(uint64_t seed, int commands);
+
+ private:
+  MagicOptions options_;
+};
+
+}  // namespace ftx_apps
+
+#endif  // FTX_SRC_APPS_MAGIC_H_

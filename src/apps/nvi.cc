@@ -1,0 +1,279 @@
+#include "src/apps/nvi.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace ftx_apps {
+namespace {
+
+// Segment layout. The static region holds the editor's control structure;
+// the scratch region is the per-keystroke working set ("stack"); the text
+// lives in a gap buffer allocated from the segment heap.
+constexpr int64_t kHeaderOffset = 0;
+constexpr int64_t kControlOffset = 256;
+constexpr int64_t kControlSize = 512;
+constexpr int64_t kScratchOffset = 4096;
+constexpr int64_t kScratchSize = 4096;
+constexpr int64_t kStaticSize = kScratchOffset + kScratchSize;
+
+constexpr uint64_t kHeaderMagic = 0x6e76692d6e76692eULL;
+constexpr int64_t kTextCapacity = 256 * 1024;
+
+struct EditorState {
+  uint64_t magic = kHeaderMagic;
+  int64_t key_count = 0;
+  int64_t buffer_offset = 0;  // heap payload offset of the gap buffer
+  int64_t gap_start = 0;      // cursor position == gap start
+  int64_t gap_end = 0;        // [gap_start, gap_end) is the gap
+  int64_t capacity = 0;
+  int64_t saves = 0;
+  int64_t signals = 0;
+  int64_t keys_since_save = 0;
+  int64_t keys_since_signal = 0;
+  int64_t keys_since_status = 0;
+};
+
+struct Scratch {
+  uint8_t key = 0;
+  uint8_t is_control = 0;
+  int64_t render_from = 0;
+  int64_t render_len = 0;
+  char line[64] = {};
+};
+
+EditorState LoadState(ftx_dc::ProcessEnv& env) {
+  return env.segment().Read<EditorState>(kHeaderOffset);
+}
+
+void StoreState(ftx_dc::ProcessEnv& env, const EditorState& state) {
+  env.segment().WriteValue(kHeaderOffset, state);
+}
+
+int64_t TextLength(const EditorState& s) { return s.capacity - (s.gap_end - s.gap_start); }
+
+char TextAt(ftx_dc::ProcessEnv& env, const EditorState& s, int64_t i) {
+  int64_t physical = i < s.gap_start ? i : i + (s.gap_end - s.gap_start);
+  return static_cast<char>(env.segment().Read<uint8_t>(s.buffer_offset + physical));
+}
+
+// Moves the gap so that it starts at `target` (the new cursor position).
+void MoveGap(ftx_dc::ProcessEnv& env, EditorState* s, int64_t target) {
+  target = std::clamp<int64_t>(target, 0, TextLength(*s));
+  ftx_vista::Segment& segment = env.segment();
+  while (s->gap_start > target) {
+    // Move the byte before the gap to the end of the gap.
+    uint8_t b = segment.Read<uint8_t>(s->buffer_offset + s->gap_start - 1);
+    segment.WriteValue(s->buffer_offset + s->gap_end - 1, b);
+    --s->gap_start;
+    --s->gap_end;
+  }
+  while (s->gap_start < target) {
+    uint8_t b = segment.Read<uint8_t>(s->buffer_offset + s->gap_end);
+    segment.WriteValue(s->buffer_offset + s->gap_start, b);
+    ++s->gap_start;
+    ++s->gap_end;
+  }
+}
+
+}  // namespace
+
+Nvi::Nvi(NviOptions options) : options_(options) {}
+
+void Nvi::Init(ftx_dc::ProcessEnv& env) {
+  EditorState state;
+  ftx::Result<int64_t> buffer = env.heap().Alloc(kTextCapacity);
+  FTX_CHECK(buffer.ok());
+  state.buffer_offset = *buffer;
+  state.gap_start = 0;
+  state.gap_end = kTextCapacity;
+  state.capacity = kTextCapacity;
+  StoreState(env, state);
+  ftx_dc::InitFaultControlArea(env, kControlOffset, kControlSize);
+  Scratch scratch;
+  env.segment().WriteValue(kScratchOffset, scratch);
+}
+
+ftx_dc::StepOutcome Nvi::Step(ftx_dc::ProcessEnv& env) {
+  std::optional<ftx::Bytes> key = env.ReadUserInput();
+  if (!key.has_value()) {
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+  }
+
+  EditorState state = LoadState(env);
+  if (state.magic != kHeaderMagic) {
+    env.Crash("nvi: editor state magic corrupted");
+    return ftx_dc::StepOutcome{};
+  }
+  // A wild pointer outside the heap is unusable: dereferencing it is the
+  // crash event. In-range corruption is clamped and survives until a
+  // consistency check catches it.
+  if (state.buffer_offset < env.heap().arena_base() ||
+      state.buffer_offset + state.capacity > env.heap().arena_base() + env.heap().arena_size()) {
+    env.Crash("nvi: text buffer pointer out of range");
+    return ftx_dc::StepOutcome{};
+  }
+  state.gap_end = std::clamp<int64_t>(state.gap_end, 0, state.capacity);
+  state.gap_start = std::clamp<int64_t>(state.gap_start, 0, state.gap_end);
+  ++state.key_count;
+  ++state.keys_since_save;
+  ++state.keys_since_signal;
+  ++state.keys_since_status;
+
+  // Per-keystroke working data ("stack frame" of the edit loop).
+  Scratch scratch;
+  scratch.key = key->empty() ? 0 : (*key)[0];
+  scratch.is_control = static_cast<uint8_t>(scratch.key < 0x20 ? 1 : 0);
+
+  if (scratch.is_control == 0) {
+    // Insert the character at the cursor.
+    if (state.gap_start < state.gap_end) {
+      env.segment().WriteValue(state.buffer_offset + state.gap_start, scratch.key);
+      ++state.gap_start;
+    }
+  } else {
+    char op = key->size() > 1 ? static_cast<char>((*key)[1]) : 'L';
+    switch (op) {
+      case 'L':
+        MoveGap(env, &state, state.gap_start - 1);
+        break;
+      case 'R':
+        MoveGap(env, &state, state.gap_start + 1);
+        break;
+      case 'D':
+        // Delete before the cursor: grow the gap backwards.
+        if (state.gap_start > 0) {
+          --state.gap_start;
+        }
+        break;
+      case 'N':
+        if (state.gap_start < state.gap_end) {
+          env.segment().WriteValue(state.buffer_offset + state.gap_start,
+                                   static_cast<uint8_t>('\n'));
+          ++state.gap_start;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Render the line around the cursor into scratch and build this
+  // keystroke's echo. Payload includes the key counter so every echo is
+  // distinct (a strict consistency check).
+  scratch.render_from = std::max<int64_t>(0, state.gap_start - 24);
+  scratch.render_len = std::min<int64_t>(48, TextLength(state) - scratch.render_from);
+  ftx::Bytes echo;
+  echo.reserve(static_cast<size_t>(scratch.render_len) + 16);
+  int64_t kc = state.key_count;
+  echo.push_back(static_cast<uint8_t>(kc & 0xff));
+  echo.push_back(static_cast<uint8_t>((kc >> 8) & 0xff));
+  echo.push_back(static_cast<uint8_t>((kc >> 16) & 0xff));
+  for (int64_t i = 0; i < scratch.render_len && i < 48; ++i) {
+    char c = TextAt(env, state, scratch.render_from + i);
+    scratch.line[i] = c;
+    echo.push_back(static_cast<uint8_t>(c));
+  }
+  env.segment().WriteValue(kScratchOffset, scratch);
+
+  // Decide this step's side events and fold everything — counters included
+  // — into the stored state *before* emitting any event a protocol might
+  // commit at: a commit must always capture a resumable segment.
+  bool do_status =
+      options_.status_line_every > 0 && state.keys_since_status >= options_.status_line_every;
+  bool do_signal = options_.signal_every > 0 && state.keys_since_signal >= options_.signal_every;
+  bool do_save = options_.save_every > 0 && state.keys_since_save >= options_.save_every;
+  if (do_status) {
+    state.keys_since_status = 0;
+  }
+  if (do_signal) {
+    state.keys_since_signal = 0;
+    ++state.signals;
+  }
+  if (do_save) {
+    state.keys_since_save = 0;
+    ++state.saves;
+  }
+  StoreState(env, state);
+
+  env.Compute(options_.work_per_key);
+  env.Print(std::move(echo));
+  if (do_status) {
+    ftx::Bytes status;
+    status.push_back('S');
+    ftx::AppendValue(&status, state.key_count);
+    ftx::AppendValue(&status, TextLength(state));
+    env.Print(std::move(status));
+  }
+  if (do_signal) {
+    env.DeliverSignal();
+  }
+  if (do_save) {
+    ftx::Result<int> fd = env.Open("nvi.txt", /*writable=*/true);
+    if (fd.ok()) {
+      (void)env.WriteFile(*fd, TextLength(state));
+      (void)env.Close(*fd);
+    }
+  }
+
+  return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, options_.think_time};
+}
+
+ftx_dc::FaultSurface Nvi::fault_surface() const {
+  ftx_dc::FaultSurface surface;
+  surface.scratch_offset = kScratchOffset;
+  surface.scratch_size = kScratchSize;
+  surface.static_offset = kHeaderOffset;
+  surface.static_size = kStaticSize;
+  surface.control_offset = kControlOffset;
+  surface.control_size = kControlSize;
+  return surface;
+}
+
+ftx::Status Nvi::CheckIntegrity(ftx_dc::ProcessEnv& env) {
+  EditorState state = LoadState(env);
+  if (state.magic != kHeaderMagic) {
+    return ftx::DataLossError("nvi: editor header magic corrupted");
+  }
+  if (state.gap_start < 0 || state.gap_start > state.gap_end || state.gap_end > state.capacity) {
+    return ftx::DataLossError("nvi: gap buffer invariants violated");
+  }
+  return env.heap().CheckGuards();
+}
+
+std::string Nvi::BufferContents(ftx_dc::ProcessEnv& env) {
+  EditorState state = LoadState(env);
+  std::string text;
+  int64_t n = TextLength(state);
+  text.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    text.push_back(TextAt(env, state, i));
+  }
+  return text;
+}
+
+std::vector<ftx::Bytes> Nvi::MakeScript(uint64_t seed, int keystrokes) {
+  ftx::Rng rng(seed);
+  std::vector<ftx::Bytes> script;
+  script.reserve(static_cast<size_t>(keystrokes));
+  const char* charset = "abcdefghijklmnopqrstuvwxyz ,.";
+  const size_t charset_size = 29;
+  for (int i = 0; i < keystrokes; ++i) {
+    double roll = rng.NextDouble();
+    ftx::Bytes key;
+    if (roll < 0.88) {
+      key.push_back(static_cast<uint8_t>(charset[rng.NextBounded(charset_size)]));
+    } else if (roll < 0.93) {
+      key = {0x01, static_cast<uint8_t>(rng.NextBernoulli(0.5) ? 'L' : 'R')};
+    } else if (roll < 0.96) {
+      key = {0x01, 'D'};
+    } else {
+      key = {0x01, 'N'};
+    }
+    script.push_back(std::move(key));
+  }
+  return script;
+}
+
+}  // namespace ftx_apps

@@ -1,0 +1,64 @@
+// nvi: the interactive text-editor workload (Fig. 8a, Tables 1-2).
+//
+// A vi-like editor with a real gap buffer. Each step consumes one scripted
+// keystroke (a fixed, loggable ND event), applies the edit, and echoes the
+// screen update (a visible event). Occasional save commands exercise the
+// open/write fixed-ND syscalls, and rare signals (SIGWINCH-style) are the
+// residual unloggable non-determinism that keeps the -LOG protocols from
+// reaching zero commits. A small fraction of keystrokes repaint the status
+// line too — the extra visible with no new ND that separates CBNDVS from
+// CPVS in commit counts.
+//
+// Interactive pacing is 100 ms of user think time per keystroke (the
+// paper's setting); the fault studies run it non-interactively (zero think
+// time), which multiplies its syscall rate — the property §4.2 uses to
+// explain nvi's higher propagation-failure fraction.
+
+#ifndef FTX_SRC_APPS_NVI_H_
+#define FTX_SRC_APPS_NVI_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/checkpoint/app.h"
+#include "src/common/rng.h"
+
+namespace ftx_apps {
+
+struct NviOptions {
+  ftx::Duration think_time = ftx::Milliseconds(100);
+  // Keystroke cost (parse + buffer update + screen formatting).
+  ftx::Duration work_per_key = ftx::Microseconds(150);
+  // One status-line repaint (an extra visible) every this many keystrokes.
+  int status_line_every = 20;
+  // One asynchronous signal delivered every this many keystrokes (0 = none).
+  int signal_every = 2500;
+  // Save the file every this many keystrokes (0 = never).
+  int save_every = 4000;
+};
+
+class Nvi : public ftx_dc::App {
+ public:
+  explicit Nvi(NviOptions options = NviOptions());
+
+  std::string_view name() const override { return "nvi"; }
+  size_t SegmentBytes() const override { return 1 << 20; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::FaultSurface fault_surface() const override;
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override;
+
+  // The text as currently held in the buffer (for recovery tests).
+  static std::string BufferContents(ftx_dc::ProcessEnv& env);
+
+  // Deterministic keystroke script: printable inserts, cursor moves,
+  // deletes, newlines.
+  static std::vector<ftx::Bytes> MakeScript(uint64_t seed, int keystrokes);
+
+ private:
+  NviOptions options_;
+};
+
+}  // namespace ftx_apps
+
+#endif  // FTX_SRC_APPS_NVI_H_

@@ -1,0 +1,302 @@
+#include "src/apps/postgres.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ftx_apps {
+namespace {
+
+constexpr int64_t kHeaderOffset = 0;
+constexpr int64_t kControlOffset = 256;
+constexpr int64_t kControlSize = 768;
+constexpr int64_t kScratchOffset = 4096;
+constexpr int64_t kScratchSize = 4096;
+constexpr int64_t kBucketsOffset = 8192;
+constexpr int32_t kNumBuckets = 1024;
+constexpr int64_t kStaticEnd = kBucketsOffset + kNumBuckets * 8;
+constexpr uint64_t kMagic = 0x706f737467726573ULL;
+
+struct DbState {
+  uint64_t magic = kMagic;
+  int64_t queries_run = 0;
+  int64_t tuples = 0;
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t queries_since_time = 0;
+  int64_t queries_since_statfile = 0;
+};
+
+// One query token in the input script.
+struct Query {
+  uint8_t op = 'S';  // 'I' insert, 'S' select, 'U' update, 'D' delete
+  int64_t key = 0;
+  int64_t value = 0;
+};
+
+// Heap-resident tuple.
+struct Tuple {
+  int64_t key = 0;
+  int64_t value = 0;
+  int64_t next = -1;  // next tuple offset in the bucket chain, -1 = end
+};
+
+struct Scratch {
+  Query query;
+  int64_t probes = 0;
+  int64_t result = -1;
+};
+
+DbState LoadState(ftx_dc::ProcessEnv& env) { return env.segment().Read<DbState>(kHeaderOffset); }
+void StoreState(ftx_dc::ProcessEnv& env, const DbState& s) {
+  env.segment().WriteValue(kHeaderOffset, s);
+}
+
+int64_t BucketOffset(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  return kBucketsOffset + static_cast<int64_t>(h % kNumBuckets) * 8;
+}
+
+}  // namespace
+
+Postgres::Postgres(PostgresOptions options) : options_(options) {}
+
+void Postgres::Init(ftx_dc::ProcessEnv& env) {
+  DbState state;
+  StoreState(env, state);
+  ftx_dc::InitFaultControlArea(env, kControlOffset, kControlSize);
+  for (int32_t b = 0; b < kNumBuckets; ++b) {
+    env.segment().WriteValue(kBucketsOffset + static_cast<int64_t>(b) * 8, int64_t{-1});
+  }
+  // Stats/log file descriptor held open for the process lifetime.
+  (void)env.Open("pg_stat", /*writable=*/true);
+}
+
+ftx_dc::StepOutcome Postgres::Step(ftx_dc::ProcessEnv& env) {
+  std::optional<ftx::Bytes> token = env.ReadUserInput();
+  if (!token.has_value()) {
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+  }
+  Query query;
+  size_t offset = 0;
+  if (!ftx::ReadValue(*token, &offset, &query)) {
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+  }
+
+  DbState state = LoadState(env);
+  if (state.magic != kMagic) {
+    env.Crash("postgres: database header corrupted");
+    return ftx_dc::StepOutcome{};
+  }
+  ++state.queries_run;
+  ++state.queries_since_time;
+  ++state.queries_since_statfile;
+  bool do_time = options_.gettimeofday_every > 0 &&
+                 state.queries_since_time >= options_.gettimeofday_every;
+  bool do_statfile = options_.checkpoint_file_every > 0 &&
+                     state.queries_since_statfile >= options_.checkpoint_file_every;
+  if (do_time) {
+    state.queries_since_time = 0;
+  }
+  if (do_statfile) {
+    state.queries_since_statfile = 0;
+  }
+
+  Scratch scratch;
+  scratch.query = query;
+
+  ftx_vista::Segment& segment = env.segment();
+  int64_t bucket = BucketOffset(query.key);
+  int64_t head = segment.Read<int64_t>(bucket);
+
+  // Chain walk shared by all operations. A pointer outside the heap arena
+  // (corruption) is a segfault: the crash event.
+  const int64_t heap_base = env.heap().arena_base();
+  const int64_t heap_end = heap_base + env.heap().arena_size();
+  int64_t prev = -1;
+  int64_t cursor = head;
+  int64_t found = -1;
+  int64_t hops = 0;
+  while (cursor >= 0) {
+    if (cursor < heap_base || cursor + static_cast<int64_t>(sizeof(Tuple)) > heap_end) {
+      env.Crash("postgres: dereferenced bad tuple pointer");
+      return ftx_dc::StepOutcome{};
+    }
+    if (++hops > state.tuples + 2) {
+      env.Crash("postgres: bucket chain cycle");
+      return ftx_dc::StepOutcome{};
+    }
+    ++scratch.probes;
+    Tuple tuple = segment.Read<Tuple>(cursor);
+    if (tuple.key == query.key) {
+      found = cursor;
+      break;
+    }
+    prev = cursor;
+    cursor = tuple.next;
+  }
+
+  switch (query.op) {
+    case 'I': {
+      if (found < 0) {
+        ftx::Result<int64_t> block = env.heap().Alloc(sizeof(Tuple));
+        if (block.ok()) {
+          Tuple tuple;
+          tuple.key = query.key;
+          tuple.value = query.value;
+          tuple.next = head;
+          segment.WriteValue(*block, tuple);
+          segment.WriteValue(bucket, *block);
+          ++state.tuples;
+          ++state.inserts;
+          scratch.result = query.value;
+        }
+      } else {
+        Tuple tuple = segment.Read<Tuple>(found);
+        tuple.value = query.value;
+        segment.WriteValue(found, tuple);
+        scratch.result = query.value;
+      }
+      break;
+    }
+    case 'U': {
+      if (found >= 0) {
+        Tuple tuple = segment.Read<Tuple>(found);
+        tuple.value += query.value;
+        segment.WriteValue(found, tuple);
+        scratch.result = tuple.value;
+      }
+      break;
+    }
+    case 'D': {
+      if (found >= 0) {
+        Tuple tuple = segment.Read<Tuple>(found);
+        if (prev < 0) {
+          segment.WriteValue(bucket, tuple.next);
+        } else {
+          Tuple prev_tuple = segment.Read<Tuple>(prev);
+          prev_tuple.next = tuple.next;
+          segment.WriteValue(prev, prev_tuple);
+        }
+        if (!env.heap().Free(found).ok()) {
+          env.Crash("postgres: free of corrupt tuple block");
+          return ftx_dc::StepOutcome{};
+        }
+        --state.tuples;
+        ++state.deletes;
+        scratch.result = 0;
+      }
+      break;
+    }
+    case 'S':
+    default: {
+      if (found >= 0) {
+        scratch.result = segment.Read<Tuple>(found).value;
+      }
+      break;
+    }
+  }
+  segment.WriteValue(kScratchOffset, scratch);
+  StoreState(env, state);
+
+  // All segment mutations are stored; event calls follow.
+  env.Compute(options_.work_per_query);
+  if (do_time) {
+    (void)env.GetTimeOfDay();
+  }
+  if (do_statfile) {
+    (void)env.WriteFile(0, 512);  // append to the stats file (fixed ND)
+  }
+
+  // Result row: the query's visible event.
+  ftx::Bytes row;
+  row.push_back(query.op);
+  ftx::AppendValue(&row, state.queries_run);
+  ftx::AppendValue(&row, query.key);
+  ftx::AppendValue(&row, scratch.result);
+  env.Print(std::move(row));
+
+  return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+}
+
+ftx_dc::FaultSurface Postgres::fault_surface() const {
+  ftx_dc::FaultSurface surface;
+  surface.scratch_offset = kScratchOffset;
+  surface.scratch_size = kScratchSize;
+  surface.static_offset = kHeaderOffset;
+  surface.static_size = kStaticEnd;
+  surface.control_offset = kControlOffset;
+  surface.control_size = kControlSize;
+  return surface;
+}
+
+ftx::Status Postgres::CheckIntegrity(ftx_dc::ProcessEnv& env) {
+  DbState state = LoadState(env);
+  if (state.magic != kMagic) {
+    return ftx::DataLossError("postgres: header corrupted");
+  }
+  if (state.tuples < 0) {
+    return ftx::DataLossError("postgres: negative tuple count");
+  }
+  // Validate every bucket chain: offsets must stay inside the heap arena
+  // and chains must terminate.
+  const int64_t heap_base = env.heap().arena_base();
+  const int64_t heap_end = heap_base + env.heap().arena_size();
+  int64_t seen = 0;
+  for (int32_t b = 0; b < kNumBuckets; ++b) {
+    int64_t cursor = env.segment().Read<int64_t>(kBucketsOffset + static_cast<int64_t>(b) * 8);
+    int64_t hops = 0;
+    while (cursor >= 0) {
+      if (cursor < heap_base || cursor >= heap_end || ++hops > state.tuples + 1) {
+        return ftx::DataLossError("postgres: corrupt bucket chain " + std::to_string(b));
+      }
+      cursor = env.segment().Read<Tuple>(cursor).next;
+      ++seen;
+    }
+  }
+  if (seen != state.tuples) {
+    return ftx::DataLossError("postgres: tuple count mismatch");
+  }
+  return env.heap().CheckGuards();
+}
+
+int64_t Postgres::Lookup(ftx_dc::ProcessEnv& env, int64_t key) {
+  int64_t cursor = env.segment().Read<int64_t>(BucketOffset(key));
+  while (cursor >= 0) {
+    Tuple tuple = env.segment().Read<Tuple>(cursor);
+    if (tuple.key == key) {
+      return tuple.value;
+    }
+    cursor = tuple.next;
+  }
+  return -1;
+}
+
+int64_t Postgres::TupleCount(ftx_dc::ProcessEnv& env) { return LoadState(env).tuples; }
+
+std::vector<ftx::Bytes> Postgres::MakeScript(uint64_t seed, int queries, int key_range) {
+  ftx::Rng rng(seed);
+  std::vector<ftx::Bytes> script;
+  script.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    Query query;
+    double roll = rng.NextDouble();
+    if (roll < 0.35) {
+      query.op = 'I';
+    } else if (roll < 0.65) {
+      query.op = 'S';
+    } else if (roll < 0.9) {
+      query.op = 'U';
+    } else {
+      query.op = 'D';
+    }
+    query.key = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(key_range)));
+    query.value = static_cast<int64_t>(rng.NextBounded(1000000));
+    ftx::Bytes token;
+    ftx::AppendValue(&token, query);
+    script.push_back(std::move(token));
+  }
+  return script;
+}
+
+}  // namespace ftx_apps

@@ -1,0 +1,604 @@
+#include "src/apps/treadmarks.h"
+
+#include <algorithm>
+#include <utility>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+
+namespace ftx_apps {
+namespace {
+
+constexpr int64_t kHeaderOffset = 0;
+constexpr int64_t kControlOffset = 256;
+constexpr int64_t kControlSize = 768;
+constexpr int64_t kScratchOffset = 4096;
+constexpr int64_t kScratchSize = 8192;
+constexpr int64_t kBodiesOffset = 16384;
+constexpr uint64_t kMagic = 0x747265616d626e68ULL;
+
+// Execution phases of the per-process state machine.
+enum Phase : int32_t {
+  kPhaseFetch = 0,    // requesting remote body pages
+  kPhaseCompute = 1,  // octree build + force computation + integration
+  kPhaseBarrier = 2,  // waiting at the iteration barrier
+  kPhaseDone = 3,
+};
+
+struct Body {
+  double x = 0, y = 0, z = 0;
+  double vx = 0, vy = 0, vz = 0;
+  double mass = 1.0;
+  double pad = 0;
+};
+
+struct TmState {
+  uint64_t magic = kMagic;
+  int32_t phase = kPhaseFetch;
+  int32_t iteration = 0;
+  int32_t next_fetch_page = 0;   // cursor over remote pages this iteration
+  int32_t outstanding_page = -1; // page id awaited, -1 if none
+  int32_t pages_fetched = 0;
+  // Bit i set = page i's data for the current iteration is installed.
+  // Replays after a rollback consume redelivered replies *before* their
+  // requests are re-issued; the mask lets an early reply be installed and
+  // its page never re-requested (so no stale-vintage duplicate data).
+  uint64_t fetched_mask = 0;
+  int32_t barrier_done_mask = 0;  // process 0: bitmask of workers that
+                                  // reached the current barrier
+                                  // (idempotent under duplicated DONEs)
+  int32_t barrier_released = 0;
+  // Each iteration uses TWO barriers: stage 0 after the fetch phase (no
+  // process may integrate until everyone holds a consistent snapshot) and
+  // stage 1 after integration (no process may start the next fetch until
+  // all bodies are updated). Without the stage-0 barrier a fast process
+  // could integrate iteration k while a slow or recovering process is
+  // still fetching k's pages — a data race recovery timing would expose.
+  int32_t barrier_stage = 0;
+  int64_t polls = 0;
+  int64_t requests_served = 0;
+  int32_t total_bodies = 0;
+  int32_t pad = 0;
+};
+
+// Message tags.
+struct TmMsg {
+  uint8_t tag = 0;  // 'G' get page, 'P' page data, 'D' done, 'R' release
+  int32_t page = -1;
+  int32_t iteration = 0;
+  int32_t from = -1;
+};
+
+// Octree node, allocated from the segment heap during tree build.
+struct OctNode {
+  double cx = 0, cy = 0, cz = 0;  // cell center
+  double half = 0;                // half edge length
+  double mx = 0, my = 0, mz = 0;  // sum of mass-weighted positions
+  double mass = 0;
+  int64_t children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  int32_t body = -1;   // leaf payload (body index), -1 if internal/empty
+  int32_t is_leaf = 1;
+};
+
+int64_t BodyOffset(int index) {
+  return kBodiesOffset + static_cast<int64_t>(index) * static_cast<int64_t>(sizeof(Body));
+}
+
+TmState LoadState(ftx_dc::ProcessEnv& env) { return env.segment().Read<TmState>(kHeaderOffset); }
+void StoreState(ftx_dc::ProcessEnv& env, const TmState& s) {
+  env.segment().WriteValue(kHeaderOffset, s);
+}
+
+}  // namespace
+
+TreadMarks::TreadMarks(TreadMarksOptions options) : options_(options) {
+  FTX_CHECK_EQ(options_.bodies % options_.num_processes, 0);
+  FTX_CHECK_EQ(options_.bodies % options_.bodies_per_page, 0);
+  FTX_CHECK_LE(options_.bodies / options_.bodies_per_page, 64);  // fetched_mask width
+}
+
+void TreadMarks::Init(ftx_dc::ProcessEnv& env) {
+  TmState state;
+  state.total_bodies = options_.bodies;
+  StoreState(env, state);
+  ftx_dc::InitFaultControlArea(env, kControlOffset, kControlSize);
+  // Plummer-ish deterministic initial conditions, identical in every
+  // process (each owns its slice; remote slices are refreshed via DSM).
+  ftx::Rng rng(0xba53ba11);
+  for (int i = 0; i < options_.bodies; ++i) {
+    Body body;
+    body.x = 100.0 * rng.NextDouble() - 50.0;
+    body.y = 100.0 * rng.NextDouble() - 50.0;
+    body.z = 100.0 * rng.NextDouble() - 50.0;
+    body.vx = rng.NextDouble() - 0.5;
+    body.vy = rng.NextDouble() - 0.5;
+    body.vz = rng.NextDouble() - 0.5;
+    body.mass = 0.5 + rng.NextDouble();
+    env.segment().WriteValue(BodyOffset(i), body);
+  }
+}
+
+ftx_dc::StepOutcome TreadMarks::Step(ftx_dc::ProcessEnv& env) {
+  TmState state = LoadState(env);
+  FTX_CHECK_EQ(state.magic, kMagic);
+  const int me = env.pid();
+  const int procs = options_.num_processes;
+  const int pages_total = options_.bodies / options_.bodies_per_page;
+  const int pages_per_proc = pages_total / procs;
+
+
+  auto send_page = [&](int dst, int page, int32_t echo_iteration) {
+    TmMsg header;
+    header.tag = 'P';
+    header.page = page;
+    header.iteration = echo_iteration;  // echoes the *request's* iteration
+    header.from = me;
+    ftx::Bytes payload;
+    ftx::AppendValue(&payload, header);
+    int first_body = page * options_.bodies_per_page;
+    for (int b = 0; b < options_.bodies_per_page; ++b) {
+      ftx::AppendValue(&payload, env.segment().Read<Body>(BodyOffset(first_body + b)));
+    }
+    env.Send(dst, std::move(payload));
+  };
+  // Orders protocol points: messages from the causal past are consumed and
+  // dropped, current ones are processed, FUTURE ones are deferred (left in
+  // the inbox) until this process's replay catches up. Failure-free runs
+  // never defer; only rollback redelivery produces out-of-phase traffic.
+  auto classify = [&](const TmMsg& header) -> int {
+    switch (header.tag) {
+      case 'G':
+        return 0;  // page requests are always serviceable
+      case 'P':
+        if (header.iteration != state.iteration) {
+          return header.iteration < state.iteration ? -1 : 1;
+        }
+        return 0;
+      case 'D':
+      case 'R': {
+        auto mine = std::make_pair(state.iteration, state.barrier_stage);
+        auto theirs = std::make_pair(header.iteration, header.page);
+        if (theirs == mine) {
+          return 0;
+        }
+        return theirs < mine ? -1 : 1;
+      }
+      default:
+        return -1;  // unknown traffic: drop
+    }
+  };
+
+  // Handles one inbound message; returns true if one was consumed.
+  auto service_one = [&]() -> bool {
+    const ftx_sim::Message* peeked = env.PeekMessage();
+    ++state.polls;
+    if (peeked == nullptr) {
+      (void)env.TryReceive();  // records the select-empty transient ND event
+      return false;
+    }
+    {
+      TmMsg peek_header;
+      size_t peek_offset = 0;
+      if (ftx::ReadValue(peeked->payload, &peek_offset, &peek_header) &&
+          classify(peek_header) > 0) {
+        return false;  // future traffic: leave queued until we catch up
+      }
+    }
+    std::optional<ftx_sim::Message> msg = env.TryReceive();
+    if (!msg.has_value()) {
+      return false;
+    }
+    TmMsg header;
+    size_t offset = 0;
+    if (!ftx::ReadValue(msg->payload, &offset, &header)) {
+      return true;
+    }
+    if (classify(header) < 0) {
+      return true;  // stale duplicate from a rollback: consumed and dropped
+    }
+    // Every message's state effects are stored before any reply is sent: a
+    // commit triggered by the reply (or any later event) must capture a
+    // resumable state, or rollback would strand the protocol (e.g. waiting
+    // forever for a page that was already consumed and released).
+    switch (header.tag) {
+      case 'G': {  // page request from another process
+        ++state.requests_served;
+        StoreState(env, state);
+        send_page(header.from, header.page, header.iteration);
+        break;
+      }
+      case 'P': {  // page data we asked for
+        // Install only the FIRST reply for a page of the CURRENT iteration.
+        // Rollback reexecution can duplicate requests, and a stale
+        // duplicate's reply (served after the owner moved on) carries a
+        // later iteration's data — installing it would corrupt this
+        // iteration's snapshot. Per-channel FIFO guarantees the correct
+        // (original) reply arrives first, so first-wins filtering is safe;
+        // it also lets a redelivered reply land *before* its request is
+        // re-issued during replay.
+        bool fresh = header.iteration == state.iteration && header.page >= 0 &&
+                     header.page < 64 && (state.fetched_mask & (1ULL << header.page)) == 0;
+        if (!fresh) {
+          break;
+        }
+        int first_body = header.page * options_.bodies_per_page;
+        for (int b = 0; b < options_.bodies_per_page; ++b) {
+          Body body;
+          if (!ftx::ReadValue(msg->payload, &offset, &body)) {
+            break;
+          }
+          env.segment().WriteValue(BodyOffset(first_body + b), body);
+        }
+        state.fetched_mask |= 1ULL << header.page;
+        if (state.outstanding_page == header.page) {
+          state.outstanding_page = -1;
+        }
+        ++state.pages_fetched;
+        StoreState(env, state);
+        break;
+      }
+      case 'D': {  // a worker reached the current barrier (process 0 only)
+        // Only DONEs for this (iteration, stage) count, and each worker
+        // only once: rollbacks can duplicate barrier messages. The stage
+        // rides in header.page.
+        if (header.iteration == state.iteration && header.page == state.barrier_stage &&
+            header.from >= 0 && header.from < 32) {
+          state.barrier_done_mask |= 1 << header.from;
+        }
+        StoreState(env, state);
+        break;
+      }
+      case 'R': {  // barrier release for (iteration, stage) in the header
+        if (header.iteration == state.iteration && header.page == state.barrier_stage) {
+          state.barrier_released = 1;
+        }
+        StoreState(env, state);
+        break;
+      }
+      default:
+        break;
+    }
+    return true;
+  };
+
+  switch (state.phase) {
+    case kPhaseFetch: {
+      // Service inbound messages until the socket runs dry.
+      for (int i = 0; i < options_.service_polls; ++i) {
+        if (!service_one()) {
+          break;
+        }
+      }
+      if (state.outstanding_page >= 0 &&
+          (state.fetched_mask & (1ULL << state.outstanding_page)) != 0) {
+        state.outstanding_page = -1;  // reply landed before/without the wait
+      }
+      if (state.outstanding_page < 0) {
+        // Find the next remote page that is not yet installed.
+        state.next_fetch_page = 0;
+        while (state.next_fetch_page < pages_total &&
+               (state.next_fetch_page / pages_per_proc == me ||
+                (state.fetched_mask & (1ULL << state.next_fetch_page)) != 0)) {
+          ++state.next_fetch_page;
+        }
+        if (state.next_fetch_page >= pages_total) {
+          // Stage-0 barrier: wait until every process holds this
+          // iteration's snapshot before anyone integrates. barrier_released
+          // is NOT reset here — the release may already have been consumed
+          // while still fetching (replay redelivers it early).
+          state.phase = kPhaseBarrier;
+          state.barrier_stage = 0;
+          if (me == 0) {
+            state.barrier_done_mask |= 1;
+          }
+          StoreState(env, state);
+          if (me != 0) {
+            TmMsg done;
+            done.tag = 'D';
+            done.page = 0;  // stage
+            done.iteration = state.iteration;
+            done.from = me;
+            ftx::Bytes payload;
+            ftx::AppendValue(&payload, done);
+            env.Send(0, std::move(payload));
+          }
+          return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+        }
+        int page = state.next_fetch_page++;
+        state.outstanding_page = page;
+        StoreState(env, state);
+        TmMsg request;
+        request.tag = 'G';
+        request.page = page;
+        request.iteration = state.iteration;
+        request.from = me;
+        ftx::Bytes payload;
+        ftx::AppendValue(&payload, request);
+        env.Send(page / pages_per_proc, std::move(payload));
+      }
+      StoreState(env, state);
+      // Poll again shortly; arrival also wakes us.
+      return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kBlocked, options_.poll_timeout};
+    }
+
+    case kPhaseCompute: {
+      env.Compute(options_.tree_work);
+      // Build the octree over all N bodies in the heap arena.
+      env.heap().Format();  // per-iteration arena reset
+      auto alloc_node = [&](double cx, double cy, double cz, double half) -> int64_t {
+        ftx::Result<int64_t> node_offset = env.heap().Alloc(sizeof(OctNode));
+        FTX_CHECK(node_offset.ok());
+        OctNode node;
+        node.cx = cx;
+        node.cy = cy;
+        node.cz = cz;
+        node.half = half;
+        env.segment().WriteValue(*node_offset, node);
+        return *node_offset;
+      };
+
+      const double kHalf = 512.0;  // generous root cell
+      int64_t root = alloc_node(0, 0, 0, kHalf);
+
+      // Insert every body.
+      for (int i = 0; i < options_.bodies; ++i) {
+        Body body = env.segment().Read<Body>(BodyOffset(i));
+        int64_t node_offset = root;
+        for (int depth = 0; depth < 64; ++depth) {
+          OctNode node = env.segment().Read<OctNode>(node_offset);
+          node.mx += body.mass * body.x;
+          node.my += body.mass * body.y;
+          node.mz += body.mass * body.z;
+          node.mass += body.mass;
+          if (node.is_leaf != 0 && node.body < 0 && depth > 0) {
+            node.body = i;
+            env.segment().WriteValue(node_offset, node);
+            break;
+          }
+          // Internal node (or root, or occupied leaf needing a split).
+          int32_t displaced = -1;
+          if (node.is_leaf != 0 && node.body >= 0) {
+            displaced = node.body;
+            node.body = -1;
+          }
+          node.is_leaf = 0;
+          auto octant_of = [&](const Body& b) {
+            int oct = 0;
+            if (b.x >= node.cx) oct |= 1;
+            if (b.y >= node.cy) oct |= 2;
+            if (b.z >= node.cz) oct |= 4;
+            return oct;
+          };
+          auto child_for = [&](int oct) -> int64_t {
+            if (node.children[oct] < 0) {
+              double h = node.half / 2;
+              node.children[oct] = alloc_node(node.cx + ((oct & 1) ? h : -h),
+                                              node.cy + ((oct & 2) ? h : -h),
+                                              node.cz + ((oct & 4) ? h : -h), h);
+            }
+            return node.children[oct];
+          };
+          if (displaced >= 0 && displaced != i) {
+            Body other = env.segment().Read<Body>(BodyOffset(displaced));
+            int oct = octant_of(other);
+            int64_t child_offset = child_for(oct);
+            OctNode child = env.segment().Read<OctNode>(child_offset);
+            if (child.is_leaf != 0 && child.body < 0) {
+              child.body = displaced;
+              child.mx += other.mass * other.x;
+              child.my += other.mass * other.y;
+              child.mz += other.mass * other.z;
+              child.mass += other.mass;
+              env.segment().WriteValue(child_offset, child);
+            } else {
+              // Rare: both land in one octant; push the displaced body one
+              // more level by re-inserting (bounded by depth loop).
+              child.mx += other.mass * other.x;
+              child.my += other.mass * other.y;
+              child.mz += other.mass * other.z;
+              child.mass += other.mass;
+              env.segment().WriteValue(child_offset, child);
+            }
+          }
+          int64_t next = child_for(octant_of(body));
+          env.segment().WriteValue(node_offset, node);
+          node_offset = next;
+        }
+      }
+
+      env.Compute(options_.force_work);
+      // Force computation for own bodies by theta-criterion traversal, then
+      // leapfrog integration.
+      const int own_first = me * (options_.bodies / procs);
+      const int own_count = options_.bodies / procs;
+      for (int i = own_first; i < own_first + own_count; ++i) {
+        Body body = env.segment().Read<Body>(BodyOffset(i));
+        double ax = 0, ay = 0, az = 0;
+        // Explicit traversal stack in scratch (the "stack" fault region).
+        auto* stack =
+            reinterpret_cast<int64_t*>(env.segment().OpenForWrite(kScratchOffset, kScratchSize));
+        int sp = 0;
+        stack[sp++] = root;
+        while (sp > 0) {
+          OctNode node = env.segment().Read<OctNode>(stack[--sp]);
+          if (node.mass <= 0) {
+            continue;
+          }
+          double comx = node.mx / node.mass;
+          double comy = node.my / node.mass;
+          double comz = node.mz / node.mass;
+          double dx = comx - body.x;
+          double dy = comy - body.y;
+          double dz = comz - body.z;
+          double dist2 = dx * dx + dy * dy + dz * dz + 1e-6;
+          double dist = std::sqrt(dist2);
+          bool far_enough = (2 * node.half) / dist < options_.theta;
+          if (node.is_leaf != 0 || far_enough || sp > 1000) {
+            if (node.is_leaf != 0 && node.body == i) {
+              continue;  // self-interaction
+            }
+            double inv = node.mass / (dist2 * dist);
+            ax += dx * inv;
+            ay += dy * inv;
+            az += dz * inv;
+          } else {
+            for (int64_t child : node.children) {
+              if (child >= 0 && sp < 1020) {
+                stack[sp++] = child;
+              }
+            }
+          }
+        }
+        body.vx += ax * options_.dt;
+        body.vy += ay * options_.dt;
+        body.vz += az * options_.dt;
+        body.x += body.vx * options_.dt;
+        body.y += body.vy * options_.dt;
+        body.z += body.vz * options_.dt;
+        env.segment().WriteValue(BodyOffset(i), body);
+      }
+
+      // Enter the stage-1 (post-integration) barrier. As with stage 0, an
+      // early-redelivered release must not be wiped here.
+      state.phase = kPhaseBarrier;
+      state.barrier_stage = 1;
+      if (me == 0) {
+        // Process 0 counts itself.
+        state.barrier_done_mask |= 1;
+      }
+      StoreState(env, state);
+      if (me != 0) {
+        TmMsg done;
+        done.tag = 'D';
+        done.page = 1;  // stage
+        done.iteration = state.iteration;
+        done.from = me;
+        ftx::Bytes payload;
+        ftx::AppendValue(&payload, done);
+        env.Send(0, std::move(payload));
+      }
+      return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+    }
+
+    case kPhaseBarrier: {
+      for (int i = 0; i < options_.service_polls; ++i) {
+        if (!service_one()) {
+          break;
+        }
+      }
+      bool released = false;
+      if (me == 0) {
+        released = state.barrier_done_mask == (1 << procs) - 1;
+      } else {
+        released = state.barrier_released != 0;
+      }
+      if (!released) {
+        StoreState(env, state);
+        return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kBlocked, options_.poll_timeout * 3};
+      }
+
+      // Advance the state completely — and store it — before any event
+      // (release sends, progress print) a protocol could commit at. The
+      // release carries the (iteration, stage) it releases; workers accept
+      // only an exact match, so duplicated releases are harmless.
+      const int32_t released_iteration = state.iteration;
+      const int32_t released_stage = state.barrier_stage;
+      bool finished = false;
+      if (released_stage == 0) {
+        state.phase = kPhaseCompute;
+        // Expect (and accept early arrivals for) the stage-1 barrier next.
+        state.barrier_stage = 1;
+      } else {
+        ++state.iteration;
+        finished = state.iteration >= options_.iterations;
+        state.phase = finished ? kPhaseDone : kPhaseFetch;
+        state.next_fetch_page = 0;
+        state.outstanding_page = -1;
+        state.fetched_mask = 0;
+        state.barrier_stage = 0;
+      }
+      if (me == 0) {
+        state.barrier_done_mask = 0;
+      }
+      state.barrier_released = 0;
+      StoreState(env, state);
+
+      if (me == 0) {
+        for (int p = 1; p < procs; ++p) {
+          TmMsg release;
+          release.tag = 'R';
+          release.page = released_stage;
+          release.iteration = released_iteration;
+          release.from = 0;
+          ftx::Bytes payload;
+          ftx::AppendValue(&payload, release);
+          env.Send(p, std::move(payload));
+        }
+        if (finished) {
+          ftx::Bytes final_line;
+          final_line.push_back('E');
+          ftx::AppendValue(&final_line, state.iteration);
+          ftx::AppendValue(&final_line, OwnBodiesChecksum(env));
+          env.Print(std::move(final_line));
+        } else if (released_stage == 1 && options_.report_every > 0 &&
+                   state.iteration % options_.report_every == 0) {
+          ftx::Bytes progress;
+          progress.push_back('I');
+          ftx::AppendValue(&progress, state.iteration);
+          ftx::AppendValue(&progress, OwnBodiesChecksum(env));
+          env.Print(std::move(progress));
+        }
+      }
+      return ftx_dc::StepOutcome{finished ? ftx_dc::StepOutcome::Status::kDone
+                                          : ftx_dc::StepOutcome::Status::kContinue,
+                                 ftx::Duration()};
+    }
+
+    case kPhaseDone:
+    default:
+      return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+  }
+}
+
+ftx_dc::FaultSurface TreadMarks::fault_surface() const {
+  ftx_dc::FaultSurface surface;
+  surface.scratch_offset = kScratchOffset;
+  surface.scratch_size = kScratchSize;
+  surface.static_offset = kHeaderOffset;
+  surface.static_size = kBodiesOffset;
+  surface.control_offset = kControlOffset;
+  surface.control_size = kControlSize;
+  return surface;
+}
+
+ftx::Status TreadMarks::CheckIntegrity(ftx_dc::ProcessEnv& env) {
+  TmState state = LoadState(env);
+  if (state.magic != kMagic) {
+    return ftx::DataLossError("treadmarks: header corrupted");
+  }
+  if (state.phase < kPhaseFetch || state.phase > kPhaseDone) {
+    return ftx::DataLossError("treadmarks: bad phase");
+  }
+  return env.heap().CheckGuards();
+}
+
+int64_t TreadMarks::IterationsDone(ftx_dc::ProcessEnv& env) {
+  return LoadState(env).iteration;
+}
+
+uint32_t TreadMarks::OwnBodiesChecksum(ftx_dc::ProcessEnv& env) {
+  TmState state = LoadState(env);
+  int me = env.pid();
+  int procs = env.num_processes();
+  int per_proc = state.total_bodies / procs;
+  uint32_t crc = 0;
+  for (int i = me * per_proc; i < (me + 1) * per_proc; ++i) {
+    Body body = env.segment().Read<Body>(BodyOffset(i));
+    crc = ftx::Crc32Extend(crc, &body, sizeof(Body) - sizeof(double));  // skip pad
+  }
+  return crc;
+}
+
+}  // namespace ftx_apps

@@ -1,0 +1,69 @@
+// TreadMarks running Barnes-Hut: the DSM workload (Fig. 8d).
+//
+// Four processes share an N-body space through a page-granularity
+// distributed shared memory, as TreadMarks does. Each owns N/4 bodies. Per
+// iteration a process:
+//
+//   1. fetches every remote body page on demand (request/reply messages —
+//      the copious sends and receives of a DSM), serving other processes'
+//      page requests while it waits (select polls on an empty socket are
+//      the unloggable transient ND that dominates CAND's commit count);
+//   2. builds a real Barnes-Hut octree over all N bodies in its segment
+//      heap and computes forces by theta-criterion traversal;
+//   3. integrates its own bodies and joins a barrier (workers report to
+//      process 0, which releases the next iteration).
+//
+// Process 0 prints a progress line only every `report_every` iterations —
+// visible events are rare, which is why the 2PC protocols win this workload
+// in the paper.
+
+#ifndef FTX_SRC_APPS_TREADMARKS_H_
+#define FTX_SRC_APPS_TREADMARKS_H_
+
+#include <vector>
+
+#include "src/checkpoint/app.h"
+
+namespace ftx_apps {
+
+struct TreadMarksOptions {
+  int num_processes = 4;
+  int bodies = 512;            // total bodies, divisible by num_processes
+  int bodies_per_page = 16;    // DSM page granularity
+  int iterations = 60;
+  int report_every = 20;       // progress visible cadence (process 0)
+  double theta = 0.5;          // Barnes-Hut opening angle
+  double dt = 0.05;            // integration timestep
+  ftx::Duration tree_work = ftx::Milliseconds(20);
+  ftx::Duration force_work = ftx::Milliseconds(45);
+  int service_polls = 6;       // inbound polls per scheduling quantum
+  // Longer than any Rio commit, so the polling rate is timeout-dominated
+  // and commit-frequency comparisons between protocols stay fair.
+  ftx::Duration poll_timeout = ftx::Microseconds(800);
+};
+
+class TreadMarks : public ftx_dc::App {
+ public:
+  explicit TreadMarks(TreadMarksOptions options = TreadMarksOptions());
+
+  std::string_view name() const override { return "treadmarks"; }
+  size_t SegmentBytes() const override { return 2 << 20; }
+  int64_t HeapOffset() const override { return 1 << 20; }
+  int64_t HeapBytes() const override { return 1 << 20; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::FaultSurface fault_surface() const override;
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override;
+
+  // Completed iterations (for progress/recovery tests).
+  static int64_t IterationsDone(ftx_dc::ProcessEnv& env);
+  // Checksum over this process's own bodies (equality across runs).
+  static uint32_t OwnBodiesChecksum(ftx_dc::ProcessEnv& env);
+
+ private:
+  TreadMarksOptions options_;
+};
+
+}  // namespace ftx_apps
+
+#endif  // FTX_SRC_APPS_TREADMARKS_H_

@@ -1,0 +1,89 @@
+#include "src/apps/workloads.h"
+
+#include "src/apps/magic.h"
+#include "src/apps/nvi.h"
+#include "src/apps/postgres.h"
+#include "src/apps/treadmarks.h"
+#include "src/apps/xpilot.h"
+#include "src/common/check.h"
+
+namespace ftx_apps {
+
+const std::vector<std::string>& WorkloadNames() {
+  static const std::vector<std::string> kNames = {"nvi", "magic", "xpilot", "treadmarks",
+                                                  "postgres"};
+  return kNames;
+}
+
+WorkloadSetup MakeWorkload(std::string_view name, int scale, uint64_t seed, bool interactive) {
+  WorkloadSetup setup;
+  if (name == "nvi") {
+    NviOptions options;
+    if (!interactive) {
+      options.think_time = ftx::Duration();
+    }
+    setup.apps.push_back(std::make_unique<Nvi>(options));
+    setup.scripts.push_back(Nvi::MakeScript(seed, scale));
+    return setup;
+  }
+  if (name == "magic") {
+    MagicOptions options;
+    if (!interactive) {
+      options.think_time = ftx::Duration();
+    }
+    setup.apps.push_back(std::make_unique<Magic>(options));
+    setup.scripts.push_back(Magic::MakeScript(seed, scale));
+    return setup;
+  }
+  if (name == "xpilot") {
+    XpilotOptions options;
+    options.frames = scale;
+    setup.apps.push_back(std::make_unique<XpilotServer>(options));
+    setup.scripts.emplace_back();
+    for (int c = 0; c < options.num_clients; ++c) {
+      setup.apps.push_back(std::make_unique<XpilotClient>(options));
+      setup.scripts.push_back(XpilotClient::MakeJoystickScript(
+          seed + static_cast<uint64_t>(c) + 1,
+          scale / options.joystick_every_frames + 8));
+    }
+    return setup;
+  }
+  if (name == "treadmarks") {
+    TreadMarksOptions options;
+    options.iterations = scale;
+    for (int p = 0; p < options.num_processes; ++p) {
+      setup.apps.push_back(std::make_unique<TreadMarks>(options));
+      setup.scripts.emplace_back();
+    }
+    return setup;
+  }
+  if (name == "postgres") {
+    PostgresOptions options;
+    setup.apps.push_back(std::make_unique<Postgres>(options));
+    setup.scripts.push_back(Postgres::MakeScript(seed, scale));
+    return setup;
+  }
+  FTX_CHECK_MSG(false, "unknown workload: %.*s", static_cast<int>(name.size()), name.data());
+  return setup;
+}
+
+int DefaultScale(std::string_view name, bool full_scale) {
+  if (name == "nvi") {
+    return full_scale ? 7900 : 1200;
+  }
+  if (name == "magic") {
+    return full_scale ? 190 : 60;
+  }
+  if (name == "xpilot") {
+    return full_scale ? 450 : 150;  // frames
+  }
+  if (name == "treadmarks") {
+    return full_scale ? 60 : 12;  // iterations
+  }
+  if (name == "postgres") {
+    return full_scale ? 4000 : 800;
+  }
+  return 100;
+}
+
+}  // namespace ftx_apps

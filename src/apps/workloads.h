@@ -1,0 +1,42 @@
+// Workload factory: assembles the paper's application suite by name.
+//
+// "nvi", "magic" and "postgres" are single-process; "xpilot" is one server
+// plus three clients; "treadmarks" is four peers. `scale` is the workload's
+// primary unit count (keystrokes / commands / frames / iterations /
+// queries). `interactive` enables the paper's think-time pacing (100 ms per
+// keystroke, 1 s per command); the fault studies run non-interactively.
+
+#ifndef FTX_SRC_APPS_WORKLOADS_H_
+#define FTX_SRC_APPS_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/checkpoint/app.h"
+#include "src/common/bytes.h"
+
+namespace ftx_apps {
+
+struct WorkloadSetup {
+  std::vector<std::unique_ptr<ftx_dc::App>> apps;
+  // Input script per process (may be empty).
+  std::vector<std::vector<ftx::Bytes>> scripts;
+};
+
+// Names accepted by MakeWorkload.
+const std::vector<std::string>& WorkloadNames();
+
+WorkloadSetup MakeWorkload(std::string_view name, int scale, uint64_t seed,
+                           bool interactive = true);
+
+// The paper's run sizes for Fig. 8 (nvi ~7.9k keystrokes, magic ~190
+// commands, xpilot 30 s, Barnes-Hut). Scaled-down sizes keep the benches
+// fast while preserving the event-mix ratios; pass `full_scale` for the
+// paper's sizes.
+int DefaultScale(std::string_view name, bool full_scale);
+
+}  // namespace ftx_apps
+
+#endif  // FTX_SRC_APPS_WORKLOADS_H_

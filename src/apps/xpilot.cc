@@ -1,0 +1,309 @@
+#include "src/apps/xpilot.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ftx_apps {
+namespace {
+
+constexpr int64_t kHeaderOffset = 0;
+constexpr int64_t kControlOffset = 1024;
+constexpr int64_t kControlSize = 512;
+constexpr int64_t kScratchOffset = 4096;
+constexpr int64_t kScratchSize = 2048;
+constexpr int64_t kWorldOffset = 8192;
+constexpr int kMaxShips = 8;
+constexpr uint64_t kServerMagic = 0x7870696c6f747376ULL;
+constexpr uint64_t kClientMagic = 0x7870696c6f74636cULL;
+
+struct Ship {
+  int32_t x = 320;
+  int32_t y = 240;
+  int32_t vx = 0;
+  int32_t vy = 0;
+  int32_t score = 0;
+};
+
+struct ServerState {
+  uint64_t magic = kServerMagic;
+  int64_t frame = 0;
+  int64_t inputs_consumed = 0;
+  int64_t next_deadline_ns = 0;  // absolute next-frame deadline
+  int32_t frames_since_scoreline = 0;
+  int32_t quit_sent = 0;
+};
+
+struct ClientState {
+  uint64_t magic = kClientMagic;
+  int64_t frames_rendered = 0;
+  int64_t frames_since_joystick = 0;
+  int32_t last_turn = 0;
+  int32_t done = 0;
+};
+
+// Server update payload: frame number + all ship positions.
+struct UpdateMsg {
+  uint8_t tag = 'U';  // 'U' update, 'Q' quit
+  int64_t frame = 0;
+  Ship ships[kMaxShips];
+};
+
+// Client input payload.
+struct InputMsg {
+  uint8_t tag = 'I';
+  int32_t client = 0;
+  int32_t turn = 0;
+  int32_t thrust = 0;
+};
+
+}  // namespace
+
+XpilotServer::XpilotServer(XpilotOptions options) : options_(options) {
+  FTX_CHECK_LE(options_.num_clients, kMaxShips);
+}
+
+void XpilotServer::Init(ftx_dc::ProcessEnv& env) {
+  ServerState state;
+  env.segment().WriteValue(kHeaderOffset, state);
+  ftx_dc::InitFaultControlArea(env, kControlOffset, kControlSize);
+  for (int i = 0; i < options_.num_clients; ++i) {
+    Ship ship;
+    ship.x = 100 + 50 * i;
+    ship.y = 100 + 30 * i;
+    env.segment().WriteValue(kWorldOffset + i * static_cast<int64_t>(sizeof(Ship)), ship);
+  }
+  (void)env.Bind(15345);  // the xpilot UDP port: kernel state to reconstruct
+}
+
+ftx_dc::StepOutcome XpilotServer::Step(ftx_dc::ProcessEnv& env) {
+  auto state = env.segment().Read<ServerState>(kHeaderOffset);
+  FTX_CHECK_EQ(state.magic, kServerMagic);
+
+  if (state.frame >= options_.frames) {
+    if (state.quit_sent == 0) {
+      state.quit_sent = 1;
+      env.segment().WriteValue(kHeaderOffset, state);
+      UpdateMsg quit;
+      quit.tag = 'Q';
+      quit.frame = state.frame;
+      for (int c = 1; c <= options_.num_clients; ++c) {
+        ftx::Bytes payload;
+        ftx::AppendValue(&payload, quit);
+        env.Send(c, std::move(payload));
+      }
+    }
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+  }
+
+  ++state.frame;
+  ++state.frames_since_scoreline;
+  // Frame deadlines slip rather than queue: when the loop has fallen
+  // behind (overhead exceeded the budget), the next deadline is measured
+  // from now.
+  int64_t now_ns = env.Now().nanos();
+  state.next_deadline_ns =
+      std::max(state.next_deadline_ns + options_.frame_period.nanos(),
+               now_ns + options_.frame_period.nanos() / 8);
+  env.segment().WriteValue(kHeaderOffset, state);
+
+  // Aggressive socket polling: most polls find nothing (select on an empty
+  // set — transient ND); some consume client input messages (receives).
+  for (int poll = 0; poll < options_.polls_per_frame; ++poll) {
+    std::optional<ftx_sim::Message> msg = env.TryReceive();
+    if (!msg.has_value()) {
+      continue;
+    }
+    InputMsg input;
+    size_t offset = 0;
+    if (!ftx::ReadValue(msg->payload, &offset, &input) || input.tag != 'I') {
+      continue;
+    }
+    ++state.inputs_consumed;
+    int idx = std::clamp(input.client - 1, 0, kMaxShips - 1);
+    int64_t ship_offset = kWorldOffset + idx * static_cast<int64_t>(sizeof(Ship));
+    Ship ship = env.segment().Read<Ship>(ship_offset);
+    ship.vx += input.turn;
+    ship.vy += input.thrust;
+    env.segment().WriteValue(ship_offset, ship);
+  }
+
+  // Physics: advance every ship.
+  for (int i = 0; i < options_.num_clients; ++i) {
+    int64_t ship_offset = kWorldOffset + i * static_cast<int64_t>(sizeof(Ship));
+    Ship ship = env.segment().Read<Ship>(ship_offset);
+    ship.x = (ship.x + ship.vx + 640) % 640;
+    ship.y = (ship.y + ship.vy + 480) % 480;
+    env.segment().WriteValue(ship_offset, ship);
+  }
+
+  // Fold all of this frame's state into the segment before emitting events.
+  bool do_scoreline = options_.server_scoreline_every > 0 &&
+                      state.frames_since_scoreline >= options_.server_scoreline_every;
+  if (do_scoreline) {
+    state.frames_since_scoreline = 0;
+  }
+  env.segment().WriteValue(kHeaderOffset, state);
+
+  (void)env.GetTimeOfDay();  // frame timing
+  env.Compute(options_.physics_work);
+
+  // Broadcast the frame update.
+  UpdateMsg update;
+  update.frame = state.frame;
+  for (int i = 0; i < options_.num_clients; ++i) {
+    update.ships[i] =
+        env.segment().Read<Ship>(kWorldOffset + i * static_cast<int64_t>(sizeof(Ship)));
+  }
+  for (int c = 1; c <= options_.num_clients; ++c) {
+    ftx::Bytes payload;
+    ftx::AppendValue(&payload, update);
+    env.Send(c, std::move(payload));
+    if (c < options_.num_clients) {
+      // Real xpilot keeps draining its sockets while transmitting; the
+      // interleaved select is why each send sees fresh non-determinism.
+      std::optional<ftx_sim::Message> between = env.TryReceive();
+      if (between.has_value()) {
+        InputMsg input;
+        size_t offset = 0;
+        if (ftx::ReadValue(between->payload, &offset, &input) && input.tag == 'I') {
+          ++state.inputs_consumed;
+          env.segment().WriteValue(kHeaderOffset, state);
+        }
+      }
+    }
+  }
+
+  if (do_scoreline) {
+    ftx::Bytes scoreline;
+    scoreline.push_back('S');
+    ftx::AppendValue(&scoreline, state.frame);
+    ftx::AppendValue(&scoreline, state.inputs_consumed);
+    env.Print(std::move(scoreline));
+  }
+
+  // Pace to the absolute frame deadline: commit overhead is absorbed into
+  // the frame's slack until it exceeds the budget, after which the loop
+  // falls behind 15 fps naturally.
+  ftx_dc::StepOutcome outcome;
+  outcome.status = ftx_dc::StepOutcome::Status::kContinue;
+  outcome.pace_until = ftx::TimePoint(state.next_deadline_ns);
+  return outcome;
+}
+
+ftx_dc::FaultSurface XpilotServer::fault_surface() const {
+  ftx_dc::FaultSurface surface;
+  surface.scratch_offset = kScratchOffset;
+  surface.scratch_size = kScratchSize;
+  surface.static_offset = kHeaderOffset;
+  surface.static_size = kWorldOffset + kMaxShips * static_cast<int64_t>(sizeof(Ship));
+  surface.control_offset = kControlOffset;
+  surface.control_size = kControlSize;
+  return surface;
+}
+
+ftx::Status XpilotServer::CheckIntegrity(ftx_dc::ProcessEnv& env) {
+  auto state = env.segment().Read<ServerState>(kHeaderOffset);
+  if (state.magic != kServerMagic) {
+    return ftx::DataLossError("xpilot-server: header corrupted");
+  }
+  return ftx::Status::Ok();
+}
+
+int64_t XpilotServer::FramesRun(ftx_dc::ProcessEnv& env) {
+  return env.segment().Read<ServerState>(kHeaderOffset).frame;
+}
+
+XpilotClient::XpilotClient(XpilotOptions options) : options_(options) {}
+
+void XpilotClient::Init(ftx_dc::ProcessEnv& env) {
+  ClientState state;
+  env.segment().WriteValue(kHeaderOffset, state);
+}
+
+ftx_dc::StepOutcome XpilotClient::Step(ftx_dc::ProcessEnv& env) {
+  auto state = env.segment().Read<ClientState>(kHeaderOffset);
+  FTX_CHECK_EQ(state.magic, kClientMagic);
+  if (state.done != 0) {
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+  }
+
+  std::optional<ftx_sim::Message> msg = env.TryReceive();
+  if (!msg.has_value()) {
+    // Block until the next server update arrives.
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kBlocked, ftx::Milliseconds(250)};
+  }
+  UpdateMsg update;
+  size_t offset = 0;
+  if (!ftx::ReadValue(msg->payload, &offset, &update)) {
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+  }
+  if (update.tag == 'Q') {
+    state.done = 1;
+    env.segment().WriteValue(kHeaderOffset, state);
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+  }
+
+  ++state.frames_rendered;
+  ++state.frames_since_joystick;
+  bool do_joystick = state.frames_since_joystick >= options_.joystick_every_frames;
+  if (do_joystick) {
+    state.frames_since_joystick = 0;
+  }
+  env.segment().WriteValue(kHeaderOffset, state);
+
+  // Render the frame: the client's visible event.
+  env.Compute(options_.render_work);
+  ftx::Bytes frame;
+  frame.push_back('F');
+  ftx::AppendValue(&frame, update.frame);
+  int me = std::clamp(env.pid() - 1, 0, kMaxShips - 1);
+  ftx::AppendValue(&frame, update.ships[me].x);
+  ftx::AppendValue(&frame, update.ships[me].y);
+  env.Print(std::move(frame));
+
+  // Sample the joystick every few frames and send the input to the server.
+  if (do_joystick) {
+    InputMsg input;
+    input.client = env.pid();
+    std::optional<ftx::Bytes> stick = env.ReadUserInput();
+    if (stick.has_value() && stick->size() >= 2) {
+      state.last_turn = static_cast<int8_t>((*stick)[0]);
+      input.turn = state.last_turn;
+      input.thrust = static_cast<int8_t>((*stick)[1]);
+      env.segment().WriteValue(kHeaderOffset, state);
+    }
+    ftx::Bytes payload;
+    ftx::AppendValue(&payload, input);
+    env.Send(0, std::move(payload));
+  }
+
+  return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+}
+
+ftx_dc::FaultSurface XpilotClient::fault_surface() const {
+  ftx_dc::FaultSurface surface;
+  surface.scratch_offset = kScratchOffset;
+  surface.scratch_size = kScratchSize;
+  surface.static_offset = kHeaderOffset;
+  surface.static_size = 1024;
+  return surface;
+}
+
+int64_t XpilotClient::FramesRendered(ftx_dc::ProcessEnv& env) {
+  return env.segment().Read<ClientState>(kHeaderOffset).frames_rendered;
+}
+
+std::vector<ftx::Bytes> XpilotClient::MakeJoystickScript(uint64_t seed, int samples) {
+  ftx::Rng rng(seed);
+  std::vector<ftx::Bytes> script;
+  script.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    auto turn = static_cast<int8_t>(rng.NextInRange(-2, 2));
+    auto thrust = static_cast<int8_t>(rng.NextInRange(-1, 1));
+    script.push_back(ftx::Bytes{static_cast<uint8_t>(turn), static_cast<uint8_t>(thrust)});
+  }
+  return script;
+}
+
+}  // namespace ftx_apps

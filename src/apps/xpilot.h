@@ -1,0 +1,76 @@
+// xpilot: the distributed real-time game workload (Fig. 8c).
+//
+// One server process and three client processes. The server runs a frame
+// loop at 15 frames per second: it polls its sockets aggressively (many
+// select calls per frame — transient, unloggable ND), consumes client input
+// messages (receives), advances the game physics, and broadcasts an update
+// to every client (sends). Clients block on the server update, render it
+// (the visible event), sample the joystick every few frames (fixed,
+// loggable ND), and send their input back.
+//
+// Because the application is continuous and real-time, performance is
+// reported as the sustained frame rate rather than runtime overhead: when
+// commit costs exceed the frame budget, the loop simply falls behind and
+// the measured fps drops — the self-limiting behaviour behind the paper's
+// "0 fps" entries for CAND on DC-disk.
+
+#ifndef FTX_SRC_APPS_XPILOT_H_
+#define FTX_SRC_APPS_XPILOT_H_
+
+#include <vector>
+
+#include "src/checkpoint/app.h"
+#include "src/common/rng.h"
+
+namespace ftx_apps {
+
+struct XpilotOptions {
+  int num_clients = 3;
+  int frames = 450;  // 30 seconds at full speed
+  ftx::Duration frame_period = ftx::Microseconds(66667);  // 15 fps
+  ftx::Duration physics_work = ftx::Milliseconds(8);
+  ftx::Duration render_work = ftx::Milliseconds(2);
+  int polls_per_frame = 30;       // server socket polling intensity
+  int joystick_every_frames = 3;  // client input sampling cadence
+  int server_scoreline_every = 100;  // server visible cadence
+};
+
+class XpilotServer : public ftx_dc::App {
+ public:
+  explicit XpilotServer(XpilotOptions options = XpilotOptions());
+
+  std::string_view name() const override { return "xpilot-server"; }
+  size_t SegmentBytes() const override { return 1 << 20; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::FaultSurface fault_surface() const override;
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override;
+
+  static int64_t FramesRun(ftx_dc::ProcessEnv& env);
+
+ private:
+  XpilotOptions options_;
+};
+
+class XpilotClient : public ftx_dc::App {
+ public:
+  explicit XpilotClient(XpilotOptions options = XpilotOptions());
+
+  std::string_view name() const override { return "xpilot-client"; }
+  size_t SegmentBytes() const override { return 256 * 1024; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::FaultSurface fault_surface() const override;
+
+  static int64_t FramesRendered(ftx_dc::ProcessEnv& env);
+
+  // Joystick tokens for a client's input script.
+  static std::vector<ftx::Bytes> MakeJoystickScript(uint64_t seed, int samples);
+
+ private:
+  XpilotOptions options_;
+};
+
+}  // namespace ftx_apps
+
+#endif  // FTX_SRC_APPS_XPILOT_H_

@@ -1,0 +1,16 @@
+#include "src/checkpoint/app.h"
+
+namespace ftx_dc {
+
+void InitFaultControlArea(ProcessEnv& env, int64_t offset, int64_t size) {
+  // Distinct nonzero words: a deleted branch (zeroing) or a misdirected
+  // store (copying one entry over another) always produces a detectable
+  // change.
+  int64_t words = size / static_cast<int64_t>(sizeof(uint64_t));
+  for (int64_t i = 0; i < words; ++i) {
+    uint64_t value = 0x636f6e74726f6cULL ^ (static_cast<uint64_t>(i + 1) * 0x9e3779b9ULL);
+    env.segment().WriteValue(offset + i * static_cast<int64_t>(sizeof(uint64_t)), value);
+  }
+}
+
+}  // namespace ftx_dc

@@ -1,0 +1,183 @@
+// Application model for the Discount Checking runtime.
+//
+// The paper's formal model (§2.2) treats a process as a state machine that
+// computes by transitioning between states on events. Applications in this
+// library are written exactly that way: all persistent state — including
+// control state such as phase counters — lives in the process's Vista
+// segment, and the runtime repeatedly calls Step(). That is what makes
+// rollback + reexecution exact: restoring the segment restores the whole
+// process. (Discount Checking achieved the same effect on real binaries by
+// mapping the entire address space, stack included, into the segment.)
+//
+// Every interaction with the outside world goes through ProcessEnv, which is
+// where the runtime intercepts events, consults the Save-work protocol, and
+// charges simulated time.
+
+#ifndef FTX_SRC_CHECKPOINT_APP_H_
+#define FTX_SRC_CHECKPOINT_APP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/sim/network.h"
+#include "src/vista/heap.h"
+#include "src/vista/segment.h"
+
+namespace ftx_dc {
+
+// The runtime-provided environment an application executes against. Each
+// method that corresponds to a paper event class is annotated.
+class ProcessEnv {
+ public:
+  virtual ~ProcessEnv() = default;
+
+  virtual int pid() const = 0;
+  virtual int num_processes() const = 0;
+  virtual ftx::TimePoint Now() const = 0;
+
+  // All application state lives here.
+  virtual ftx_vista::Segment& segment() = 0;
+  virtual ftx_vista::SegmentHeap& heap() = 0;
+
+  // --- events ---
+
+  // Transient ND: simulated gettimeofday (different result on reexecution).
+  virtual ftx::TimePoint GetTimeOfDay() = 0;
+
+  // Transient ND: a delivered signal (the one ND class Targon/32 cannot
+  // convert). No payload; the event itself is the non-determinism.
+  virtual void DeliverSignal() = 0;
+
+  // Fixed ND, loggable: next scripted user-input token, or nullopt when the
+  // script is exhausted (end of workload).
+  virtual std::optional<ftx::Bytes> ReadUserInput() = 0;
+
+  // Visible event: output the user observes.
+  virtual void Print(ftx::Bytes payload) = 0;
+
+  // Send event.
+  virtual void Send(int dst, ftx::Bytes payload) = 0;
+
+  // Receive event (ND, loggable) if a message is pending. A poll that finds
+  // nothing is recorded as a transient ND event (select on an empty set —
+  // whether the message had arrived yet is scheduling-dependent).
+  virtual std::optional<ftx_sim::Message> TryReceive() = 0;
+
+  // MSG_PEEK: inspect the next pending message without consuming it (no
+  // event is recorded; the consuming TryReceive is the receive event).
+  // Applications use it to defer messages their protocol state cannot
+  // accept yet — e.g. redelivered future-iteration traffic during replay.
+  virtual const ftx_sim::Message* PeekMessage() = 0;
+
+  // Deterministic computation consuming simulated time.
+  virtual void Compute(ftx::Duration work) = 0;
+
+  // --- syscalls (kernel state captured for recovery) ---
+
+  virtual ftx::Result<int> Open(const std::string& path, bool writable) = 0;  // fixed ND
+  virtual ftx::Status Close(int fd) = 0;
+  virtual ftx::Result<int64_t> WriteFile(int fd, int64_t bytes) = 0;  // fixed ND
+  virtual ftx::Status Bind(uint16_t port) = 0;
+
+  // --- failure interface ---
+
+  // Executes a crash event: the process detected a fault (failed consistency
+  // check, smashed guard band, poisoned pointer) and terminates, per the
+  // fail-before-incorrect-output assumption of §2.2.
+  virtual void Crash(const std::string& reason) = 0;
+
+  // Marks the *previous* application event as the activation of an injected
+  // fault (used by the fault-injection study to delimit dangerous paths).
+  virtual void MarkFaultActivation() = 0;
+};
+
+// What a Step() call tells the scheduler.
+struct StepOutcome {
+  enum class Status {
+    kContinue,  // reschedule after `delay`
+    kBlocked,   // waiting for a message; wake on arrival (or after `delay`
+                //   if nonzero, as a poll timeout)
+    kDone,      // workload complete
+  };
+  Status status = Status::kContinue;
+  // Think time / pacing before the next step (e.g. 100 ms between
+  // keystrokes); in addition to the simulated cost of the events executed.
+  ftx::Duration delay;
+  // Absolute deadline pacing (real-time loops): when set (>= 0 ns), the
+  // next step runs at max(now + cost, pace_until) — recovery/commit
+  // overhead is absorbed into the frame's slack until the budget is
+  // exhausted, after which the loop falls behind naturally.
+  ftx::TimePoint pace_until{-1};
+};
+
+// Where in an app's segment the fault injector may corrupt state. The
+// scratch region models the stack (per-step working data); the static region
+// models global/static variables; the control region is a table of
+// long-lived configuration/dispatch words (the natural victim of
+// wrong-destination stores and deleted branches — corrupt values there
+// persist until the corrupted entry is used).
+struct FaultSurface {
+  int64_t scratch_offset = 0;
+  int64_t scratch_size = 0;
+  int64_t static_offset = 0;
+  int64_t static_size = 0;
+  int64_t control_offset = 0;
+  int64_t control_size = 0;
+};
+
+// Fills a control table with distinct nonzero words; apps call this from
+// Init for the region they expose as FaultSurface::control_*.
+void InitFaultControlArea(ProcessEnv& env, int64_t offset, int64_t size);
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Segment size this app needs (heap arena included).
+  virtual size_t SegmentBytes() const = 0;
+
+  // Heap arena placement inside the segment. Default: the upper half. Apps
+  // with a fully static layout may return zero HeapBytes.
+  virtual int64_t HeapOffset() const { return static_cast<int64_t>(SegmentBytes()) / 2; }
+  virtual int64_t HeapBytes() const { return static_cast<int64_t>(SegmentBytes()) / 2; }
+
+  // Establishes the initial state in the segment. The runtime commits
+  // checkpoint #0 right after Init — the paper's "the initial state of any
+  // application is always committed".
+  virtual void Init(ProcessEnv& env) = 0;
+
+  // Executes one unit of work (one keystroke, one command, one frame, one
+  // DSM iteration). Must be a pure function of segment state and ProcessEnv
+  // results, so reexecution after rollback is faithful.
+  virtual StepOutcome Step(ProcessEnv& env) = 0;
+
+  // Fault-injection surface (§4.1 fault study). Apps with no injectable
+  // regions return the default empty surface.
+  virtual FaultSurface fault_surface() const { return FaultSurface{}; }
+
+  // Called after recovery restores the committed state and zeroes any
+  // volatile (recomputable) segment ranges: the application rebuilds caches
+  // and derived structures here. The default does nothing.
+  virtual void OnRecovered(ProcessEnv& env) { (void)env; }
+
+  // Application-level consistency check (§2.6: traverse data structures,
+  // verify checksums, inspect guard bands). Returns kDataLoss on detected
+  // corruption; the caller then executes a crash event.
+  virtual ftx::Status CheckIntegrity(ProcessEnv& env) {
+    if (env.heap().arena_size() > 0) {
+      return env.heap().CheckGuards();
+    }
+    return ftx::Status::Ok();
+  }
+};
+
+}  // namespace ftx_dc
+
+#endif  // FTX_SRC_CHECKPOINT_APP_H_

@@ -1,0 +1,665 @@
+#include "src/checkpoint/runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace ftx_dc {
+namespace {
+
+ftx_sm::EventKind ToTraceKind(ftx_proto::AppEvent event) {
+  switch (event) {
+    case ftx_proto::AppEvent::kInternal:
+      return ftx_sm::EventKind::kInternal;
+    case ftx_proto::AppEvent::kTransientNd:
+    case ftx_proto::AppEvent::kSignal:
+      return ftx_sm::EventKind::kTransientNd;
+    case ftx_proto::AppEvent::kFixedNd:
+    case ftx_proto::AppEvent::kUserInput:
+      return ftx_sm::EventKind::kFixedNd;
+    case ftx_proto::AppEvent::kReceive:
+      return ftx_sm::EventKind::kReceive;
+    case ftx_proto::AppEvent::kSend:
+      return ftx_sm::EventKind::kSend;
+    case ftx_proto::AppEvent::kVisible:
+      return ftx_sm::EventKind::kVisible;
+  }
+  return ftx_sm::EventKind::kInternal;
+}
+
+}  // namespace
+
+Runtime::Runtime(int pid, int num_processes, App* app,
+                 std::unique_ptr<ftx_proto::Protocol> protocol, RuntimeDeps deps, RuntimeMode mode,
+                 RuntimeCosts costs)
+    : pid_(pid),
+      num_processes_(num_processes),
+      app_(app),
+      protocol_(std::move(protocol)),
+      deps_(deps),
+      mode_(mode),
+      costs_(costs) {
+  FTX_CHECK(app != nullptr);
+  FTX_CHECK(deps_.sim != nullptr);
+  FTX_CHECK(deps_.network != nullptr);
+  FTX_CHECK(deps_.kernel != nullptr);
+  FTX_CHECK(deps_.recorder != nullptr);
+  if (mode_ == RuntimeMode::kRecoverable) {
+    FTX_CHECK(protocol_ != nullptr);
+    FTX_CHECK(deps_.trace != nullptr);
+    FTX_CHECK(deps_.store != nullptr);
+  }
+  segment_ = std::make_unique<ftx_vista::Segment>(app->SegmentBytes());
+  if (app->HeapBytes() > 0) {
+    heap_ = std::make_unique<ftx_vista::SegmentHeap>(segment_.get(), app->HeapOffset(),
+                                                     app->HeapBytes());
+    heap_->Format();
+  }
+}
+
+void Runtime::SetInputScript(std::vector<ftx::Bytes> script) {
+  input_script_ = std::move(script);
+}
+
+void Runtime::SetCrashHandler(std::function<void(const std::string&)> handler) {
+  crash_handler_ = std::move(handler);
+}
+
+void Runtime::Initialize() {
+  in_step_ = true;
+  step_cost_ = ftx::Duration();
+  app_->Init(*this);
+  in_step_ = false;
+  step_cost_ = ftx::Duration();
+  // Checkpoint #0: "the initial state of any application is always
+  // committed". Its cost is excluded from overhead accounting (both the
+  // recoverable and baseline versions start from a settled initial state).
+  if (mode_ == RuntimeMode::kRecoverable) {
+    DoCommit(/*coordinated=*/false);
+  } else {
+    segment_->Commit();
+  }
+  step_cost_ = ftx::Duration();
+}
+
+StepOutcome Runtime::RunStep(ftx::Duration* cost_out) {
+  FTX_CHECK(alive_);
+  FTX_CHECK(!done_);
+  step_cost_ = pending_overhead_;
+  pending_overhead_ = ftx::Duration();
+  in_step_ = true;
+  ++step_count_;
+  StepOutcome outcome = app_->Step(*this);
+  if (alive_) {
+    FlushPendingCommit();
+  }
+  in_step_ = false;
+  if (outcome.status == StepOutcome::Status::kDone) {
+    done_ = true;
+  }
+  *cost_out = step_cost_;
+  return outcome;
+}
+
+void Runtime::Kill() { alive_ = false; }
+
+void Runtime::FlushPendingCommit() {
+  if (pending_commit_) {
+    pending_commit_ = false;
+    Charge(DoCommit(/*coordinated=*/false));
+  }
+}
+
+ftx_proto::CommitDecision Runtime::PreEvent(ftx_proto::AppEvent event) {
+  ftx_proto::CommitDecision decision;
+  if (mode_ == RuntimeMode::kBaseline) {
+    return decision;
+  }
+  FlushPendingCommit();
+  decision = protocol_->Decide(event);
+  if (decision.flush_log_before && unflushed_log_bytes_ > 0) {
+    // Optimistic Logging's output commit: wait for every outstanding log
+    // record to reach stable storage — one batched sequential append.
+    Charge(deps_.store->LogAppendCost(unflushed_log_bytes_));
+    unflushed_log_bytes_ = 0;
+    flushed_log_records_ = nd_log_.size();
+  }
+  if (decision.commit_before) {
+    if (decision.coordinated && deps_.coordinated_commit && num_processes_ > 1) {
+      // The coordinator callback runs the 2PC round: participants commit,
+      // acks flow back, and this process commits — all recorded in the
+      // trace and charged to this step.
+      deps_.coordinated_commit(decision.scope);
+    } else {
+      Charge(DoCommit(/*coordinated=*/false));
+    }
+  }
+  Charge(costs_.event_intercept);
+  return decision;
+}
+
+void Runtime::PostEvent(ftx_proto::AppEvent event, const ftx_proto::CommitDecision& decision,
+                        int64_t message_id, bool logged, const char* label) {
+  ++stats_.events;
+  if (ftx_proto::IsNdEvent(event)) {
+    ++stats_.nd_events;
+  }
+  if (mode_ == RuntimeMode::kBaseline) {
+    return;
+  }
+  AppendTraceEvent(event, message_id, logged, label);
+  if (decision.commit_after) {
+    pending_commit_ = true;  // performed at the next event / step boundary
+  }
+}
+
+void Runtime::AppendTraceEvent(ftx_proto::AppEvent event, int64_t message_id, bool logged,
+                               const char* label) {
+  if (deps_.trace == nullptr) {
+    return;
+  }
+  int64_t atomic_group = -1;
+  if (event == ftx_proto::AppEvent::kVisible && deps_.latest_atomic_group) {
+    atomic_group = deps_.latest_atomic_group();
+  }
+  deps_.trace->Append(pid_, ToTraceKind(event), message_id, logged,
+                      label != nullptr ? label : "", atomic_group);
+}
+
+void Runtime::AppendNdLog(NdLogRecord record, bool log_async) {
+  int64_t bytes = record.CostBytes();
+  nd_log_.push_back(std::move(record));
+  ++nd_consumed_;  // live events are consumed as they are logged
+  ++stats_.logged_events;
+  Charge(costs_.nd_log_record);
+  if (log_async) {
+    unflushed_log_bytes_ += bytes;
+  } else {
+    Charge(deps_.store->LogAppendCost(bytes));
+    flushed_log_records_ = nd_log_.size();
+  }
+}
+
+ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
+  if (mode_ == RuntimeMode::kBaseline) {
+    segment_->Commit();
+    return ftx::Duration();
+  }
+  ftx::Duration cost = deps_.store->CommitFixedCost();
+  // Volatile (recomputable) ranges are excluded from what a commit
+  // persists; their pages still pay the COW trap but not the persist path.
+  const auto trapped = static_cast<int64_t>(segment_->dirty_page_count());
+  const auto pages = static_cast<int64_t>(segment_->persisted_dirty_page_count());
+  cost += costs_.page_trap * trapped + costs_.page_reprotect * pages;
+
+  // Capture the post-commit resume point: the synthetic register file plus
+  // the kernel / input / ND-log cursors recovery must restore.
+  CommittedMeta meta;
+  meta.registers[0] = static_cast<uint64_t>(step_count_);
+  meta.registers[1] = static_cast<uint64_t>(deps_.sim->Now().nanos());
+  meta.step_count = step_count_;
+  meta.kernel_records = deps_.kernel->RecordCount(pid_);
+  meta.input_cursor = input_cursor_;
+  meta.nd_consumed = nd_consumed_;
+
+  if (deps_.redo_log != nullptr) {
+    // DC-disk: synchronous redo record of the dirty pages + metadata.
+    ftx_store::RedoRecord record;
+    record.pages = segment_->DirtyPages();
+    ftx::AppendValue(&record.metadata, meta);
+    int64_t payload = record.PayloadBytes() + 64;
+    cost += deps_.store->PersistCost(payload);
+    stats_.bytes_persisted += payload;
+    deps_.redo_log->Append(std::move(record));
+  } else {
+    // Rio: data is already in the persistent segment; commit atomically
+    // discards the undo log. Charge the (memory-speed) cost of retiring it.
+    cost += deps_.store->PersistCost(segment_->undo_bytes());
+    stats_.bytes_persisted += segment_->undo_bytes();
+  }
+  committed_ = meta;
+
+  segment_->Commit();
+  deps_.network->ReleaseAllDelivered(pid_);
+  communicated_mask_ = 0;  // dependencies up to here are now stable
+
+  ++stats_.commits;
+  if (coordinated) {
+    ++stats_.coordinated_commits;
+  }
+  stats_.commit_time += cost;
+  stats_.pages_committed += pages;
+
+  if (deps_.trace != nullptr) {
+    deps_.trace->Append(pid_, ftx_sm::EventKind::kCommit, -1, false, "", atomic_group);
+  }
+  protocol_->OnCommitted();
+  return cost;
+}
+
+void Runtime::AppendCoordinationEvent(ftx_sm::EventKind kind, int64_t message_id) {
+  if (deps_.trace != nullptr && mode_ == RuntimeMode::kRecoverable) {
+    // Coordination receives are recovery-system events, not application
+    // non-determinism: the recovery system regenerates its own protocol
+    // messages deterministically, so they are recorded as logged.
+    bool logged = kind == ftx_sm::EventKind::kReceive;
+    deps_.trace->Append(pid_, kind, message_id, logged, "2pc");
+  }
+}
+
+void Runtime::ChargeToStep(ftx::Duration cost) {
+  if (in_step_) {
+    Charge(cost);
+  } else {
+    pending_overhead_ += cost;
+  }
+}
+
+ftx::Duration Runtime::CommitNow(bool coordinated, bool charge_inline, int64_t atomic_group) {
+  ftx::Duration cost = DoCommit(coordinated, atomic_group);
+  if (charge_inline) {
+    Charge(cost);
+  } else {
+    pending_overhead_ += cost;
+  }
+  return cost;
+}
+
+ftx::Duration Runtime::Recover() {
+  FTX_CHECK(!alive_);
+  ++stats_.rollbacks;
+  ftx::Duration cost = costs_.recovery_fixed;
+
+  if (deps_.redo_log != nullptr) {
+    // DC-disk: the volatile segment is gone; rebuild it by replaying the
+    // redo chain from disk. Charge a read per record plus transfer.
+    segment_->ResetToZero();
+    const ftx_store::DiskParameters* disk_params = nullptr;
+    auto* disk_store = dynamic_cast<ftx_store::DiskStore*>(deps_.store);
+    if (disk_store != nullptr) {
+      disk_params = &disk_store->disk()->parameters();
+    }
+    for (const ftx_store::RedoRecord& record : deps_.redo_log->records()) {
+      for (const auto& [offset, image] : record.pages) {
+        segment_->InstallPage(offset, image);
+      }
+      if (disk_params != nullptr) {
+        cost += disk_params->half_rotation;
+        cost += ftx::Nanoseconds(disk_params->per_byte.nanos() * record.PayloadBytes());
+      }
+    }
+    segment_->Commit();
+    // Restore the capture point from the latest record's metadata.
+    const ftx_store::RedoRecord* latest = deps_.redo_log->Latest();
+    if (latest != nullptr) {
+      size_t offset = 0;
+      CommittedMeta meta;
+      FTX_CHECK(ftx::ReadValue(latest->metadata, &offset, &meta));
+      committed_ = meta;
+    }
+  } else {
+    // Rio: the segment and undo log survived; roll back in place.
+    cost += costs_.recovery_per_page * static_cast<int64_t>(segment_->dirty_page_count());
+    segment_->Abort();
+  }
+
+  step_count_ = committed_.step_count;
+  input_cursor_ = committed_.input_cursor;
+  nd_consumed_ = committed_.nd_consumed;
+  communicated_mask_ = 0;
+  // Asynchronously-written log records that never reached stable storage
+  // are lost with the crash; reexecution runs those events live.
+  size_t survivors = std::max(flushed_log_records_, nd_consumed_);
+  if (nd_log_.size() > survivors) {
+    nd_log_.resize(survivors);
+  }
+  unflushed_log_bytes_ = 0;
+  FTX_CHECK(deps_.kernel->ReconstructFor(pid_, committed_.kernel_records).ok());
+  deps_.network->RequeueRetained(pid_);
+
+  // Volatile ranges were not part of the committed state: zero them and let
+  // the application recompute (possibly avoiding re-corruption, §2.6).
+  segment_->ZeroVolatileRanges();
+
+  alive_ = true;
+  crashed_ = false;
+  crash_reason_.clear();
+  pending_commit_ = false;  // cancelled by the rollback
+  protocol_->OnCommitted();
+
+  // Application rebuild of recomputable state, charged to the recovery
+  // latency.
+  ftx::Duration saved_step_cost = step_cost_;
+  step_cost_ = ftx::Duration();
+  bool was_in_step = in_step_;
+  in_step_ = true;
+  app_->OnRecovered(*this);
+  in_step_ = was_in_step;
+  cost += step_cost_;
+  step_cost_ = saved_step_cost;
+
+  stats_.recovery_time += cost;
+  FTX_LOG(kInfo, "p%d recovered to step %lld (cost %s)", pid_,
+          static_cast<long long>(step_count_), cost.ToString().c_str());
+  return cost;
+}
+
+ftx::Duration Runtime::RestartFromScratch() {
+  FTX_CHECK(!alive_);
+  ++stats_.rollbacks;
+  segment_->ResetToZero();
+  if (heap_ != nullptr) {
+    heap_->Format();
+  }
+  FTX_CHECK(deps_.kernel->ReconstructFor(pid_, 0).ok());
+  deps_.network->ReleaseAllDelivered(pid_);
+  input_cursor_ = 0;
+  step_count_ = 0;
+  nd_log_.clear();
+  nd_consumed_ = 0;
+  flushed_log_records_ = 0;
+  unflushed_log_bytes_ = 0;
+  communicated_mask_ = 0;
+  committed_ = CommittedMeta{};
+  pending_commit_ = false;
+  pending_overhead_ = ftx::Duration();
+  alive_ = true;
+  crashed_ = false;
+  crash_reason_.clear();
+  if (protocol_ != nullptr) {
+    protocol_->OnCommitted();
+  }
+  Initialize();
+  ftx::Duration cost = costs_.recovery_fixed;
+  stats_.recovery_time += cost;
+  FTX_LOG(kInfo, "p%d restarted from scratch (all committed work lost)", pid_);
+  return cost;
+}
+
+// --- ProcessEnv ---
+
+ftx::TimePoint Runtime::GetTimeOfDay() {
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    return deps_.kernel->GetTimeOfDay(pid_);
+  }
+  // Replay: a logged clock read is deterministic (full-logging protocols).
+  if (InNdReplay() && nd_log_[nd_consumed_].kind == NdLogRecord::Kind::kTimeOfDay) {
+    ftx::TimePoint value = nd_log_[nd_consumed_].time_value;
+    ++nd_consumed_;
+    AppendTraceEvent(ftx_proto::AppEvent::kTransientNd, -1, /*logged=*/true, "time-replay");
+    ++stats_.events;
+    ++stats_.nd_events;
+    return value;
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kTransientNd);
+  Charge(costs_.syscall_service);
+  ftx::TimePoint result = deps_.kernel->GetTimeOfDay(pid_);
+  if (d.log_event) {
+    NdLogRecord record;
+    record.kind = NdLogRecord::Kind::kTimeOfDay;
+    record.time_value = result;
+    AppendNdLog(std::move(record), d.log_async);
+  }
+  PostEvent(ftx_proto::AppEvent::kTransientNd, d, -1, d.log_event, "gettimeofday");
+  return result;
+}
+
+void Runtime::DeliverSignal() {
+  if (mode_ == RuntimeMode::kBaseline) {
+    return;
+  }
+  // Replay: a logged delivery point replays trivially (no result to carry).
+  if (InNdReplay() && nd_log_[nd_consumed_].kind == NdLogRecord::Kind::kSignal) {
+    ++nd_consumed_;
+    AppendTraceEvent(ftx_proto::AppEvent::kSignal, -1, /*logged=*/true, "signal-replay");
+    ++stats_.events;
+    ++stats_.nd_events;
+    return;
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kSignal);
+  if (d.log_event) {
+    NdLogRecord record;
+    record.kind = NdLogRecord::Kind::kSignal;
+    AppendNdLog(std::move(record), d.log_async);
+  }
+  PostEvent(ftx_proto::AppEvent::kSignal, d, -1, d.log_event, "signal");
+}
+
+std::optional<ftx::Bytes> Runtime::ReadUserInput() {
+  if (mode_ == RuntimeMode::kBaseline) {
+    if (input_cursor_ >= input_script_.size()) {
+      return std::nullopt;
+    }
+    Charge(costs_.syscall_service);
+    return input_script_[input_cursor_++];
+  }
+  // Recovery replay: a logged input is returned from the ND log and is
+  // deterministic.
+  if (InNdReplay()) {
+    const NdLogRecord& record = nd_log_[nd_consumed_];
+    if (record.kind == NdLogRecord::Kind::kUserInput) {
+      ++nd_consumed_;
+      ++input_cursor_;
+      AppendTraceEvent(ftx_proto::AppEvent::kUserInput, -1, /*logged=*/true, "input-replay");
+      ++stats_.events;
+      ++stats_.nd_events;
+      return record.payload;
+    }
+  }
+  if (input_cursor_ >= input_script_.size()) {
+    return std::nullopt;
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kUserInput);
+  Charge(costs_.syscall_service);
+  ftx::Bytes payload = input_script_[input_cursor_++];
+  bool logged = d.log_event;
+  if (logged) {
+    NdLogRecord record;
+    record.kind = NdLogRecord::Kind::kUserInput;
+    record.payload = payload;
+    AppendNdLog(std::move(record), d.log_async);
+  }
+  PostEvent(ftx_proto::AppEvent::kUserInput, d, -1, logged, "input");
+  return payload;
+}
+
+void Runtime::Print(ftx::Bytes payload) {
+  ++stats_.visible_events;
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    deps_.recorder->Record(pid_, Now(), std::move(payload));
+    return;
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kVisible);
+  Charge(costs_.syscall_service);
+  deps_.recorder->Record(pid_, Now(), std::move(payload));
+  PostEvent(ftx_proto::AppEvent::kVisible, d, -1, false, "visible");
+}
+
+void Runtime::Send(int dst, ftx::Bytes payload) {
+  ++stats_.sends;
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    deps_.network->Send(pid_, dst, std::move(payload));
+    return;
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kSend);
+  Charge(costs_.syscall_service);
+  if (dst >= 0 && dst < 64) {
+    communicated_mask_ |= 1ULL << dst;
+  }
+  int64_t message_id = deps_.network->Send(pid_, dst, std::move(payload));
+  PostEvent(ftx_proto::AppEvent::kSend, d, message_id, false, "send");
+}
+
+std::optional<ftx_sim::Message> Runtime::TryReceive() {
+  if (mode_ == RuntimeMode::kBaseline) {
+    std::optional<ftx_sim::Message> msg = deps_.network->Deliver(pid_);
+    if (msg.has_value()) {
+      ++stats_.receives;
+      Charge(costs_.syscall_service);
+      deps_.network->ReleaseAllDelivered(pid_);
+    }
+    return msg;
+  }
+  // Recovery replay of logged receives and empty polls: bypass the network.
+  if (InNdReplay()) {
+    const NdLogRecord& record = nd_log_[nd_consumed_];
+    if (record.kind == NdLogRecord::Kind::kReceive) {
+      ++nd_consumed_;
+      ++stats_.events;
+      ++stats_.nd_events;
+      ++stats_.receives;
+      AppendTraceEvent(ftx_proto::AppEvent::kReceive, record.message.id, /*logged=*/true,
+                       "recv-replay");
+      return record.message;
+    }
+    if (record.kind == NdLogRecord::Kind::kEmptyPoll) {
+      ++nd_consumed_;
+      ++stats_.events;
+      ++stats_.nd_events;
+      AppendTraceEvent(ftx_proto::AppEvent::kTransientNd, -1, /*logged=*/true, "select-replay");
+      return std::nullopt;
+    }
+  }
+  std::optional<ftx_sim::Message> msg = deps_.network->Deliver(pid_);
+  if (!msg.has_value()) {
+    // A poll that finds nothing: whether the message had arrived yet is
+    // scheduling-dependent, i.e. a transient ND event (select).
+    ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kTransientNd);
+    if (d.log_event) {
+      NdLogRecord record;
+      record.kind = NdLogRecord::Kind::kEmptyPoll;
+      AppendNdLog(std::move(record), d.log_async);
+    }
+    PostEvent(ftx_proto::AppEvent::kTransientNd, d, -1, d.log_event, "select-empty");
+    return std::nullopt;
+  }
+  ++stats_.receives;
+  if (msg->src >= 0 && msg->src < 64) {
+    communicated_mask_ |= 1ULL << msg->src;
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kReceive);
+  Charge(costs_.syscall_service);
+  bool logged = d.log_event;
+  if (logged) {
+    NdLogRecord record;
+    record.kind = NdLogRecord::Kind::kReceive;
+    record.message = *msg;
+    AppendNdLog(std::move(record), d.log_async);
+    // The log now owns redelivery of this message.
+    deps_.network->DropNewestRetained(pid_, msg->id);
+  }
+  PostEvent(ftx_proto::AppEvent::kReceive, d, msg->id, logged, "recv");
+  return msg;
+}
+
+const ftx_sim::Message* Runtime::PeekMessage() {
+  // During ND-log replay, the logged receive is what the next consuming
+  // TryReceive returns; present it for inspection.
+  if (mode_ != RuntimeMode::kBaseline && InNdReplay()) {
+    const NdLogRecord& record = nd_log_[nd_consumed_];
+    if (record.kind == NdLogRecord::Kind::kReceive) {
+      return &record.message;
+    }
+    if (record.kind == NdLogRecord::Kind::kEmptyPoll) {
+      return nullptr;  // the logged poll found nothing; replay agrees
+    }
+  }
+  return deps_.network->PeekNext(pid_);
+}
+
+void Runtime::Compute(ftx::Duration work) {
+  Charge(work);
+  if (mode_ == RuntimeMode::kBaseline) {
+    return;
+  }
+  FlushPendingCommit();
+  // Deterministic computation: consulted for completeness (commit-all counts
+  // it) but not traced — internal events cannot affect either invariant.
+  ftx_proto::CommitDecision d = protocol_->Decide(ftx_proto::AppEvent::kInternal);
+  ++stats_.events;
+  if (d.commit_after) {
+    pending_commit_ = true;
+  } else if (d.commit_before) {
+    Charge(DoCommit(/*coordinated=*/false));
+  }
+}
+
+ftx::Result<int> Runtime::Open(const std::string& path, bool writable) {
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    return deps_.kernel->Open(pid_, path, writable);
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kFixedNd);
+  Charge(costs_.syscall_service);
+  ftx::Result<int> result = deps_.kernel->Open(pid_, path, writable);
+  PostEvent(ftx_proto::AppEvent::kFixedNd, d, -1, false, "open");
+  return result;
+}
+
+ftx::Status Runtime::Close(int fd) {
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    return deps_.kernel->Close(pid_, fd);
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kInternal);
+  Charge(costs_.syscall_service);
+  ftx::Status status = deps_.kernel->Close(pid_, fd);
+  PostEvent(ftx_proto::AppEvent::kInternal, d, -1, false, "close");
+  return status;
+}
+
+ftx::Result<int64_t> Runtime::WriteFile(int fd, int64_t bytes) {
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    return deps_.kernel->Write(pid_, fd, bytes);
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kFixedNd);
+  Charge(costs_.syscall_service);
+  ftx::Result<int64_t> result = deps_.kernel->Write(pid_, fd, bytes);
+  PostEvent(ftx_proto::AppEvent::kFixedNd, d, -1, false, "write");
+  return result;
+}
+
+ftx::Status Runtime::Bind(uint16_t port) {
+  if (mode_ == RuntimeMode::kBaseline) {
+    Charge(costs_.syscall_service);
+    return deps_.kernel->Bind(pid_, port);
+  }
+  ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kInternal);
+  Charge(costs_.syscall_service);
+  ftx::Status status = deps_.kernel->Bind(pid_, port);
+  PostEvent(ftx_proto::AppEvent::kInternal, d, -1, false, "bind");
+  return status;
+}
+
+void Runtime::Crash(const std::string& reason) {
+  FTX_LOG(kInfo, "p%d crash: %s", pid_, reason.c_str());
+  if (mode_ == RuntimeMode::kRecoverable && deps_.trace != nullptr) {
+    deps_.trace->Append(pid_, ftx_sm::EventKind::kCrash, -1, false, reason);
+  }
+  alive_ = false;
+  crashed_ = true;
+  crash_reason_ = reason;
+  if (crash_handler_) {
+    crash_handler_(reason);
+  }
+}
+
+void Runtime::MarkFaultActivation() {
+  if (deps_.trace == nullptr || mode_ == RuntimeMode::kBaseline) {
+    return;
+  }
+  // The activation of a bug is itself an (internal) event the process
+  // executed; record it explicitly so the Lose-work window has a precise
+  // start.
+  ftx_sm::EventRef ref =
+      deps_.trace->Append(pid_, ftx_sm::EventKind::kInternal, -1, false, "fault-activation");
+  deps_.trace->MarkFaultActivation(ref);
+}
+
+}  // namespace ftx_dc

@@ -1,0 +1,42 @@
+#include "src/common/bytes.h"
+
+#include <cstdio>
+
+namespace ftx {
+
+void AppendString(Bytes* out, const std::string& s) {
+  AppendValue(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool ReadString(const Bytes& in, size_t* offset, std::string* s) {
+  uint32_t size = 0;
+  if (!ReadValue(in, offset, &size)) {
+    return false;
+  }
+  if (*offset + size > in.size()) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(in.data() + *offset), size);
+  *offset += size;
+  return true;
+}
+
+std::string HexDump(const Bytes& data, size_t max_bytes) {
+  std::string out;
+  char buf[4];
+  size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%02x", data[i]);
+    if (i != 0) {
+      out += ' ';
+    }
+    out += buf;
+  }
+  if (n < data.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace ftx

@@ -1,0 +1,49 @@
+// Byte-buffer helpers shared by logs, messages, and checkpoints.
+
+#ifndef FTX_SRC_COMMON_BYTES_H_
+#define FTX_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ftx {
+
+using Bytes = std::vector<uint8_t>;
+
+// Serializes a trivially-copyable value into `out` (little-endian host
+// layout; the simulator never crosses real machines, so host layout is the
+// wire format).
+template <typename T>
+void AppendValue(Bytes* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+// Reads a value back; returns false if fewer than sizeof(T) bytes remain.
+// Advances *offset on success.
+template <typename T>
+bool ReadValue(const Bytes& in, size_t* offset, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*offset + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(value, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+// Appends a length-prefixed string.
+void AppendString(Bytes* out, const std::string& s);
+
+// Reads a length-prefixed string written by AppendString.
+bool ReadString(const Bytes& in, size_t* offset, std::string* s);
+
+// Hex dump (for test diagnostics): "de ad be ef ..." capped at `max_bytes`.
+std::string HexDump(const Bytes& data, size_t max_bytes = 64);
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_COMMON_BYTES_H_

@@ -1,0 +1,18 @@
+#include "src/common/check.h"
+
+#include <cstdarg>
+
+namespace ftx {
+
+void FatalError(const char* file, int line, const char* format, ...) {
+  std::fprintf(stderr, "[FATAL] %s:%d: ", file, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ftx

@@ -1,0 +1,53 @@
+// Lightweight CHECK/DCHECK macros for invariant enforcement.
+//
+// These are used throughout the library to enforce internal invariants. A
+// failed check prints the failing condition, file, and line, then aborts.
+// They deliberately do not throw: the library is exception-free per the
+// systems style guides this project follows.
+
+#ifndef FTX_SRC_COMMON_CHECK_H_
+#define FTX_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftx {
+
+// Prints a formatted fatal message and aborts. Used by the CHECK macros;
+// callers may also use it directly for unreachable code paths.
+[[noreturn]] void FatalError(const char* file, int line, const char* format, ...);
+
+}  // namespace ftx
+
+#define FTX_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::ftx::FatalError(__FILE__, __LINE__, "CHECK failed: %s", #cond);  \
+    }                                                                    \
+  } while (0)
+
+#define FTX_CHECK_MSG(cond, ...)                          \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::ftx::FatalError(__FILE__, __LINE__, __VA_ARGS__); \
+    }                                                     \
+  } while (0)
+
+#define FTX_CHECK_EQ(a, b) FTX_CHECK((a) == (b))
+#define FTX_CHECK_NE(a, b) FTX_CHECK((a) != (b))
+#define FTX_CHECK_LT(a, b) FTX_CHECK((a) < (b))
+#define FTX_CHECK_LE(a, b) FTX_CHECK((a) <= (b))
+#define FTX_CHECK_GT(a, b) FTX_CHECK((a) > (b))
+#define FTX_CHECK_GE(a, b) FTX_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define FTX_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define FTX_DCHECK(cond) FTX_CHECK(cond)
+#endif
+
+#define FTX_UNREACHABLE() ::ftx::FatalError(__FILE__, __LINE__, "unreachable code reached")
+
+#endif  // FTX_SRC_COMMON_CHECK_H_

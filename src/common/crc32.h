@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// Used for application-level consistency checks (the paper's §2.6
+// recommendation that processes checksum their data to crash sooner after a
+// fault) and for validating log records and checkpoint images.
+
+#ifndef FTX_SRC_COMMON_CRC32_H_
+#define FTX_SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftx {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: pass the previous return value as `seed` to extend a
+// running checksum across multiple buffers. Start with seed = 0.
+uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size);
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_COMMON_CRC32_H_

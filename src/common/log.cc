@@ -1,0 +1,40 @@
+#include "src/common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ftx {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const char* format, ...) {
+  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace ftx

@@ -1,0 +1,31 @@
+// Minimal leveled logging to stderr.
+//
+// Verbosity is process-global and off by default so benchmark output stays
+// clean; tests and examples raise it when diagnosing a scenario.
+
+#ifndef FTX_SRC_COMMON_LOG_H_
+#define FTX_SRC_COMMON_LOG_H_
+
+namespace ftx {
+
+enum class LogLevel { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
+
+// Sets the maximum level that will be emitted (default kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log emission; prefer the FTX_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line, const char* format, ...);
+
+}  // namespace ftx
+
+#define FTX_LOG(level, ...)                                                  \
+  do {                                                                       \
+    if (static_cast<int>(::ftx::LogLevel::level) <=                          \
+        static_cast<int>(::ftx::GetLogLevel())) {                            \
+      ::ftx::LogMessage(::ftx::LogLevel::level, __FILE__, __LINE__,          \
+                        __VA_ARGS__);                                        \
+    }                                                                        \
+  } while (0)
+
+#endif  // FTX_SRC_COMMON_LOG_H_

@@ -1,0 +1,31 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace ftx {
+namespace {
+
+std::string FormatNanos(int64_t ns) {
+  char buf[64];
+  if (ns < 0) {
+    return "-" + FormatNanos(-ns);
+  }
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (ns < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatNanos(ns_); }
+
+std::string TimePoint::ToString() const { return "t=" + FormatNanos(ns_); }
+
+}  // namespace ftx

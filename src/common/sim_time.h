@@ -1,0 +1,73 @@
+// Simulated-time types.
+//
+// The discrete-event simulator measures time in integer nanoseconds. Using a
+// strong typedef pair (Duration, TimePoint) instead of raw int64 catches
+// unit mistakes at compile time; helpers construct durations from human
+// units.
+
+#ifndef FTX_SRC_COMMON_SIM_TIME_H_
+#define FTX_SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ftx {
+
+// A span of simulated time in nanoseconds. Value-semantic, totally ordered.
+class Duration {
+ public:
+  constexpr Duration() : ns_(0) {}
+  constexpr explicit Duration(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
+  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;  // e.g. "1.500ms"
+
+ private:
+  int64_t ns_;
+};
+
+constexpr Duration Nanoseconds(int64_t n) { return Duration(n); }
+constexpr Duration Microseconds(int64_t n) { return Duration(n * 1000); }
+constexpr Duration Milliseconds(int64_t n) { return Duration(n * 1000000); }
+constexpr Duration Seconds(double s) { return Duration(static_cast<int64_t>(s * 1e9)); }
+
+// An absolute instant of simulated time (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() : ns_(0) {}
+  constexpr explicit TimePoint(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.nanos()); }
+  constexpr Duration operator-(TimePoint other) const { return Duration(ns_ - other.ns_); }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t ns_;
+};
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_COMMON_SIM_TIME_H_

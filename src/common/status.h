@@ -1,0 +1,119 @@
+// Status and Result<T>: exception-free error propagation.
+//
+// The library reports recoverable errors through Status (an error code plus
+// a human-readable message) and Result<T> (a Status or a value). Invariant
+// violations use FTX_CHECK instead and abort.
+
+#ifndef FTX_SRC_COMMON_STATUS_H_
+#define FTX_SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace ftx {
+
+// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied a bad parameter
+  kNotFound,          // a named entity does not exist
+  kFailedPrecondition,  // object is in the wrong state for the operation
+  kOutOfRange,        // index/offset outside a valid range
+  kResourceExhausted, // a simulated resource limit (disk full, table full)
+  kAborted,           // operation rolled back (transaction abort, crash)
+  kDataLoss,          // corruption detected (checksum/guard-band failure)
+  kUnavailable,       // target process/host is down
+  kInternal,          // bug in the library itself
+};
+
+// Returns a stable lowercase name for the code (e.g. "invalid_argument").
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic error type. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    FTX_DCHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl::*Error.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status AbortedError(std::string message);
+Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+// A Status or a value of type T. Dereferencing a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    FTX_CHECK_MSG(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    FTX_CHECK_MSG(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return *value_;
+  }
+  const T& value() const& {
+    FTX_CHECK_MSG(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    FTX_CHECK_MSG(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ftx
+
+// Propagates a non-OK status to the caller.
+#define FTX_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::ftx::Status ftx_status_ = (expr);    \
+    if (!ftx_status_.ok()) {               \
+      return ftx_status_;                  \
+    }                                      \
+  } while (0)
+
+#endif  // FTX_SRC_COMMON_STATUS_H_

@@ -1,0 +1,361 @@
+#include "src/core/computation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace ftx {
+
+Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr<ftx_dc::App>> apps)
+    : options_(std::move(options)), apps_(std::move(apps)) {
+  FTX_CHECK(!apps_.empty());
+  const int n = num_processes();
+
+  sim_ = std::make_unique<ftx_sim::Simulator>(options_.seed);
+  network_ = std::make_unique<ftx_sim::Network>(sim_.get(), n, options_.network);
+  kernel_ = std::make_unique<ftx_sim::KernelSim>(sim_.get(), n, options_.kernel_limits);
+  trace_ = std::make_unique<ftx_sm::Trace>(n);
+
+  blocked_.assign(static_cast<size_t>(n), false);
+  pump_token_.assign(static_cast<size_t>(n), 0);
+  done_time_.assign(static_cast<size_t>(n), TimePoint());
+  recovery_attempts_.assign(static_cast<size_t>(n), 0);
+  recovery_abandoned_.assign(static_cast<size_t>(n), false);
+  busy_until_.assign(static_cast<size_t>(n), TimePoint());
+
+  const bool recoverable = options_.mode == ftx_dc::RuntimeMode::kRecoverable;
+  for (int pid = 0; pid < n; ++pid) {
+    // One storage stack per machine.
+    ftx_store::RedoLog* redo_log = nullptr;
+    if (options_.store == StoreKind::kDisk) {
+      disks_.push_back(std::make_unique<ftx_store::DiskModel>(options_.disk));
+      stores_.push_back(std::make_unique<ftx_store::DiskStore>(disks_.back().get()));
+      redo_logs_.push_back(std::make_unique<ftx_store::RedoLog>());
+      redo_log = redo_logs_.back().get();
+    } else if (options_.store == StoreKind::kVolatileMemory) {
+      disks_.push_back(nullptr);
+      stores_.push_back(std::make_unique<ftx_store::MemoryStore>());
+      redo_logs_.push_back(nullptr);
+    } else {
+      disks_.push_back(nullptr);
+      stores_.push_back(std::make_unique<ftx_store::RioStore>());
+      redo_logs_.push_back(nullptr);
+    }
+
+    ftx_dc::RuntimeDeps deps;
+    deps.sim = sim_.get();
+    deps.network = network_.get();
+    deps.kernel = kernel_.get();
+    deps.trace = recoverable ? trace_.get() : nullptr;
+    deps.recorder = &recorder_;
+    deps.store = stores_.back().get();
+    deps.redo_log = redo_log;
+    deps.coordinated_commit = [this, pid](ftx_proto::CoordinationScope scope) {
+      CoordinatedCommit(pid, scope);
+    };
+    deps.latest_atomic_group = [this]() { return next_atomic_group_ - 1; };
+
+    std::unique_ptr<ftx_proto::Protocol> protocol;
+    if (recoverable) {
+      protocol = ftx_proto::MakeProtocolByName(options_.protocol);
+    }
+    runtimes_.push_back(std::make_unique<ftx_dc::Runtime>(pid, n, apps_[static_cast<size_t>(pid)].get(),
+                                                          std::move(protocol), deps, options_.mode,
+                                                          options_.costs));
+    network_->SetArrivalCallback(pid, [this, pid]() { WakeIfBlocked(pid); });
+  }
+}
+
+Computation::~Computation() = default;
+
+ftx_dc::Runtime& Computation::runtime(int pid) {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return *runtimes_[static_cast<size_t>(pid)];
+}
+
+ftx_dc::App& Computation::app(int pid) {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return *apps_[static_cast<size_t>(pid)];
+}
+
+void Computation::SetInputScript(int pid, std::vector<Bytes> script) {
+  runtime(pid).SetInputScript(std::move(script));
+}
+
+int Computation::recovery_attempts(int pid) const {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return recovery_attempts_[static_cast<size_t>(pid)];
+}
+
+bool Computation::recovery_abandoned(int pid) const {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return recovery_abandoned_[static_cast<size_t>(pid)];
+}
+
+bool Computation::AllDone() const {
+  for (const auto& rt : runtimes_) {
+    if (!rt->done()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Computation::SchedulePump(int pid, Duration delay) {
+  // A process can never start its next step before the simulated work of
+  // its previous step has elapsed — message arrivals must not time-travel a
+  // busy process.
+  Duration busy_gap = busy_until_[static_cast<size_t>(pid)] - sim_->Now();
+  if (busy_gap > delay) {
+    delay = busy_gap;
+  }
+  int64_t token = ++pump_token_[static_cast<size_t>(pid)];
+  sim_->ScheduleAfter(delay, [this, pid, token]() {
+    if (pump_token_[static_cast<size_t>(pid)] == token) {
+      Pump(pid);
+    }
+  });
+}
+
+void Computation::WakeIfBlocked(int pid) {
+  auto& rt = *runtimes_[static_cast<size_t>(pid)];
+  if (blocked_[static_cast<size_t>(pid)] && rt.alive() && !rt.done()) {
+    blocked_[static_cast<size_t>(pid)] = false;
+    SchedulePump(pid, Duration());
+  }
+}
+
+void Computation::Pump(int pid) {
+  auto& rt = *runtimes_[static_cast<size_t>(pid)];
+  if (!rt.alive() || rt.done()) {
+    return;
+  }
+  blocked_[static_cast<size_t>(pid)] = false;
+
+  Duration cost;
+  ftx_dc::StepOutcome outcome = rt.RunStep(&cost);
+  busy_until_[static_cast<size_t>(pid)] = sim_->Now() + cost;
+
+  if (!rt.alive()) {
+    // The step ended in a crash event (propagation failure).
+    if (options_.auto_recover) {
+      if (recovery_attempts_[static_cast<size_t>(pid)] >= options_.max_recovery_attempts) {
+        recovery_abandoned_[static_cast<size_t>(pid)] = true;
+        FTX_LOG(kInfo, "p%d: recovery abandoned after %d attempts", pid,
+                recovery_attempts_[static_cast<size_t>(pid)]);
+        return;
+      }
+      ++recovery_attempts_[static_cast<size_t>(pid)];
+      sim_->ScheduleAfter(options_.recovery_delay, [this, pid]() {
+        auto& failed = *runtimes_[static_cast<size_t>(pid)];
+        if (failed.alive()) {
+          return;  // already recovered by someone else
+        }
+        Duration recovery_cost = failed.Recover();
+        SchedulePump(pid, recovery_cost);
+      });
+    }
+    return;
+  }
+
+  if (rt.done()) {
+    done_time_[static_cast<size_t>(pid)] = sim_->Now() + cost;
+    return;
+  }
+
+  switch (outcome.status) {
+    case ftx_dc::StepOutcome::Status::kContinue: {
+      Duration delay = cost + outcome.delay;
+      if (outcome.pace_until.nanos() >= 0) {
+        Duration until_deadline = outcome.pace_until - sim_->Now();
+        delay = std::max(delay, until_deadline);
+      }
+      SchedulePump(pid, delay);
+      break;
+    }
+    case ftx_dc::StepOutcome::Status::kBlocked:
+      blocked_[static_cast<size_t>(pid)] = true;
+      if (network_->HasPending(pid)) {
+        // A message landed during the step; do not sleep on it.
+        blocked_[static_cast<size_t>(pid)] = false;
+        SchedulePump(pid, cost);
+      } else if (outcome.delay.nanos() > 0) {
+        SchedulePump(pid, cost + outcome.delay);  // poll timeout
+      }
+      break;
+    case ftx_dc::StepOutcome::Status::kDone:
+      done_time_[static_cast<size_t>(pid)] = sim_->Now() + cost;
+      break;
+  }
+}
+
+void Computation::CoordinatedCommit(int initiator, ftx_proto::CoordinationScope scope) {
+  auto& init_rt = *runtimes_[static_cast<size_t>(initiator)];
+
+  std::vector<int> participants;
+  if (scope == ftx_proto::CoordinationScope::kCommunicated) {
+    // Koo-Toueg-style dependency closure: include every process that has
+    // communicated (sent to or received from), directly or transitively,
+    // with a member of the set since its own last commit.
+    uint64_t members = 1ULL << initiator;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (int pid = 0; pid < num_processes(); ++pid) {
+        auto& rt = *runtimes_[static_cast<size_t>(pid)];
+        if (!rt.alive() || (members & (1ULL << pid)) != 0) {
+          continue;
+        }
+        if ((rt.communicated_mask() & members) != 0) {
+          members |= 1ULL << pid;
+          grew = true;
+        }
+      }
+    }
+    for (int pid = 0; pid < num_processes(); ++pid) {
+      if (pid != initiator && (members & (1ULL << pid)) != 0) {
+        participants.push_back(pid);
+      }
+    }
+  } else {
+    const bool only_dirty = scope == ftx_proto::CoordinationScope::kNdDirty;
+    for (int pid = 0; pid < num_processes(); ++pid) {
+      if (pid == initiator) {
+        continue;
+      }
+      auto& rt = *runtimes_[static_cast<size_t>(pid)];
+      if (!rt.alive()) {
+        continue;
+      }
+      if (!only_dirty || rt.protocol().HasUncommittedNd()) {
+        participants.push_back(pid);
+      }
+    }
+    if (only_dirty && participants.empty() && !init_rt.protocol().HasUncommittedNd()) {
+      return;  // nothing anywhere to preserve
+    }
+  }
+
+  // One 2PC round: prepare out, participants commit, acks back, coordinator
+  // commits. The trace events make every happens-before edge explicit, and
+  // all of the round's commits share an atomic group — they are "atomic
+  // with" one another in the sense of the Save-work Theorem.
+  const int64_t atomic_group = next_atomic_group_++;
+  Duration max_participant_commit;
+  for (int pid : participants) {
+    auto& rt = *runtimes_[static_cast<size_t>(pid)];
+    int64_t prepare_id = next_coord_message_id_++;
+    init_rt.AppendCoordinationEvent(ftx_sm::EventKind::kSend, prepare_id);
+    rt.AppendCoordinationEvent(ftx_sm::EventKind::kReceive, prepare_id);
+    Duration commit_cost =
+        rt.CommitNow(/*coordinated=*/true, /*charge_inline=*/false, atomic_group);
+    max_participant_commit = std::max(max_participant_commit, commit_cost);
+    int64_t ack_id = next_coord_message_id_++;
+    rt.AppendCoordinationEvent(ftx_sm::EventKind::kSend, ack_id);
+    init_rt.AppendCoordinationEvent(ftx_sm::EventKind::kReceive, ack_id);
+  }
+
+  Duration round;
+  if (!participants.empty()) {
+    // Prepare + ack message latencies, overlapped across participants, plus
+    // the slowest participant's commit.
+    round += options_.network.base_latency * 2;
+    round += max_participant_commit;
+  }
+  round += init_rt.CommitNow(/*coordinated=*/false, /*charge_inline=*/false, atomic_group);
+  init_rt.ChargeToStep(round);
+}
+
+void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_delay) {
+  sim_->ScheduleAt(at, [this, pid, recovery_delay]() {
+    auto& rt = *runtimes_[static_cast<size_t>(pid)];
+    if (!rt.alive() || rt.done()) {
+      return;
+    }
+    FTX_LOG(kInfo, "stop failure: p%d at %s", pid, sim_->Now().ToString().c_str());
+    rt.Kill();
+    ++pump_token_[static_cast<size_t>(pid)];  // cancel any scheduled pump
+    sim_->ScheduleAfter(recovery_delay, [this, pid]() {
+      auto& failed = *runtimes_[static_cast<size_t>(pid)];
+      if (failed.alive()) {
+        return;
+      }
+      Duration cost = failed.Recover();
+      SchedulePump(pid, cost);
+    });
+  });
+}
+
+void Computation::ScheduleOsStopFailure(TimePoint at, Duration reboot_delay) {
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    if (stores_[static_cast<size_t>(pid)]->SurvivesOsCrash()) {
+      ScheduleStopFailure(pid, at, reboot_delay);
+      continue;
+    }
+    // Without Rio (or a disk log), the OS crash destroys the segment, the
+    // undo log, and every checkpoint: the application can only restart from
+    // scratch — all committed work is forfeit.
+    sim_->ScheduleAt(at, [this, pid, reboot_delay]() {
+      auto& rt = *runtimes_[static_cast<size_t>(pid)];
+      if (!rt.alive() || rt.done()) {
+        return;
+      }
+      FTX_LOG(kInfo, "OS crash with volatile store: p%d restarts from scratch", pid);
+      rt.Kill();
+      ++pump_token_[static_cast<size_t>(pid)];
+      sim_->ScheduleAfter(reboot_delay, [this, pid]() {
+        auto& failed = *runtimes_[static_cast<size_t>(pid)];
+        if (failed.alive()) {
+          return;
+        }
+        Duration cost = failed.RestartFromScratch();
+        SchedulePump(pid, cost);
+      });
+    });
+  }
+}
+
+ComputationResult Computation::Run() {
+  FTX_CHECK_MSG(!started_, "Computation::Run may only be called once");
+  started_ = true;
+
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    runtimes_[static_cast<size_t>(pid)]->Initialize();
+  }
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    SchedulePump(pid, Duration());
+  }
+
+  const TimePoint deadline = TimePoint() + options_.max_sim_time;
+  int64_t executed = 0;
+  while (!AllDone() && sim_->HasPending()) {
+    if (sim_->Now() > deadline) {
+      break;
+    }
+    sim_->RunOne();
+    FTX_CHECK_MSG(++executed <= options_.max_sim_events,
+                  "computation exceeded simulated event limit");
+  }
+
+  ComputationResult result;
+  result.all_done = AllDone();
+  TimePoint end;
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    const auto& stats = runtimes_[static_cast<size_t>(pid)]->stats();
+    result.per_process.push_back(stats);
+    result.total_commits += stats.commits;
+    result.total_events += stats.events;
+    result.total_rollbacks += stats.rollbacks;
+    result.done_times.push_back(done_time_[static_cast<size_t>(pid)]);
+    end = std::max(end, done_time_[static_cast<size_t>(pid)]);
+  }
+  if (end == TimePoint()) {
+    end = sim_->Now();
+  }
+  result.end_time = end;
+  return result;
+}
+
+}  // namespace ftx

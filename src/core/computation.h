@@ -1,0 +1,153 @@
+// Computation: the top-level assembly of the failure-transparency system.
+//
+// A Computation owns the simulator, network, kernel, trace, output recorder,
+// stable stores, and one Discount Checking runtime per application process.
+// It schedules process steps on simulated time, implements the two-phase
+// commit the CPV-2PC/CBNDV-2PC protocols request, injects stop failures, and
+// recovers failed processes.
+//
+// This is the library's primary public entry point; see also
+// src/core/experiment.h for the one-call experiment wrappers the benches
+// and examples use.
+
+#ifndef FTX_SRC_CORE_COMPUTATION_H_
+#define FTX_SRC_CORE_COMPUTATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/checkpoint/app.h"
+#include "src/checkpoint/runtime.h"
+#include "src/protocol/protocol.h"
+#include "src/recovery/output_recorder.h"
+#include "src/sim/kernel.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/statemachine/trace.h"
+#include "src/storage/disk_model.h"
+#include "src/storage/redo_log.h"
+#include "src/storage/stable_store.h"
+
+namespace ftx {
+
+enum class StoreKind {
+  kRio,   // Discount Checking on Rio reliable memory
+  kDisk,  // DC-disk: synchronous redo log on a modeled disk per machine
+  kVolatileMemory,  // memory-speed commits that do NOT survive OS crashes
+                    //   (the contrast that motivates Rio)
+};
+
+struct ComputationOptions {
+  uint64_t seed = 1;
+  // One of MeasuredProtocolNames() or "commit-all". Ignored in baseline
+  // mode.
+  std::string protocol = "cpvs";
+  StoreKind store = StoreKind::kRio;
+  ftx_dc::RuntimeMode mode = ftx_dc::RuntimeMode::kRecoverable;
+  ftx_dc::RuntimeCosts costs;
+  ftx_sim::NetworkOptions network;
+  ftx_sim::KernelLimits kernel_limits;
+  ftx_store::DiskParameters disk;
+  // Automatic recovery after a crash event (propagation-failure studies).
+  bool auto_recover = true;
+  Duration recovery_delay = Milliseconds(50);
+  // A process that keeps crashing after this many recoveries is declared
+  // unrecoverable (the fault study's "failed recovery" outcome).
+  int max_recovery_attempts = 3;
+  // Run limits (simulated).
+  Duration max_sim_time = Seconds(7200);
+  int64_t max_sim_events = 200000000;
+};
+
+struct ComputationResult {
+  bool all_done = false;
+  TimePoint end_time;           // when the last process finished
+  int64_t total_commits = 0;
+  int64_t total_events = 0;
+  int64_t total_rollbacks = 0;
+  std::vector<ftx_dc::RuntimeStats> per_process;
+  std::vector<TimePoint> done_times;  // zero TimePoint when not done
+};
+
+class Computation {
+ public:
+  // Apps are owned by the computation. One process per app, pid = index.
+  Computation(ComputationOptions options, std::vector<std::unique_ptr<ftx_dc::App>> apps);
+  ~Computation();
+
+  Computation(const Computation&) = delete;
+  Computation& operator=(const Computation&) = delete;
+
+  int num_processes() const { return static_cast<int>(apps_.size()); }
+
+  // Scripted user input for one process (before Run).
+  void SetInputScript(int pid, std::vector<Bytes> script);
+
+  // Initializes all runtimes (checkpoint #0) and runs the computation until
+  // every process is done, a crash stops it (when auto_recover is off), or a
+  // limit is hit.
+  ComputationResult Run();
+
+  // --- failure injection ---
+
+  // Stop failure: the process ceases execution at `at` and recovers (from
+  // its last commit) after `recovery_delay`.
+  void ScheduleStopFailure(int pid, TimePoint at, Duration recovery_delay = Milliseconds(50));
+
+  // Whole-machine stop failure: every process stops at `at` and recovers
+  // after `reboot_delay` (Rio and the disk log both survive OS crashes).
+  void ScheduleOsStopFailure(TimePoint at, Duration reboot_delay = Seconds(30.0));
+
+  // --- accessors (valid during and after Run) ---
+
+  ftx_sim::Simulator& sim() { return *sim_; }
+  ftx_sim::Network& network() { return *network_; }
+  ftx_sim::KernelSim& kernel() { return *kernel_; }
+  ftx_sm::Trace& trace() { return *trace_; }
+  ftx_rec::OutputRecorder& recorder() { return recorder_; }
+  ftx_dc::Runtime& runtime(int pid);
+  ftx_dc::App& app(int pid);
+  const ComputationOptions& options() const { return options_; }
+  int recovery_attempts(int pid) const;
+  // True when a process exhausted max_recovery_attempts (it kept crashing
+  // after recovery — generic recovery failed).
+  bool recovery_abandoned(int pid) const;
+
+ private:
+  void Pump(int pid);
+  void SchedulePump(int pid, Duration delay);
+  void WakeIfBlocked(int pid);
+  void CoordinatedCommit(int initiator, ftx_proto::CoordinationScope scope);
+  bool AllDone() const;
+
+  ComputationOptions options_;
+  std::vector<std::unique_ptr<ftx_dc::App>> apps_;
+
+  std::unique_ptr<ftx_sim::Simulator> sim_;
+  std::unique_ptr<ftx_sim::Network> network_;
+  std::unique_ptr<ftx_sim::KernelSim> kernel_;
+  std::unique_ptr<ftx_sm::Trace> trace_;
+  ftx_rec::OutputRecorder recorder_;
+
+  // Per-process storage stack (one disk/log per machine in DC-disk mode).
+  std::vector<std::unique_ptr<ftx_store::DiskModel>> disks_;
+  std::vector<std::unique_ptr<ftx_store::StableStore>> stores_;
+  std::vector<std::unique_ptr<ftx_store::RedoLog>> redo_logs_;
+
+  std::vector<std::unique_ptr<ftx_dc::Runtime>> runtimes_;
+
+  std::vector<bool> blocked_;
+  std::vector<int64_t> pump_token_;  // invalidates stale scheduled pumps
+  std::vector<TimePoint> busy_until_;  // end of each process's current step
+  std::vector<TimePoint> done_time_;
+  std::vector<int> recovery_attempts_;
+  std::vector<bool> recovery_abandoned_;
+  int64_t next_coord_message_id_ = 1000000000000000LL;  // disjoint from network ids
+  int64_t next_atomic_group_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_CORE_COMPUTATION_H_

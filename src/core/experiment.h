@@ -1,0 +1,82 @@
+// One-call experiment drivers used by the benches, examples, and
+// integration tests: run a named workload under a protocol/store
+// combination, measure commits and overhead against the unrecoverable
+// baseline, and verify consistent recovery across injected failures.
+
+#ifndef FTX_SRC_CORE_EXPERIMENT_H_
+#define FTX_SRC_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/computation.h"
+#include "src/recovery/consistency.h"
+
+namespace ftx {
+
+struct RunSpec {
+  std::string workload = "nvi";
+  int scale = 0;  // 0 = DefaultScale(workload, /*full_scale=*/false)
+  uint64_t seed = 1;
+  bool interactive = true;
+  std::string protocol = "cpvs";
+  StoreKind store = StoreKind::kRio;
+  ftx_dc::RuntimeMode mode = ftx_dc::RuntimeMode::kRecoverable;
+  // Optional hook to adjust computation options (failure schedules are
+  // installed by the caller on the returned computation instead).
+  std::function<void(ComputationOptions*)> tweak_options;
+};
+
+// A completed run with everything the measurements need.
+struct RunOutput {
+  ComputationResult result;
+  ftx_rec::OutputRecorder outputs;
+  Duration elapsed;
+  int64_t checkpoints = 0;      // total commits across processes
+  int64_t max_process_commits = 0;
+  double min_client_fps = 0.0;  // xpilot only: slowest client's frame rate
+};
+
+// Builds the computation for a spec (callers may schedule failures before
+// running).
+std::unique_ptr<Computation> BuildComputation(const RunSpec& spec);
+
+// Extracts measurements from a finished computation.
+RunOutput Collect(Computation& computation, const ComputationResult& result);
+
+// Builds + runs in one call.
+RunOutput RunExperiment(const RunSpec& spec);
+
+// Fig. 8 row: run the baseline and the recoverable version, compute
+// overhead.
+struct OverheadRow {
+  std::string workload;
+  std::string protocol;
+  StoreKind store = StoreKind::kRio;
+  int64_t checkpoints = 0;
+  double checkpoints_per_second = 0.0;
+  Duration baseline;
+  Duration recoverable;
+  double overhead_percent = 0.0;
+  double baseline_fps = 0.0;     // xpilot
+  double recoverable_fps = 0.0;  // xpilot
+};
+OverheadRow MeasureOverhead(const RunSpec& spec);
+
+// Runs the workload twice — failure-free baseline as the reference, then
+// the recoverable version with `schedule_failures` applied — and checks
+// consistent recovery of the visible output.
+struct RecoveryCheck {
+  bool consistent = false;
+  bool completed = false;
+  int duplicates_tolerated = 0;
+  int64_t rollbacks = 0;
+  std::string diagnostic;
+};
+RecoveryCheck VerifyConsistentRecovery(
+    const RunSpec& spec, const std::function<void(Computation&)>& schedule_failures);
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,181 @@
+#include "src/core/fault_study.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/apps/workloads.h"
+#include "src/common/check.h"
+#include "src/core/computation.h"
+#include "src/faults/calibration.h"
+#include "src/faults/injector.h"
+#include "src/faults/os_faults.h"
+#include "src/statemachine/invariants.h"
+
+namespace ftx {
+namespace {
+
+// Small non-interactive runs keep ~50-crash studies fast while leaving room
+// for activation + latency tails before the workload ends.
+int StudyScale(const std::string& app_name) { return app_name == "nvi" ? 600 : 600; }
+
+struct StudySetup {
+  std::unique_ptr<Computation> computation;
+  ftx_fault::FaultyApp* faulty = nullptr;
+};
+
+StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::FaultSpec& spec,
+                                  uint64_t seed, const std::string& protocol) {
+  int scale = StudyScale(app_name);
+  ftx_apps::WorkloadSetup setup =
+      ftx_apps::MakeWorkload(app_name, scale, seed, /*interactive=*/false);
+  FTX_CHECK_EQ(setup.apps.size(), 1u);
+
+  auto faulty = std::make_unique<ftx_fault::FaultyApp>(std::move(setup.apps[0]), spec);
+  ftx_fault::FaultyApp* faulty_raw = faulty.get();
+  std::vector<std::unique_ptr<ftx_dc::App>> apps;
+  apps.push_back(std::move(faulty));
+
+  ComputationOptions options;
+  options.seed = seed;
+  options.protocol = protocol;
+  options.store = StoreKind::kRio;
+  options.auto_recover = true;
+  options.recovery_delay = Milliseconds(5);
+  options.max_recovery_attempts = 2;
+  options.max_sim_time = Seconds(600.0);
+
+  StudySetup result;
+  result.computation = std::make_unique<Computation>(std::move(options), std::move(apps));
+  result.computation->SetInputScript(0, setup.scripts[0]);
+  result.faulty = faulty_raw;
+  return result;
+}
+
+FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::FaultType type,
+                                   uint64_t seed, const std::string& protocol,
+                                   double slow_detection_probability,
+                                   double continue_probability) {
+  ftx::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  ftx_fault::FaultSpec spec;
+  spec.type = type;
+  int scale = StudyScale(app_name);
+  spec.activation_step =
+      static_cast<int64_t>(rng.NextInRange(scale / 5, (scale * 7) / 10));
+  spec.slow_detection_probability = slow_detection_probability;
+  spec.continue_probability = continue_probability;
+  spec.seed = rng.NextU64();
+
+  StudySetup setup = BuildFaultyComputation(app_name, spec, seed, protocol);
+  ComputationResult run = setup.computation->Run();
+
+  FaultRunResult result;
+  const ftx_fault::InjectionOutcome& outcome = setup.faulty->outcome();
+  result.crashed = outcome.crashed;
+  result.benign = outcome.benign_overwrite && !outcome.crashed;
+  if (!result.crashed) {
+    return result;
+  }
+
+  // Lose-work measurement from the recorded trace.
+  ftx_sm::LoseWorkResult lose_work =
+      ftx_sm::CheckLoseWorkOperational(setup.computation->trace(), 0);
+  result.violated_lose_work = lose_work.applicable && lose_work.violated;
+
+  // End-to-end outcome: with the fault suppressed on reexecution, the run
+  // completes iff rollback removed the corruption, i.e. iff no commit
+  // landed between activation and crash.
+  result.recovery_failed = !run.all_done || setup.computation->recovery_abandoned(0);
+  result.trace_and_outcome_agree = result.violated_lose_work == result.recovery_failed;
+  return result;
+}
+
+}  // namespace
+
+FaultRunResult RunApplicationFault(const std::string& app_name, ftx_fault::FaultType type,
+                                   uint64_t seed, const std::string& protocol) {
+  return RunPropagationFault(app_name, type, seed, protocol,
+                             ftx_fault::AppFaultSlowDetectionProbability(app_name, type),
+                             ftx_fault::ContinueProbability(type));
+}
+
+FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type, uint64_t seed,
+                          const std::string& protocol) {
+  ftx::Rng rng(seed * 0xd1b54a32d192ed03ULL + 5);
+  ftx_fault::OsFaultPlan plan = ftx_fault::PlanOsFault(&rng, app_name, type);
+
+  if (plan.manifestation == ftx_fault::OsFaultManifestation::kPropagationFailure) {
+    FaultRunResult result = RunPropagationFault(app_name, type, seed, protocol,
+                                                plan.slow_detection_probability,
+                                                plan.continue_probability);
+    // OS propagation failures always crash *something* — if the corruption
+    // was benignly overwritten in the application, the kernel itself still
+    // went down; treat it as a stop failure instead (recovery succeeds).
+    if (!result.crashed) {
+      result.crashed = true;
+      result.recovery_failed = false;
+      result.violated_lose_work = false;
+    }
+    return result;
+  }
+
+  // Stop failure: the machine halts mid-run and reboots; recovery restarts
+  // the application from its last commit. Run it for real.
+  ftx_fault::FaultSpec no_fault;
+  no_fault.activation_step = -1;  // never activates
+  StudySetup setup = BuildFaultyComputation(app_name, no_fault, seed, protocol);
+  // Crash somewhere in the middle of the (non-interactive) run.
+  Duration when = Seconds(0.02 + 0.2 * plan.when_fraction);
+  setup.computation->ScheduleOsStopFailure(TimePoint() + when, /*reboot_delay=*/Seconds(1.0));
+  ComputationResult run = setup.computation->Run();
+
+  FaultRunResult result;
+  result.crashed = true;
+  result.recovery_failed = !run.all_done;
+  result.trace_and_outcome_agree = true;
+  return result;
+}
+
+namespace {
+
+FaultStudyRow AggregateStudy(const std::string& app_name, ftx_fault::FaultType type,
+                             int target_crashes, uint64_t seed_base, bool os_study) {
+  FaultStudyRow row;
+  row.type = type;
+  uint64_t seed = seed_base;
+  int attempts = 0;
+  while (row.crashes < target_crashes && attempts < target_crashes * 20) {
+    ++attempts;
+    FaultRunResult result = os_study ? RunOsFault(app_name, type, seed)
+                                     : RunApplicationFault(app_name, type, seed);
+    ++seed;
+    if (!result.crashed) {
+      continue;  // the paper's methodology: only crashing runs count
+    }
+    ++row.crashes;
+    if (result.violated_lose_work) {
+      ++row.violations;
+    }
+    if (result.recovery_failed) {
+      ++row.failed_recoveries;
+    }
+  }
+  if (row.crashes > 0) {
+    row.violation_fraction = static_cast<double>(row.violations) / row.crashes;
+    row.failed_recovery_fraction = static_cast<double>(row.failed_recoveries) / row.crashes;
+  }
+  return row;
+}
+
+}  // namespace
+
+FaultStudyRow RunApplicationFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
+                                       int target_crashes, uint64_t seed_base) {
+  return AggregateStudy(app_name, type, target_crashes, seed_base, /*os_study=*/false);
+}
+
+FaultStudyRow RunOsFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
+                              int target_crashes, uint64_t seed_base) {
+  return AggregateStudy(app_name, type, target_crashes, seed_base, /*os_study=*/true);
+}
+
+}  // namespace ftx

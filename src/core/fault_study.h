@@ -1,0 +1,65 @@
+// Drivers for the §4 fault-injection studies (Tables 1 and 2).
+//
+// Table 1 (application faults): inject one of the seven fault types into a
+// run of nvi or postgres upholding Save-work with CPVS on Discount
+// Checking, keep only runs that crash, and measure whether the process
+// committed between fault activation and the crash — a Lose-work violation,
+// detected from the recorded trace by the same checker the theory module
+// exports. An end-to-end cross-check also recovers the process (with the
+// fault suppressed) and verifies that recovery succeeds iff no such commit
+// happened.
+//
+// Table 2 (operating-system faults): each injected kernel fault manifests
+// as a stop failure (recovery always possible) or as a propagation failure
+// into application state (behaving like Table 1), with the manifestation
+// ratio driven by the application's syscall rate. The reported number is
+// the fraction of crashes from which the application failed to recover.
+
+#ifndef FTX_SRC_CORE_FAULT_STUDY_H_
+#define FTX_SRC_CORE_FAULT_STUDY_H_
+
+#include <string>
+
+#include "src/faults/fault_types.h"
+
+namespace ftx {
+
+struct FaultRunResult {
+  bool crashed = false;          // at least one crash event executed
+  bool benign = false;           // corruption never used / overwritten
+  bool violated_lose_work = false;  // commit between activation and crash
+  bool recovery_failed = false;  // process never completed its run
+  bool trace_and_outcome_agree = false;  // end-to-end cross-check
+};
+
+// One Table 1 run: inject `type` into `app_name` ("nvi" or "postgres") with
+// the given seed. `protocol` defaults to CPVS, the paper's choice (and the
+// best protocol for not violating Lose-work on single-process apps).
+FaultRunResult RunApplicationFault(const std::string& app_name, ftx_fault::FaultType type,
+                                   uint64_t seed, const std::string& protocol = "cpvs");
+
+// One Table 2 run: inject an operating-system fault of `type` while
+// `app_name` runs. Stop-failure manifestations schedule a whole-machine
+// stop; propagation manifestations corrupt application state.
+FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type, uint64_t seed,
+                          const std::string& protocol = "cpvs");
+
+// Aggregated study: `runs_per_type` crashing runs per fault type.
+struct FaultStudyRow {
+  ftx_fault::FaultType type = ftx_fault::FaultType::kStackBitFlip;
+  int crashes = 0;
+  int violations = 0;       // Table 1 numerator
+  int failed_recoveries = 0;  // Table 2 numerator
+  double violation_fraction = 0.0;
+  double failed_recovery_fraction = 0.0;
+};
+
+FaultStudyRow RunApplicationFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
+                                       int target_crashes, uint64_t seed_base);
+
+FaultStudyRow RunOsFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
+                              int target_crashes, uint64_t seed_base);
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_CORE_FAULT_STUDY_H_

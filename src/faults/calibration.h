@@ -1,0 +1,51 @@
+// Calibrated fault-behaviour parameters.
+//
+// The fault study's one empirical input that a synthetic workload cannot
+// reproduce from first principles is the activation-to-crash latency of each
+// fault type in each application — in the paper it is a property of the real
+// binaries' data flow. These tables calibrate the injector's
+// slow-detection probability per (application, fault type) to the latency
+// profile implied by the paper's fault study [6, 7]:
+//
+//  * corruption of per-step working data (stack flips, missed stores,
+//    missed initialization) tends to be consumed immediately → fast crash;
+//  * corruption of long-lived heap data and control words (heap flips,
+//    deleted branches) tends to linger across many steps → slow crash.
+//
+// Everything downstream of these probabilities — where commits land, which
+// runs violate Lose-work, whether recovery succeeds — is measured, not
+// assumed. The ablation bench (bench/ablation_crash_latency) sweeps these
+// values to show how Table 1 shifts when applications crash sooner, the
+// paper's §2.6 recommendation.
+
+#ifndef FTX_SRC_FAULTS_CALIBRATION_H_
+#define FTX_SRC_FAULTS_CALIBRATION_H_
+
+#include <string_view>
+
+#include "src/faults/fault_types.h"
+
+namespace ftx_fault {
+
+// Probability that detection is slow (≥1 full step elapses between
+// activation and crash) when `type` is injected into the application's own
+// code (Table 1 study).
+double AppFaultSlowDetectionProbability(std::string_view app_name, FaultType type);
+
+// Same, for propagation failures that began as operating-system faults
+// (Table 2 study): the corruption profile differs because it enters through
+// syscall results and copied-in kernel data.
+double OsFaultSlowDetectionProbability(std::string_view app_name, FaultType type);
+
+// Probability that an OS fault manifests as a propagation failure (corrupts
+// application state before the system stops) rather than a stop failure.
+// Grows with the application's syscall rate: the paper infers ~41% for nvi
+// (which syscalls ~10x as often) and ~10% for postgres.
+double OsFaultPropagationProbability(std::string_view app_name);
+
+// Geometric continue probability for the slow-detection latency tail.
+double ContinueProbability(FaultType type);
+
+}  // namespace ftx_fault
+
+#endif  // FTX_SRC_FAULTS_CALIBRATION_H_

@@ -1,0 +1,34 @@
+#include "src/faults/fault_types.h"
+
+namespace ftx_fault {
+
+std::string_view FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kStackBitFlip:
+      return "stack bit flip";
+    case FaultType::kHeapBitFlip:
+      return "heap bit flip";
+    case FaultType::kDestinationReg:
+      return "destination reg";
+    case FaultType::kInitialization:
+      return "initialization";
+    case FaultType::kDeleteBranch:
+      return "delete branch";
+    case FaultType::kDeleteInstruction:
+      return "delete instruction";
+    case FaultType::kOffByOne:
+      return "off by one";
+  }
+  return "unknown";
+}
+
+const std::vector<FaultType>& AllFaultTypes() {
+  static const std::vector<FaultType> kTypes = {
+      FaultType::kStackBitFlip,      FaultType::kHeapBitFlip,  FaultType::kDestinationReg,
+      FaultType::kInitialization,    FaultType::kDeleteBranch, FaultType::kDeleteInstruction,
+      FaultType::kOffByOne,
+  };
+  return kTypes;
+}
+
+}  // namespace ftx_fault

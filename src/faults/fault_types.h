@@ -1,0 +1,36 @@
+// The seven programming-error fault types of the §4 fault study.
+//
+// The paper injects faults by modifying application source to simulate
+// common programming errors [6]. This library applies the equivalent
+// state-level corruption to the running application's persistent segment:
+// what matters to the Lose-work analysis is where corrupt state lands and
+// how long the process runs before the corruption is detected (the crash
+// event), not the syntactic form of the bug.
+
+#ifndef FTX_SRC_FAULTS_FAULT_TYPES_H_
+#define FTX_SRC_FAULTS_FAULT_TYPES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace ftx_fault {
+
+enum class FaultType {
+  kStackBitFlip = 0,   // flip a bit in per-step working data
+  kHeapBitFlip,        // flip a bit in an allocated heap block
+  kDestinationReg,     // a result stored into the wrong variable
+  kInitialization,     // a new object's field left uninitialized
+  kDeleteBranch,       // a conditional guard removed (control word zeroed)
+  kDeleteInstruction,  // one store skipped (a field reverted/zeroed)
+  kOffByOne,           // loop bound off by one (writes past a buffer end)
+};
+
+inline constexpr int kNumFaultTypes = 7;
+
+std::string_view FaultTypeName(FaultType type);
+
+const std::vector<FaultType>& AllFaultTypes();
+
+}  // namespace ftx_fault
+
+#endif  // FTX_SRC_FAULTS_FAULT_TYPES_H_

@@ -1,0 +1,204 @@
+#include "src/faults/injector.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace ftx_fault {
+namespace {
+
+constexpr uint8_t kGarbagePattern = 0xcd;  // uninitialized-memory fill
+
+}  // namespace
+
+FaultyApp::FaultyApp(std::unique_ptr<ftx_dc::App> inner, FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {
+  FTX_CHECK(inner_ != nullptr);
+}
+
+void FaultyApp::ApplyCorruption(ftx_dc::ProcessEnv& env) {
+  ftx_vista::Segment& segment = env.segment();
+  const ftx_dc::FaultSurface surface = inner_->fault_surface();
+
+  auto corrupt_bytes = [&](int64_t offset, const std::vector<uint8_t>& bytes) {
+    uint8_t* p = segment.OpenForWrite(offset, bytes.size());
+    std::copy(bytes.begin(), bytes.end(), p);
+    spans_.push_back(CorruptSpan{offset, bytes});
+  };
+  auto flip_bit_at = [&](int64_t offset) {
+    uint8_t byte = 0;
+    segment.ReadRaw(offset, &byte, 1);
+    byte ^= static_cast<uint8_t>(1u << rng_.NextBounded(8));
+    corrupt_bytes(offset, {byte});
+  };
+  auto random_in = [&](int64_t base, int64_t size, int64_t need) -> int64_t {
+    FTX_CHECK_GT(size, need);
+    return base + static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(size - need)));
+  };
+  auto pick_heap_block = [&]() -> std::optional<std::pair<int64_t, int64_t>> {
+    auto blocks = env.heap().arena_size() > 0 ? env.heap().LiveBlocks()
+                                              : std::vector<std::pair<int64_t, int64_t>>{};
+    if (blocks.empty()) {
+      return std::nullopt;
+    }
+    return blocks[rng_.NextBounded(blocks.size())];
+  };
+
+  switch (spec_.type) {
+    case FaultType::kStackBitFlip: {
+      if (surface.scratch_size > 1) {
+        flip_bit_at(random_in(surface.scratch_offset, surface.scratch_size, 1));
+      }
+      break;
+    }
+    case FaultType::kHeapBitFlip: {
+      if (auto block = pick_heap_block(); block.has_value() && block->second > 0) {
+        flip_bit_at(block->first +
+                    static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(block->second))));
+      }
+      break;
+    }
+    case FaultType::kDestinationReg: {
+      // A computed result lands in the wrong variable: copy one control
+      // word over another.
+      if (surface.control_size > 16) {
+        int64_t src = random_in(surface.control_offset, surface.control_size, 8) & ~int64_t{7};
+        int64_t dst = random_in(surface.control_offset, surface.control_size, 8) & ~int64_t{7};
+        if (src != dst) {
+          std::vector<uint8_t> bytes(8);
+          segment.ReadRaw(src, bytes.data(), 8);
+          // Only a real change counts as corruption.
+          std::vector<uint8_t> old(8);
+          segment.ReadRaw(dst, old.data(), 8);
+          if (old != bytes) {
+            corrupt_bytes(dst, bytes);
+          }
+        }
+      }
+      break;
+    }
+    case FaultType::kInitialization: {
+      // A freshly allocated object is used without initialization: fill a
+      // heap block (or scratch slot) with the uninitialized-memory pattern.
+      if (auto block = pick_heap_block(); block.has_value() && block->second > 0) {
+        int64_t n = std::min<int64_t>(block->second, 32);
+        corrupt_bytes(block->first, std::vector<uint8_t>(static_cast<size_t>(n), kGarbagePattern));
+      } else if (surface.scratch_size > 32) {
+        corrupt_bytes(random_in(surface.scratch_offset, surface.scratch_size, 32),
+                      std::vector<uint8_t>(32, kGarbagePattern));
+      }
+      break;
+    }
+    case FaultType::kDeleteBranch: {
+      // A guard conditional disappears: a control word gets zeroed,
+      // steering later execution down the unguarded path.
+      if (surface.control_size > 8) {
+        int64_t off = random_in(surface.control_offset, surface.control_size, 8) & ~int64_t{7};
+        std::vector<uint8_t> old(8);
+        segment.ReadRaw(off, old.data(), 8);
+        std::vector<uint8_t> zeros(8, 0);
+        if (old != zeros) {
+          corrupt_bytes(off, zeros);
+        }
+      }
+      break;
+    }
+    case FaultType::kDeleteInstruction: {
+      // One store is skipped: the destination keeps a stale (zeroed) value.
+      if (surface.control_size > 8) {
+        int64_t off = random_in(surface.control_offset, surface.control_size, 8) & ~int64_t{7};
+        std::vector<uint8_t> old(8);
+        segment.ReadRaw(off, old.data(), 8);
+        std::vector<uint8_t> zeros(8, 0);
+        if (old != zeros) {
+          corrupt_bytes(off, zeros);
+        }
+      }
+      break;
+    }
+    case FaultType::kOffByOne: {
+      // A loop writes one element past the end of a buffer: smash the byte
+      // just past a live heap block's payload (its guard region).
+      if (auto block = pick_heap_block(); block.has_value()) {
+        int64_t off = block->first + block->second;
+        uint8_t byte = 0;
+        segment.ReadRaw(off, &byte, 1);
+        corrupt_bytes(off, {static_cast<uint8_t>(byte ^ 0xff)});
+      }
+      break;
+    }
+  }
+}
+
+bool FaultyApp::CorruptionPresent(ftx_dc::ProcessEnv& env) const {
+  for (const CorruptSpan& span : spans_) {
+    std::vector<uint8_t> current(span.corrupt_bytes.size());
+    env.segment().ReadRaw(span.offset, current.data(), current.size());
+    if (current == span.corrupt_bytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ftx_dc::StepOutcome FaultyApp::Step(ftx_dc::ProcessEnv& env) {
+  ++harness_steps_;
+
+  if (!activated_ && harness_steps_ == spec_.activation_step) {
+    activated_ = true;
+    outcome_.activated = true;
+    outcome_.activation_step = harness_steps_;
+    ApplyCorruption(env);
+    env.MarkFaultActivation();
+    if (spans_.empty()) {
+      // No injectable target existed (e.g. empty heap): benign run.
+      outcome_.benign_overwrite = true;
+      activated_ = false;
+    } else if (!rng_.NextBernoulli(spec_.slow_detection_probability)) {
+      detect_after_steps_ = 0;  // the corrupt datum is used right away
+    } else {
+      detect_after_steps_ = 1;
+      while (rng_.NextBernoulli(spec_.continue_probability)) {
+        ++detect_after_steps_;
+      }
+    }
+    if (activated_ && detect_after_steps_ == 0) {
+      if (CorruptionPresent(env)) {
+        ++outcome_.crash_count;
+        outcome_.crashed = true;
+        outcome_.crash_step = harness_steps_;
+        env.Crash(std::string("fault detected: ") + std::string(FaultTypeName(spec_.type)));
+        return ftx_dc::StepOutcome{};
+      }
+      outcome_.benign_overwrite = true;
+      activated_ = false;
+    }
+  } else if (activated_) {
+    ++steps_since_activation_;
+    // After the first crash the process re-checks its data every step (the
+    // recommended crash-early consistency checks, §2.6); before it, the
+    // corrupted datum is reached per the calibrated latency.
+    bool check_now = outcome_.crash_count > 0 || steps_since_activation_ >= detect_after_steps_;
+    if (check_now) {
+      if (CorruptionPresent(env)) {
+        ++outcome_.crash_count;
+        outcome_.crashed = true;
+        outcome_.crash_step = harness_steps_;
+        env.Crash(std::string("fault detected: ") + std::string(FaultTypeName(spec_.type)));
+        return ftx_dc::StepOutcome{};
+      }
+      if (outcome_.crash_count == 0) {
+        // Legitimately overwritten before ever being used: benign.
+        outcome_.benign_overwrite = true;
+        activated_ = false;
+      }
+      // After recovery, absence of the corruption means rollback cleaned
+      // it; execution simply continues.
+    }
+  }
+
+  return inner_->Step(env);
+}
+
+}  // namespace ftx_fault

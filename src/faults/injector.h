@@ -1,0 +1,108 @@
+// Application fault injection (§4.1).
+//
+// FaultyApp is a decorator around a real application. At a chosen step it
+// *activates* the fault — applies type-specific corruption to the app's
+// segment and records the activation event in the trace — and from then on
+// arbitrates when the corruption is detected, at which point the process
+// executes a crash event.
+//
+// Detection is real: the injector remembers the exact corrupt bytes it
+// wrote and "uses the corrupted datum" at a scheduled point — if the bytes
+// are still corrupt the process crashes; if the application legitimately
+// overwrote them the run is benign (the paper discards non-crash runs). The
+// same check is what makes the end-to-end property emerge: when a commit
+// captured the corruption, rollback restores *corrupt* state and the
+// process crashes again during reexecution; when no commit did, rollback
+// removes the corruption and the (suppressed-fault) rerun completes. This is
+// exactly the paper's "runs recovered from crashes if and only if they did
+// not commit after fault activation".
+//
+// The *time to detection* (how many steps the process survives after
+// activation) is the one quantity that cannot be derived from a synthetic
+// workload: in the paper it is a property of real binaries' data-flow. It
+// is therefore a calibrated per-(application, fault-type) distribution; see
+// calibration.h and DESIGN.md §5.
+
+#ifndef FTX_SRC_FAULTS_INJECTOR_H_
+#define FTX_SRC_FAULTS_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/checkpoint/app.h"
+#include "src/common/rng.h"
+#include "src/faults/fault_types.h"
+
+namespace ftx_fault {
+
+struct FaultSpec {
+  FaultType type = FaultType::kStackBitFlip;
+  // Step at which the fault activates (buggy code executes).
+  int64_t activation_step = 10;
+  // Probability that detection is *slow* (one or more full steps elapse
+  // between activation and crash, letting commits land on the dangerous
+  // path). With probability 1-p the corrupted datum is used immediately,
+  // before the step executes any further events.
+  double slow_detection_probability = 0.5;
+  // Given slow detection, each subsequent step continues (survives) with
+  // this probability: latency ~ 1 + Geometric.
+  double continue_probability = 0.5;
+  uint64_t seed = 42;
+};
+
+struct InjectionOutcome {
+  bool activated = false;
+  bool crashed = false;
+  bool benign_overwrite = false;  // corruption erased by a legitimate write
+  int64_t activation_step = -1;
+  int64_t crash_step = -1;
+  int crash_count = 0;
+};
+
+class FaultyApp : public ftx_dc::App {
+ public:
+  FaultyApp(std::unique_ptr<ftx_dc::App> inner, FaultSpec spec);
+
+  std::string_view name() const override { return inner_->name(); }
+  size_t SegmentBytes() const override { return inner_->SegmentBytes(); }
+  int64_t HeapOffset() const override { return inner_->HeapOffset(); }
+  int64_t HeapBytes() const override { return inner_->HeapBytes(); }
+  void Init(ftx_dc::ProcessEnv& env) override { inner_->Init(env); }
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::FaultSurface fault_surface() const override { return inner_->fault_surface(); }
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override {
+    return inner_->CheckIntegrity(env);
+  }
+
+  const InjectionOutcome& outcome() const { return outcome_; }
+  ftx_dc::App& inner() { return *inner_; }
+
+ private:
+  void ApplyCorruption(ftx_dc::ProcessEnv& env);
+  bool CorruptionPresent(ftx_dc::ProcessEnv& env) const;
+
+  std::unique_ptr<ftx_dc::App> inner_;
+  FaultSpec spec_;
+  ftx::Rng rng_;
+
+  int64_t harness_steps_ = 0;  // harness state; deliberately not rolled back
+  bool activated_ = false;
+  int64_t detect_after_steps_ = 0;  // steps to survive post-activation
+  int64_t steps_since_activation_ = 0;
+
+  // The corruption record: segment offsets and the corrupt bytes written.
+  struct CorruptSpan {
+    int64_t offset = 0;
+    std::vector<uint8_t> corrupt_bytes;
+  };
+  std::vector<CorruptSpan> spans_;
+
+  InjectionOutcome outcome_;
+};
+
+}  // namespace ftx_fault
+
+#endif  // FTX_SRC_FAULTS_INJECTOR_H_

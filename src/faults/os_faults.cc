@@ -1,0 +1,21 @@
+#include "src/faults/os_faults.h"
+
+#include "src/faults/calibration.h"
+
+namespace ftx_fault {
+
+OsFaultPlan PlanOsFault(ftx::Rng* rng, std::string_view app_name, FaultType type) {
+  OsFaultPlan plan;
+  plan.type = type;
+  plan.when_fraction = 0.05 + 0.9 * rng->NextDouble();
+  if (rng->NextBernoulli(OsFaultPropagationProbability(app_name))) {
+    plan.manifestation = OsFaultManifestation::kPropagationFailure;
+    plan.slow_detection_probability = OsFaultSlowDetectionProbability(app_name, type);
+    plan.continue_probability = ContinueProbability(type);
+  } else {
+    plan.manifestation = OsFaultManifestation::kStopFailure;
+  }
+  return plan;
+}
+
+}  // namespace ftx_fault

@@ -1,0 +1,46 @@
+// Operating-system fault model (§4.2).
+//
+// A fault injected into the running kernel manifests in one of two ways:
+//
+//  * a *stop failure*: the system halts before affecting application state.
+//    Any commit discipline recovers from these — recovery re-executes from
+//    the last checkpoint after reboot.
+//  * a *propagation failure*: buggy kernel execution corrupts application
+//    state (through syscall results, signal delivery, copied-in data)
+//    before the crash. These behave like application faults for Lose-work.
+//
+// The manifestation ratio is driven by how often the application crosses
+// the kernel boundary (its syscall rate); see calibration.h.
+
+#ifndef FTX_SRC_FAULTS_OS_FAULTS_H_
+#define FTX_SRC_FAULTS_OS_FAULTS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/faults/fault_types.h"
+
+namespace ftx_fault {
+
+enum class OsFaultManifestation {
+  kStopFailure,
+  kPropagationFailure,
+};
+
+struct OsFaultPlan {
+  OsFaultManifestation manifestation = OsFaultManifestation::kStopFailure;
+  FaultType type = FaultType::kStackBitFlip;
+  // For propagation failures: the injector parameters to use.
+  double slow_detection_probability = 0.0;
+  double continue_probability = 0.5;
+  // Step / time fraction at which the fault strikes, uniform in (0, 1).
+  double when_fraction = 0.5;
+};
+
+// Draws the manifestation of one OS fault of `type` against `app_name`.
+OsFaultPlan PlanOsFault(ftx::Rng* rng, std::string_view app_name, FaultType type);
+
+}  // namespace ftx_fault
+
+#endif  // FTX_SRC_FAULTS_OS_FAULTS_H_

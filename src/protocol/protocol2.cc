@@ -1,0 +1,196 @@
+// The literature protocols of the Fig. 3 space, implemented for real:
+// Sender-Based Logging, Targon/32, Hypervisor, Optimistic Logging, and
+// Coordinated Checkpointing. Each is one more point on the two axes —
+// different effort spent identifying/converting non-determinism vs
+// committing only visible events — and all uphold Save-work (they are
+// property-tested against the checker alongside the core protocols).
+
+#include "src/protocol/protocol.h"
+
+namespace ftx_proto {
+namespace {
+
+bool IsMessageLoggable(AppEvent event) {
+  return event == AppEvent::kUserInput || event == AppEvent::kReceive;
+}
+
+// Everything Targon/32 can convert: message-class events plus clock reads —
+// but not signals (kSignal), the class it leaves non-deterministic.
+bool IsTargonLoggable(AppEvent event) {
+  return IsMessageLoggable(event) || event == AppEvent::kTransientNd;
+}
+
+class ProtocolBase2 : public Protocol {
+ public:
+  void OnCommitted() override { nd_since_commit_ = false; }
+  bool HasUncommittedNd() const override { return nd_since_commit_; }
+
+ protected:
+  void NoteEvent(AppEvent event, bool logged) {
+    if (IsNdEvent(event) && !logged) {
+      nd_since_commit_ = true;
+    }
+  }
+  bool nd_since_commit_ = false;
+};
+
+// Sender-Based Logging [15]: message receives are logged (the log record
+// conceptually lives in the sender's volatile memory; the cost and replay
+// semantics are identical from the receiver's perspective). All other
+// non-determinism still forces a commit.
+class SblProtocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "sbl"; }
+  SpacePoint space_point() const override { return {0.55, 0.0}; }
+  CommitDecision Decide(AppEvent event) override {
+    CommitDecision d;
+    d.log_event = event == AppEvent::kReceive;
+    NoteEvent(event, d.log_event);
+    d.commit_after = IsNdEvent(event) && !d.log_event;
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override { return std::make_unique<SblProtocol>(); }
+};
+
+// Targon/32 [4]: all sources of non-determinism except signals are
+// converted into logged messages; a delivered signal remains
+// non-deterministic and forces a commit.
+class Targon32Protocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "targon32"; }
+  SpacePoint space_point() const override { return {0.75, 0.0}; }
+  CommitDecision Decide(AppEvent event) override {
+    CommitDecision d;
+    d.log_event = IsTargonLoggable(event);
+    NoteEvent(event, d.log_event);
+    // Whenever a signal is delivered (the event that remains
+    // non-deterministic), Targon/32 forces a commit (§2.4).
+    d.commit_after = IsNdEvent(event) && !d.log_event;
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override {
+    return std::make_unique<Targon32Protocol>();
+  }
+};
+
+// Hypervisor [5]: a virtual machine under the operating system logs every
+// source of non-determinism; the application never commits at all.
+class HypervisorProtocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "hypervisor"; }
+  SpacePoint space_point() const override { return {0.95, 0.0}; }
+  CommitDecision Decide(AppEvent event) override {
+    CommitDecision d;
+    d.log_event = IsNdEvent(event);  // everything, signals included
+    NoteEvent(event, d.log_event);
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override {
+    return std::make_unique<HypervisorProtocol>();
+  }
+};
+
+// Optimistic Logging [28]: log records for all non-determinism are written
+// to stable storage asynchronously; a visible event first waits for every
+// relevant record to reach disk (the runtime charges one batched flush of
+// the outstanding log tail).
+class OptimisticLogProtocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "optimistic-log"; }
+  SpacePoint space_point() const override { return {0.55, 0.7}; }
+  CommitDecision Decide(AppEvent event) override {
+    CommitDecision d;
+    d.log_event = IsNdEvent(event);
+    d.log_async = d.log_event;
+    NoteEvent(event, d.log_event);
+    d.flush_log_before = event == AppEvent::kVisible;
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override {
+    return std::make_unique<OptimisticLogProtocol>();
+  }
+};
+
+// Family-Based Logging [2]: receive log records are kept in the volatile
+// memory of downstream processes — modelled as asynchronous logging whose
+// records become durable when piggybacked on the process's next send (or
+// flushed before a visible). Records accumulated after the last send are
+// genuinely lost by a crash, exactly FBL's window.
+class FblProtocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "fbl"; }
+  SpacePoint space_point() const override { return {0.6, 0.1}; }
+  CommitDecision Decide(AppEvent event) override {
+    CommitDecision d;
+    d.log_event = event == AppEvent::kReceive || event == AppEvent::kUserInput;
+    d.log_async = d.log_event;
+    NoteEvent(event, d.log_event);
+    // Piggyback outstanding records on sends; a visible also forces them
+    // out (output commit).
+    d.flush_log_before = event == AppEvent::kSend || event == AppEvent::kVisible;
+    // Unloggable ND (clock reads, signals) still commits.
+    d.commit_after = IsNdEvent(event) && !d.log_event;
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override { return std::make_unique<FblProtocol>(); }
+};
+
+// Manetho [11]: every process maintains an antecedence graph of all the
+// non-deterministic events it depends on; executing a visible event first
+// writes the graph to stable storage. Modelled as full asynchronous logging
+// whose outstanding tail is flushed before visibles AND propagated on sends
+// (the graph travels with messages, so downstream always holds it).
+class ManethoProtocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "manetho"; }
+  SpacePoint space_point() const override { return {0.75, 0.8}; }
+  CommitDecision Decide(AppEvent event) override {
+    CommitDecision d;
+    d.log_event = IsNdEvent(event);
+    d.log_async = d.log_event;
+    NoteEvent(event, d.log_event);
+    d.flush_log_before = event == AppEvent::kVisible || event == AppEvent::kSend;
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override {
+    return std::make_unique<ManethoProtocol>();
+  }
+};
+
+// Coordinated Checkpointing [18]: a process executing a visible event
+// initiates an agreement protocol forcing every process it has (directly or
+// transitively) communicated with since their last commits to commit too.
+class CoordinatedCheckpointingProtocol : public ProtocolBase2 {
+ public:
+  std::string_view name() const override { return "coordinated-ckpt"; }
+  SpacePoint space_point() const override { return {0.1, 0.85}; }
+  CommitDecision Decide(AppEvent event) override {
+    NoteEvent(event, /*logged=*/false);
+    CommitDecision d;
+    if (event == AppEvent::kVisible) {
+      d.commit_before = true;
+      d.coordinated = true;
+      d.scope = CoordinationScope::kCommunicated;
+    }
+    return d;
+  }
+  std::unique_ptr<Protocol> Clone() const override {
+    return std::make_unique<CoordinatedCheckpointingProtocol>();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Protocol> MakeSbl() { return std::make_unique<SblProtocol>(); }
+std::unique_ptr<Protocol> MakeTargon32() { return std::make_unique<Targon32Protocol>(); }
+std::unique_ptr<Protocol> MakeHypervisor() { return std::make_unique<HypervisorProtocol>(); }
+std::unique_ptr<Protocol> MakeOptimisticLog() {
+  return std::make_unique<OptimisticLogProtocol>();
+}
+std::unique_ptr<Protocol> MakeCoordinatedCheckpointing() {
+  return std::make_unique<CoordinatedCheckpointingProtocol>();
+}
+std::unique_ptr<Protocol> MakeFbl() { return std::make_unique<FblProtocol>(); }
+std::unique_ptr<Protocol> MakeManetho() { return std::make_unique<ManethoProtocol>(); }
+
+}  // namespace ftx_proto

@@ -1,0 +1,62 @@
+#include "src/recovery/consistency.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+
+namespace ftx_rec {
+namespace {
+
+std::string Preview(const ftx::Bytes& payload) {
+  std::string out;
+  for (size_t i = 0; i < payload.size() && i < 32; ++i) {
+    char c = static_cast<char>(payload[i]);
+    out += (c >= 32 && c < 127) ? c : '.';
+  }
+  return out;
+}
+
+}  // namespace
+
+ConsistencyResult CheckConsistentRecovery(const OutputRecorder& reference,
+                                          const OutputRecorder& recovered, int num_processes,
+                                          bool require_complete) {
+  ConsistencyResult result;
+
+  for (int p = 0; p < num_processes; ++p) {
+    std::vector<ftx::Bytes> ref = reference.PayloadsOf(p);
+    std::vector<ftx::Bytes> got = recovered.PayloadsOf(p);
+
+    size_t j = 0;  // cursor into the reference stream
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (j < ref.size() && got[i] == ref[j]) {
+        ++j;
+        continue;
+      }
+      // Not the next expected event: tolerated only if it repeats an event
+      // the recovered run already output earlier (§2.3's equivalence).
+      bool is_repeat =
+          std::find(got.begin(), got.begin() + static_cast<int64_t>(i), got[i]) !=
+          got.begin() + static_cast<int64_t>(i);
+      if (is_repeat) {
+        ++result.duplicates_tolerated;
+        continue;
+      }
+      result.consistent = false;
+      result.diagnostic = "process " + std::to_string(p) + " visible #" + std::to_string(i) +
+                          " diverges: got \"" + Preview(got[i]) + "\" expected " +
+                          (j < ref.size() ? "\"" + Preview(ref[j]) + "\"" : "end of stream");
+      return result;
+    }
+    if (require_complete && j != ref.size()) {
+      result.consistent = false;
+      result.diagnostic = "process " + std::to_string(p) + " output incomplete: matched " +
+                          std::to_string(j) + " of " + std::to_string(ref.size()) +
+                          " reference events (no-orphan constraint violated)";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ftx_rec

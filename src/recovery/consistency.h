@@ -1,0 +1,42 @@
+// Consistent-recovery checker (§2.3).
+//
+// Recovery is consistent iff there exists a complete failure-free execution
+// whose visible-event sequence is *equivalent* to the one actually output.
+// Equivalence: a recovered sequence V is equivalent to a failure-free V' if
+// the only events in V that differ from V' are repeats of earlier events of
+// V. (Duplicated visible events are tolerated because exactly-once output
+// is unattainable; users can overlook duplicates.)
+//
+// The checker verifies a recovered run against a reference failure-free run
+// per process: after deleting events that repeat an earlier event of the
+// recovered stream, the remainder must be a prefix-complete match of the
+// reference stream.
+
+#ifndef FTX_SRC_RECOVERY_CONSISTENCY_H_
+#define FTX_SRC_RECOVERY_CONSISTENCY_H_
+
+#include <string>
+
+#include "src/recovery/output_recorder.h"
+
+namespace ftx_rec {
+
+struct ConsistencyResult {
+  bool consistent = true;
+  // Events identified as benign duplicates (repeats of earlier output).
+  int duplicates_tolerated = 0;
+  // First divergence diagnostics, when inconsistent.
+  std::string diagnostic;
+};
+
+// Compares the per-process visible streams of `recovered` against
+// `reference`. `require_complete` additionally enforces the no-orphan
+// constraint: the recovered run must have produced the reference's *entire*
+// sequence (a run a failure prevented from completing is not consistent).
+ConsistencyResult CheckConsistentRecovery(const OutputRecorder& reference,
+                                          const OutputRecorder& recovered, int num_processes,
+                                          bool require_complete = true);
+
+}  // namespace ftx_rec
+
+#endif  // FTX_SRC_RECOVERY_CONSISTENCY_H_

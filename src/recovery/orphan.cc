@@ -1,0 +1,35 @@
+#include "src/recovery/orphan.h"
+
+namespace ftx_rec {
+
+OrphanCheck DetectOrphan(const ftx_sm::Trace& trace, ftx_sm::ProcessId survivor,
+                         ftx_sm::ProcessId failed, int64_t failed_rollback_index) {
+  OrphanCheck result;
+  const auto& failed_events = trace.ProcessEvents(failed);
+  const auto& survivor_events = trace.ProcessEvents(survivor);
+
+  for (const ftx_sm::TraceEvent& lost : failed_events) {
+    if (lost.index <= failed_rollback_index) {
+      continue;  // preserved by the failed process's last commit
+    }
+    if (!ftx_sm::IsNonDeterministic(lost.kind) || lost.logged) {
+      continue;  // deterministic (or logged) events will be regenerated
+    }
+    ftx_sm::EventRef lost_ref{lost.process, lost.index};
+    for (const ftx_sm::TraceEvent& ev : survivor_events) {
+      if (ev.kind != ftx_sm::EventKind::kCommit) {
+        continue;
+      }
+      ftx_sm::EventRef commit_ref{ev.process, ev.index};
+      if (trace.CausallyPrecedes(lost_ref, commit_ref)) {
+        result.orphaned = true;
+        result.orphan_commit = commit_ref;
+        result.lost_nd = lost_ref;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ftx_rec

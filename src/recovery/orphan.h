@@ -1,0 +1,37 @@
+// Orphan detection (§2.3, Fig. 2).
+//
+// A process is an orphan if it has committed a dependence on another
+// process's non-deterministic event that was lost in a failure and may not
+// be reexecuted. An orphan can neither execute its next visible event
+// (Save-work-visible would require the failed process to commit an event it
+// has already aborted) nor abort its own committed dependence — so the
+// computation can never complete. The Save-work-orphan rule exists to
+// prevent exactly this state.
+
+#ifndef FTX_SRC_RECOVERY_ORPHAN_H_
+#define FTX_SRC_RECOVERY_ORPHAN_H_
+
+#include <optional>
+
+#include "src/statemachine/trace.h"
+
+namespace ftx_rec {
+
+struct OrphanCheck {
+  bool orphaned = false;
+  // The survivor's commit that captured the lost dependence.
+  std::optional<ftx_sm::EventRef> orphan_commit;
+  // The failed process's lost ND event the commit depends on.
+  std::optional<ftx_sm::EventRef> lost_nd;
+};
+
+// `failed` rolled back to its commit at `failed_rollback_index` (-1 if it
+// restarts from its initial state): every event it executed after that index
+// is lost. Returns whether `survivor` committed a dependence on a lost
+// unlogged ND event of `failed`.
+OrphanCheck DetectOrphan(const ftx_sm::Trace& trace, ftx_sm::ProcessId survivor,
+                         ftx_sm::ProcessId failed, int64_t failed_rollback_index);
+
+}  // namespace ftx_rec
+
+#endif  // FTX_SRC_RECOVERY_ORPHAN_H_

@@ -1,0 +1,21 @@
+#include "src/recovery/output_recorder.h"
+
+#include <utility>
+
+namespace ftx_rec {
+
+void OutputRecorder::Record(int process, ftx::TimePoint time, ftx::Bytes payload) {
+  events_.push_back(VisibleEvent{process, time, std::move(payload)});
+}
+
+std::vector<ftx::Bytes> OutputRecorder::PayloadsOf(int process) const {
+  std::vector<ftx::Bytes> out;
+  for (const VisibleEvent& ev : events_) {
+    if (ev.process == process) {
+      out.push_back(ev.payload);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftx_rec

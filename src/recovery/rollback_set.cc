@@ -1,0 +1,78 @@
+#include "src/recovery/rollback_set.h"
+
+#include "src/common/check.h"
+
+namespace ftx_rec {
+
+RollbackPlan ComputeRollbackSet(const ftx_sm::Trace& trace, ftx_sm::ProcessId failed,
+                                int64_t failed_survive_through) {
+  const int n = trace.num_processes();
+  FTX_CHECK(failed >= 0 && failed < n);
+
+  RollbackPlan plan;
+  plan.survive_through.resize(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    plan.survive_through[static_cast<size_t>(p)] = trace.NumEvents(p) - 1;
+  }
+  plan.survive_through[static_cast<size_t>(failed)] = failed_survive_through;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++plan.cascade_rounds;
+    for (int q = 0; q < n; ++q) {
+      int64_t surviving = plan.survive_through[static_cast<size_t>(q)];
+      const auto& events = trace.ProcessEvents(q);
+      for (int64_t i = 0; i <= surviving; ++i) {
+        const ftx_sm::TraceEvent& ev = events[static_cast<size_t>(i)];
+        if (ev.kind != ftx_sm::EventKind::kReceive || ev.logged) {
+          continue;  // logged receives replay from the log: never orphaned
+        }
+        auto send = trace.SendOfMessage(ev.message_id);
+        FTX_CHECK(send.has_value());
+        int64_t sender_survives = plan.survive_through[static_cast<size_t>(send->process)];
+        if (send->index <= sender_survives) {
+          continue;  // the send survives: the message is legitimate
+        }
+        // The send is aborted — but if the sender's reexecution reaches it
+        // deterministically (no unlogged transient ND between its rollback
+        // point and the send), the identical message is regenerated and the
+        // receive is safe ("they allow senders to deterministically
+        // regenerate the messages", §5).
+        bool regenerable = true;
+        const auto& sender_events = trace.ProcessEvents(send->process);
+        for (int64_t k = sender_survives + 1; k < send->index; ++k) {
+          const ftx_sm::TraceEvent& se = sender_events[static_cast<size_t>(k)];
+          if (ftx_sm::IsNonDeterministic(se.kind) && !se.logged) {
+            regenerable = false;
+            break;
+          }
+        }
+        if (regenerable) {
+          continue;
+        }
+        // Orphan message: q must roll back to a committed state strictly
+        // before the receive.
+        auto commit = trace.LastCommitAtOrBefore(q, i - 1);
+        int64_t target = commit.has_value() ? commit->index : -1;
+        FTX_CHECK_LT(target, surviving + 1);
+        plan.survive_through[static_cast<size_t>(q)] = target;
+        changed = true;
+        break;  // re-scan q from its new horizon next round
+      }
+    }
+  }
+
+  for (int p = 0; p < n; ++p) {
+    if (p != failed && plan.survive_through[static_cast<size_t>(p)] < trace.NumEvents(p) - 1) {
+      ++plan.processes_rolled_back;
+    }
+    if (p != failed && plan.survive_through[static_cast<size_t>(p)] < 0 &&
+        trace.NumEvents(p) > 0) {
+      plan.dominoed_to_start = true;  // the CASCADE reached an initial state
+    }
+  }
+  return plan;
+}
+
+}  // namespace ftx_rec

@@ -1,0 +1,53 @@
+// Cascading rollback and the domino effect (§5).
+//
+// When a process fails and rolls back, every message it sent after its
+// rollback point becomes suspect: it was received, but in the new history
+// it has not (yet) been sent. If the sender's reexecution reaches the send
+// deterministically, the identical message is regenerated and the receive
+// is safe; if unlogged transient non-determinism intervenes, the message is
+// an *orphan* and a receiver that cannot replay it from a log must roll
+// back past it — and can only land on
+// one of its own committed states, possibly orphaning further messages in
+// turn. With poorly-placed commits this cascade reaches initial states: the
+// classic domino effect that communication-induced checkpointing exists to
+// prevent.
+//
+// The Save-work protocols in this library avoid the cascade by
+// construction: CPVS commits before every send (an aborted suffix contains
+// no sends), and the -LOG protocols make receives regenerable. This module
+// computes the rollback set for arbitrary traces so both claims can be
+// tested, and so the domino effect itself can be demonstrated.
+
+#ifndef FTX_SRC_RECOVERY_ROLLBACK_SET_H_
+#define FTX_SRC_RECOVERY_ROLLBACK_SET_H_
+
+#include <vector>
+
+#include "src/statemachine/trace.h"
+
+namespace ftx_rec {
+
+struct RollbackPlan {
+  // Per process: index of the last event that SURVIVES the rollback
+  // (everything after it is aborted). NumEvents(p)-1 means p does not roll
+  // back at all; -1 means p restarts from its initial state.
+  std::vector<int64_t> survive_through;
+  // Fixpoint sweeps until no further orphan messages existed.
+  int cascade_rounds = 0;
+  // Number of processes (other than the failed one) forced to roll back.
+  int processes_rolled_back = 0;
+  // True if any process was driven all the way back to its initial state.
+  bool dominoed_to_start = false;
+};
+
+// Computes the rollback set after `failed` rolls back so that its events
+// after `failed_survive_through` are aborted (pass its last commit's index;
+// -1 for a restart from the initial state). Receivers of aborted,
+// unlogged sends roll back to their own last commit before the orphaned
+// receive, cascading to a fixpoint.
+RollbackPlan ComputeRollbackSet(const ftx_sm::Trace& trace, ftx_sm::ProcessId failed,
+                                int64_t failed_survive_through);
+
+}  // namespace ftx_rec
+
+#endif  // FTX_SRC_RECOVERY_ROLLBACK_SET_H_

@@ -1,0 +1,117 @@
+#include "src/statemachine/dangerous_paths.h"
+
+#include "src/common/check.h"
+
+namespace ftx_sm {
+namespace {
+
+EventKind EffectiveKind(const Edge& e, const std::map<EdgeId, EventKind>& overrides) {
+  auto it = overrides.find(e.id);
+  return it == overrides.end() ? e.kind : it->second;
+}
+
+}  // namespace
+
+DangerousPathsResult ColorDangerousPaths(const StateMachineGraph& graph) {
+  return ColorDangerousPaths(graph, {});
+}
+
+DangerousPathsResult ColorDangerousPaths(const StateMachineGraph& graph,
+                                         const std::map<EdgeId, EventKind>& kind_overrides) {
+  DangerousPathsResult result;
+  result.colored.assign(static_cast<size_t>(graph.num_edges()), false);
+
+  // Rule 1: all crash events are colored.
+  for (const Edge& e : graph.edges()) {
+    if (e.kind == EventKind::kCrash) {
+      result.colored[static_cast<size_t>(e.id)] = true;
+      ++result.num_colored;
+    }
+  }
+
+  // Rules 2 and 3 to fixpoint. The graph may contain cycles, so we sweep
+  // until a full pass makes no change; each sweep colors at least one new
+  // edge or terminates, bounding rounds by the edge count.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.fixpoint_rounds;
+    for (const Edge& e : graph.edges()) {
+      auto idx = static_cast<size_t>(e.id);
+      if (result.colored[idx] || e.kind == EventKind::kCrash) {
+        continue;
+      }
+      const std::vector<EdgeId>& out = graph.OutEdges(e.to);
+      if (out.empty()) {
+        continue;  // normal termination state; not dangerous
+      }
+      bool all_colored = true;
+      bool colored_fixed_successor = false;
+      for (EdgeId succ_id : out) {
+        const Edge& succ = graph.edge(succ_id);
+        bool succ_colored = result.colored[static_cast<size_t>(succ_id)];
+        if (!succ_colored) {
+          all_colored = false;
+        }
+        if (succ_colored && EffectiveKind(succ, kind_overrides) == EventKind::kFixedNd) {
+          colored_fixed_successor = true;
+        }
+      }
+      if (all_colored || colored_fixed_successor) {
+        result.colored[idx] = true;
+        ++result.num_colored;
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+std::map<int64_t, ReceiveClass> ClassifyReceivesForProcess(const Trace& trace, ProcessId p) {
+  std::map<int64_t, ReceiveClass> classes;
+  for (const TraceEvent& ev : trace.ProcessEvents(p)) {
+    if (ev.kind != EventKind::kReceive) {
+      continue;
+    }
+    std::optional<EventRef> send = trace.SendOfMessage(ev.message_id);
+    FTX_CHECK(send.has_value());
+    ProcessId sender = send->process;
+
+    // Snapshot: the sender's last commit as of the send.
+    std::optional<EventRef> last_commit = trace.LastCommitAtOrBefore(sender, send->index);
+    int64_t window_start = last_commit.has_value() ? last_commit->index : -1;
+
+    // The receive is transient iff the sender executed a transient, unlogged
+    // ND event after its last commit and before the send: only then can the
+    // sender regenerate a different message during its own recovery.
+    bool transient = false;
+    const auto& sender_events = trace.ProcessEvents(sender);
+    for (int64_t i = window_start + 1; i < send->index; ++i) {
+      const TraceEvent& se = sender_events[static_cast<size_t>(i)];
+      if (IsTransientNonDeterministic(se.kind) && !se.logged) {
+        transient = true;
+        break;
+      }
+    }
+    classes[ev.message_id] = transient ? ReceiveClass::kTransient : ReceiveClass::kFixed;
+  }
+  return classes;
+}
+
+DangerousPathsResult MultiProcessDangerousPaths(
+    const StateMachineGraph& graph, const Trace& trace, ProcessId p,
+    const std::map<EdgeId, int64_t>& receive_edge_to_message) {
+  std::map<int64_t, ReceiveClass> classes = ClassifyReceivesForProcess(trace, p);
+  std::map<EdgeId, EventKind> overrides;
+  for (const auto& [edge_id, message_id] : receive_edge_to_message) {
+    auto it = classes.find(message_id);
+    if (it == classes.end()) {
+      continue;  // message not (yet) received; leave the edge's static kind
+    }
+    overrides[edge_id] = it->second == ReceiveClass::kTransient ? EventKind::kTransientNd
+                                                                : EventKind::kFixedNd;
+  }
+  return ColorDangerousPaths(graph, overrides);
+}
+
+}  // namespace ftx_sm

@@ -1,0 +1,72 @@
+// Dangerous-paths coloring algorithms (§2.5).
+//
+// A dangerous path is a sequence of events along which a commit would either
+// preserve buggy state or guarantee the bug is regenerated during recovery.
+// The Lose-work Theorem: application-generic recovery from a propagation
+// failure is possible iff the application executes no commit event on a
+// dangerous path.
+//
+// Single-process algorithm (assuming perfect knowledge of crash events):
+//   1. Color all crash events.
+//   2. Color an event e if all events out of e's end state are colored.
+//   3. Color an event e if at least one event out of e's end state is
+//      colored and is a fixed non-deterministic event.
+//
+// Multi-process algorithm (for a process P wanting its dangerous paths):
+//   1. Collect a snapshot of where every process last committed.
+//   2. Treat each receive P executed as *transient* ND iff the sender's last
+//      commit occurred before the send and the sender executed a transient
+//      ND event between its last commit and the send; otherwise the receive
+//      is *fixed* ND.
+//   3. Run the single-process algorithm with that reclassification.
+
+#ifndef FTX_SRC_STATEMACHINE_DANGEROUS_PATHS_H_
+#define FTX_SRC_STATEMACHINE_DANGEROUS_PATHS_H_
+
+#include <map>
+
+#include "src/statemachine/graph.h"
+#include "src/statemachine/trace.h"
+
+namespace ftx_sm {
+
+struct DangerousPathsResult {
+  std::vector<bool> colored;  // indexed by EdgeId
+  int32_t num_colored = 0;
+  int32_t fixpoint_rounds = 0;  // sweeps until no change (diagnostics)
+
+  bool IsColored(EdgeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < colored.size() &&
+           colored[static_cast<size_t>(id)];
+  }
+};
+
+// Single-process coloring. Edge kinds are taken from the graph as-is.
+DangerousPathsResult ColorDangerousPaths(const StateMachineGraph& graph);
+
+// Coloring with per-edge kind overrides (used by the multi-process algorithm
+// to reclassify receive edges as transient or fixed based on the snapshot).
+DangerousPathsResult ColorDangerousPaths(const StateMachineGraph& graph,
+                                         const std::map<EdgeId, EventKind>& kind_overrides);
+
+enum class ReceiveClass {
+  kTransient,  // sender can regenerate a different message after a failure
+  kFixed,      // the message content is pinned (sender committed it, or no
+               // transient ND feeds it)
+};
+
+// Step 2 of the multi-process algorithm: classifies every receive event that
+// process p executed in `trace`, keyed by message id. The snapshot of last
+// commits is read from the trace itself.
+std::map<int64_t, ReceiveClass> ClassifyReceivesForProcess(const Trace& trace, ProcessId p);
+
+// Convenience: runs the full multi-process algorithm for process p. The
+// caller supplies the mapping from graph edges to the message ids those
+// receive edges correspond to; unlisted edges keep their graph kind.
+DangerousPathsResult MultiProcessDangerousPaths(
+    const StateMachineGraph& graph, const Trace& trace, ProcessId p,
+    const std::map<EdgeId, int64_t>& receive_edge_to_message);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_DANGEROUS_PATHS_H_

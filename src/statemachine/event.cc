@@ -1,0 +1,36 @@
+#include "src/statemachine/event.h"
+
+namespace ftx_sm {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInternal:
+      return "internal";
+    case EventKind::kTransientNd:
+      return "transient_nd";
+    case EventKind::kFixedNd:
+      return "fixed_nd";
+    case EventKind::kVisible:
+      return "visible";
+    case EventKind::kSend:
+      return "send";
+    case EventKind::kReceive:
+      return "receive";
+    case EventKind::kCommit:
+      return "commit";
+    case EventKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+bool IsNonDeterministic(EventKind kind) {
+  return kind == EventKind::kTransientNd || kind == EventKind::kFixedNd ||
+         kind == EventKind::kReceive;
+}
+
+bool IsTransientNonDeterministic(EventKind kind) {
+  return kind == EventKind::kTransientNd || kind == EventKind::kReceive;
+}
+
+}  // namespace ftx_sm

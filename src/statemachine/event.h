@@ -1,0 +1,52 @@
+// Event taxonomy from the paper's computation model (§2.2, §2.5).
+//
+// A process is a state machine; each state transition it executes is an
+// event. Events are classified along two axes the theory cares about:
+//
+//  * Determinism: deterministic, transient non-deterministic (may have a
+//    different result when reexecuted after a failure: scheduling, signals,
+//    message ordering, gettimeofday), or fixed non-deterministic (formally
+//    non-deterministic but the recovery system cannot rely on a different
+//    result after a failure: user input, disk-fullness-dependent syscalls).
+//  * Role: visible (affects what the user sees), send/receive (cross-process
+//    edges for happens-before), commit (preserves state for recovery), crash
+//    (enters a state from which execution cannot continue).
+
+#ifndef FTX_SRC_STATEMACHINE_EVENT_H_
+#define FTX_SRC_STATEMACHINE_EVENT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ftx_sm {
+
+using ProcessId = int32_t;
+inline constexpr ProcessId kInvalidProcess = -1;
+
+enum class EventKind : uint8_t {
+  kInternal = 0,     // deterministic state change
+  kTransientNd,      // non-deterministic; may differ on reexecution
+  kFixedNd,          // non-deterministic; assumed to repeat after a failure
+  kVisible,          // output the user can observe
+  kSend,             // message send to another process (deterministic)
+  kReceive,          // message receive (non-deterministic; transient unless
+                     //   the multi-process algorithm reclassifies it fixed)
+  kCommit,           // preserves the process state for recovery
+  kCrash,            // terminal transition of a propagation failure
+};
+
+// Returns a stable printable name ("internal", "transient_nd", ...).
+std::string_view EventKindName(EventKind kind);
+
+// True for the kinds the Save-work invariant treats as non-deterministic:
+// kTransientNd, kFixedNd, and kReceive.
+bool IsNonDeterministic(EventKind kind);
+
+// True for kinds that *can* have different results on reexecution, i.e. the
+// kinds the Lose-work dangerous-paths algorithm treats as escape hatches:
+// kTransientNd and (by default classification) kReceive.
+bool IsTransientNonDeterministic(EventKind kind);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_EVENT_H_

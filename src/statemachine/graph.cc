@@ -1,0 +1,70 @@
+#include "src/statemachine/graph.h"
+
+#include "src/common/check.h"
+
+namespace ftx_sm {
+
+StateId StateMachineGraph::AddState() {
+  out_edges_.emplace_back();
+  return num_states_++;
+}
+
+void StateMachineGraph::EnsureStates(int32_t count) {
+  while (num_states_ < count) {
+    AddState();
+  }
+}
+
+EdgeId StateMachineGraph::AddEdge(StateId from, StateId to, EventKind kind, std::string label) {
+  FTX_CHECK(from >= 0 && from < num_states_);
+  FTX_CHECK(to >= 0 && to < num_states_);
+  Edge e;
+  e.id = static_cast<EdgeId>(edges_.size());
+  e.from = from;
+  e.to = to;
+  e.kind = kind;
+  e.label = std::move(label);
+  out_edges_[static_cast<size_t>(from)].push_back(e.id);
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+const Edge& StateMachineGraph::edge(EdgeId id) const {
+  FTX_CHECK(id >= 0 && static_cast<size_t>(id) < edges_.size());
+  return edges_[static_cast<size_t>(id)];
+}
+
+const std::vector<EdgeId>& StateMachineGraph::OutEdges(StateId state) const {
+  FTX_CHECK(state >= 0 && state < num_states_);
+  return out_edges_[static_cast<size_t>(state)];
+}
+
+bool StateMachineGraph::ValidateDeterminismLabels(std::string* diagnostic) const {
+  for (StateId s = 0; s < num_states_; ++s) {
+    const auto& out = out_edges_[static_cast<size_t>(s)];
+    // Crash edges are exogenous (the failure, not a choice the program
+    // makes), so they do not count toward the branching degree.
+    size_t program_edges = 0;
+    for (EdgeId id : out) {
+      if (edges_[static_cast<size_t>(id)].kind != EventKind::kCrash) {
+        ++program_edges;
+      }
+    }
+    if (program_edges <= 1) {
+      continue;
+    }
+    for (EdgeId id : out) {
+      const Edge& e = edges_[static_cast<size_t>(id)];
+      if (!IsNonDeterministic(e.kind) && e.kind != EventKind::kCrash) {
+        if (diagnostic != nullptr) {
+          *diagnostic = "state " + std::to_string(s) + " has multiple successors but edge " +
+                        std::to_string(id) + " is labelled " + std::string(EventKindName(e.kind));
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ftx_sm

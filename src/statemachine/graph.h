@@ -1,0 +1,66 @@
+// Explicit state-machine graphs for the dangerous-paths analysis (§2.5).
+//
+// States are integer ids; transitions are directed edges labelled with an
+// EventKind. A crash event is an edge of kind kCrash: its end state is one
+// from which the process cannot continue. The Lose-work analysis colors the
+// *edges* that lie on dangerous paths.
+
+#ifndef FTX_SRC_STATEMACHINE_GRAPH_H_
+#define FTX_SRC_STATEMACHINE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/statemachine/event.h"
+
+namespace ftx_sm {
+
+using StateId = int32_t;
+using EdgeId = int32_t;
+
+struct Edge {
+  EdgeId id = -1;
+  StateId from = -1;
+  StateId to = -1;
+  EventKind kind = EventKind::kInternal;
+  std::string label;
+};
+
+class StateMachineGraph {
+ public:
+  StateMachineGraph() = default;
+
+  // Adds a state and returns its id (dense, starting at 0).
+  StateId AddState();
+
+  // Adds states until at least `count` exist.
+  void EnsureStates(int32_t count);
+
+  // Adds a transition; crash events use kind kCrash.
+  EdgeId AddEdge(StateId from, StateId to, EventKind kind, std::string label = {});
+
+  int32_t num_states() const { return num_states_; }
+  int32_t num_edges() const { return static_cast<int32_t>(edges_.size()); }
+
+  const Edge& edge(EdgeId id) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Ids of edges leaving `state`, in insertion order.
+  const std::vector<EdgeId>& OutEdges(StateId state) const;
+
+  // A state with multiple outgoing edges is a non-deterministic choice point
+  // in the machine; each of those edges should be an ND kind. Returns false
+  // (with a diagnostic) if the labelling is inconsistent, e.g. two outgoing
+  // edges of which one is marked deterministic.
+  bool ValidateDeterminismLabels(std::string* diagnostic) const;
+
+ private:
+  int32_t num_states_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+};
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_GRAPH_H_

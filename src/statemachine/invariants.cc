@@ -1,0 +1,175 @@
+#include "src/statemachine/invariants.h"
+
+#include "src/common/check.h"
+
+namespace ftx_sm {
+
+std::string SaveWorkViolation::ToString(const Trace& trace) const {
+  const TraceEvent& nd = trace.event(nd_event);
+  const TraceEvent& down = trace.event(downstream);
+  std::string out = "uncovered ";
+  out += EventKindName(nd.kind);
+  out += " p" + std::to_string(nd.process) + "#" + std::to_string(nd.index);
+  out += visible_rule ? " causally precedes visible " : " causally precedes commit ";
+  out += "p" + std::to_string(down.process) + "#" + std::to_string(down.index);
+  return out;
+}
+
+int SaveWorkReport::CountVisibleRule() const {
+  int n = 0;
+  for (const auto& v : violations) {
+    if (v.visible_rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int SaveWorkReport::CountOrphanRule() const {
+  int n = 0;
+  for (const auto& v : violations) {
+    if (!v.visible_rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+SaveWorkReport CheckSaveWork(const Trace& trace) {
+  SaveWorkReport report;
+
+  // Collect downstream candidates: all visible and commit events.
+  std::vector<EventRef> downstream;
+  for (ProcessId p = 0; p < trace.num_processes(); ++p) {
+    for (const TraceEvent& ev : trace.ProcessEvents(p)) {
+      if (ev.kind == EventKind::kVisible || ev.kind == EventKind::kCommit) {
+        downstream.push_back(EventRef{ev.process, ev.index});
+      }
+    }
+  }
+
+  for (ProcessId p = 0; p < trace.num_processes(); ++p) {
+    for (const TraceEvent& ev : trace.ProcessEvents(p)) {
+      if (!IsNonDeterministic(ev.kind) || ev.logged) {
+        continue;
+      }
+      EventRef nd{ev.process, ev.index};
+      // The covering commit must be on the same process at a later index.
+      // Because all events of one process are totally ordered by
+      // happens-before, the *first* such commit is the strongest candidate:
+      // if any later commit covers a downstream event, the first one does
+      // too.
+      std::optional<EventRef> cover = trace.FirstCommitAfter(p, ev.index);
+      for (const EventRef& v : downstream) {
+        if (!trace.CausallyPrecedes(nd, v)) {
+          continue;
+        }
+        bool covered = cover.has_value() && trace.HappensBeforeOrEqual(*cover, v);
+        if (!covered && cover.has_value()) {
+          // "happens-before (or atomic with)": commits of one coordinated
+          // 2PC round are atomic with each other, and rounds are globally
+          // serialized by the recovery system (each round completes before
+          // the next begins), so a commit in round g really precedes every
+          // event of any round g' > g even where the happens-before
+          // approximation cannot see it.
+          const TraceEvent& cover_event = trace.event(*cover);
+          const TraceEvent& v_event = trace.event(v);
+          covered = cover_event.atomic_group >= 0 && v_event.atomic_group >= 0 &&
+                    cover_event.atomic_group <= v_event.atomic_group;
+        }
+        if (!covered) {
+          report.violations.push_back(SaveWorkViolation{
+              nd, v, trace.event(v).kind == EventKind::kVisible});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Finds the (unique, if any) fault-activation event and crash event of p.
+void FindActivationAndCrash(const Trace& trace, ProcessId p, std::optional<EventRef>* activation,
+                            std::optional<EventRef>* crash) {
+  for (const TraceEvent& ev : trace.ProcessEvents(p)) {
+    if (ev.fault_activation && !activation->has_value()) {
+      *activation = EventRef{ev.process, ev.index};
+    }
+    if (ev.kind == EventKind::kCrash) {
+      *crash = EventRef{ev.process, ev.index};
+      break;  // a crash is terminal
+    }
+  }
+}
+
+LoseWorkResult CheckWindow(const Trace& trace, ProcessId p, int64_t window_start) {
+  LoseWorkResult result;
+  std::optional<EventRef> activation;
+  std::optional<EventRef> crash;
+  FindActivationAndCrash(trace, p, &activation, &crash);
+  result.activation = activation;
+  result.crash = crash;
+  if (!activation.has_value() || !crash.has_value()) {
+    return result;  // not applicable
+  }
+  result.applicable = true;
+  result.dangerous_path_start = window_start;
+
+  if (window_start < 0) {
+    // Dangerous path reaches the initial state, which is always committed
+    // (the paper's Bohrbug case): Lose-work is inherently violated.
+    result.violated = true;
+    return result;
+  }
+
+  std::optional<EventRef> commit = trace.FirstCommitAfter(p, window_start);
+  if (commit.has_value() && commit->index < crash->index) {
+    result.violated = true;
+    result.violating_commit = commit;
+  }
+  return result;
+}
+
+}  // namespace
+
+LoseWorkResult CheckLoseWorkOperational(const Trace& trace, ProcessId p) {
+  std::optional<EventRef> activation;
+  std::optional<EventRef> crash;
+  FindActivationAndCrash(trace, p, &activation, &crash);
+  if (!activation.has_value() || !crash.has_value()) {
+    LoseWorkResult result;
+    result.activation = activation;
+    result.crash = crash;
+    return result;
+  }
+  return CheckWindow(trace, p, activation->index);
+}
+
+LoseWorkResult CheckLoseWorkFull(const Trace& trace, ProcessId p) {
+  std::optional<EventRef> activation;
+  std::optional<EventRef> crash;
+  FindActivationAndCrash(trace, p, &activation, &crash);
+  if (!activation.has_value() || !crash.has_value()) {
+    LoseWorkResult result;
+    result.activation = activation;
+    result.crash = crash;
+    return result;
+  }
+  // Walk back from the activation to the last transient, unlogged
+  // non-deterministic event; the dangerous path begins there. A logged ND
+  // event is deterministic on replay and cannot divert execution off the
+  // path, so it does not stop the walk.
+  const auto& events = trace.ProcessEvents(p);
+  int64_t start = -1;
+  for (int64_t i = activation->index; i >= 0; --i) {
+    const TraceEvent& ev = events[static_cast<size_t>(i)];
+    if (IsTransientNonDeterministic(ev.kind) && !ev.logged) {
+      start = i;
+      break;
+    }
+  }
+  return CheckWindow(trace, p, start);
+}
+
+}  // namespace ftx_sm

@@ -1,0 +1,74 @@
+// Trace-level checkers for the Save-work and Lose-work invariants.
+//
+// These are the oracles the rest of the system is validated against. Given a
+// recorded execution, CheckSaveWork reports every violation of the Save-work
+// Theorem (§2.3): an executed, unlogged non-deterministic event that causally
+// precedes a visible or commit event must be covered by a commit of its own
+// process that happens-before (or is atomic with) that downstream event.
+//
+// CheckLoseWorkOperational implements the operational criterion of the
+// fault-injection study (§4.1): a run violates Lose-work if its process
+// commits between fault activation and the crash (such a commit necessarily
+// lies on the dangerous path). CheckLoseWorkFull additionally extends the
+// dangerous path back to the last *transient* unlogged non-deterministic
+// event before activation, per the coloring algorithm — covering Bohrbugs,
+// whose dangerous path reaches the (always committed) initial state.
+
+#ifndef FTX_SRC_STATEMACHINE_INVARIANTS_H_
+#define FTX_SRC_STATEMACHINE_INVARIANTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/statemachine/trace.h"
+
+namespace ftx_sm {
+
+struct SaveWorkViolation {
+  EventRef nd_event;    // the uncovered non-deterministic event
+  EventRef downstream;  // the visible or commit event it causally precedes
+  // True if downstream is visible (Save-work-visible rule), false if it is a
+  // commit (Save-work-orphan rule).
+  bool visible_rule = true;
+
+  std::string ToString(const Trace& trace) const;
+};
+
+struct SaveWorkReport {
+  std::vector<SaveWorkViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  int CountVisibleRule() const;
+  int CountOrphanRule() const;
+};
+
+// Exhaustive check; cost is O(ND-events × downstream-events × processes), so
+// intended for test-sized traces (the protocols are property-tested against
+// it on randomized computations).
+SaveWorkReport CheckSaveWork(const Trace& trace);
+
+struct LoseWorkResult {
+  bool applicable = false;  // a fault activation and crash were both found
+  bool violated = false;
+  std::optional<EventRef> activation;
+  std::optional<EventRef> crash;
+  std::optional<EventRef> violating_commit;
+  // Start of the dangerous path used by the check (activation for the
+  // operational form; last transient ND before activation for the full
+  // form; index -1 when the path extends to the initial state: a Bohrbug).
+  int64_t dangerous_path_start = -1;
+};
+
+// Did process p commit strictly between fault activation and its crash?
+LoseWorkResult CheckLoseWorkOperational(const Trace& trace, ProcessId p);
+
+// Did process p commit anywhere on the dangerous path, which extends from
+// the last transient unlogged ND event before activation to the crash? For
+// a Bohrbug (no such ND event) the initial state counts as committed and the
+// result is always a violation.
+LoseWorkResult CheckLoseWorkFull(const Trace& trace, ProcessId p);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_INVARIANTS_H_

@@ -1,0 +1,199 @@
+#include "src/statemachine/optimal_commits.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/statemachine/invariants.h"
+
+namespace ftx_sm {
+namespace {
+
+// A constraint on process p: some commit must sit in a gap g with
+// lo <= g <= hi ("commit after event g").
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+// The gap window that lets a commit of process p cover downstream event v
+// for an ND event at index `nd_index`: [nd_index, (#p-events in v's causal
+// past) - 2]. See the header for the derivation.
+Interval WindowFor(ProcessId p, int64_t nd_index, const VectorClock& v_clock) {
+  Interval interval;
+  interval.lo = nd_index;
+  interval.hi = v_clock.Get(p) - 2;
+  return interval;
+}
+
+// Minimal stabbing: greedy by earliest right endpoint (optimal for
+// intervals on a line).
+std::vector<int64_t> Stab(std::vector<Interval> intervals) {
+  std::vector<int64_t> points;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.hi < b.hi; });
+  int64_t last = INT64_MIN;
+  for (const Interval& interval : intervals) {
+    FTX_CHECK_LE(interval.lo, interval.hi);
+    if (last < interval.lo) {
+      last = interval.hi;
+      points.push_back(last);
+    }
+  }
+  return points;
+}
+
+// All unlogged ND events per process, as (process, index) pairs.
+std::vector<EventRef> NdEvents(const Trace& raw) {
+  std::vector<EventRef> events;
+  for (ProcessId p = 0; p < raw.num_processes(); ++p) {
+    for (const TraceEvent& ev : raw.ProcessEvents(p)) {
+      if (IsNonDeterministic(ev.kind) && !ev.logged) {
+        events.push_back(EventRef{p, ev.index});
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+bool CommitPlacement::Contains(ProcessId p, int64_t gap) const {
+  if (p < 0 || static_cast<size_t>(p) >= commit_after.size()) {
+    return false;
+  }
+  const auto& gaps = commit_after[static_cast<size_t>(p)];
+  return std::binary_search(gaps.begin(), gaps.end(), gap);
+}
+
+Trace ApplyPlacement(const Trace& raw, const CommitPlacement& placement) {
+  const int n = raw.num_processes();
+  Trace result(n);
+  std::vector<int64_t> next(static_cast<size_t>(n), 0);
+  std::set<int64_t> sends_done;
+
+  // Emit events in a valid global order: repeatedly advance any process
+  // whose next event is ready (a receive needs its send already emitted).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      while (next[static_cast<size_t>(p)] < raw.NumEvents(p)) {
+        const TraceEvent& ev =
+            raw.ProcessEvents(p)[static_cast<size_t>(next[static_cast<size_t>(p)])];
+        if (ev.kind == EventKind::kReceive && sends_done.count(ev.message_id) == 0) {
+          break;  // wait for the sender
+        }
+        result.Append(p, ev.kind, ev.message_id, ev.logged, ev.label);
+        if (ev.kind == EventKind::kSend) {
+          sends_done.insert(ev.message_id);
+        }
+        if (placement.Contains(p, ev.index)) {
+          result.Append(p, EventKind::kCommit);
+        }
+        ++next[static_cast<size_t>(p)];
+        progressed = true;
+      }
+    }
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    FTX_CHECK_MSG(next[static_cast<size_t>(p)] == raw.NumEvents(p),
+                  "ApplyPlacement: raw trace has an unsatisfiable receive");
+  }
+  return result;
+}
+
+CommitPlacement ComputeOfflineCommits(const Trace& raw) {
+  const int n = raw.num_processes();
+  CommitPlacement placement;
+  placement.commit_after.resize(static_cast<size_t>(n));
+
+  const std::vector<EventRef> nd_events = NdEvents(raw);
+
+  // Static constraints: every ND event vs every downstream VISIBLE.
+  std::vector<std::vector<Interval>> visible_intervals(static_cast<size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    for (const TraceEvent& ev : raw.ProcessEvents(p)) {
+      if (ev.kind != EventKind::kVisible) {
+        continue;
+      }
+      EventRef v{p, ev.index};
+      const VectorClock& v_clock = raw.ClockOf(v);
+      for (const EventRef& nd : nd_events) {
+        if (!raw.CausallyPrecedes(nd, v)) {
+          continue;
+        }
+        visible_intervals[static_cast<size_t>(nd.process)].push_back(
+            WindowFor(nd.process, nd.index, v_clock));
+      }
+    }
+  }
+
+  // Iterate: stab all current constraints, then add the orphan-rule
+  // constraints the placed commits induce; stop when the applied placement
+  // satisfies the full checker.
+  for (int iteration = 1; iteration <= 50; ++iteration) {
+    placement.fixpoint_iterations = iteration;
+
+    std::vector<std::vector<Interval>> intervals = visible_intervals;
+    // Orphan-rule constraints from currently placed commits: an ND event on
+    // q that causally precedes a commit placed after (p, g) needs a commit
+    // of q inside the commit's causal past.
+    for (ProcessId p = 0; p < n; ++p) {
+      for (int64_t gap : placement.commit_after[static_cast<size_t>(p)]) {
+        const VectorClock& commit_clock = raw.ClockOf(EventRef{p, gap});
+        for (const EventRef& nd : nd_events) {
+          if (nd.process == p) {
+            continue;  // the placed commit covers its own process's past
+          }
+          // nd hb commit  <=>  the commit's past contains nd.
+          if (commit_clock.Get(nd.process) < nd.index + 1) {
+            continue;
+          }
+          Interval window = WindowFor(nd.process, nd.index, commit_clock);
+          // The commit's own past ends one event earlier than a visible's
+          // would (the commit sits after (p, gap), not at a p event), but
+          // WindowFor already counts only RAW events, so it applies as-is.
+          intervals[static_cast<size_t>(nd.process)].push_back(window);
+        }
+      }
+    }
+
+    int64_t total = 0;
+    for (ProcessId p = 0; p < n; ++p) {
+      placement.commit_after[static_cast<size_t>(p)] =
+          Stab(std::move(intervals[static_cast<size_t>(p)]));
+      total += static_cast<int64_t>(placement.commit_after[static_cast<size_t>(p)].size());
+    }
+    placement.total_commits = total;
+
+    if (CheckSaveWork(ApplyPlacement(raw, placement)).ok()) {
+      break;
+    }
+  }
+  FTX_CHECK_MSG(CheckSaveWork(ApplyPlacement(raw, placement)).ok(),
+                "offline placement failed to reach a Save-work fixpoint");
+
+  // Irredundancy: drop any commit whose removal keeps Save-work intact.
+  bool pruned_any = true;
+  while (pruned_any) {
+    pruned_any = false;
+    for (ProcessId p = 0; p < n && !pruned_any; ++p) {
+      auto& gaps = placement.commit_after[static_cast<size_t>(p)];
+      for (size_t k = gaps.size(); k-- > 0;) {
+        int64_t removed = gaps[k];
+        gaps.erase(gaps.begin() + static_cast<int64_t>(k));
+        if (CheckSaveWork(ApplyPlacement(raw, placement)).ok()) {
+          ++placement.pruned;
+          --placement.total_commits;
+          pruned_any = true;
+          break;
+        }
+        gaps.insert(gaps.begin() + static_cast<int64_t>(k), removed);
+      }
+    }
+  }
+  return placement;
+}
+
+}  // namespace ftx_sm

@@ -1,0 +1,52 @@
+// Offline commit placement: how few commits would Save-work have needed?
+//
+// Every protocol in the Fig. 3 space decides commits ONLINE, with partial
+// knowledge. Given a complete executed computation (with hindsight), the
+// minimum number of commits that upholds Save-work is a lower bound against
+// which the protocols can be judged — the quantitative floor of the protocol
+// space.
+//
+// The placement works on the interval structure of the invariant: an
+// unlogged ND event e on process p, with a downstream visible/commit v,
+// constrains a commit of p into the gap range (e, last event of p inside
+// v's causal past). Per process and per iteration this is classic minimal
+// interval stabbing (greedy by earliest right endpoint, which is optimal).
+// Placed commits are themselves downstream events (the Save-work-orphan
+// rule), so placement iterates to a fixpoint and finishes with a pruning
+// pass that removes any commit whose removal keeps Save-work intact,
+// guaranteeing an irredundant (locally minimal) placement.
+
+#ifndef FTX_SRC_STATEMACHINE_OPTIMAL_COMMITS_H_
+#define FTX_SRC_STATEMACHINE_OPTIMAL_COMMITS_H_
+
+#include <vector>
+
+#include "src/statemachine/trace.h"
+
+namespace ftx_sm {
+
+struct CommitPlacement {
+  // Per process: sorted gap positions; a value g means "commit immediately
+  // after the process's g-th event of the RAW trace" (g = -1: before its
+  // first event).
+  std::vector<std::vector<int64_t>> commit_after;
+  int64_t total_commits = 0;
+  int fixpoint_iterations = 0;
+  int pruned = 0;  // commits removed by the irredundancy pass
+
+  bool Contains(ProcessId p, int64_t gap) const;
+};
+
+// Computes an irredundant Save-work-upholding placement for a raw
+// computation (a trace that contains NO commit events). The result is
+// greedy-minimal: per process and iteration the interval stabbing is
+// optimal, and no single commit can be removed.
+CommitPlacement ComputeOfflineCommits(const Trace& raw);
+
+// Rebuilds the computation with the placement's commit events inserted (in
+// a valid global order), for checking or comparison.
+Trace ApplyPlacement(const Trace& raw, const CommitPlacement& placement);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_OPTIMAL_COMMITS_H_

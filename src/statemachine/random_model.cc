@@ -1,0 +1,114 @@
+#include "src/statemachine/random_model.h"
+
+#include <deque>
+
+#include "src/common/check.h"
+
+namespace ftx_sm {
+
+StateMachineGraph MakeRandomGraph(ftx::Rng* rng, const RandomGraphOptions& options) {
+  FTX_CHECK_GE(options.num_states, 2);
+  StateMachineGraph graph;
+  graph.EnsureStates(options.num_states);
+
+  // Wire each non-final state to later states (or arbitrary states when
+  // cyclic graphs are requested). A choice point gets 2-3 ND successors; a
+  // plain state gets a single deterministic successor.
+  for (StateId s = 0; s + 1 < options.num_states; ++s) {
+    auto pick_target = [&]() -> StateId {
+      if (options.acyclic) {
+        return static_cast<StateId>(
+            rng->NextInRange(s + 1, options.num_states - 1));
+      }
+      // Allow back edges but never self loops of deterministic events (a
+      // deterministic self loop would be an infinite path with no escape).
+      StateId t = static_cast<StateId>(rng->NextBounded(static_cast<uint64_t>(options.num_states)));
+      return t == s ? static_cast<StateId>((s + 1) % options.num_states) : t;
+    };
+
+    if (rng->NextBernoulli(options.branch_probability)) {
+      int fanout = static_cast<int>(rng->NextInRange(2, 3));
+      for (int i = 0; i < fanout; ++i) {
+        EventKind kind = rng->NextBernoulli(options.fixed_nd_fraction) ? EventKind::kFixedNd
+                                                                       : EventKind::kTransientNd;
+        graph.AddEdge(s, pick_target(), kind);
+      }
+    } else {
+      graph.AddEdge(s, pick_target(), EventKind::kInternal);
+    }
+
+    if (rng->NextBernoulli(options.crash_probability)) {
+      // Crash edges lead to a dedicated dead state appended on demand.
+      StateId dead = graph.AddState();
+      graph.AddEdge(s, dead, EventKind::kCrash, "crash");
+    }
+  }
+
+  return graph;
+}
+
+std::vector<ScriptedEvent> MakeRandomScript(ftx::Rng* rng, const RandomTraceOptions& options) {
+  FTX_CHECK_GE(options.num_processes, 1);
+  std::vector<ScriptedEvent> script;
+  // Pending (undelivered) messages per destination process.
+  std::vector<std::deque<int64_t>> pending(static_cast<size_t>(options.num_processes));
+  int64_t next_message_id = 0;
+
+  // Round-robin over processes with random per-step event choice; this
+  // yields a valid execution order (a receive only fires once a message is
+  // pending for that process).
+  std::vector<int> remaining(static_cast<size_t>(options.num_processes),
+                             options.events_per_process);
+  int total_remaining = options.num_processes * options.events_per_process;
+  while (total_remaining > 0) {
+    auto p = static_cast<ProcessId>(rng->NextBounded(static_cast<uint64_t>(options.num_processes)));
+    if (remaining[static_cast<size_t>(p)] == 0) {
+      continue;
+    }
+    ScriptedEvent ev;
+    ev.process = p;
+
+    double roll = rng->NextDouble();
+    if (!pending[static_cast<size_t>(p)].empty() && roll < 0.25) {
+      ev.kind = EventKind::kReceive;
+      ev.message_id = pending[static_cast<size_t>(p)].front();
+      pending[static_cast<size_t>(p)].pop_front();
+      ev.logged = rng->NextBernoulli(options.logged_fraction);
+    } else if (roll < 0.25 + options.send_probability && options.num_processes > 1) {
+      ev.kind = EventKind::kSend;
+      ev.message_id = next_message_id++;
+      ProcessId dst = p;
+      while (dst == p) {
+        dst = static_cast<ProcessId>(
+            rng->NextBounded(static_cast<uint64_t>(options.num_processes)));
+      }
+      pending[static_cast<size_t>(dst)].push_back(ev.message_id);
+    } else if (roll < 0.25 + options.send_probability + options.visible_probability) {
+      ev.kind = EventKind::kVisible;
+    } else if (rng->NextBernoulli(options.nd_probability)) {
+      ev.kind = EventKind::kTransientNd;
+      ev.logged = rng->NextBernoulli(options.logged_fraction);
+    } else if (rng->NextBernoulli(options.fixed_nd_probability)) {
+      ev.kind = EventKind::kFixedNd;
+      ev.logged = rng->NextBernoulli(options.logged_fraction);
+    } else {
+      ev.kind = EventKind::kInternal;
+    }
+
+    script.push_back(ev);
+    --remaining[static_cast<size_t>(p)];
+    --total_remaining;
+  }
+  return script;
+}
+
+Trace MakeRandomComputation(ftx::Rng* rng, const RandomTraceOptions& options) {
+  std::vector<ScriptedEvent> script = MakeRandomScript(rng, options);
+  Trace trace(options.num_processes);
+  for (const ScriptedEvent& ev : script) {
+    trace.Append(ev.process, ev.kind, ev.message_id, ev.logged);
+  }
+  return trace;
+}
+
+}  // namespace ftx_sm

@@ -1,0 +1,64 @@
+// Random state machines and traces for property-based testing.
+//
+// The generators are deterministic functions of an Rng, so every property
+// test failure is reproducible from its seed.
+
+#ifndef FTX_SRC_STATEMACHINE_RANDOM_MODEL_H_
+#define FTX_SRC_STATEMACHINE_RANDOM_MODEL_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/statemachine/graph.h"
+#include "src/statemachine/trace.h"
+
+namespace ftx_sm {
+
+struct RandomGraphOptions {
+  int32_t num_states = 32;
+  // Probability a state is a non-deterministic choice point (2-3 successors).
+  double branch_probability = 0.3;
+  // Among ND edges, probability an edge is fixed rather than transient.
+  double fixed_nd_fraction = 0.3;
+  // Probability a state grows an outgoing crash edge.
+  double crash_probability = 0.1;
+  // If true the graph is layered (acyclic); otherwise back edges may appear.
+  bool acyclic = true;
+};
+
+// Generates a connected state machine rooted at state 0 whose determinism
+// labels are valid (ValidateDeterminismLabels holds).
+StateMachineGraph MakeRandomGraph(ftx::Rng* rng, const RandomGraphOptions& options);
+
+struct RandomTraceOptions {
+  int num_processes = 3;
+  int events_per_process = 40;
+  double nd_probability = 0.25;       // transient ND events
+  double fixed_nd_probability = 0.1;  // fixed ND events (user input etc.)
+  double send_probability = 0.2;
+  double visible_probability = 0.15;
+  double logged_fraction = 0.0;  // fraction of ND events recorded in a log
+};
+
+// Generates a multi-process trace WITHOUT commit events: sends choose random
+// peers and receives consume pending messages in order. Protocol property
+// tests replay these raw computations through a protocol to decide where
+// commits go, then run CheckSaveWork.
+Trace MakeRandomComputation(ftx::Rng* rng, const RandomTraceOptions& options);
+
+// A raw (protocol-free) event script: the same computation shape as above
+// but represented as a schedulable list so a protocol can interleave commit
+// decisions while the trace is rebuilt. Entry order is a valid execution
+// order (receives appear after their sends).
+struct ScriptedEvent {
+  ProcessId process;
+  EventKind kind;
+  int64_t message_id = -1;  // send/receive pairing
+  bool logged = false;
+};
+
+std::vector<ScriptedEvent> MakeRandomScript(ftx::Rng* rng, const RandomTraceOptions& options);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_RANDOM_MODEL_H_

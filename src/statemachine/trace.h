@@ -1,0 +1,107 @@
+// Executed-event traces with happens-before.
+//
+// A Trace records the events a computation actually executed, per process,
+// with send/receive pairing. Vector clocks are maintained online so the
+// invariant checkers can answer "does event a causally precede event b?"
+// exactly as the paper defines it (happens-before used as the approximation
+// of causality, §2.2).
+
+#ifndef FTX_SRC_STATEMACHINE_TRACE_H_
+#define FTX_SRC_STATEMACHINE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/statemachine/event.h"
+#include "src/statemachine/vector_clock.h"
+
+namespace ftx_sm {
+
+// Identifies one executed event: process p's index-th event (0-based).
+struct EventRef {
+  ProcessId process = kInvalidProcess;
+  int64_t index = -1;
+
+  bool valid() const { return process != kInvalidProcess && index >= 0; }
+  bool operator==(const EventRef&) const = default;
+  auto operator<=>(const EventRef&) const = default;
+};
+
+struct TraceEvent {
+  ProcessId process = kInvalidProcess;
+  int64_t index = -1;
+  EventKind kind = EventKind::kInternal;
+  // Pairs a receive with its send; -1 for non-message events.
+  int64_t message_id = -1;
+  // True when a non-deterministic event's result was captured in a recovery
+  // log, rendering it deterministic for Save-work purposes (§2.4).
+  bool logged = false;
+  // Set by the fault-injection study when this event executed buggy code.
+  bool fault_activation = false;
+  // Commits performed as one coordinated (2PC) round share a group id and
+  // are "atomic with" one another in the sense of the Save-work Theorem;
+  // -1 = not part of any atomic group.
+  int64_t atomic_group = -1;
+  // Free-form tag for diagnostics ("keystroke", "frame", ...).
+  std::string label;
+};
+
+class Trace {
+ public:
+  explicit Trace(int num_processes);
+
+  int num_processes() const { return static_cast<int>(per_process_.size()); }
+  int64_t NumEvents(ProcessId p) const;
+  int64_t TotalEvents() const;
+
+  // Appends an event for process p and returns its reference. For kReceive,
+  // message_id must name a previously appended kSend, whose clock is merged
+  // (the happens-before edge).
+  EventRef Append(ProcessId p, EventKind kind, int64_t message_id = -1, bool logged = false,
+                  std::string label = {}, int64_t atomic_group = -1);
+
+  // Marks an already-recorded event as the activation of an injected fault.
+  void MarkFaultActivation(EventRef ref);
+
+  const TraceEvent& event(EventRef ref) const;
+  const VectorClock& ClockOf(EventRef ref) const;
+
+  // Strict happens-before between two executed events.
+  bool EventHappensBefore(EventRef a, EventRef b) const;
+
+  // a happens-before b, or a == b.
+  bool HappensBeforeOrEqual(EventRef a, EventRef b) const;
+
+  // The paper's "causally precedes": happens-before used to convey causality.
+  bool CausallyPrecedes(EventRef a, EventRef b) const { return EventHappensBefore(a, b); }
+
+  // First commit of process p at an index strictly greater than `index`, if
+  // any. Commits on a process are totally ordered, so this is the only
+  // candidate the Save-work checker needs to examine (an earlier commit
+  // happens-before every later event of the same process).
+  std::optional<EventRef> FirstCommitAfter(ProcessId p, int64_t index) const;
+
+  // Last commit of process p at an index <= `index` (the process's committed
+  // state as of that point), if any.
+  std::optional<EventRef> LastCommitAtOrBefore(ProcessId p, int64_t index) const;
+
+  // All events of one process, in execution order.
+  const std::vector<TraceEvent>& ProcessEvents(ProcessId p) const;
+
+  // Where a message was sent from (valid after the send is recorded).
+  std::optional<EventRef> SendOfMessage(int64_t message_id) const;
+
+ private:
+  std::vector<std::vector<TraceEvent>> per_process_;
+  std::vector<std::vector<VectorClock>> clocks_;     // snapshot per event
+  std::vector<VectorClock> current_clock_;           // running clock per process
+  std::vector<std::vector<int64_t>> commit_indices_; // sorted commit positions
+  std::map<int64_t, EventRef> send_of_message_;
+};
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_TRACE_H_

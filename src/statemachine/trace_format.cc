@@ -1,0 +1,92 @@
+#include "src/statemachine/trace_format.h"
+
+#include <array>
+#include <cstdio>
+
+namespace ftx_sm {
+
+std::string FormatTrace(const Trace& trace, const TraceFormatOptions& options) {
+  std::string out;
+  char line[256];
+  int64_t rendered = 0;
+  for (ProcessId p = 0; p < trace.num_processes(); ++p) {
+    if (options.process.has_value() && *options.process != p) {
+      continue;
+    }
+    for (const TraceEvent& ev : trace.ProcessEvents(p)) {
+      if (!options.include_internal && ev.kind == EventKind::kInternal) {
+        continue;
+      }
+      if (options.max_events > 0 && rendered >= options.max_events) {
+        out += "  ... (truncated)\n";
+        return out;
+      }
+      std::snprintf(line, sizeof(line), "p%d#%-5lld %-12s", p, static_cast<long long>(ev.index),
+                    std::string(EventKindName(ev.kind)).c_str());
+      out += line;
+      if (ev.message_id >= 0) {
+        std::snprintf(line, sizeof(line), " m=%-6lld", static_cast<long long>(ev.message_id));
+        out += line;
+      }
+      if (ev.logged) {
+        out += " [logged]";
+      }
+      if (ev.atomic_group > 0) {
+        std::snprintf(line, sizeof(line), " [round %lld]",
+                      static_cast<long long>(ev.atomic_group));
+        out += line;
+      }
+      if (ev.fault_activation) {
+        out += " [FAULT-ACTIVATION]";
+      }
+      if (options.include_clocks) {
+        out += " vc=";
+        out += trace.ClockOf(EventRef{p, ev.index}).ToString();
+      }
+      if (!ev.label.empty()) {
+        out += "  \"";
+        out += ev.label;
+        out += '"';
+      }
+      out += '\n';
+      ++rendered;
+    }
+  }
+  return out;
+}
+
+std::string SummarizeTrace(const Trace& trace) {
+  std::string out;
+  char line[256];
+  constexpr std::array<EventKind, 8> kKinds = {
+      EventKind::kInternal, EventKind::kTransientNd, EventKind::kFixedNd, EventKind::kVisible,
+      EventKind::kSend,     EventKind::kReceive,     EventKind::kCommit,  EventKind::kCrash,
+  };
+  for (ProcessId p = 0; p < trace.num_processes(); ++p) {
+    std::array<int64_t, 8> counts{};
+    int64_t logged = 0;
+    for (const TraceEvent& ev : trace.ProcessEvents(p)) {
+      for (size_t k = 0; k < kKinds.size(); ++k) {
+        if (ev.kind == kKinds[k]) {
+          ++counts[k];
+        }
+      }
+      if (ev.logged) {
+        ++logged;
+      }
+    }
+    std::snprintf(line, sizeof(line),
+                  "p%d: %lld events (internal %lld, transient %lld, fixed %lld, visible %lld, "
+                  "send %lld, recv %lld, commit %lld, crash %lld; logged %lld)\n",
+                  p, static_cast<long long>(trace.NumEvents(p)),
+                  static_cast<long long>(counts[0]), static_cast<long long>(counts[1]),
+                  static_cast<long long>(counts[2]), static_cast<long long>(counts[3]),
+                  static_cast<long long>(counts[4]), static_cast<long long>(counts[5]),
+                  static_cast<long long>(counts[6]), static_cast<long long>(counts[7]),
+                  static_cast<long long>(logged));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ftx_sm

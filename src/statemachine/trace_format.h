@@ -1,0 +1,36 @@
+// Human-readable trace rendering, for diagnostics and the ftx_run tool.
+//
+// Renders an executed trace as one line per event:
+//   p0#12  receive      m=7   [logged]  vc=[13,4]   "recv"
+// with optional filtering by process and event kind.
+
+#ifndef FTX_SRC_STATEMACHINE_TRACE_FORMAT_H_
+#define FTX_SRC_STATEMACHINE_TRACE_FORMAT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/statemachine/trace.h"
+
+namespace ftx_sm {
+
+struct TraceFormatOptions {
+  // Restrict to one process (nullopt = all).
+  std::optional<ProcessId> process;
+  // Include deterministic internal events (they usually dominate volume).
+  bool include_internal = true;
+  // Print each event's vector clock.
+  bool include_clocks = false;
+  // Cap on rendered events (0 = unlimited).
+  int64_t max_events = 0;
+};
+
+// Renders events in per-process order (process 0's events, then 1's, ...).
+std::string FormatTrace(const Trace& trace, const TraceFormatOptions& options = {});
+
+// One-line summary: event totals by kind per process.
+std::string SummarizeTrace(const Trace& trace);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_TRACE_FORMAT_H_

@@ -1,0 +1,79 @@
+#include "src/statemachine/vector_clock.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ftx_sm {
+
+int64_t VectorClock::Get(ProcessId p) const {
+  FTX_CHECK_GE(p, 0);
+  if (static_cast<size_t>(p) >= counts_.size()) {
+    return 0;
+  }
+  return counts_[static_cast<size_t>(p)];
+}
+
+void VectorClock::Set(ProcessId p, int64_t value) {
+  FTX_CHECK_GE(p, 0);
+  if (static_cast<size_t>(p) >= counts_.size()) {
+    counts_.resize(static_cast<size_t>(p) + 1, 0);
+  }
+  counts_[static_cast<size_t>(p)] = value;
+}
+
+void VectorClock::Tick(ProcessId p) { Set(p, Get(p) + 1); }
+
+void VectorClock::MergeFrom(const VectorClock& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+  }
+}
+
+bool VectorClock::LessEq(const VectorClock& other) const {
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    int64_t mine = counts_[i];
+    int64_t theirs = i < other.counts_.size() ? other.counts_[i] : 0;
+    if (mine > theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VectorClock::operator==(const VectorClock& other) const {
+  size_t n = std::max(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int64_t mine = i < counts_.size() ? counts_[i] : 0;
+    int64_t theirs = i < other.counts_.size() ? other.counts_[i] : 0;
+    if (mine != theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += std::to_string(counts_[i]);
+  }
+  out += ']';
+  return out;
+}
+
+bool HappensBefore(const VectorClock& a, const VectorClock& b) {
+  return a.LessEq(b) && !(a == b);
+}
+
+bool Concurrent(const VectorClock& a, const VectorClock& b) {
+  return !a.LessEq(b) && !b.LessEq(a);
+}
+
+}  // namespace ftx_sm

@@ -1,0 +1,60 @@
+// Vector clocks implementing Lamport's happens-before over executed traces.
+//
+// The paper uses happens-before as its approximation of causality ("causally
+// precedes", §2.2). The Save-work checker asks "does ND event e causally
+// precede visible/commit event v?", which a vector clock answers exactly for
+// a recorded execution.
+
+#ifndef FTX_SRC_STATEMACHINE_VECTOR_CLOCK_H_
+#define FTX_SRC_STATEMACHINE_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/statemachine/event.h"
+
+namespace ftx_sm {
+
+// A vector of per-process event counts. Component p counts how many events
+// of process p are in the causal past (inclusive of the event itself for its
+// own process).
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(size_t num_processes) : counts_(num_processes, 0) {}
+
+  size_t size() const { return counts_.size(); }
+  int64_t Get(ProcessId p) const;
+  void Set(ProcessId p, int64_t value);
+
+  // Increments this process's own component (called when it executes an
+  // event).
+  void Tick(ProcessId p);
+
+  // Component-wise maximum (called when receiving a message carrying the
+  // sender's clock).
+  void MergeFrom(const VectorClock& other);
+
+  // True if every component of *this is <= the corresponding component of
+  // other. Together with operator== this defines the happens-before partial
+  // order on clocks.
+  bool LessEq(const VectorClock& other) const;
+
+  bool operator==(const VectorClock& other) const;
+
+  std::string ToString() const;  // e.g. "[3,0,1]"
+
+ private:
+  std::vector<int64_t> counts_;
+};
+
+// a happens-before b (strictly).
+bool HappensBefore(const VectorClock& a, const VectorClock& b);
+
+// Neither a hb b nor b hb a (and a != b).
+bool Concurrent(const VectorClock& a, const VectorClock& b);
+
+}  // namespace ftx_sm
+
+#endif  // FTX_SRC_STATEMACHINE_VECTOR_CLOCK_H_

@@ -1,0 +1,43 @@
+#include "src/storage/disk_model.h"
+
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace ftx_store {
+
+ftx::Duration DiskModel::Access(int64_t offset, int64_t bytes) {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_GE(bytes, 0);
+  ftx::Duration latency;
+  int64_t distance = std::llabs(offset - head_position_);
+  if (distance > params_.sequential_window) {
+    latency += params_.average_seek;
+    latency += params_.half_rotation;
+  } else if (distance > 0) {
+    // Same-track neighborhood: rotational positioning only.
+    latency += params_.half_rotation;
+  }
+  latency += ftx::Nanoseconds(params_.per_byte.nanos() * bytes);
+  head_position_ = offset + bytes;
+  ++total_ios_;
+  total_bytes_ += bytes;
+  return latency;
+}
+
+ftx::Duration DiskModel::Write(int64_t offset, int64_t bytes) { return Access(offset, bytes); }
+
+ftx::Duration DiskModel::Read(int64_t offset, int64_t bytes) { return Access(offset, bytes); }
+
+ftx::Duration DiskModel::Append(int64_t bytes) {
+  // Appending at the head position: sequential, but a synchronous flush
+  // still pays rotational latency for the platter to come around.
+  ftx::Duration latency = params_.half_rotation;
+  latency += ftx::Nanoseconds(params_.per_byte.nanos() * bytes);
+  head_position_ += bytes;
+  ++total_ios_;
+  total_bytes_ += bytes;
+  return latency;
+}
+
+}  // namespace ftx_store

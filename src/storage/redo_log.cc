@@ -1,0 +1,30 @@
+#include "src/storage/redo_log.h"
+
+#include <algorithm>
+
+namespace ftx_store {
+
+int64_t RedoRecord::PayloadBytes() const {
+  int64_t total = static_cast<int64_t>(metadata.size());
+  for (const auto& [offset, image] : pages) {
+    (void)offset;
+    total += static_cast<int64_t>(image.size()) + static_cast<int64_t>(sizeof(int64_t));
+  }
+  return total;
+}
+
+int64_t RedoLog::Append(RedoRecord record) {
+  record.sequence = next_sequence_++;
+  int64_t payload = record.PayloadBytes() + 64;  // record header
+  bytes_written_ += payload;
+  records_.push_back(std::move(record));
+  return payload;
+}
+
+void RedoLog::TruncateThrough(int64_t sequence) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [&](const RedoRecord& r) { return r.sequence <= sequence; }),
+                 records_.end());
+}
+
+}  // namespace ftx_store

@@ -1,0 +1,56 @@
+// Redo log for DC-disk.
+//
+// DC-disk writes a redo record at each checkpoint: the dirty pages, plus an
+// opaque metadata blob (register file and kernel-capture point). This class
+// stores the record chain; recovery rebuilds a process's segment by
+// replaying every record in order. I/O *latency* is charged separately by
+// the DiskStore policy (see stable_store.h), which models the synchronous
+// writes these appends imply.
+
+#ifndef FTX_SRC_STORAGE_REDO_LOG_H_
+#define FTX_SRC_STORAGE_REDO_LOG_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace ftx_store {
+
+struct RedoRecord {
+  int64_t sequence = 0;
+  // (segment offset, page image) pairs dirtied since the previous commit.
+  std::vector<std::pair<int64_t, ftx::Bytes>> pages;
+  // Opaque metadata blob (register file + kernel capture point).
+  ftx::Bytes metadata;
+
+  int64_t PayloadBytes() const;
+};
+
+class RedoLog {
+ public:
+  // Appends a record; returns its payload size in bytes (for I/O charging).
+  int64_t Append(RedoRecord record);
+
+  // Full record history (recovery replays every record in order).
+  const std::vector<RedoRecord>& records() const { return records_; }
+  const RedoRecord* Latest() const { return records_.empty() ? nullptr : &records_.back(); }
+
+  // Truncation: drops records at or before `sequence`. The paper's DC-disk
+  // skipped truncation; the library supports it so long runs stay bounded
+  // once a full-state checkpoint record supersedes the prefix.
+  void TruncateThrough(int64_t sequence);
+
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t next_sequence() const { return next_sequence_; }
+
+ private:
+  std::vector<RedoRecord> records_;
+  int64_t bytes_written_ = 0;
+  int64_t next_sequence_ = 0;
+};
+
+}  // namespace ftx_store
+
+#endif  // FTX_SRC_STORAGE_REDO_LOG_H_

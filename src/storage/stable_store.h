@@ -1,0 +1,138 @@
+// Stable-storage cost/semantics policies.
+//
+// A commit must place state where it survives failures. The paper evaluates
+// two such homes: the Rio file cache — reliable main memory whose contents
+// survive operating-system crashes at memory speed — and a conventional disk
+// written synchronously (DC-disk). A StableStore captures the properties the
+// experiments depend on: how long a commit record / log append takes to
+// persist, and whether contents survive an OS crash.
+//
+// Disk calibration (see DESIGN.md §5): a DC-disk checkpoint performs two
+// synchronous I/Os (redo record, then the commit sector that makes it
+// atomic), each paying an average seek plus a full rotation — small
+// synchronous writes to just-written tracks miss the sector and wait a
+// revolution. An ND-log append stays within the dedicated log region (no
+// seek) but still pays the rotation. With IBM Ultrastar-class parameters
+// this yields ≈40 ms per checkpoint and ≈11 ms per log record, matching the
+// overhead shape of Fig. 8.
+
+#ifndef FTX_SRC_STORAGE_STABLE_STORE_H_
+#define FTX_SRC_STORAGE_STABLE_STORE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/sim_time.h"
+#include "src/storage/disk_model.h"
+
+namespace ftx_store {
+
+class StableStore {
+ public:
+  virtual ~StableStore() = default;
+
+  // Cost of durably persisting one commit record of `bytes` payload.
+  virtual ftx::Duration PersistCost(int64_t bytes) = 0;
+
+  // Cost of appending one ND-log record of `bytes` payload (the -LOG
+  // protocols pay this per logged event instead of committing).
+  virtual ftx::Duration LogAppendCost(int64_t bytes) = 0;
+
+  // Fixed per-commit cost independent of data volume (register-file copy,
+  // page reprotection bookkeeping, log-head update).
+  virtual ftx::Duration CommitFixedCost() const = 0;
+
+  // True if committed contents survive an operating-system crash.
+  virtual bool SurvivesOsCrash() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+// Cost parameters for Rio reliable memory.
+struct RioParameters {
+  // Register copy + atomic log discard + page-table bookkeeping on a
+  // 400 MHz Pentium II: Discount Checking reports sub-millisecond
+  // checkpoints.
+  ftx::Duration fixed_cost = ftx::Milliseconds(1);
+  // ~1 GB/s effective logging/copy bandwidth.
+  ftx::Duration per_byte = ftx::Nanoseconds(1);
+  ftx::Duration log_fixed = ftx::Nanoseconds(500);
+};
+
+// Rio reliable memory: persistence at memory speed.
+class RioStore : public StableStore {
+ public:
+  explicit RioStore(RioParameters params = RioParameters()) : params_(params) {}
+
+  ftx::Duration PersistCost(int64_t bytes) override {
+    return ftx::Nanoseconds(params_.per_byte.nanos() * bytes);
+  }
+  ftx::Duration LogAppendCost(int64_t bytes) override {
+    return params_.log_fixed + ftx::Nanoseconds(params_.per_byte.nanos() * bytes);
+  }
+  ftx::Duration CommitFixedCost() const override { return params_.fixed_cost; }
+  bool SurvivesOsCrash() const override { return true; }
+  std::string_view name() const override { return "rio"; }
+
+ private:
+  RioParameters params_;
+};
+
+// Plain volatile memory: as fast as Rio, but an operating-system crash
+// destroys it — committed state survives only *process* failures. This is
+// the store that shows why Discount Checking needs Rio (or a disk): without
+// a crash-surviving home, an OS failure forfeits every commit.
+class MemoryStore : public StableStore {
+ public:
+  explicit MemoryStore(RioParameters params = RioParameters()) : params_(params) {}
+
+  ftx::Duration PersistCost(int64_t bytes) override {
+    return ftx::Nanoseconds(params_.per_byte.nanos() * bytes);
+  }
+  ftx::Duration LogAppendCost(int64_t bytes) override {
+    return params_.log_fixed + ftx::Nanoseconds(params_.per_byte.nanos() * bytes);
+  }
+  ftx::Duration CommitFixedCost() const override { return params_.fixed_cost; }
+  bool SurvivesOsCrash() const override { return false; }
+  std::string_view name() const override { return "volatile-memory"; }
+
+ private:
+  RioParameters params_;
+};
+
+// Synchronous disk redo log (DC-disk).
+class DiskStore : public StableStore {
+ public:
+  explicit DiskStore(DiskModel* disk, ftx::Duration fixed_cost = ftx::Microseconds(80))
+      : disk_(disk), fixed_cost_(fixed_cost) {}
+
+  ftx::Duration PersistCost(int64_t bytes) override {
+    const DiskParameters& p = disk_->parameters();
+    ftx::Duration rotation = p.half_rotation * 2;
+    // Two synchronous I/Os: the redo record and the commit sector.
+    ftx::Duration cost = (p.average_seek + rotation) * 2;
+    cost += ftx::Nanoseconds(p.per_byte.nanos() * bytes);
+    disk_->NoteSyncWrite(bytes, /*ios=*/2);
+    return cost;
+  }
+  ftx::Duration LogAppendCost(int64_t bytes) override {
+    const DiskParameters& p = disk_->parameters();
+    ftx::Duration cost = p.half_rotation * 2;  // full rotation, no seek
+    cost += ftx::Nanoseconds(p.per_byte.nanos() * bytes);
+    disk_->NoteSyncWrite(bytes, /*ios=*/1);
+    return cost;
+  }
+  ftx::Duration CommitFixedCost() const override { return fixed_cost_; }
+  bool SurvivesOsCrash() const override { return true; }
+  std::string_view name() const override { return "dc-disk"; }
+
+  DiskModel* disk() { return disk_; }
+
+ private:
+  DiskModel* disk_;
+  ftx::Duration fixed_cost_;
+};
+
+}  // namespace ftx_store
+
+#endif  // FTX_SRC_STORAGE_STABLE_STORE_H_

@@ -1,0 +1,31 @@
+#include "src/storage/undo_log.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace ftx_store {
+
+void UndoLog::RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size) {
+  FTX_CHECK_GE(offset, 0);
+  UndoRecord record;
+  record.offset = offset;
+  record.before_image.assign(data, data + size);
+  byte_size_ += static_cast<int64_t>(size);
+  records_.push_back(std::move(record));
+}
+
+void UndoLog::ApplyReverseInto(uint8_t* base, size_t base_size) {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    FTX_CHECK_LE(static_cast<size_t>(it->offset) + it->before_image.size(), base_size);
+    std::memcpy(base + it->offset, it->before_image.data(), it->before_image.size());
+  }
+  Discard();
+}
+
+void UndoLog::Discard() {
+  records_.clear();
+  byte_size_ = 0;
+}
+
+}  // namespace ftx_store

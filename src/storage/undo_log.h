@@ -1,0 +1,48 @@
+// Before-image (undo) log, the heart of the Vista transaction library.
+//
+// When a transaction first dirties a region, Vista logs the region's
+// before-image. Commit discards the log atomically; abort (or crash
+// recovery) applies the before-images in reverse order, restoring the
+// segment to its last committed state.
+
+#ifndef FTX_SRC_STORAGE_UNDO_LOG_H_
+#define FTX_SRC_STORAGE_UNDO_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace ftx_store {
+
+struct UndoRecord {
+  int64_t offset = 0;
+  ftx::Bytes before_image;
+};
+
+class UndoLog {
+ public:
+  // Logs the previous contents of [offset, offset+size) (copied from `data`).
+  void RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size);
+
+  // Applies all before-images in reverse order into the buffer at `base`
+  // (which must span at least the logged offsets), then clears the log.
+  void ApplyReverseInto(uint8_t* base, size_t base_size);
+
+  // Commit: atomically forget all undo records.
+  void Discard();
+
+  bool empty() const { return records_.empty(); }
+  size_t record_count() const { return records_.size(); }
+  int64_t byte_size() const { return byte_size_; }
+
+  const std::vector<UndoRecord>& records() const { return records_; }
+
+ private:
+  std::vector<UndoRecord> records_;
+  int64_t byte_size_ = 0;
+};
+
+}  // namespace ftx_store
+
+#endif  // FTX_SRC_STORAGE_UNDO_LOG_H_

@@ -1,0 +1,157 @@
+#include "src/vista/heap.h"
+
+#include "src/common/check.h"
+
+namespace ftx_vista {
+namespace {
+
+constexpr int64_t kAlign = 8;
+
+int64_t AlignUp(int64_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+SegmentHeap::SegmentHeap(Segment* segment, int64_t base, int64_t size)
+    : segment_(segment), base_(base), size_(size) {
+  FTX_CHECK(segment != nullptr);
+  FTX_CHECK_GE(base, 0);
+  FTX_CHECK_GT(size, static_cast<int64_t>(sizeof(Header)) + kAlign);
+  FTX_CHECK_LE(static_cast<size_t>(base + size), segment->size());
+}
+
+void SegmentHeap::Format() {
+  Header header;
+  header.magic = kFreeMagic;
+  header.block_size = size_;
+  segment_->WriteValue(base_, header);
+  bytes_in_use_ = 0;
+  blocks_in_use_ = 0;
+}
+
+int64_t SegmentHeap::PayloadToBlock(int64_t payload_offset) const {
+  return payload_offset - static_cast<int64_t>(sizeof(Header));
+}
+
+ftx::Result<int64_t> SegmentHeap::Alloc(int64_t size) {
+  FTX_CHECK_GT(size, 0);
+  const int64_t need =
+      static_cast<int64_t>(sizeof(Header)) + AlignUp(size) + static_cast<int64_t>(sizeof(uint64_t));
+
+  int64_t cursor = base_;
+  const int64_t end = base_ + size_;
+  while (cursor < end) {
+    Header header = segment_->Read<Header>(cursor);
+    FTX_CHECK_MSG(header.magic == kUsedMagic || header.magic == kFreeMagic,
+                  "heap metadata corrupt at offset %lld", static_cast<long long>(cursor));
+    if (header.magic == kFreeMagic) {
+      // Lazy coalescing: absorb following free blocks.
+      int64_t next = cursor + header.block_size;
+      while (next < end) {
+        Header next_header = segment_->Read<Header>(next);
+        if (next_header.magic != kFreeMagic) {
+          break;
+        }
+        header.block_size += next_header.block_size;
+        next = cursor + header.block_size;
+      }
+      if (header.block_size >= need) {
+        // Split if the remainder can hold a minimal block.
+        const int64_t min_block =
+            static_cast<int64_t>(sizeof(Header)) + kAlign + static_cast<int64_t>(sizeof(uint64_t));
+        int64_t remainder = header.block_size - need;
+        int64_t block_size = header.block_size;
+        if (remainder >= min_block) {
+          block_size = need;
+          Header free_header;
+          free_header.magic = kFreeMagic;
+          free_header.block_size = remainder;
+          segment_->WriteValue(cursor + need, free_header);
+        }
+        Header used;
+        used.magic = kUsedMagic;
+        used.block_size = block_size;
+        segment_->WriteValue(cursor, used);
+        // Tail guard sits at the end of the block.
+        segment_->WriteValue(cursor + block_size - static_cast<int64_t>(sizeof(uint64_t)),
+                             kTailGuard);
+        bytes_in_use_ += block_size;
+        ++blocks_in_use_;
+        return cursor + static_cast<int64_t>(sizeof(Header));
+      }
+      // Record the coalesced size so future sweeps skip faster.
+      segment_->WriteValue(cursor, header);
+    }
+    cursor += header.block_size;
+  }
+  return ftx::ResourceExhaustedError("segment heap arena exhausted");
+}
+
+ftx::Status SegmentHeap::Free(int64_t payload_offset) {
+  int64_t block = PayloadToBlock(payload_offset);
+  if (block < base_ || block >= base_ + size_) {
+    return ftx::InvalidArgumentError("free of pointer outside arena");
+  }
+  Header header = segment_->Read<Header>(block);
+  if (header.magic != kUsedMagic) {
+    return ftx::InvalidArgumentError("free of non-allocated block");
+  }
+  header.magic = kFreeMagic;
+  segment_->WriteValue(block, header);
+  bytes_in_use_ -= header.block_size;
+  --blocks_in_use_;
+  return ftx::Status::Ok();
+}
+
+std::vector<std::pair<int64_t, int64_t>> SegmentHeap::LiveBlocks() const {
+  std::vector<std::pair<int64_t, int64_t>> blocks;
+  int64_t cursor = base_;
+  const int64_t end = base_ + size_;
+  while (cursor < end) {
+    Header header = segment_->Read<Header>(cursor);
+    if (header.magic != kUsedMagic && header.magic != kFreeMagic) {
+      break;  // corrupt metadata; CheckGuards will report it
+    }
+    if (header.block_size < static_cast<int64_t>(sizeof(Header)) ||
+        cursor + header.block_size > end) {
+      break;
+    }
+    if (header.magic == kUsedMagic) {
+      int64_t payload = cursor + static_cast<int64_t>(sizeof(Header));
+      int64_t payload_size =
+          header.block_size - static_cast<int64_t>(sizeof(Header)) -
+          static_cast<int64_t>(sizeof(uint64_t));
+      blocks.emplace_back(payload, payload_size);
+    }
+    cursor += header.block_size;
+  }
+  return blocks;
+}
+
+ftx::Status SegmentHeap::CheckGuards() const {
+  int64_t cursor = base_;
+  const int64_t end = base_ + size_;
+  while (cursor < end) {
+    Header header = segment_->Read<Header>(cursor);
+    if (header.magic != kUsedMagic && header.magic != kFreeMagic) {
+      return ftx::DataLossError("heap header corrupt at offset " + std::to_string(cursor));
+    }
+    if (header.block_size < static_cast<int64_t>(sizeof(Header)) ||
+        cursor + header.block_size > end) {
+      return ftx::DataLossError("heap block size corrupt at offset " + std::to_string(cursor));
+    }
+    if (header.magic == kUsedMagic) {
+      uint64_t tail = segment_->Read<uint64_t>(cursor + header.block_size -
+                                               static_cast<int64_t>(sizeof(uint64_t)));
+      if (tail != kTailGuard) {
+        return ftx::DataLossError("heap tail guard smashed at offset " + std::to_string(cursor));
+      }
+    }
+    cursor += header.block_size;
+  }
+  if (cursor != end) {
+    return ftx::DataLossError("heap walk overran arena end");
+  }
+  return ftx::Status::Ok();
+}
+
+}  // namespace ftx_vista

@@ -1,0 +1,75 @@
+// Free-list heap allocator inside a Vista segment.
+//
+// Applications allocate their dynamic structures (editor buffers, octree
+// nodes, database pages) from a SegmentHeap so that all application state
+// lives in the persistent segment and is covered by commits. Every block
+// carries magic guard words before and after the payload; CheckGuards() is
+// the "inspect guard bands at the ends of its buffers and malloc'ed data"
+// consistency check the paper recommends (§2.6) for crashing soon after a
+// fault — the heap-bit-flip fault study relies on it.
+
+#ifndef FTX_SRC_VISTA_HEAP_H_
+#define FTX_SRC_VISTA_HEAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/vista/segment.h"
+
+namespace ftx_vista {
+
+class SegmentHeap {
+ public:
+  // Manages [base, base+size) of `segment`. Call Format() once before use
+  // (or after a fresh segment is created).
+  SegmentHeap(Segment* segment, int64_t base, int64_t size);
+
+  // Initializes the free list over the whole arena.
+  void Format();
+
+  // Allocates `size` payload bytes; returns the payload offset within the
+  // segment, or an error when the arena is exhausted (first-fit search).
+  ftx::Result<int64_t> Alloc(int64_t size);
+
+  // Frees a payload offset returned by Alloc. Coalescing is deferred:
+  // adjacent free blocks merge lazily during allocation sweeps.
+  ftx::Status Free(int64_t payload_offset);
+
+  // Walks every block validating header magics and payload guard words.
+  // Returns kDataLoss on the first violation — the caller treats this as a
+  // detected fault (and typically crashes the process).
+  ftx::Status CheckGuards() const;
+
+  // All currently allocated blocks as (payload offset, payload size) pairs,
+  // by walking the arena. Used by the fault injector to pick heap targets.
+  std::vector<std::pair<int64_t, int64_t>> LiveBlocks() const;
+
+  int64_t bytes_in_use() const { return bytes_in_use_; }
+  int64_t blocks_in_use() const { return blocks_in_use_; }
+  int64_t arena_base() const { return base_; }
+  int64_t arena_size() const { return size_; }
+
+ private:
+  // Block layout: [Header][payload][uint64 tail guard]
+  struct Header {
+    uint64_t magic;      // kUsedMagic or kFreeMagic
+    int64_t block_size;  // total bytes including header and tail guard
+  };
+  static constexpr uint64_t kUsedMagic = 0xa110c8edba5eba11ULL;
+  static constexpr uint64_t kFreeMagic = 0xf4eeb10cf4eeb10cULL;
+  static constexpr uint64_t kTailGuard = 0x6a61bd5461172a11ULL;
+
+  int64_t PayloadToBlock(int64_t payload_offset) const;
+
+  Segment* segment_;
+  int64_t base_;
+  int64_t size_;
+  int64_t bytes_in_use_ = 0;
+  int64_t blocks_in_use_ = 0;
+};
+
+}  // namespace ftx_vista
+
+#endif  // FTX_SRC_VISTA_HEAP_H_

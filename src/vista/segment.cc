@@ -1,0 +1,133 @@
+#include "src/vista/segment.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/crc32.h"
+
+namespace ftx_vista {
+
+Segment::Segment(size_t size, size_t page_size) : page_size_(page_size) {
+  FTX_CHECK_GT(size, 0u);
+  FTX_CHECK_GT(page_size, 0u);
+  // Round the segment up to whole pages.
+  size_t pages = (size + page_size - 1) / page_size;
+  data_.assign(pages * page_size, 0);
+}
+
+void Segment::ReadRaw(int64_t offset, void* dst, size_t size) const {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
+  std::memcpy(dst, data_.data() + offset, size);
+}
+
+void Segment::TouchPages(int64_t offset, size_t size) {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
+  if (size == 0) {
+    return;
+  }
+  int64_t first = offset / static_cast<int64_t>(page_size_);
+  int64_t last = (offset + static_cast<int64_t>(size) - 1) / static_cast<int64_t>(page_size_);
+  for (int64_t page = first; page <= last; ++page) {
+    if (dirty_pages_.insert(page).second) {
+      // First touch since the last commit: log the page's before-image,
+      // exactly what Vista's copy-on-write trap does.
+      undo_.RecordBeforeImage(page * static_cast<int64_t>(page_size_),
+                              data_.data() + page * static_cast<int64_t>(page_size_), page_size_);
+    }
+  }
+}
+
+void Segment::Write(int64_t offset, const void* src, size_t size) {
+  TouchPages(offset, size);
+  std::memcpy(data_.data() + offset, src, size);
+}
+
+uint8_t* Segment::OpenForWrite(int64_t offset, size_t size) {
+  TouchPages(offset, size);
+  return data_.data() + offset;
+}
+
+void Segment::Commit() {
+  undo_.Discard();
+  dirty_pages_.clear();
+}
+
+void Segment::Abort() {
+  undo_.ApplyReverseInto(data_.data(), data_.size());
+  dirty_pages_.clear();
+}
+
+void Segment::ResetToZero() {
+  std::fill(data_.begin(), data_.end(), 0);
+  undo_.Discard();
+  dirty_pages_.clear();
+}
+
+std::vector<std::pair<int64_t, ftx::Bytes>> Segment::DirtyPages() const {
+  std::vector<std::pair<int64_t, ftx::Bytes>> pages;
+  pages.reserve(dirty_pages_.size());
+  for (int64_t page : dirty_pages_) {
+    if (IsPageVolatile(page)) {
+      continue;  // recomputable: never persisted
+    }
+    int64_t offset = page * static_cast<int64_t>(page_size_);
+    pages.emplace_back(offset,
+                       ftx::Bytes(data_.begin() + offset,
+                                  data_.begin() + offset + static_cast<int64_t>(page_size_)));
+  }
+  return pages;
+}
+
+void Segment::MarkVolatile(int64_t offset, int64_t size) {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_GT(size, 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset + size), data_.size());
+  int64_t first = offset / static_cast<int64_t>(page_size_);
+  int64_t last = (offset + size - 1) / static_cast<int64_t>(page_size_);
+  for (int64_t page = first; page <= last; ++page) {
+    volatile_pages_.insert(page);
+  }
+}
+
+bool Segment::IsPageVolatile(int64_t page) const {
+  return volatile_pages_.count(page) != 0;
+}
+
+size_t Segment::persisted_dirty_page_count() const {
+  size_t n = 0;
+  for (int64_t page : dirty_pages_) {
+    if (!IsPageVolatile(page)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Segment::ZeroVolatileRanges() {
+  for (int64_t page : volatile_pages_) {
+    int64_t offset = page * static_cast<int64_t>(page_size_);
+    std::fill(data_.begin() + offset, data_.begin() + offset + static_cast<int64_t>(page_size_),
+              0);
+  }
+}
+
+void Segment::InstallPage(int64_t offset, const ftx::Bytes& image) {
+  FTX_CHECK_EQ(image.size(), page_size_);
+  FTX_CHECK_EQ(offset % static_cast<int64_t>(page_size_), 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset) + image.size(), data_.size());
+  std::memcpy(data_.data() + offset, image.data(), image.size());
+}
+
+uint32_t Segment::Checksum() const { return ftx::Crc32(data_.data(), data_.size()); }
+
+void Segment::CorruptBit(int64_t offset, int bit) {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LT(static_cast<size_t>(offset), data_.size());
+  FTX_CHECK(bit >= 0 && bit < 8);
+  uint8_t* p = OpenForWrite(offset, 1);
+  *p ^= static_cast<uint8_t>(1u << bit);
+}
+
+}  // namespace ftx_vista

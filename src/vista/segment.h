@@ -1,0 +1,131 @@
+// Vista-style persistent segment.
+//
+// Vista maps a process's state into a persistent memory segment and traps
+// updates with copy-on-write, logging before-images of updated regions to an
+// undo log; commit atomically discards the log and resets page protections
+// (§3). This class reproduces that design with explicit write barriers
+// standing in for hardware page protection: every store goes through
+// Write/OpenForWrite, which logs the before-image of each page on its first
+// touch since the last commit.
+//
+// Abort (or crash recovery with the segment in reliable memory) replays the
+// undo log in reverse, restoring the last committed state exactly.
+
+#ifndef FTX_SRC_VISTA_SEGMENT_H_
+#define FTX_SRC_VISTA_SEGMENT_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/storage/undo_log.h"
+
+namespace ftx_vista {
+
+class Segment {
+ public:
+  explicit Segment(size_t size, size_t page_size = 4096);
+
+  size_t size() const { return data_.size(); }
+  size_t page_size() const { return page_size_; }
+
+  // --- reads (no barrier needed) ---
+  const uint8_t* data() const { return data_.data(); }
+
+  template <typename T>
+  T Read(int64_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    ReadRaw(offset, &value, sizeof(T));
+    return value;
+  }
+  void ReadRaw(int64_t offset, void* dst, size_t size) const;
+
+  // --- writes (barriered) ---
+
+  // Copies `size` bytes from src into the segment, logging before-images of
+  // any pages touched for the first time since the last commit.
+  void Write(int64_t offset, const void* src, size_t size);
+
+  template <typename T>
+  void WriteValue(int64_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write(offset, &value, sizeof(T));
+  }
+
+  // Marks [offset, offset+size) writable (logging before-images) and returns
+  // a raw pointer for in-place mutation. The pointer is valid until the next
+  // call that resizes nothing — the segment never reallocates.
+  uint8_t* OpenForWrite(int64_t offset, size_t size);
+
+  // --- transaction boundary ---
+
+  // Atomically discards the undo log; the current contents become the
+  // committed state.
+  void Commit();
+
+  // Restores the last committed state from the undo log.
+  void Abort();
+
+  // Wipes the segment to zeros and clears the undo log / dirty set. Used by
+  // DC-disk recovery before replaying the redo chain (the volatile segment
+  // did not survive the failure).
+  void ResetToZero();
+
+  // --- partial-state commit (the paper's §6 future-work direction) ---
+
+  // Declares [offset, offset+size) *recomputable*: its pages are excluded
+  // from what commits persist ("reducing the comprehensiveness of the state
+  // saved"). After recovery the range reads as zeros and the application
+  // rebuilds it (App::OnRecovered). Corruption confined to a volatile range
+  // is therefore never captured by a commit — §2.6's observation that
+  // recomputing unsaved state can avoid retriggering the bug.
+  void MarkVolatile(int64_t offset, int64_t size);
+
+  // Pages currently dirty that a commit must persist (volatile excluded).
+  size_t persisted_dirty_page_count() const;
+
+  // Zero-fills every volatile range (recovery's post-rollback step).
+  void ZeroVolatileRanges();
+
+  bool IsPageVolatile(int64_t page) const;
+
+  // --- instrumentation for commit cost models & fault injection ---
+
+  size_t dirty_page_count() const { return dirty_pages_.size(); }
+  int64_t undo_bytes() const { return undo_.byte_size(); }
+  bool HasUncommittedChanges() const { return !dirty_pages_.empty(); }
+
+  // Copies of the currently dirty pages (offset, image), for redo-log
+  // checkpointing.
+  std::vector<std::pair<int64_t, ftx::Bytes>> DirtyPages() const;
+
+  // Overwrites a page image directly (used when applying a redo record
+  // during DC-disk recovery). Does not log undo.
+  void InstallPage(int64_t offset, const ftx::Bytes& image);
+
+  // CRC of the full segment (consistency checks / test equality).
+  uint32_t Checksum() const;
+
+  // Fault injection: flips a bit. The flip goes through the write barrier,
+  // because real Vista's copy-on-write traps wild stores exactly like
+  // intended ones — which is why rollback alone cleans corruption, and why
+  // recovery only fails when a commit lands after the corruption (Lose-work)
+  // or reexecution deterministically regenerates it.
+  void CorruptBit(int64_t offset, int bit);
+
+ private:
+  void TouchPages(int64_t offset, size_t size);
+
+  size_t page_size_;
+  ftx::Bytes data_;
+  std::set<int64_t> dirty_pages_;  // page indices dirty since last commit
+  std::set<int64_t> volatile_pages_;  // excluded from commits (recomputable)
+  ftx_store::UndoLog undo_;
+};
+
+}  // namespace ftx_vista
+
+#endif  // FTX_SRC_VISTA_SEGMENT_H_

@@ -1,0 +1,171 @@
+// Tests for the consistent-recovery checker (§2.3's equivalence definition)
+// and the orphan detector (Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include "src/recovery/consistency.h"
+#include "src/recovery/orphan.h"
+#include "src/statemachine/trace.h"
+
+namespace {
+
+using ftx_rec::OutputRecorder;
+
+ftx::Bytes B(const char* s) {
+  return ftx::Bytes(s, s + std::char_traits<char>::length(s));
+}
+
+TEST(Consistency, IdenticalStreamsAreConsistent) {
+  OutputRecorder reference;
+  OutputRecorder recovered;
+  for (const char* s : {"a", "b", "c"}) {
+    reference.Record(0, ftx::TimePoint(), B(s));
+    recovered.Record(0, ftx::TimePoint(), B(s));
+  }
+  auto result = ftx_rec::CheckConsistentRecovery(reference, recovered, 1);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.duplicates_tolerated, 0);
+}
+
+TEST(Consistency, DuplicatesOfEarlierOutputAreTolerated) {
+  // The paper's equivalence: V may differ from V' only by repeats of
+  // earlier events of V — exactly what reexecution after rollback produces.
+  OutputRecorder reference;
+  OutputRecorder recovered;
+  for (const char* s : {"a", "b", "c", "d"}) {
+    reference.Record(0, ftx::TimePoint(), B(s));
+  }
+  recovered.Record(0, ftx::TimePoint(), B("a"));
+  recovered.Record(0, ftx::TimePoint(), B("b"));
+  recovered.Record(0, ftx::TimePoint(), B("b"));  // repeat after recovery
+  recovered.Record(0, ftx::TimePoint(), B("c"));
+  recovered.Record(0, ftx::TimePoint(), B("d"));
+  auto result = ftx_rec::CheckConsistentRecovery(reference, recovered, 1);
+  EXPECT_TRUE(result.consistent) << result.diagnostic;
+  EXPECT_EQ(result.duplicates_tolerated, 1);
+}
+
+TEST(Consistency, DivergentContentIsInconsistent) {
+  OutputRecorder reference;
+  OutputRecorder recovered;
+  reference.Record(0, ftx::TimePoint(), B("heads"));
+  recovered.Record(0, ftx::TimePoint(), B("tails"));
+  auto result = ftx_rec::CheckConsistentRecovery(reference, recovered, 1);
+  EXPECT_FALSE(result.consistent);
+  EXPECT_NE(result.diagnostic.find("diverges"), std::string::npos);
+}
+
+TEST(Consistency, TheCoinFlipScenario) {
+  // Fig. 1: output "heads" before the failure, "tails" after recovery. No
+  // failure-free run outputs both.
+  OutputRecorder reference;
+  reference.Record(0, ftx::TimePoint(), B("heads"));
+  OutputRecorder recovered;
+  recovered.Record(0, ftx::TimePoint(), B("heads"));
+  recovered.Record(0, ftx::TimePoint(), B("tails"));
+  auto result = ftx_rec::CheckConsistentRecovery(reference, recovered, 1);
+  EXPECT_FALSE(result.consistent);
+}
+
+TEST(Consistency, IncompleteOutputViolatesNoOrphanConstraint) {
+  OutputRecorder reference;
+  for (const char* s : {"a", "b", "c"}) {
+    reference.Record(0, ftx::TimePoint(), B(s));
+  }
+  OutputRecorder recovered;
+  recovered.Record(0, ftx::TimePoint(), B("a"));
+
+  auto strict = ftx_rec::CheckConsistentRecovery(reference, recovered, 1,
+                                                 /*require_complete=*/true);
+  EXPECT_FALSE(strict.consistent);
+  EXPECT_NE(strict.diagnostic.find("incomplete"), std::string::npos);
+
+  auto prefix_ok = ftx_rec::CheckConsistentRecovery(reference, recovered, 1,
+                                                    /*require_complete=*/false);
+  EXPECT_TRUE(prefix_ok.consistent);
+}
+
+TEST(Consistency, StreamsCheckedPerProcess) {
+  OutputRecorder reference;
+  reference.Record(0, ftx::TimePoint(), B("p0"));
+  reference.Record(1, ftx::TimePoint(), B("p1"));
+  OutputRecorder recovered;
+  recovered.Record(1, ftx::TimePoint(), B("p1"));  // interleaving differs...
+  recovered.Record(0, ftx::TimePoint(), B("p0"));
+  // ...but per-process streams match: consistent.
+  auto result = ftx_rec::CheckConsistentRecovery(reference, recovered, 2);
+  EXPECT_TRUE(result.consistent) << result.diagnostic;
+}
+
+TEST(Consistency, WrongProcessOutputIsInconsistent) {
+  OutputRecorder reference;
+  reference.Record(0, ftx::TimePoint(), B("x"));
+  OutputRecorder recovered;
+  recovered.Record(1, ftx::TimePoint(), B("x"));
+  auto result = ftx_rec::CheckConsistentRecovery(reference, recovered, 2);
+  EXPECT_FALSE(result.consistent);
+}
+
+// --- orphan detection ---
+
+TEST(Orphan, Fig2ScenarioDetected) {
+  // B (process 1) executes ND, sends to A (process 0); A commits; B fails
+  // having never committed: A is an orphan.
+  ftx_sm::Trace trace(2);
+  trace.Append(1, ftx_sm::EventKind::kTransientNd);
+  trace.Append(1, ftx_sm::EventKind::kSend, 1);
+  trace.Append(0, ftx_sm::EventKind::kReceive, 1);
+  trace.Append(0, ftx_sm::EventKind::kCommit);
+
+  auto check = ftx_rec::DetectOrphan(trace, /*survivor=*/0, /*failed=*/1,
+                                     /*failed_rollback_index=*/-1);
+  EXPECT_TRUE(check.orphaned);
+  ASSERT_TRUE(check.lost_nd.has_value());
+  EXPECT_EQ(check.lost_nd->process, 1);
+  EXPECT_EQ(check.lost_nd->index, 0);
+}
+
+TEST(Orphan, SenderCommitPreventsOrphan) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, ftx_sm::EventKind::kTransientNd);
+  trace.Append(1, ftx_sm::EventKind::kCommit);  // B preserves its ND
+  trace.Append(1, ftx_sm::EventKind::kSend, 1);
+  trace.Append(0, ftx_sm::EventKind::kReceive, 1);
+  trace.Append(0, ftx_sm::EventKind::kCommit);
+
+  // B rolls back to its commit (index 1): the ND at index 0 is preserved.
+  auto check = ftx_rec::DetectOrphan(trace, 0, 1, /*failed_rollback_index=*/1);
+  EXPECT_FALSE(check.orphaned);
+}
+
+TEST(Orphan, NoOrphanWithoutSurvivorCommit) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, ftx_sm::EventKind::kTransientNd);
+  trace.Append(1, ftx_sm::EventKind::kSend, 1);
+  trace.Append(0, ftx_sm::EventKind::kReceive, 1);
+  // A never commits: it can be rolled back along with B — no orphan.
+  auto check = ftx_rec::DetectOrphan(trace, 0, 1, -1);
+  EXPECT_FALSE(check.orphaned);
+}
+
+TEST(Orphan, LoggedNdIsRegenerableNotOrphaning) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, ftx_sm::EventKind::kTransientNd, -1, /*logged=*/true);
+  trace.Append(1, ftx_sm::EventKind::kSend, 1);
+  trace.Append(0, ftx_sm::EventKind::kReceive, 1);
+  trace.Append(0, ftx_sm::EventKind::kCommit);
+  auto check = ftx_rec::DetectOrphan(trace, 0, 1, -1);
+  EXPECT_FALSE(check.orphaned);
+}
+
+TEST(Orphan, SurvivorCommitBeforeReceiveIsSafe) {
+  ftx_sm::Trace trace(2);
+  trace.Append(0, ftx_sm::EventKind::kCommit);  // commit precedes the dependence
+  trace.Append(1, ftx_sm::EventKind::kTransientNd);
+  trace.Append(1, ftx_sm::EventKind::kSend, 1);
+  trace.Append(0, ftx_sm::EventKind::kReceive, 1);
+  auto check = ftx_rec::DetectOrphan(trace, 0, 1, -1);
+  EXPECT_FALSE(check.orphaned);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Cross-validation of the library's two Lose-work formalisms.
+//
+// The paper states the Lose-work Theorem twice: operationally (no commit
+// between the dangerous path's start and the crash, checked on executed
+// traces by CheckLoseWorkFull) and graph-theoretically (no commit event on a
+// path colored by the dangerous-paths algorithm). For an executed path the
+// two must agree. This test builds, for random event sequences ending in a
+// crash, BOTH representations — the trace, and a state-machine graph of the
+// path where every ND event also has an untaken sibling branch to a safe
+// terminal — and checks the verdicts coincide for every possible commit
+// position:
+//
+//  * a transient ND event's safe sibling is an escape hatch (rule 3 does
+//    not fire for transient siblings), so coloring stops there — matching
+//    the trace walk, which ends the dangerous window at the last transient
+//    ND before activation;
+//  * a fixed ND event's crash-ward branch is colored, and rule 3 propagates
+//    the coloring across it — matching the trace walk treating fixed ND as
+//    unable to end the window.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/statemachine/dangerous_paths.h"
+#include "src/statemachine/invariants.h"
+
+namespace {
+
+using ftx_sm::EventKind;
+
+struct PathStep {
+  EventKind kind = EventKind::kInternal;
+  bool logged = false;
+};
+
+// Builds the graph of a straight-line execution whose last event is a
+// crash; ND steps get an untaken sibling edge to a fresh safe terminal.
+// Returns the edge ids of the taken path, in order.
+std::vector<ftx_sm::EdgeId> BuildPathGraph(const std::vector<PathStep>& steps,
+                                           ftx_sm::StateMachineGraph* graph) {
+  std::vector<ftx_sm::EdgeId> taken;
+  ftx_sm::StateId current = graph->AddState();
+  for (const PathStep& step : steps) {
+    ftx_sm::StateId next = graph->AddState();
+    // A logged ND event is deterministic on replay: it cannot take the
+    // sibling branch, so the graph models it as a plain deterministic edge.
+    EventKind kind = step.logged ? EventKind::kInternal : step.kind;
+    taken.push_back(graph->AddEdge(current, next, kind));
+    if (!step.logged &&
+        (step.kind == EventKind::kTransientNd || step.kind == EventKind::kFixedNd)) {
+      ftx_sm::StateId safe = graph->AddState();
+      graph->AddEdge(current, safe, step.kind, "untaken");
+    }
+    current = next;
+  }
+  // The crash.
+  ftx_sm::StateId dead = graph->AddState();
+  taken.push_back(graph->AddEdge(current, dead, EventKind::kCrash));
+  return taken;
+}
+
+class LoseWorkCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LoseWorkCrossCheck, GraphColoringAgreesWithTraceWalk) {
+  ftx::Rng rng(GetParam());
+  const int length = 4 + static_cast<int>(rng.NextBounded(12));
+
+  // Random path: internal / transient / fixed events, some logged.
+  std::vector<PathStep> steps;
+  for (int i = 0; i < length; ++i) {
+    PathStep step;
+    double roll = rng.NextDouble();
+    if (roll < 0.4) {
+      step.kind = EventKind::kInternal;
+    } else if (roll < 0.7) {
+      step.kind = EventKind::kTransientNd;
+    } else {
+      step.kind = EventKind::kFixedNd;
+    }
+    step.logged = step.kind != EventKind::kInternal && rng.NextBernoulli(0.25);
+    steps.push_back(step);
+  }
+
+  // Prefix a dummy deterministic step: committing "after step k" places the
+  // process at a STATE, and a state's dangerousness is exactly the coloring
+  // condition of an edge entering it — the dummy edge supplies that edge
+  // for the initial state (k = -1).
+  std::vector<PathStep> graph_steps;
+  graph_steps.push_back(PathStep{EventKind::kInternal, false});
+  graph_steps.insert(graph_steps.end(), steps.begin(), steps.end());
+
+  ftx_sm::StateMachineGraph graph;
+  std::vector<ftx_sm::EdgeId> taken = BuildPathGraph(graph_steps, &graph);
+  ftx_sm::DangerousPathsResult coloring = ftx_sm::ColorDangerousPaths(graph);
+
+  // For every possible commit position along the path, the graph verdict
+  // ("the commit sits at the tail of a colored edge, i.e. commits the state
+  // reached by a dangerous prefix... equivalently the NEXT edge out of the
+  // committed state is colored") must match the trace verdict.
+  for (int commit_after = -1; commit_after < length; ++commit_after) {
+    // Trace: the path with one commit inserted after step `commit_after`
+    // (-1 = no commit beyond the initial state), activation at the LAST
+    // step before the crash.
+    ftx_sm::Trace trace(1);
+    for (int i = 0; i < length; ++i) {
+      trace.Append(0, steps[static_cast<size_t>(i)].kind, -1,
+                   steps[static_cast<size_t>(i)].logged);
+      if (i == commit_after) {
+        trace.Append(0, EventKind::kCommit);
+      }
+    }
+    auto activation =
+        trace.Append(0, EventKind::kInternal, -1, false, "fault-activation");
+    trace.MarkFaultActivation(activation);
+    trace.Append(0, EventKind::kCrash);
+
+    ftx_sm::LoseWorkResult verdict = ftx_sm::CheckLoseWorkFull(trace, 0);
+    ASSERT_TRUE(verdict.applicable);
+
+    // Graph: committing after step k commits the state s_{k+1}; that state
+    // is dangerous iff the edge ENTERING it is colored (same rule the
+    // coloring algorithm applies). With the dummy prefix, the edge entering
+    // s_{k+1} is taken[k+1].
+    bool graph_violation = coloring.IsColored(taken[static_cast<size_t>(commit_after + 1)]);
+
+    EXPECT_EQ(verdict.violated, graph_violation)
+        << "seed " << GetParam() << " commit_after " << commit_after << " (path length "
+        << length << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoseWorkCrossCheck, ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace

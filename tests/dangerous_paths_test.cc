@@ -1,0 +1,308 @@
+// Tests for the dangerous-paths coloring algorithms (§2.5), including the
+// paper's Figure 6 cases and the multi-process receive classification.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/statemachine/dangerous_paths.h"
+#include "src/statemachine/random_model.h"
+
+namespace {
+
+using ftx_sm::DangerousPathsResult;
+using ftx_sm::EventKind;
+using ftx_sm::StateMachineGraph;
+
+// Fig. 6A: a deterministic chain ending in a crash — every event colored.
+TEST(DangerousPaths, DeterministicChainToCrashFullyColored) {
+  StateMachineGraph graph;
+  graph.EnsureStates(4);
+  auto e0 = graph.AddEdge(0, 1, EventKind::kInternal);
+  auto e1 = graph.AddEdge(1, 2, EventKind::kInternal);
+  auto crash = graph.AddEdge(2, 3, EventKind::kCrash);
+
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_TRUE(result.IsColored(e0));
+  EXPECT_TRUE(result.IsColored(e1));
+  EXPECT_TRUE(result.IsColored(crash));
+  EXPECT_EQ(result.num_colored, 3);
+}
+
+// Fig. 6B: a transient ND event with one crash-free result — committing
+// before it is safe, so the edge into the choice state is NOT colored.
+TEST(DangerousPaths, TransientNdEscapeHatchStopsColoring) {
+  StateMachineGraph graph;
+  graph.EnsureStates(6);
+  auto entry = graph.AddEdge(0, 1, EventKind::kInternal);
+  auto nd_bad = graph.AddEdge(1, 2, EventKind::kTransientNd);
+  auto nd_good = graph.AddEdge(1, 3, EventKind::kTransientNd);
+  auto crash = graph.AddEdge(2, 4, EventKind::kCrash);
+  auto safe = graph.AddEdge(3, 5, EventKind::kInternal);
+
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_TRUE(result.IsColored(crash));
+  EXPECT_TRUE(result.IsColored(nd_bad));   // all its successors crash
+  EXPECT_FALSE(result.IsColored(nd_good));
+  EXPECT_FALSE(result.IsColored(safe));
+  EXPECT_FALSE(result.IsColored(entry));   // the escape hatch saves it
+}
+
+// Fig. 6C: the same shape but with FIXED ND — the recovery system cannot
+// rely on the event's result changing, so the entry edge IS colored.
+TEST(DangerousPaths, FixedNdDoesNotProtect) {
+  StateMachineGraph graph;
+  graph.EnsureStates(6);
+  auto entry = graph.AddEdge(0, 1, EventKind::kInternal);
+  auto nd_bad = graph.AddEdge(1, 2, EventKind::kFixedNd);
+  auto nd_good = graph.AddEdge(1, 3, EventKind::kFixedNd);
+  graph.AddEdge(2, 4, EventKind::kCrash);
+  graph.AddEdge(3, 5, EventKind::kInternal);
+
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_TRUE(result.IsColored(nd_bad));
+  EXPECT_FALSE(result.IsColored(nd_good));
+  // Rule 3: a colored fixed-ND successor colors the incoming edge.
+  EXPECT_TRUE(result.IsColored(entry));
+}
+
+TEST(DangerousPaths, NoCrashMeansNothingColored) {
+  StateMachineGraph graph;
+  graph.EnsureStates(4);
+  graph.AddEdge(0, 1, EventKind::kInternal);
+  graph.AddEdge(1, 2, EventKind::kTransientNd);
+  graph.AddEdge(1, 3, EventKind::kTransientNd);
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_EQ(result.num_colored, 0);
+}
+
+TEST(DangerousPaths, TerminationStateIsSafe) {
+  // An edge into a state with no outgoing edges (normal completion) is not
+  // dangerous even when a sibling path crashes.
+  StateMachineGraph graph;
+  graph.EnsureStates(5);
+  auto to_choice = graph.AddEdge(0, 1, EventKind::kInternal);
+  auto nd_done = graph.AddEdge(1, 2, EventKind::kTransientNd);  // terminal
+  auto nd_doom = graph.AddEdge(1, 3, EventKind::kTransientNd);
+  graph.AddEdge(3, 4, EventKind::kCrash);
+
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_FALSE(result.IsColored(nd_done));
+  EXPECT_TRUE(result.IsColored(nd_doom));
+  EXPECT_FALSE(result.IsColored(to_choice));
+}
+
+TEST(DangerousPaths, ColoringPropagatesThroughLongDeterministicRuns) {
+  // Fig. 7 shape: dangerous paths extend backwards from crash events
+  // through deterministic stretches until a transient ND escape.
+  StateMachineGraph graph;
+  graph.EnsureStates(8);
+  auto start = graph.AddEdge(0, 1, EventKind::kTransientNd);  // escape A
+  auto alt = graph.AddEdge(0, 2, EventKind::kTransientNd);    // escape B
+  auto d1 = graph.AddEdge(1, 3, EventKind::kInternal);
+  auto d2 = graph.AddEdge(3, 4, EventKind::kInternal);
+  auto crash = graph.AddEdge(4, 5, EventKind::kCrash);
+  auto safe1 = graph.AddEdge(2, 6, EventKind::kInternal);
+  auto safe2 = graph.AddEdge(6, 7, EventKind::kInternal);
+
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_TRUE(result.IsColored(start));  // whole doomed branch colored
+  EXPECT_TRUE(result.IsColored(d1));
+  EXPECT_TRUE(result.IsColored(d2));
+  EXPECT_TRUE(result.IsColored(crash));
+  EXPECT_FALSE(result.IsColored(alt));
+  EXPECT_FALSE(result.IsColored(safe1));
+  EXPECT_FALSE(result.IsColored(safe2));
+}
+
+TEST(DangerousPaths, CyclicGraphReachesFixpoint) {
+  StateMachineGraph graph;
+  graph.EnsureStates(4);
+  graph.AddEdge(0, 1, EventKind::kInternal);
+  graph.AddEdge(1, 0, EventKind::kInternal);  // cycle
+  graph.AddEdge(1, 2, EventKind::kCrash);
+  // Wait: state 1 branches deterministically + crash — allowed (crash is
+  // exogenous). The cycle 0<->1 always reaches a state from which the only
+  // program edge loops; no full coloring because the loop never *forces*
+  // the crash... but every out edge of 1 is {back edge, crash}. The back
+  // edge is colored iff all of state 0's out edges are colored, and so on.
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_GE(result.fixpoint_rounds, 1);
+  // The crash edge itself is always colored.
+  EXPECT_GE(result.num_colored, 1);
+}
+
+TEST(DangerousPaths, OverrideReclassifiesReceiveEdges) {
+  // A receive edge (transient by default) protects its predecessor; when
+  // the multi-process snapshot pins it fixed, protection vanishes.
+  StateMachineGraph graph;
+  graph.EnsureStates(6);
+  auto entry = graph.AddEdge(0, 1, EventKind::kInternal);
+  auto recv_bad = graph.AddEdge(1, 2, EventKind::kReceive);
+  auto recv_good = graph.AddEdge(1, 3, EventKind::kReceive);
+  graph.AddEdge(2, 4, EventKind::kCrash);
+  graph.AddEdge(3, 5, EventKind::kInternal);
+
+  DangerousPathsResult default_result = ftx_sm::ColorDangerousPaths(graph);
+  EXPECT_FALSE(default_result.IsColored(entry));
+
+  std::map<ftx_sm::EdgeId, EventKind> overrides;
+  overrides[recv_bad] = EventKind::kFixedNd;
+  overrides[recv_good] = EventKind::kFixedNd;
+  DangerousPathsResult pinned = ftx_sm::ColorDangerousPaths(graph, overrides);
+  EXPECT_TRUE(pinned.IsColored(entry));
+}
+
+// --- multi-process receive classification ---
+
+TEST(ReceiveClassification, TransientWhenSenderHasUncommittedTransientNd) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, EventKind::kCommit);
+  trace.Append(1, EventKind::kTransientNd);  // after last commit
+  trace.Append(1, EventKind::kSend, 10);
+  trace.Append(0, EventKind::kReceive, 10);
+
+  auto classes = ftx_sm::ClassifyReceivesForProcess(trace, 0);
+  ASSERT_EQ(classes.count(10), 1u);
+  EXPECT_EQ(classes[10], ftx_sm::ReceiveClass::kTransient);
+}
+
+TEST(ReceiveClassification, FixedWhenSenderCommittedAfterItsNd) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, EventKind::kTransientNd);
+  trace.Append(1, EventKind::kCommit);  // ND committed: message is pinned
+  trace.Append(1, EventKind::kSend, 10);
+  trace.Append(0, EventKind::kReceive, 10);
+
+  auto classes = ftx_sm::ClassifyReceivesForProcess(trace, 0);
+  EXPECT_EQ(classes[10], ftx_sm::ReceiveClass::kFixed);
+}
+
+TEST(ReceiveClassification, FixedWhenSenderPurelyDeterministic) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, EventKind::kInternal);
+  trace.Append(1, EventKind::kSend, 10);
+  trace.Append(0, EventKind::kReceive, 10);
+
+  auto classes = ftx_sm::ClassifyReceivesForProcess(trace, 0);
+  EXPECT_EQ(classes[10], ftx_sm::ReceiveClass::kFixed);
+}
+
+TEST(ReceiveClassification, LoggedSenderNdCountsAsFixed) {
+  ftx_sm::Trace trace(2);
+  trace.Append(1, EventKind::kTransientNd, -1, /*logged=*/true);
+  trace.Append(1, EventKind::kSend, 10);
+  trace.Append(0, EventKind::kReceive, 10);
+
+  auto classes = ftx_sm::ClassifyReceivesForProcess(trace, 0);
+  EXPECT_EQ(classes[10], ftx_sm::ReceiveClass::kFixed);
+}
+
+TEST(MultiProcessDangerousPaths, EndToEnd) {
+  // Process 0's graph: entry -> receive-choice; one receive leads to crash.
+  StateMachineGraph graph;
+  graph.EnsureStates(6);
+  auto entry = graph.AddEdge(0, 1, EventKind::kInternal);
+  auto recv_doom = graph.AddEdge(1, 2, EventKind::kReceive);
+  auto recv_safe = graph.AddEdge(1, 3, EventKind::kReceive);
+  graph.AddEdge(2, 4, EventKind::kCrash);
+  graph.AddEdge(3, 5, EventKind::kInternal);
+
+  // Trace A: sender had uncommitted transient ND -> receive transient ->
+  // entry not dangerous.
+  {
+    ftx_sm::Trace trace(2);
+    trace.Append(1, EventKind::kTransientNd);
+    trace.Append(1, EventKind::kSend, 10);
+    trace.Append(0, EventKind::kReceive, 10);
+    std::map<ftx_sm::EdgeId, int64_t> edge_to_message{{recv_doom, 10}, {recv_safe, 10}};
+    auto result = ftx_sm::MultiProcessDangerousPaths(graph, trace, 0, edge_to_message);
+    EXPECT_FALSE(result.IsColored(entry));
+  }
+  // Trace B: sender committed before sending -> receive fixed -> entry
+  // dangerous.
+  {
+    ftx_sm::Trace trace(2);
+    trace.Append(1, EventKind::kTransientNd);
+    trace.Append(1, EventKind::kCommit);
+    trace.Append(1, EventKind::kSend, 10);
+    trace.Append(0, EventKind::kReceive, 10);
+    std::map<ftx_sm::EdgeId, int64_t> edge_to_message{{recv_doom, 10}, {recv_safe, 10}};
+    auto result = ftx_sm::MultiProcessDangerousPaths(graph, trace, 0, edge_to_message);
+    EXPECT_TRUE(result.IsColored(entry));
+  }
+}
+
+// --- properties over random graphs ---
+
+class DangerousPathsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DangerousPathsProperty, CrashEdgesAlwaysColored) {
+  ftx::Rng rng(GetParam());
+  ftx_sm::RandomGraphOptions options;
+  StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+  for (const auto& edge : graph.edges()) {
+    if (edge.kind == EventKind::kCrash) {
+      EXPECT_TRUE(result.IsColored(edge.id));
+    }
+  }
+}
+
+TEST_P(DangerousPathsProperty, ColoringIsClosedUnderTheRules) {
+  // Verify the fixpoint: after the algorithm finishes, re-applying either
+  // rule changes nothing (soundness of the fixpoint loop).
+  ftx::Rng rng(GetParam() ^ 0x5555);
+  ftx_sm::RandomGraphOptions options;
+  options.num_states = 64;
+  options.crash_probability = 0.2;
+  StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
+  DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+
+  for (const auto& edge : graph.edges()) {
+    if (result.IsColored(edge.id) || edge.kind == EventKind::kCrash) {
+      continue;
+    }
+    const auto& out = graph.OutEdges(edge.to);
+    if (out.empty()) {
+      continue;
+    }
+    bool all_colored = true;
+    bool colored_fixed = false;
+    for (auto succ : out) {
+      if (!result.IsColored(succ)) {
+        all_colored = false;
+      } else if (graph.edge(succ).kind == EventKind::kFixedNd) {
+        colored_fixed = true;
+      }
+    }
+    EXPECT_FALSE(all_colored) << "edge " << edge.id << " should have been colored (rule 2)";
+    EXPECT_FALSE(colored_fixed) << "edge " << edge.id << " should have been colored (rule 3)";
+  }
+}
+
+TEST_P(DangerousPathsProperty, MoreCrashesColorMore) {
+  // Monotonicity: adding crash edges can only grow the dangerous set.
+  ftx::Rng rng(GetParam() ^ 0xaaaa);
+  ftx_sm::RandomGraphOptions options;
+  options.num_states = 48;
+  options.crash_probability = 0.05;
+  StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
+  DangerousPathsResult before = ftx_sm::ColorDangerousPaths(graph);
+
+  // Add a crash edge from a random mid state.
+  ftx_sm::StateId victim = static_cast<ftx_sm::StateId>(rng.NextBounded(24));
+  ftx_sm::StateId dead = graph.AddState();
+  graph.AddEdge(victim, dead, EventKind::kCrash);
+  DangerousPathsResult after = ftx_sm::ColorDangerousPaths(graph);
+
+  for (size_t i = 0; i < before.colored.size(); ++i) {
+    if (before.colored[i]) {
+      EXPECT_TRUE(after.colored[i]) << "edge " << i << " lost its coloring";
+    }
+  }
+  EXPECT_GE(after.num_colored, before.num_colored);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DangerousPathsProperty, ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace

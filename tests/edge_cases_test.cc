@@ -1,0 +1,157 @@
+// Hardening tests: failure timing edge cases, repeated and overlapping
+// failures, zero-work runs, restart-from-scratch state hygiene, and
+// runtime bookkeeping corners.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/recovery/consistency.h"
+
+namespace {
+
+TEST(EdgeCases, FailureAtTimeZero) {
+  // The process dies before executing a single step; recovery restarts it
+  // from checkpoint #0 and the run completes normally.
+  ftx::RunSpec spec;
+  spec.workload = "postgres";
+  spec.scale = 120;
+  spec.protocol = "cpvs";
+  ftx::RecoveryCheck check = ftx::VerifyConsistentRecovery(
+      spec, [](ftx::Computation& computation) {
+        computation.ScheduleStopFailure(0, ftx::TimePoint() + ftx::Nanoseconds(1));
+      });
+  EXPECT_TRUE(check.completed) << check.diagnostic;
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+}
+
+TEST(EdgeCases, BackToBackFailures) {
+  // A second failure strikes immediately after recovery from the first.
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 150;
+  spec.protocol = "cbndvs";
+  ftx::RecoveryCheck check = ftx::VerifyConsistentRecovery(
+      spec, [](ftx::Computation& computation) {
+        computation.ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(3.0),
+                                        ftx::Milliseconds(10));
+        computation.ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(3.0) +
+                                               ftx::Milliseconds(12));
+      });
+  EXPECT_TRUE(check.completed) << check.diagnostic;
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+  EXPECT_GE(check.rollbacks, 2);
+}
+
+TEST(EdgeCases, FailureWhileAlreadyDead) {
+  // A failure scheduled while the process is already down is a no-op, not a
+  // double-kill.
+  ftx::RunSpec spec;
+  spec.workload = "postgres";
+  spec.scale = 150;
+  spec.protocol = "cpvs";
+  auto computation = ftx::BuildComputation(spec);
+  computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(20),
+                                   /*recovery_delay=*/ftx::Milliseconds(40));
+  computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(30));  // while down
+  auto result = computation->Run();
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(EdgeCases, SimultaneousFailureOfAllPeers) {
+  ftx::RunSpec spec;
+  spec.workload = "treadmarks";
+  spec.scale = 4;
+  spec.protocol = "cpvs";
+  spec.seed = 41;
+  ftx::RecoveryCheck check = ftx::VerifyConsistentRecovery(
+      spec, [](ftx::Computation& computation) {
+        for (int pid = 0; pid < 4; ++pid) {
+          computation.ScheduleStopFailure(pid, ftx::TimePoint() + ftx::Milliseconds(160));
+        }
+      });
+  EXPECT_TRUE(check.completed) << check.diagnostic;
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+}
+
+TEST(EdgeCases, EmptyInputScriptFinishesImmediately) {
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 0;  // DefaultScale kicks in; override with an empty script
+  auto computation = ftx::BuildComputation(spec);
+  computation->SetInputScript(0, {});
+  auto result = computation->Run();
+  EXPECT_TRUE(result.all_done);
+  EXPECT_EQ(computation->recorder().size(), 0u);
+}
+
+TEST(EdgeCases, FailureAfterWorkloadCompleted) {
+  // The failure lands after the process finished: nothing to recover,
+  // nothing lost.
+  ftx::RunSpec spec;
+  spec.workload = "postgres";
+  spec.scale = 60;
+  auto computation = ftx::BuildComputation(spec);
+  computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(30.0));
+  auto result = computation->Run();
+  EXPECT_TRUE(result.all_done);
+  EXPECT_EQ(result.total_rollbacks, 0);
+}
+
+TEST(EdgeCases, RestartFromScratchIsClean) {
+  // After a volatile-store OS crash, the restarted process must behave as a
+  // brand-new one: same end state as an undisturbed run.
+  ftx::RunSpec spec;
+  spec.workload = "postgres";
+  spec.scale = 120;
+  spec.protocol = "cpvs";
+  spec.seed = 91;
+
+  ftx::RunSpec clean_spec = spec;
+  auto clean = ftx::RunExperiment(clean_spec);
+
+  spec.store = ftx::StoreKind::kVolatileMemory;
+  auto computation = ftx::BuildComputation(spec);
+  computation->ScheduleOsStopFailure(ftx::TimePoint() + ftx::Milliseconds(15),
+                                     ftx::Milliseconds(5));
+  auto result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+
+  // Outputs: the full stream, preceded by the pre-crash prefix (repeats).
+  auto check = ftx_rec::CheckConsistentRecovery(clean.outputs, computation->recorder(), 1);
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+}
+
+TEST(EdgeCases, RecoveryDelayLongerThanRemainingWork) {
+  // Recovery takes longer than the rest of the run would have: still
+  // completes, just late.
+  ftx::RunSpec spec;
+  spec.workload = "postgres";
+  spec.scale = 100;
+  spec.protocol = "cbndvs";
+  auto computation = ftx::BuildComputation(spec);
+  computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(10),
+                                   /*recovery_delay=*/ftx::Seconds(120.0));
+  auto result = computation->Run();
+  EXPECT_TRUE(result.all_done);
+  EXPECT_GT((result.end_time - ftx::TimePoint()).seconds(), 100.0);
+}
+
+TEST(EdgeCases, ManySeedsNeverDeadlock) {
+  // Determinism + liveness sweep: short treadmarks runs with one failure at
+  // a seed-dependent time must always terminate.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ftx::RunSpec spec;
+    spec.workload = "treadmarks";
+    spec.scale = 3;
+    spec.protocol = seed % 2 == 0 ? "cpvs" : "cbndvs-log";
+    spec.seed = seed;
+    auto computation = ftx::BuildComputation(spec);
+    int victim = static_cast<int>(seed % 4);
+    computation->ScheduleStopFailure(victim,
+                                     ftx::TimePoint() + ftx::Milliseconds(40 + 30 * seed));
+    auto result = computation->Run();
+    EXPECT_TRUE(result.all_done) << "seed " << seed << " victim " << victim;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for the fault-injection study machinery (§4): the injector's
+// corruption/detection mechanics, the end-to-end iff property linking the
+// trace-level Lose-work measurement to actual recovery outcomes, and the
+// OS-fault manifestation model.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/core/fault_study.h"
+#include "src/faults/calibration.h"
+#include "src/faults/injector.h"
+#include "src/faults/os_faults.h"
+
+namespace {
+
+TEST(FaultTypes, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
+    names.insert(ftx_fault::FaultTypeName(type));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(ftx_fault::kNumFaultTypes));
+}
+
+TEST(Calibration, ProbabilitiesAreValid) {
+  for (const char* app : {"nvi", "postgres", "magic"}) {
+    for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
+      double app_p = ftx_fault::AppFaultSlowDetectionProbability(app, type);
+      double os_p = ftx_fault::OsFaultSlowDetectionProbability(app, type);
+      EXPECT_GE(app_p, 0.0);
+      EXPECT_LE(app_p, 1.0);
+      EXPECT_GE(os_p, 0.0);
+      EXPECT_LE(os_p, 1.0);
+      EXPECT_GT(ftx_fault::ContinueProbability(type), 0.0);
+      EXPECT_LT(ftx_fault::ContinueProbability(type), 1.0);
+    }
+    double prop = ftx_fault::OsFaultPropagationProbability(app);
+    EXPECT_GT(prop, 0.0);
+    EXPECT_LT(prop, 1.0);
+  }
+}
+
+TEST(Calibration, NviPropagatesMoreThanPostgres) {
+  // nvi's 10x syscall rate (§4.2) -> higher propagation fraction.
+  EXPECT_GT(ftx_fault::OsFaultPropagationProbability("nvi"),
+            ftx_fault::OsFaultPropagationProbability("postgres"));
+}
+
+TEST(OsFaultModel, ManifestationRatioTracksCalibration) {
+  ftx::Rng rng(5);
+  int propagation = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    auto plan = ftx_fault::PlanOsFault(&rng, "nvi", ftx_fault::FaultType::kHeapBitFlip);
+    if (plan.manifestation == ftx_fault::OsFaultManifestation::kPropagationFailure) {
+      ++propagation;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(propagation) / n,
+              ftx_fault::OsFaultPropagationProbability("nvi"), 0.03);
+}
+
+// --- the end-to-end iff property (the paper's §4.1 cross-check) ---
+//
+// "runs recovered from crashes if and only if they did not commit after
+// fault activation": the trace-level Lose-work verdict and the actual
+// recovery outcome must agree on every crashing run.
+
+using IffParam = std::tuple<std::string, int /*FaultType*/, uint64_t>;
+
+class EndToEndIff : public ::testing::TestWithParam<IffParam> {};
+
+TEST_P(EndToEndIff, TraceVerdictMatchesRecoveryOutcome) {
+  const auto& [app, type_index, seed] = GetParam();
+  ftx::FaultRunResult result = ftx::RunApplicationFault(
+      app, static_cast<ftx_fault::FaultType>(type_index), seed);
+  if (!result.crashed) {
+    GTEST_SKIP() << "benign run (corruption never used)";
+  }
+  EXPECT_TRUE(result.trace_and_outcome_agree)
+      << app << "/" << std::string(ftx_fault::FaultTypeName(
+                            static_cast<ftx_fault::FaultType>(type_index)))
+      << " seed " << seed << ": violated=" << result.violated_lose_work
+      << " recovery_failed=" << result.recovery_failed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EndToEndIff,
+                         ::testing::Combine(::testing::Values("nvi", "postgres"),
+                                            ::testing::Range(0, ftx_fault::kNumFaultTypes),
+                                            ::testing::Range<uint64_t>(100, 106)));
+
+TEST(FaultStudy, StopFailureManifestationsAlwaysRecover) {
+  // Pure stop failures from OS faults never defeat recovery; collect a few.
+  int checked = 0;
+  for (uint64_t seed = 0; seed < 80 && checked < 10; ++seed) {
+    ftx::Rng rng(seed * 0xd1b54a32d192ed03ULL + 5);
+    auto plan = ftx_fault::PlanOsFault(&rng, "postgres", ftx_fault::FaultType::kStackBitFlip);
+    if (plan.manifestation != ftx_fault::OsFaultManifestation::kStopFailure) {
+      continue;
+    }
+    ftx::FaultRunResult result =
+        ftx::RunOsFault("postgres", ftx_fault::FaultType::kStackBitFlip, seed);
+    EXPECT_FALSE(result.recovery_failed) << "seed " << seed;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(FaultStudy, AggregationCountsAreCoherent) {
+  ftx::FaultStudyRow row = ftx::RunApplicationFaultStudy(
+      "postgres", ftx_fault::FaultType::kHeapBitFlip, /*target_crashes=*/15, /*seed_base=*/400);
+  EXPECT_EQ(row.crashes, 15);
+  EXPECT_LE(row.violations, row.crashes);
+  EXPECT_LE(row.failed_recoveries, row.crashes);
+  EXPECT_NEAR(row.violation_fraction, static_cast<double>(row.violations) / row.crashes, 1e-9);
+  // Heap bit flips are the long-latency fault class: expect a majority of
+  // crashing runs to violate Lose-work, as in Table 1.
+  EXPECT_GT(row.violation_fraction, 0.5);
+}
+
+TEST(FaultStudy, FastDetectingFaultsRarelyViolate) {
+  // nvi stack flips crash before the next commit (Table 1's 0% row).
+  ftx::FaultStudyRow row = ftx::RunApplicationFaultStudy(
+      "nvi", ftx_fault::FaultType::kStackBitFlip, /*target_crashes=*/15, /*seed_base=*/500);
+  EXPECT_EQ(row.crashes, 15);
+  EXPECT_LT(row.violation_fraction, 0.2);
+}
+
+TEST(FaultStudy, RareCommitProtocolViolatesLess) {
+  // The paper picked CPVS as "the best protocol possible for not violating
+  // Lose-work" among Save-work protocols for single-process apps. A
+  // logging protocol commits far less often, so the same faults land on
+  // dangerous paths less often — the protocol-space tradeoff of Fig. 4.
+  int cpvs_violations = 0;
+  int log_violations = 0;
+  int cpvs_crashes = 0;
+  int log_crashes = 0;
+  for (uint64_t seed = 600; seed < 660; ++seed) {
+    auto a = ftx::RunApplicationFault("nvi", ftx_fault::FaultType::kHeapBitFlip, seed, "cpvs");
+    if (a.crashed) {
+      ++cpvs_crashes;
+      cpvs_violations += a.violated_lose_work ? 1 : 0;
+    }
+    auto b =
+        ftx::RunApplicationFault("nvi", ftx_fault::FaultType::kHeapBitFlip, seed, "cbndvs-log");
+    if (b.crashed) {
+      ++log_crashes;
+      log_violations += b.violated_lose_work ? 1 : 0;
+    }
+  }
+  ASSERT_GT(cpvs_crashes, 10);
+  ASSERT_GT(log_crashes, 10);
+  EXPECT_LT(static_cast<double>(log_violations) / log_crashes,
+            static_cast<double>(cpvs_violations) / cpvs_crashes + 0.01);
+}
+
+// --- injector mechanics on a bare harness ---
+
+TEST(Injector, OutcomeRecordsActivationAndCrash) {
+  ftx::FaultRunResult result =
+      ftx::RunApplicationFault("postgres", ftx_fault::FaultType::kDeleteBranch, 12345);
+  // Whatever happened, the bookkeeping must be internally consistent:
+  if (result.crashed) {
+    EXPECT_FALSE(result.benign);
+  }
+}
+
+}  // namespace

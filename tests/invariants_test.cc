@@ -1,0 +1,278 @@
+// Tests for the Save-work and Lose-work invariant checkers — the paper's
+// two theorems, exercised on hand-built executions including the paper's own
+// figures (coin flip, Fig. 2 orphan, Fig. 9 conflict).
+
+#include <gtest/gtest.h>
+
+#include "src/statemachine/invariants.h"
+#include "src/statemachine/trace.h"
+
+namespace {
+
+using ftx_sm::EventKind;
+using ftx_sm::EventRef;
+using ftx_sm::Trace;
+
+// --- Save-work ---
+
+TEST(SaveWork, UncoveredNdBeforeVisibleViolates) {
+  // The Fig. 1 coin flip: an ND event precedes a visible with no commit.
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd, -1, false, "flip");
+  trace.Append(0, EventKind::kVisible, -1, false, "heads");
+  ftx_sm::SaveWorkReport report = ftx_sm::CheckSaveWork(trace);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_TRUE(report.violations[0].visible_rule);
+  EXPECT_EQ(report.CountVisibleRule(), 1);
+  EXPECT_EQ(report.CountOrphanRule(), 0);
+}
+
+TEST(SaveWork, CommitBetweenNdAndVisibleSatisfies) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd);
+  trace.Append(0, EventKind::kCommit);
+  trace.Append(0, EventKind::kVisible);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, CommitBeforeNdDoesNotCover) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kCommit);
+  trace.Append(0, EventKind::kTransientNd);
+  trace.Append(0, EventKind::kVisible);
+  EXPECT_FALSE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, LoggedNdNeedsNoCommit) {
+  // Logging renders the event deterministic (§2.4).
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd, -1, /*logged=*/true);
+  trace.Append(0, EventKind::kVisible);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, FixedNdAlsoRequiresCommit) {
+  // Save-work treats *all* ND classes conservatively, fixed included.
+  Trace trace(1);
+  trace.Append(0, EventKind::kFixedNd, -1, false, "user-input");
+  trace.Append(0, EventKind::kVisible);
+  EXPECT_FALSE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, NdWithNoDownstreamVisibleIsFine) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd);
+  trace.Append(0, EventKind::kInternal);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, VisibleBeforeNdIsFine) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kVisible);
+  trace.Append(0, EventKind::kTransientNd);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, CrossProcessNdRequiresSenderCommit) {
+  // B's ND flows to A via a message; A executes a visible. B must have
+  // committed its ND with a commit that happens-before A's visible.
+  Trace trace(2);
+  trace.Append(1, EventKind::kTransientNd);  // B's ND
+  trace.Append(1, EventKind::kSend, 1);
+  trace.Append(0, EventKind::kReceive, 1);
+  // A commits (covers its own receive) then outputs.
+  trace.Append(0, EventKind::kCommit);
+  trace.Append(0, EventKind::kVisible);
+  ftx_sm::SaveWorkReport report = ftx_sm::CheckSaveWork(trace);
+  // Every violation must point at B's uncovered ND (A's receive is covered
+  // by A's commit); one violation is reported per downstream event it
+  // reaches (A's commit and A's visible).
+  ASSERT_FALSE(report.violations.empty());
+  for (const auto& violation : report.violations) {
+    EXPECT_EQ(violation.nd_event.process, 1);
+    EXPECT_EQ(violation.nd_event.index, 0);
+  }
+}
+
+TEST(SaveWork, CrossProcessCoveredBySenderCommitBeforeSend) {
+  Trace trace(2);
+  trace.Append(1, EventKind::kTransientNd);
+  trace.Append(1, EventKind::kCommit);  // CPVS-style commit before send
+  trace.Append(1, EventKind::kSend, 1);
+  trace.Append(0, EventKind::kReceive, 1);
+  trace.Append(0, EventKind::kCommit);
+  trace.Append(0, EventKind::kVisible);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, OrphanRuleNdBeforeRemoteCommit) {
+  // Fig. 2: B executes ND, sends to A, A commits — a dependence on B's
+  // uncommitted ND is now committed: the Save-work-orphan rule flags B's ND.
+  Trace trace(2);
+  trace.Append(1, EventKind::kTransientNd);  // B's ND (B is process 1)
+  trace.Append(1, EventKind::kSend, 1);
+  trace.Append(0, EventKind::kReceive, 1);   // A receives
+  trace.Append(0, EventKind::kCommit);       // A commits the dependence
+
+  ftx_sm::SaveWorkReport report = ftx_sm::CheckSaveWork(trace);
+  bool found_orphan_rule = false;
+  for (const auto& violation : report.violations) {
+    if (!violation.visible_rule && violation.nd_event.process == 1) {
+      found_orphan_rule = true;
+    }
+  }
+  EXPECT_TRUE(found_orphan_rule);
+  EXPECT_GT(report.CountOrphanRule(), 0);
+}
+
+TEST(SaveWork, TwoPhaseCommitShapeSatisfies) {
+  // The 2PC round as the runtime records it: coordination messages create
+  // the happens-before edges that let remote commits cover remote ND.
+  Trace trace(2);
+  trace.Append(1, EventKind::kTransientNd);  // B has ND
+  trace.Append(1, EventKind::kSend, 1);      // app message to A
+  trace.Append(0, EventKind::kReceive, 1);
+  // A wants a visible: initiates 2PC.
+  trace.Append(0, EventKind::kSend, 100);    // prepare -> B
+  trace.Append(1, EventKind::kReceive, 100);
+  trace.Append(1, EventKind::kCommit, -1, false, "", /*atomic_group=*/1);  // B commits
+  trace.Append(1, EventKind::kSend, 101);    // ack -> A
+  trace.Append(0, EventKind::kReceive, 101);
+  trace.Append(0, EventKind::kCommit, -1, false, "", /*atomic_group=*/1);  // A commits
+  trace.Append(0, EventKind::kVisible);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(trace).ok());
+}
+
+TEST(SaveWork, ViolationToStringIsInformative) {
+  Trace trace2(1);
+  trace2.Append(0, EventKind::kTransientNd);
+  trace2.Append(0, EventKind::kVisible);
+  ftx_sm::SaveWorkReport report = ftx_sm::CheckSaveWork(trace2);
+  ASSERT_FALSE(report.ok());
+  std::string text = report.violations[0].ToString(trace2);
+  EXPECT_NE(text.find("transient_nd"), std::string::npos);
+  EXPECT_NE(text.find("visible"), std::string::npos);
+}
+
+// --- Lose-work ---
+
+TEST(LoseWork, NotApplicableWithoutCrash) {
+  Trace trace(1);
+  EventRef activation = trace.Append(0, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  ftx_sm::LoseWorkResult result = ftx_sm::CheckLoseWorkOperational(trace, 0);
+  EXPECT_FALSE(result.applicable);
+}
+
+TEST(LoseWork, CommitBetweenActivationAndCrashViolates) {
+  // Fig. 9's timeline: ND -> activation -> commit -> crash.
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd);
+  EventRef activation = trace.Append(0, EventKind::kInternal, -1, false, "fault");
+  trace.MarkFaultActivation(activation);
+  trace.Append(0, EventKind::kCommit);
+  trace.Append(0, EventKind::kCrash);
+
+  ftx_sm::LoseWorkResult result = ftx_sm::CheckLoseWorkOperational(trace, 0);
+  ASSERT_TRUE(result.applicable);
+  EXPECT_TRUE(result.violated);
+  ASSERT_TRUE(result.violating_commit.has_value());
+  EXPECT_EQ(result.violating_commit->index, 2);
+}
+
+TEST(LoseWork, NoCommitInWindowUpholds) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kCommit);  // before activation: fine
+  EventRef activation = trace.Append(0, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  trace.Append(0, EventKind::kInternal);
+  trace.Append(0, EventKind::kCrash);
+  ftx_sm::LoseWorkResult result = ftx_sm::CheckLoseWorkOperational(trace, 0);
+  ASSERT_TRUE(result.applicable);
+  EXPECT_FALSE(result.violated);
+}
+
+TEST(LoseWork, FullCheckExtendsToLastTransientNd) {
+  // A commit after the last transient ND but before activation violates the
+  // *full* dangerous path even though the operational window is clean.
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd);  // path start
+  trace.Append(0, EventKind::kCommit);       // ON the dangerous path
+  EventRef activation = trace.Append(0, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  trace.Append(0, EventKind::kCrash);
+
+  EXPECT_FALSE(ftx_sm::CheckLoseWorkOperational(trace, 0).violated);
+  ftx_sm::LoseWorkResult full = ftx_sm::CheckLoseWorkFull(trace, 0);
+  EXPECT_TRUE(full.violated);
+}
+
+TEST(LoseWork, BohrbugAlwaysViolatesFullCheck) {
+  // No transient ND before the activation: the dangerous path reaches the
+  // initial (always committed) state — §4.1's Bohrbug case.
+  Trace trace(1);
+  trace.Append(0, EventKind::kInternal);
+  EventRef activation = trace.Append(0, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  trace.Append(0, EventKind::kCrash);
+
+  ftx_sm::LoseWorkResult full = ftx_sm::CheckLoseWorkFull(trace, 0);
+  ASSERT_TRUE(full.applicable);
+  EXPECT_TRUE(full.violated);
+  EXPECT_EQ(full.dangerous_path_start, -1);
+}
+
+TEST(LoseWork, LoggedNdDoesNotStopDangerousPathWalk) {
+  // A logged ND event replays deterministically, so it cannot divert
+  // execution off the dangerous path; the walk must continue past it.
+  Trace trace(1);
+  trace.Append(0, EventKind::kInternal);
+  trace.Append(0, EventKind::kTransientNd, -1, /*logged=*/true);
+  EventRef activation = trace.Append(0, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  trace.Append(0, EventKind::kCrash);
+
+  ftx_sm::LoseWorkResult full = ftx_sm::CheckLoseWorkFull(trace, 0);
+  EXPECT_TRUE(full.violated);           // reaches the initial state
+  EXPECT_EQ(full.dangerous_path_start, -1);
+}
+
+TEST(LoseWork, FixedNdDoesNotStopDangerousPathWalk) {
+  // Fixed ND (e.g. user input) cannot be relied on to change after a
+  // failure, so it does not end the dangerous path either.
+  Trace trace(1);
+  trace.Append(0, EventKind::kFixedNd);
+  EventRef activation = trace.Append(0, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  trace.Append(0, EventKind::kCrash);
+
+  ftx_sm::LoseWorkResult full = ftx_sm::CheckLoseWorkFull(trace, 0);
+  EXPECT_TRUE(full.violated);
+  EXPECT_EQ(full.dangerous_path_start, -1);
+}
+
+TEST(LoseWork, SaveWorkLoseWorkConflictScenario) {
+  // Fig. 9 end-to-end: transient ND -> activation -> visible -> crash.
+  // Save-work REQUIRES a commit between the ND and the visible; Lose-work
+  // FORBIDS any commit on that same span. Both cannot hold.
+  Trace with_commit(1);
+  with_commit.Append(0, EventKind::kTransientNd);
+  auto activation = with_commit.Append(0, EventKind::kInternal);
+  with_commit.MarkFaultActivation(activation);
+  with_commit.Append(0, EventKind::kCommit);
+  with_commit.Append(0, EventKind::kVisible);
+  with_commit.Append(0, EventKind::kCrash);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(with_commit).ok());
+  EXPECT_TRUE(ftx_sm::CheckLoseWorkOperational(with_commit, 0).violated);
+
+  Trace without_commit(1);
+  without_commit.Append(0, EventKind::kTransientNd);
+  activation = without_commit.Append(0, EventKind::kInternal);
+  without_commit.MarkFaultActivation(activation);
+  without_commit.Append(0, EventKind::kVisible);
+  without_commit.Append(0, EventKind::kCrash);
+  EXPECT_FALSE(ftx_sm::CheckSaveWork(without_commit).ok());
+  EXPECT_FALSE(ftx_sm::CheckLoseWorkFull(without_commit, 0).violated);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Tests for the offline commit-placement analysis: correctness (the
+// placement upholds Save-work), irredundancy (no commit removable), exact
+// answers on hand-built computations, and the protocol-space floor property
+// (offline placement never exceeds what any online protocol paid).
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/protocol/protocol.h"
+#include "src/statemachine/invariants.h"
+#include "src/statemachine/optimal_commits.h"
+#include "src/statemachine/random_model.h"
+
+namespace {
+
+using ftx_sm::EventKind;
+using ftx_sm::Trace;
+
+TEST(OfflineCommits, NoNdMeansNoCommits) {
+  Trace raw(2);
+  raw.Append(0, EventKind::kInternal);
+  raw.Append(0, EventKind::kVisible);
+  raw.Append(1, EventKind::kVisible);
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  EXPECT_EQ(placement.total_commits, 0);
+}
+
+TEST(OfflineCommits, NdWithoutDownstreamVisibleNeedsNoCommit) {
+  Trace raw(1);
+  raw.Append(0, EventKind::kVisible);
+  raw.Append(0, EventKind::kTransientNd);  // nothing visible after it
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  EXPECT_EQ(placement.total_commits, 0);
+}
+
+TEST(OfflineCommits, OneCommitCoversManyNdEvents) {
+  // Five ND events then one visible: a single commit in between suffices —
+  // the floor CAND (5 commits) and CPVS (1) chase.
+  Trace raw(1);
+  for (int i = 0; i < 5; ++i) {
+    raw.Append(0, EventKind::kTransientNd);
+  }
+  raw.Append(0, EventKind::kVisible);
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  EXPECT_EQ(placement.total_commits, 1);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(ftx_sm::ApplyPlacement(raw, placement)).ok());
+}
+
+TEST(OfflineCommits, AlternatingNdVisibleNeedsOneEach) {
+  Trace raw(1);
+  const int rounds = 4;
+  for (int i = 0; i < rounds; ++i) {
+    raw.Append(0, EventKind::kTransientNd);
+    raw.Append(0, EventKind::kVisible);
+  }
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  EXPECT_EQ(placement.total_commits, rounds);
+}
+
+TEST(OfflineCommits, LoggedNdNeedsNothing) {
+  Trace raw(1);
+  raw.Append(0, EventKind::kTransientNd, -1, /*logged=*/true);
+  raw.Append(0, EventKind::kVisible);
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  EXPECT_EQ(placement.total_commits, 0);
+}
+
+TEST(OfflineCommits, RemoteVisibleConstrainsTheSender) {
+  // p1's ND flows to p0's visible: p1 must commit between its ND and its
+  // send; p0's receive (also ND) must commit before its visible.
+  Trace raw(2);
+  raw.Append(1, EventKind::kTransientNd);
+  raw.Append(1, EventKind::kSend, 5);
+  raw.Append(0, EventKind::kReceive, 5);
+  raw.Append(0, EventKind::kVisible);
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  EXPECT_EQ(placement.total_commits, 2);
+  EXPECT_TRUE(placement.Contains(1, 0) || placement.Contains(1, 1));
+  EXPECT_TRUE(placement.Contains(0, 0));
+}
+
+class OfflineCommitsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OfflineCommitsProperty, PlacementIsValidAndIrredundant) {
+  ftx::Rng rng(GetParam());
+  ftx_sm::RandomTraceOptions options;
+  options.num_processes = 3;
+  options.events_per_process = 40;
+  Trace raw = ftx_sm::MakeRandomComputation(&rng, options);
+
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+  Trace applied = ftx_sm::ApplyPlacement(raw, placement);
+  EXPECT_TRUE(ftx_sm::CheckSaveWork(applied).ok()) << "seed " << GetParam();
+
+  // Irredundancy was enforced by the pruning pass: removing any single
+  // commit must break the invariant.
+  for (int p = 0; p < options.num_processes; ++p) {
+    auto gaps = placement.commit_after[static_cast<size_t>(p)];
+    for (size_t k = 0; k < gaps.size(); ++k) {
+      ftx_sm::CommitPlacement reduced = placement;
+      auto& reduced_gaps = reduced.commit_after[static_cast<size_t>(p)];
+      reduced_gaps.erase(reduced_gaps.begin() + static_cast<int64_t>(k));
+      EXPECT_FALSE(ftx_sm::CheckSaveWork(ftx_sm::ApplyPlacement(raw, reduced)).ok())
+          << "seed " << GetParam() << ": commit p" << p << " gap " << gaps[k] << " redundant";
+    }
+  }
+}
+
+TEST_P(OfflineCommitsProperty, NeverExceedsOnlineProtocols) {
+  // The floor property: with hindsight, the offline placement pays no more
+  // than any online Save-work protocol did on the same computation.
+  ftx::Rng rng(GetParam() ^ 0x777);
+  ftx_sm::RandomTraceOptions options;
+  options.num_processes = 3;
+  options.events_per_process = 40;
+  std::vector<ftx_sm::ScriptedEvent> script = ftx_sm::MakeRandomScript(&rng, options);
+
+  Trace raw(options.num_processes);
+  for (const auto& ev : script) {
+    raw.Append(ev.process, ev.kind, ev.message_id, ev.logged);
+  }
+  auto placement = ftx_sm::ComputeOfflineCommits(raw);
+
+  for (const char* protocol_name : {"cand", "cpvs", "cbndvs"}) {
+    // Count the protocol's commits on the same script.
+    std::vector<std::unique_ptr<ftx_proto::Protocol>> protocols;
+    for (int p = 0; p < options.num_processes; ++p) {
+      protocols.push_back(ftx_proto::MakeProtocolByName(protocol_name));
+    }
+    int64_t commits = 0;
+    for (const auto& ev : script) {
+      ftx_proto::AppEvent app_event = ftx_proto::AppEvent::kInternal;
+      switch (ev.kind) {
+        case EventKind::kTransientNd:
+          app_event = ftx_proto::AppEvent::kTransientNd;
+          break;
+        case EventKind::kFixedNd:
+          app_event = ftx_proto::AppEvent::kFixedNd;
+          break;
+        case EventKind::kReceive:
+          app_event = ftx_proto::AppEvent::kReceive;
+          break;
+        case EventKind::kSend:
+          app_event = ftx_proto::AppEvent::kSend;
+          break;
+        case EventKind::kVisible:
+          app_event = ftx_proto::AppEvent::kVisible;
+          break;
+        default:
+          break;
+      }
+      auto d = protocols[static_cast<size_t>(ev.process)]->Decide(app_event);
+      if (d.commit_before || d.commit_after) {
+        ++commits;
+        protocols[static_cast<size_t>(ev.process)]->OnCommitted();
+      }
+    }
+    EXPECT_LE(placement.total_commits, commits)
+        << protocol_name << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineCommitsProperty, ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace

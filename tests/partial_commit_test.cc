@@ -1,0 +1,192 @@
+// Tests for partial-state commit (§6's "reducing the comprehensiveness of
+// the state saved by the recovery system"): volatile segment ranges are
+// excluded from commits, recovery zeroes them and calls App::OnRecovered to
+// rebuild, and — the Lose-work payoff — corruption confined to a
+// recomputable range is never captured by a commit, so recovery succeeds
+// where a full-state commit would have preserved the bug.
+
+#include <gtest/gtest.h>
+
+#include "src/core/computation.h"
+#include "src/recovery/consistency.h"
+#include "src/statemachine/invariants.h"
+
+namespace {
+
+// An app with base data (persisted) and a derived cache (optionally marked
+// volatile). Each step appends a value to the base log and refreshes the
+// cache entry derived from it; every few steps it verifies the cache.
+class CacheApp : public ftx_dc::App {
+ public:
+  static constexpr int64_t kStateOffset = 0;
+  static constexpr int64_t kBaseOffset = 4096;    // base values (always saved)
+  static constexpr int64_t kCacheOffset = 65536;  // derived cache
+  static constexpr int64_t kCacheSize = 32 * 1024;
+
+  explicit CacheApp(bool cache_is_volatile) : cache_is_volatile_(cache_is_volatile) {}
+
+  std::string_view name() const override { return "cache-app"; }
+  size_t SegmentBytes() const override { return 256 * 1024; }
+  int64_t HeapBytes() const override { return 0; }
+
+  void Init(ftx_dc::ProcessEnv& env) override {
+    env.segment().WriteValue<int64_t>(kStateOffset, 0);  // steps done
+    if (cache_is_volatile_) {
+      env.segment().MarkVolatile(kCacheOffset, kCacheSize);
+    }
+  }
+
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override {
+    std::optional<ftx::Bytes> token = env.ReadUserInput();
+    if (!token.has_value()) {
+      return {ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+    }
+    int64_t steps = env.segment().Read<int64_t>(kStateOffset);
+    int64_t value = (*token)[0];
+    env.segment().WriteValue<int64_t>(kBaseOffset + steps * 8, value);
+    // Derived cache entry: value squared (recomputable from base).
+    env.segment().WriteValue<int64_t>(kCacheOffset + (steps % 4096) * 8, value * value);
+    ++steps;
+    env.segment().WriteValue<int64_t>(kStateOffset, steps);
+
+    // Periodic consistency check (every 4th step): a corrupt entry is
+    // detected here — possibly several commits after the corruption landed.
+    if (steps % 4 != 0) {
+      ftx::Bytes quiet;
+      ftx::AppendValue(&quiet, steps);
+      ftx::AppendValue(&quiet, value);
+      env.Print(std::move(quiet));
+      return {ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+    }
+    for (int64_t i = 0; i < steps && i < 4096; ++i) {
+      int64_t base = env.segment().Read<int64_t>(kBaseOffset + i * 8);
+      int64_t cached = env.segment().Read<int64_t>(kCacheOffset + (i % 4096) * 8);
+      if (cached != base * base) {
+        env.Crash("cache-app: derived cache corrupt");
+        return {};
+      }
+    }
+
+    ftx::Bytes line;
+    ftx::AppendValue(&line, steps);
+    ftx::AppendValue(&line, value);
+    env.Print(std::move(line));
+    return {ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+  }
+
+  void OnRecovered(ftx_dc::ProcessEnv& env) override {
+    ++recoveries_;
+    if (!cache_is_volatile_) {
+      return;
+    }
+    // Rebuild the derived cache from the (persisted) base data.
+    int64_t steps = env.segment().Read<int64_t>(kStateOffset);
+    for (int64_t i = 0; i < steps && i < 4096; ++i) {
+      int64_t base = env.segment().Read<int64_t>(kBaseOffset + i * 8);
+      env.segment().WriteValue<int64_t>(kCacheOffset + (i % 4096) * 8, base * base);
+    }
+    env.Compute(ftx::Microseconds(50) * (steps > 0 ? steps : 1));
+  }
+
+  int recoveries() const { return recoveries_; }
+
+ private:
+  bool cache_is_volatile_;
+  int recoveries_ = 0;
+};
+
+std::vector<ftx::Bytes> Tokens(int n) {
+  std::vector<ftx::Bytes> script;
+  for (int i = 0; i < n; ++i) {
+    script.push_back(ftx::Bytes{static_cast<uint8_t>(1 + (i * 7) % 40)});
+  }
+  return script;
+}
+
+struct CacheHarness {
+  explicit CacheHarness(bool volatile_cache, const std::string& protocol = "cpvs",
+                        ftx::StoreKind store = ftx::StoreKind::kRio) {
+    ftx::ComputationOptions options;
+    options.protocol = protocol;
+    options.store = store;
+    options.recovery_delay = ftx::Milliseconds(1);
+    auto owned = std::make_unique<CacheApp>(volatile_cache);
+    app = owned.get();
+    std::vector<std::unique_ptr<ftx_dc::App>> apps;
+    apps.push_back(std::move(owned));
+    computation = std::make_unique<ftx::Computation>(options, std::move(apps));
+    computation->SetInputScript(0, Tokens(60));
+  }
+  CacheApp* app;
+  std::unique_ptr<ftx::Computation> computation;
+};
+
+TEST(PartialCommit, VolatileRangeShrinksCommittedPages) {
+  CacheHarness full(/*volatile_cache=*/false);
+  full.computation->Run();
+  CacheHarness partial(/*volatile_cache=*/true);
+  partial.computation->Run();
+
+  int64_t full_pages = full.computation->runtime(0).stats().pages_committed;
+  int64_t partial_pages = partial.computation->runtime(0).stats().pages_committed;
+  EXPECT_LT(partial_pages, full_pages);
+}
+
+TEST(PartialCommit, StopFailureRebuildsTheCache) {
+  CacheHarness h(/*volatile_cache=*/true);
+  h.computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Microseconds(800),
+                                     /*recovery_delay=*/ftx::Milliseconds(1));
+  auto result = h.computation->Run();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GE(h.app->recoveries(), 1);
+  // The app itself validates the cache on every step; completing the run
+  // proves OnRecovered rebuilt it correctly.
+}
+
+TEST(PartialCommit, DcDiskRecoveryAlsoRebuilds) {
+  CacheHarness h(/*volatile_cache=*/true, "cpvs", ftx::StoreKind::kDisk);
+  h.computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(900),
+                                     /*recovery_delay=*/ftx::Milliseconds(1));
+  auto result = h.computation->Run();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GE(h.app->recoveries(), 1);
+}
+
+TEST(PartialCommit, CorruptionInVolatileRangeIsRecoverable) {
+  // The §2.6 payoff. Corrupt a cache entry mid-run; the app's consistency
+  // check crashes it on the next step — AFTER intermediate commits captured
+  // the corruption window.
+  auto run_with_corruption = [](bool volatile_cache) {
+    CacheHarness h(volatile_cache);
+    // At t=500us (after step 0, before step 1) corrupt cache entry 0 — a
+    // slot the app has already filled and never rewrites.
+    h.computation->sim().ScheduleAt(ftx::TimePoint() + ftx::Microseconds(500), [&h]() {
+      h.computation->runtime(0).segment().CorruptBit(CacheApp::kCacheOffset, 3);
+    });
+    auto result = h.computation->Run();
+    return result.all_done && !h.computation->recovery_abandoned(0);
+  };
+
+  // Full-state commits capture the corrupt cache: the app crashes, recovery
+  // restores the corrupt state, and it crashes again — unrecoverable.
+  EXPECT_FALSE(run_with_corruption(/*volatile_cache=*/false));
+  // With the cache excluded from commits, recovery zeroes it and rebuilds
+  // from clean base data: the run completes.
+  EXPECT_TRUE(run_with_corruption(/*volatile_cache=*/true));
+}
+
+TEST(PartialCommit, OutputsStayConsistentWithVolatileRanges) {
+  CacheHarness reference(/*volatile_cache=*/true);
+  reference.computation->Run();
+
+  CacheHarness failed(/*volatile_cache=*/true);
+  failed.computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Microseconds(700),
+                                          ftx::Milliseconds(1));
+  failed.computation->Run();
+
+  auto check = ftx_rec::CheckConsistentRecovery(reference.computation->recorder(),
+                                                failed.computation->recorder(), 1);
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+}
+
+}  // namespace

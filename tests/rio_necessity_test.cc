@@ -1,0 +1,76 @@
+// Why Discount Checking needs Rio (or a disk): commits that live in plain
+// volatile memory are as fast as Rio's — and worthless the moment the
+// operating system crashes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/recovery/consistency.h"
+
+namespace {
+
+ftx::RunOutput RunWithOsCrash(ftx::StoreKind store) {
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 120;
+  spec.protocol = "cpvs";
+  spec.seed = 55;
+  spec.store = store;
+  auto computation = ftx::BuildComputation(spec);
+  computation->ScheduleOsStopFailure(ftx::TimePoint() + ftx::Seconds(6.0),
+                                     /*reboot_delay=*/ftx::Seconds(5.0));
+  auto result = computation->Run();
+  return ftx::Collect(*computation, result);
+}
+
+TEST(RioNecessity, ProcessCrashRecoverableOnAnyStore) {
+  // Volatile memory DOES survive a mere process failure (the OS and its
+  // memory are fine): rollback works exactly like Rio.
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 120;
+  spec.protocol = "cpvs";
+  spec.store = ftx::StoreKind::kVolatileMemory;
+  ftx::RecoveryCheck check = ftx::VerifyConsistentRecovery(
+      spec, [](ftx::Computation& computation) {
+        computation.ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(5.0));
+      });
+  EXPECT_TRUE(check.completed) << check.diagnostic;
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+}
+
+TEST(RioNecessity, OsCrashLosesAllWorkWithoutRio) {
+  ftx::RunSpec reference_spec;
+  reference_spec.workload = "nvi";
+  reference_spec.scale = 120;
+  reference_spec.seed = 55;
+  reference_spec.mode = ftx_dc::RuntimeMode::kBaseline;
+  ftx::RunOutput reference = ftx::RunExperiment(reference_spec);
+
+  // Rio: the crash costs one keystroke of rollback.
+  ftx::RunOutput rio = RunWithOsCrash(ftx::StoreKind::kRio);
+  ASSERT_TRUE(rio.result.all_done);
+  auto rio_check =
+      ftx_rec::CheckConsistentRecovery(reference.outputs, rio.outputs, 1);
+  EXPECT_TRUE(rio_check.consistent) << rio_check.diagnostic;
+  EXPECT_LE(rio_check.duplicates_tolerated, 3);
+
+  // Volatile memory: the crash forfeits every commit; the editor restarts
+  // from scratch and retypes everything — ~60 keystrokes of work redone.
+  ftx::RunOutput volatile_memory = RunWithOsCrash(ftx::StoreKind::kVolatileMemory);
+  ASSERT_TRUE(volatile_memory.result.all_done);
+  auto volatile_check =
+      ftx_rec::CheckConsistentRecovery(reference.outputs, volatile_memory.outputs, 1);
+  // Still *consistent* (the rerun repeats earlier output)...
+  EXPECT_TRUE(volatile_check.consistent) << volatile_check.diagnostic;
+  // ...but the lost work is enormous compared to Rio's.
+  EXPECT_GT(volatile_check.duplicates_tolerated, 40);
+}
+
+TEST(RioNecessity, DiskAlsoSurvivesOsCrash) {
+  ftx::RunOutput disk = RunWithOsCrash(ftx::StoreKind::kDisk);
+  EXPECT_TRUE(disk.result.all_done);
+  EXPECT_GE(disk.result.total_rollbacks, 1);
+}
+
+}  // namespace

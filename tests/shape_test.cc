@@ -1,0 +1,124 @@
+// Regression net for the paper-reproduction shapes (EXPERIMENTS.md): the
+// qualitative relationships of Fig. 8 and the fault studies, asserted at
+// reduced scale so the suite stays fast. If a code or calibration change
+// flips one of these, a bench's published shape has regressed.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/core/fault_study.h"
+
+namespace {
+
+ftx::OverheadRow Measure(const char* workload, const char* protocol, ftx::StoreKind store,
+                         int scale) {
+  ftx::RunSpec spec;
+  spec.workload = workload;
+  spec.protocol = protocol;
+  spec.store = store;
+  spec.scale = scale;
+  spec.seed = 11;
+  return ftx::MeasureOverhead(spec);
+}
+
+// --- Fig. 8(a): nvi ---
+
+TEST(Fig8Shape, NviLoggingCollapsesCommits) {
+  auto cpvs = Measure("nvi", "cpvs", ftx::StoreKind::kRio, 600);
+  auto log = Measure("nvi", "cbndvs-log", ftx::StoreKind::kRio, 600);
+  EXPECT_GT(cpvs.checkpoints, 500);   // ~one per keystroke
+  EXPECT_LT(log.checkpoints, 10);     // single digits
+}
+
+TEST(Fig8Shape, NviRioCheapDiskExpensive) {
+  auto rio = Measure("nvi", "cpvs", ftx::StoreKind::kRio, 600);
+  auto disk = Measure("nvi", "cpvs", ftx::StoreKind::kDisk, 600);
+  EXPECT_LT(rio.overhead_percent, 3.0);   // paper: ~1%
+  EXPECT_GT(disk.overhead_percent, 25.0);  // paper: ~44%
+  EXPECT_LT(disk.overhead_percent, 60.0);
+}
+
+TEST(Fig8Shape, NviDiskLoggingBand) {
+  auto disk_log = Measure("nvi", "cbndvs-log", ftx::StoreKind::kDisk, 600);
+  EXPECT_GT(disk_log.overhead_percent, 5.0);   // paper: ~12%
+  EXPECT_LT(disk_log.overhead_percent, 20.0);
+}
+
+// --- Fig. 8(b): magic ---
+
+TEST(Fig8Shape, MagicCandCommitsSeveralPerCommand) {
+  auto cand = Measure("magic", "cand", ftx::StoreKind::kRio, 60);
+  auto cpvs = Measure("magic", "cpvs", ftx::StoreKind::kRio, 60);
+  EXPECT_GT(cand.checkpoints, cpvs.checkpoints * 3);  // paper ratio ~4.75
+  EXPECT_LT(cand.checkpoints, cpvs.checkpoints * 7);
+}
+
+TEST(Fig8Shape, MagicLoggingCannotDisarmCbndvs) {
+  // Unloggable timeofday/select keep CBNDVS-LOG committing once per command
+  // (paper: 185 = CBNDVS's 185).
+  auto plain = Measure("magic", "cbndvs", ftx::StoreKind::kRio, 60);
+  auto log = Measure("magic", "cbndvs-log", ftx::StoreKind::kRio, 60);
+  EXPECT_EQ(plain.checkpoints, log.checkpoints);
+}
+
+// --- Fig. 8(c): xpilot ---
+
+TEST(Fig8Shape, XpilotDiscountCheckingHoldsFullSpeed) {
+  for (const char* protocol : {"cand", "cpvs", "cpv-2pc"}) {
+    auto row = Measure("xpilot", protocol, ftx::StoreKind::kRio, 120);
+    EXPECT_GT(row.recoverable_fps, 14.0) << protocol;  // paper: 15 fps
+  }
+}
+
+TEST(Fig8Shape, XpilotCandUnplayableOnDisk) {
+  auto row = Measure("xpilot", "cand", ftx::StoreKind::kDisk, 90);
+  EXPECT_LT(row.recoverable_fps, 2.0);  // paper: 0 fps
+}
+
+TEST(Fig8Shape, XpilotCpvsDegradedButPlayableOnDisk) {
+  auto row = Measure("xpilot", "cpvs", ftx::StoreKind::kDisk, 120);
+  EXPECT_GT(row.recoverable_fps, 5.0);  // paper: 8 fps
+  EXPECT_LT(row.recoverable_fps, 12.0);
+}
+
+// --- Fig. 8(d): treadmarks ---
+
+TEST(Fig8Shape, TreadMarksTwoPcWinsByOrdersOfMagnitude) {
+  auto cpvs = Measure("treadmarks", "cpvs", ftx::StoreKind::kRio, 6);
+  auto two_pc = Measure("treadmarks", "cpv-2pc", ftx::StoreKind::kRio, 6);
+  EXPECT_GT(cpvs.checkpoints, two_pc.checkpoints * 50);  // paper: ~800x
+  EXPECT_GT(cpvs.overhead_percent, 20.0);                // paper: 129%
+  EXPECT_LT(two_pc.overhead_percent, 5.0);               // paper: 12%
+}
+
+TEST(Fig8Shape, TreadMarksCommitOrdering) {
+  auto cand = Measure("treadmarks", "cand", ftx::StoreKind::kRio, 6);
+  auto cpvs = Measure("treadmarks", "cpvs", ftx::StoreKind::kRio, 6);
+  auto log = Measure("treadmarks", "cbndvs-log", ftx::StoreKind::kRio, 6);
+  EXPECT_GT(cand.checkpoints, cpvs.checkpoints);
+  EXPECT_GT(cpvs.checkpoints, log.checkpoints);
+}
+
+// --- Tables 1/2 bands ---
+
+TEST(TableShape, HeapFlipsViolateFarMoreThanStackFlipsForNvi) {
+  auto heap = ftx::RunApplicationFaultStudy("nvi", ftx_fault::FaultType::kHeapBitFlip, 20, 70000);
+  auto stack =
+      ftx::RunApplicationFaultStudy("nvi", ftx_fault::FaultType::kStackBitFlip, 20, 71000);
+  EXPECT_GT(heap.violation_fraction, 0.6);   // paper: 83%
+  EXPECT_LT(stack.violation_fraction, 0.15);  // paper: 0%
+}
+
+TEST(TableShape, OsFaultsHurtNviMoreThanPostgres) {
+  double nvi_sum = 0;
+  double postgres_sum = 0;
+  for (ftx_fault::FaultType type :
+       {ftx_fault::FaultType::kStackBitFlip, ftx_fault::FaultType::kDeleteBranch,
+        ftx_fault::FaultType::kOffByOne}) {
+    nvi_sum += ftx::RunOsFaultStudy("nvi", type, 20, 72000).failed_recovery_fraction;
+    postgres_sum += ftx::RunOsFaultStudy("postgres", type, 20, 73000).failed_recovery_fraction;
+  }
+  EXPECT_GT(nvi_sum, postgres_sum);  // paper: 15% vs 3% average
+}
+
+}  // namespace

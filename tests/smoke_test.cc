@@ -1,0 +1,72 @@
+// End-to-end smoke tests: every workload runs to completion in baseline and
+// recoverable modes with identical visible output, and survives a stop
+// failure with consistent recovery.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/recovery/consistency.h"
+
+namespace {
+
+using ftx::RunSpec;
+
+TEST(Smoke, NviBaselineCompletes) {
+  RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 200;
+  spec.mode = ftx_dc::RuntimeMode::kBaseline;
+  ftx::RunOutput out = ftx::RunExperiment(spec);
+  EXPECT_TRUE(out.result.all_done);
+  EXPECT_GT(out.outputs.size(), 190u);
+  EXPECT_EQ(out.checkpoints, 0);
+}
+
+TEST(Smoke, NviRecoverableMatchesBaselineOutput) {
+  RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 200;
+  spec.protocol = "cpvs";
+  spec.mode = ftx_dc::RuntimeMode::kBaseline;
+  ftx::RunOutput baseline = ftx::RunExperiment(spec);
+  spec.mode = ftx_dc::RuntimeMode::kRecoverable;
+  ftx::RunOutput recoverable = ftx::RunExperiment(spec);
+
+  ASSERT_TRUE(baseline.result.all_done);
+  ASSERT_TRUE(recoverable.result.all_done);
+  EXPECT_GT(recoverable.checkpoints, 100);
+  ftx_rec::ConsistencyResult consistency =
+      ftx_rec::CheckConsistentRecovery(baseline.outputs, recoverable.outputs, 1);
+  EXPECT_TRUE(consistency.consistent) << consistency.diagnostic;
+  EXPECT_EQ(consistency.duplicates_tolerated, 0);
+}
+
+TEST(Smoke, NviStopFailureRecoversConsistently) {
+  RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 200;
+  spec.protocol = "cpvs";
+  ftx::RecoveryCheck check =
+      ftx::VerifyConsistentRecovery(spec, [](ftx::Computation& computation) {
+        computation.ScheduleStopFailure(0, ftx::TimePoint() + ftx::Seconds(6.0));
+      });
+  EXPECT_TRUE(check.completed) << check.diagnostic;
+  EXPECT_TRUE(check.consistent) << check.diagnostic;
+  EXPECT_GE(check.rollbacks, 1);
+}
+
+TEST(Smoke, AllWorkloadsCompleteRecoverable) {
+  for (const char* workload : {"nvi", "magic", "xpilot", "treadmarks", "postgres"}) {
+    RunSpec spec;
+    spec.workload = workload;
+    spec.scale = workload == std::string("treadmarks") ? 4
+                 : workload == std::string("xpilot")   ? 60
+                                                       : 80;
+    spec.protocol = "cbndvs";
+    ftx::RunOutput out = ftx::RunExperiment(spec);
+    EXPECT_TRUE(out.result.all_done) << workload;
+    EXPECT_GT(out.outputs.size(), 0u) << workload;
+  }
+}
+
+}  // namespace

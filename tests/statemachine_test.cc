@@ -1,0 +1,265 @@
+// Tests for the theory substrate: vector clocks, traces + happens-before,
+// and the state-machine graph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/statemachine/graph.h"
+#include "src/statemachine/trace.h"
+#include "src/statemachine/trace_format.h"
+#include "src/statemachine/vector_clock.h"
+
+namespace {
+
+using ftx_sm::EventKind;
+using ftx_sm::EventRef;
+using ftx_sm::Trace;
+using ftx_sm::VectorClock;
+
+// --- VectorClock ---
+
+TEST(VectorClock, TickIncrementsOwnComponent) {
+  VectorClock clock(3);
+  clock.Tick(1);
+  clock.Tick(1);
+  EXPECT_EQ(clock.Get(0), 0);
+  EXPECT_EQ(clock.Get(1), 2);
+}
+
+TEST(VectorClock, MergeTakesMaximum) {
+  VectorClock a(3);
+  a.Set(0, 5);
+  a.Set(1, 1);
+  VectorClock b(3);
+  b.Set(0, 2);
+  b.Set(2, 7);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get(0), 5);
+  EXPECT_EQ(a.Get(1), 1);
+  EXPECT_EQ(a.Get(2), 7);
+}
+
+TEST(VectorClock, HappensBeforeIsStrict) {
+  VectorClock a(2);
+  a.Set(0, 1);
+  VectorClock b = a;
+  EXPECT_FALSE(ftx_sm::HappensBefore(a, b));  // equal clocks
+  b.Set(1, 1);
+  EXPECT_TRUE(ftx_sm::HappensBefore(a, b));
+  EXPECT_FALSE(ftx_sm::HappensBefore(b, a));
+}
+
+TEST(VectorClock, ConcurrentClocks) {
+  VectorClock a(2);
+  a.Set(0, 1);
+  VectorClock b(2);
+  b.Set(1, 1);
+  EXPECT_TRUE(ftx_sm::Concurrent(a, b));
+  EXPECT_FALSE(ftx_sm::HappensBefore(a, b));
+  EXPECT_FALSE(ftx_sm::HappensBefore(b, a));
+}
+
+TEST(VectorClock, GrowsOnDemand) {
+  VectorClock clock;
+  clock.Set(5, 3);
+  EXPECT_EQ(clock.Get(5), 3);
+  EXPECT_EQ(clock.Get(2), 0);
+  EXPECT_EQ(clock.Get(9), 0);
+}
+
+// --- Trace happens-before ---
+
+TEST(Trace, ProgramOrderIsHappensBefore) {
+  Trace trace(1);
+  EventRef a = trace.Append(0, EventKind::kInternal);
+  EventRef b = trace.Append(0, EventKind::kInternal);
+  EXPECT_TRUE(trace.EventHappensBefore(a, b));
+  EXPECT_FALSE(trace.EventHappensBefore(b, a));
+  EXPECT_FALSE(trace.EventHappensBefore(a, a));
+}
+
+TEST(Trace, MessageCreatesCrossProcessEdge) {
+  Trace trace(2);
+  EventRef before_send = trace.Append(0, EventKind::kTransientNd);
+  EventRef send = trace.Append(0, EventKind::kSend, /*message_id=*/7);
+  EventRef recv = trace.Append(1, EventKind::kReceive, /*message_id=*/7);
+  EventRef after_recv = trace.Append(1, EventKind::kVisible);
+
+  EXPECT_TRUE(trace.EventHappensBefore(before_send, recv));
+  EXPECT_TRUE(trace.EventHappensBefore(send, after_recv));
+  EXPECT_TRUE(trace.CausallyPrecedes(before_send, after_recv));
+}
+
+TEST(Trace, IndependentProcessesAreConcurrent) {
+  Trace trace(2);
+  EventRef a = trace.Append(0, EventKind::kInternal);
+  EventRef b = trace.Append(1, EventKind::kInternal);
+  EXPECT_FALSE(trace.EventHappensBefore(a, b));
+  EXPECT_FALSE(trace.EventHappensBefore(b, a));
+}
+
+TEST(Trace, NoBackwardEdgeFromReceive) {
+  Trace trace(2);
+  trace.Append(0, EventKind::kSend, 1);
+  trace.Append(1, EventKind::kReceive, 1);
+  EventRef later_on_sender = trace.Append(0, EventKind::kInternal);
+  EventRef recv_side = trace.Append(1, EventKind::kInternal);
+  // The sender's post-send events do not precede the receiver's events.
+  EXPECT_FALSE(trace.EventHappensBefore(later_on_sender, recv_side));
+}
+
+TEST(Trace, FirstCommitAfterFindsNextCommit) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kInternal);             // 0
+  trace.Append(0, EventKind::kCommit);               // 1
+  trace.Append(0, EventKind::kTransientNd);          // 2
+  trace.Append(0, EventKind::kCommit);               // 3
+
+  auto commit = trace.FirstCommitAfter(0, 0);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->index, 1);
+  commit = trace.FirstCommitAfter(0, 1);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->index, 3);
+  EXPECT_FALSE(trace.FirstCommitAfter(0, 3).has_value());
+}
+
+TEST(Trace, LastCommitAtOrBefore) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kCommit);       // 0
+  trace.Append(0, EventKind::kInternal);     // 1
+  trace.Append(0, EventKind::kCommit);       // 2
+  trace.Append(0, EventKind::kInternal);     // 3
+
+  auto commit = trace.LastCommitAtOrBefore(0, 3);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->index, 2);
+  commit = trace.LastCommitAtOrBefore(0, 1);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->index, 0);
+}
+
+TEST(Trace, FaultActivationMarking) {
+  Trace trace(1);
+  EventRef e = trace.Append(0, EventKind::kInternal);
+  EXPECT_FALSE(trace.event(e).fault_activation);
+  trace.MarkFaultActivation(e);
+  EXPECT_TRUE(trace.event(e).fault_activation);
+}
+
+TEST(Trace, DuplicateReceiveOfSameMessageAllowed) {
+  // Reexecution after rollback re-receives a redelivered message: the trace
+  // records both receive events against the same send.
+  Trace trace(2);
+  trace.Append(0, EventKind::kSend, 5);
+  trace.Append(1, EventKind::kReceive, 5);
+  trace.Append(1, EventKind::kReceive, 5);  // redelivery
+  EXPECT_EQ(trace.NumEvents(1), 2);
+}
+
+// --- StateMachineGraph ---
+
+TEST(Graph, AddStatesAndEdges) {
+  ftx_sm::StateMachineGraph graph;
+  ftx_sm::StateId s0 = graph.AddState();
+  ftx_sm::StateId s1 = graph.AddState();
+  ftx_sm::EdgeId e = graph.AddEdge(s0, s1, EventKind::kInternal, "go");
+  EXPECT_EQ(graph.num_states(), 2);
+  EXPECT_EQ(graph.num_edges(), 1);
+  EXPECT_EQ(graph.edge(e).label, "go");
+  ASSERT_EQ(graph.OutEdges(s0).size(), 1u);
+  EXPECT_TRUE(graph.OutEdges(s1).empty());
+}
+
+TEST(Graph, ValidDeterminismLabels) {
+  ftx_sm::StateMachineGraph graph;
+  graph.EnsureStates(4);
+  graph.AddEdge(0, 1, EventKind::kTransientNd);
+  graph.AddEdge(0, 2, EventKind::kFixedNd);
+  graph.AddEdge(1, 3, EventKind::kInternal);
+  std::string diagnostic;
+  EXPECT_TRUE(graph.ValidateDeterminismLabels(&diagnostic)) << diagnostic;
+}
+
+TEST(Graph, InvalidDeterminismLabelsDetected) {
+  ftx_sm::StateMachineGraph graph;
+  graph.EnsureStates(3);
+  graph.AddEdge(0, 1, EventKind::kInternal);  // deterministic...
+  graph.AddEdge(0, 2, EventKind::kTransientNd);  // ...but state 0 branches
+  std::string diagnostic;
+  EXPECT_FALSE(graph.ValidateDeterminismLabels(&diagnostic));
+  EXPECT_FALSE(diagnostic.empty());
+}
+
+TEST(Graph, CrashEdgeDoesNotCountTowardBranching) {
+  ftx_sm::StateMachineGraph graph;
+  graph.EnsureStates(3);
+  graph.AddEdge(0, 1, EventKind::kInternal);
+  graph.AddEdge(0, 2, EventKind::kCrash);  // exogenous
+  std::string diagnostic;
+  EXPECT_TRUE(graph.ValidateDeterminismLabels(&diagnostic)) << diagnostic;
+}
+
+TEST(TraceFormat, RendersEventsAndFlags) {
+  Trace trace(2);
+  trace.Append(0, EventKind::kTransientNd, -1, false, "flip");
+  trace.Append(0, EventKind::kSend, 3);
+  trace.Append(1, EventKind::kReceive, 3, /*logged=*/true, "recv");
+  auto activation = trace.Append(1, EventKind::kInternal);
+  trace.MarkFaultActivation(activation);
+  trace.Append(1, EventKind::kCommit, -1, false, "", /*atomic_group=*/2);
+
+  std::string text = ftx_sm::FormatTrace(trace);
+  EXPECT_NE(text.find("transient_nd"), std::string::npos);
+  EXPECT_NE(text.find("m=3"), std::string::npos);
+  EXPECT_NE(text.find("[logged]"), std::string::npos);
+  EXPECT_NE(text.find("[FAULT-ACTIVATION]"), std::string::npos);
+  EXPECT_NE(text.find("[round 2]"), std::string::npos);
+  EXPECT_NE(text.find("\"flip\""), std::string::npos);
+}
+
+TEST(TraceFormat, FiltersAndTruncates) {
+  Trace trace(2);
+  for (int i = 0; i < 10; ++i) {
+    trace.Append(0, EventKind::kInternal);
+    trace.Append(1, EventKind::kVisible);
+  }
+  ftx_sm::TraceFormatOptions options;
+  options.process = 1;
+  options.include_internal = false;
+  options.max_events = 3;
+  std::string text = ftx_sm::FormatTrace(trace, options);
+  EXPECT_EQ(text.find("p0#"), std::string::npos);
+  EXPECT_NE(text.find("truncated"), std::string::npos);
+  // Exactly 3 rendered lines plus the truncation marker.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TraceFormat, SummaryCountsByKind) {
+  Trace trace(1);
+  trace.Append(0, EventKind::kTransientNd);
+  trace.Append(0, EventKind::kVisible);
+  trace.Append(0, EventKind::kVisible);
+  trace.Append(0, EventKind::kCommit);
+  std::string summary = ftx_sm::SummarizeTrace(trace);
+  EXPECT_NE(summary.find("4 events"), std::string::npos);
+  EXPECT_NE(summary.find("transient 1"), std::string::npos);
+  EXPECT_NE(summary.find("visible 2"), std::string::npos);
+  EXPECT_NE(summary.find("commit 1"), std::string::npos);
+}
+
+TEST(EventKinds, Classification) {
+  EXPECT_TRUE(ftx_sm::IsNonDeterministic(EventKind::kTransientNd));
+  EXPECT_TRUE(ftx_sm::IsNonDeterministic(EventKind::kFixedNd));
+  EXPECT_TRUE(ftx_sm::IsNonDeterministic(EventKind::kReceive));
+  EXPECT_FALSE(ftx_sm::IsNonDeterministic(EventKind::kSend));
+  EXPECT_FALSE(ftx_sm::IsNonDeterministic(EventKind::kVisible));
+  EXPECT_FALSE(ftx_sm::IsNonDeterministic(EventKind::kCommit));
+
+  EXPECT_TRUE(ftx_sm::IsTransientNonDeterministic(EventKind::kTransientNd));
+  EXPECT_TRUE(ftx_sm::IsTransientNonDeterministic(EventKind::kReceive));
+  EXPECT_FALSE(ftx_sm::IsTransientNonDeterministic(EventKind::kFixedNd));
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for the storage substrate: disk model, undo/redo logs, stable-store
+// cost policies.
+
+#include <gtest/gtest.h>
+
+#include "src/storage/disk_model.h"
+#include "src/storage/redo_log.h"
+#include "src/storage/stable_store.h"
+#include "src/storage/undo_log.h"
+
+namespace {
+
+// --- DiskModel ---
+
+TEST(DiskModel, RandomAccessPaysSeek) {
+  ftx_store::DiskModel disk;
+  const auto& p = disk.parameters();
+  ftx::Duration far = disk.Write(500 * 1024 * 1024, 4096);
+  EXPECT_GE(far.nanos(), (p.average_seek + p.half_rotation).nanos());
+}
+
+TEST(DiskModel, SequentialAccessSkipsSeek) {
+  ftx_store::DiskModel disk;
+  const auto& p = disk.parameters();
+  disk.Write(0, 4096);
+  ftx::Duration next = disk.Write(4096, 4096);  // head is already there
+  EXPECT_LT(next.nanos(), p.average_seek.nanos());
+}
+
+TEST(DiskModel, TransferScalesWithBytes) {
+  ftx_store::DiskModel disk;
+  ftx::Duration small = disk.Append(4096);
+  ftx::Duration large = disk.Append(1 << 20);
+  EXPECT_GT(large.nanos(), small.nanos());
+}
+
+TEST(DiskModel, TracksStatistics) {
+  ftx_store::DiskModel disk;
+  disk.Write(0, 100);
+  disk.Read(50, 200);
+  disk.Append(300);
+  EXPECT_EQ(disk.total_ios(), 3);
+  EXPECT_EQ(disk.total_bytes(), 600);
+}
+
+// --- UndoLog ---
+
+TEST(UndoLog, ApplyReverseRestoresOriginal) {
+  std::vector<uint8_t> buffer(64, 0);
+  ftx_store::UndoLog log;
+
+  log.RecordBeforeImage(0, buffer.data(), 16);  // before-image: zeros
+  std::fill(buffer.begin(), buffer.begin() + 16, 0xaa);
+  log.RecordBeforeImage(16, buffer.data() + 16, 16);
+  std::fill(buffer.begin() + 16, buffer.begin() + 32, 0xbb);
+
+  log.ApplyReverseInto(buffer.data(), buffer.size());
+  EXPECT_EQ(buffer, std::vector<uint8_t>(64, 0));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UndoLog, ReverseOrderMattersForOverlaps) {
+  // Two records touching the same range: the OLDEST before-image must win.
+  std::vector<uint8_t> buffer(8, 1);
+  ftx_store::UndoLog log;
+  log.RecordBeforeImage(0, buffer.data(), 8);  // image: all 1s
+  std::fill(buffer.begin(), buffer.end(), 2);
+  log.RecordBeforeImage(0, buffer.data(), 8);  // image: all 2s
+  std::fill(buffer.begin(), buffer.end(), 3);
+
+  log.ApplyReverseInto(buffer.data(), buffer.size());
+  EXPECT_EQ(buffer, std::vector<uint8_t>(8, 1));
+}
+
+TEST(UndoLog, DiscardForgetsEverything) {
+  std::vector<uint8_t> buffer(8, 1);
+  ftx_store::UndoLog log;
+  log.RecordBeforeImage(0, buffer.data(), 8);
+  std::fill(buffer.begin(), buffer.end(), 9);
+  log.Discard();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.byte_size(), 0);
+  log.ApplyReverseInto(buffer.data(), buffer.size());  // no-op
+  EXPECT_EQ(buffer, std::vector<uint8_t>(8, 9));
+}
+
+TEST(UndoLog, TracksByteSize) {
+  std::vector<uint8_t> buffer(128, 0);
+  ftx_store::UndoLog log;
+  log.RecordBeforeImage(0, buffer.data(), 100);
+  log.RecordBeforeImage(100, buffer.data(), 28);
+  EXPECT_EQ(log.byte_size(), 128);
+  EXPECT_EQ(log.record_count(), 2u);
+}
+
+// --- RedoLog ---
+
+TEST(RedoLog, AppendsAssignSequences) {
+  ftx_store::RedoLog log;
+  ftx_store::RedoRecord a;
+  a.pages.emplace_back(0, ftx::Bytes(4096, 1));
+  log.Append(std::move(a));
+  ftx_store::RedoRecord b;
+  b.metadata = ftx::Bytes(64, 2);
+  log.Append(std::move(b));
+
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].sequence, 0);
+  EXPECT_EQ(log.records()[1].sequence, 1);
+  EXPECT_EQ(log.Latest()->sequence, 1);
+}
+
+TEST(RedoLog, PayloadBytesCountPagesAndMetadata) {
+  ftx_store::RedoRecord record;
+  record.pages.emplace_back(0, ftx::Bytes(4096, 0));
+  record.pages.emplace_back(4096, ftx::Bytes(4096, 0));
+  record.metadata = ftx::Bytes(100, 0);
+  EXPECT_EQ(record.PayloadBytes(), 2 * (4096 + 8) + 100);
+}
+
+TEST(RedoLog, TruncateDropsPrefix) {
+  ftx_store::RedoLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.Append(ftx_store::RedoRecord{});
+  }
+  log.TruncateThrough(2);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].sequence, 3);
+}
+
+// --- StableStore policies ---
+
+TEST(StableStore, RioIsOrdersOfMagnitudeFasterThanDisk) {
+  ftx_store::RioStore rio;
+  ftx_store::DiskModel disk_model;
+  ftx_store::DiskStore disk(&disk_model);
+
+  int64_t commit_bytes = 16 * 1024;
+  EXPECT_LT(rio.PersistCost(commit_bytes).nanos() * 100, disk.PersistCost(commit_bytes).nanos());
+  EXPECT_LT(rio.LogAppendCost(64).nanos() * 100, disk.LogAppendCost(64).nanos());
+}
+
+TEST(StableStore, DiskCommitCostsAboutFortyMilliseconds) {
+  // The calibration behind Fig. 8's DC-disk overheads (DESIGN.md §5).
+  ftx_store::DiskModel disk_model;
+  ftx_store::DiskStore disk(&disk_model);
+  ftx::Duration commit = disk.PersistCost(16 * 1024);
+  EXPECT_GT(commit.millis(), 30);
+  EXPECT_LT(commit.millis(), 55);
+  ftx::Duration log_append = disk.LogAppendCost(64);
+  EXPECT_GT(log_append.millis(), 8);
+  EXPECT_LT(log_append.millis(), 15);
+}
+
+TEST(StableStore, BothSurviveOsCrash) {
+  ftx_store::RioStore rio;
+  ftx_store::DiskModel disk_model;
+  ftx_store::DiskStore disk(&disk_model);
+  EXPECT_TRUE(rio.SurvivesOsCrash());
+  EXPECT_TRUE(disk.SurvivesOsCrash());
+  EXPECT_EQ(rio.name(), "rio");
+  EXPECT_EQ(disk.name(), "dc-disk");
+}
+
+}  // namespace

@@ -1,0 +1,293 @@
+// Tests for the Vista transaction library: persistent segment with
+// page-granularity undo, and the guarded heap allocator.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/vista/heap.h"
+#include "src/vista/segment.h"
+
+namespace {
+
+using ftx_vista::Segment;
+using ftx_vista::SegmentHeap;
+
+// --- Segment ---
+
+TEST(Segment, RoundsUpToWholePages) {
+  Segment segment(5000, 4096);
+  EXPECT_EQ(segment.size(), 8192u);
+}
+
+TEST(Segment, WriteReadRoundTrip) {
+  Segment segment(16 * 1024);
+  segment.WriteValue<int64_t>(100, -12345);
+  EXPECT_EQ(segment.Read<int64_t>(100), -12345);
+}
+
+TEST(Segment, AbortRestoresLastCommit) {
+  Segment segment(16 * 1024);
+  segment.WriteValue<int32_t>(0, 1);
+  segment.Commit();
+  segment.WriteValue<int32_t>(0, 2);
+  segment.WriteValue<int32_t>(8000, 3);
+  segment.Abort();
+  EXPECT_EQ(segment.Read<int32_t>(0), 1);
+  EXPECT_EQ(segment.Read<int32_t>(8000), 0);
+}
+
+TEST(Segment, CommitMakesChangesDurable) {
+  Segment segment(16 * 1024);
+  segment.WriteValue<int32_t>(0, 7);
+  segment.Commit();
+  segment.Abort();  // nothing uncommitted: no-op
+  EXPECT_EQ(segment.Read<int32_t>(0), 7);
+}
+
+TEST(Segment, DirtyPageTrackingIsPageGranular) {
+  Segment segment(64 * 1024, 4096);
+  EXPECT_EQ(segment.dirty_page_count(), 0u);
+  segment.WriteValue<uint8_t>(0, 1);
+  segment.WriteValue<uint8_t>(100, 2);  // same page
+  EXPECT_EQ(segment.dirty_page_count(), 1u);
+  segment.WriteValue<uint8_t>(5000, 3);  // second page
+  EXPECT_EQ(segment.dirty_page_count(), 2u);
+  // A write spanning a page boundary dirties both pages.
+  uint8_t data[16] = {0};
+  segment.Write(4096 * 3 - 8, data, 16);
+  EXPECT_EQ(segment.dirty_page_count(), 4u);
+}
+
+TEST(Segment, UndoBytesMatchDirtyPages) {
+  Segment segment(64 * 1024, 4096);
+  segment.WriteValue<uint8_t>(0, 1);
+  segment.WriteValue<uint8_t>(9000, 1);
+  EXPECT_EQ(segment.undo_bytes(), 2 * 4096);
+}
+
+TEST(Segment, OpenForWriteAllowsInPlaceMutation) {
+  Segment segment(16 * 1024);
+  auto* p = reinterpret_cast<int32_t*>(segment.OpenForWrite(128, 8));
+  p[0] = 11;
+  p[1] = 22;
+  segment.Abort();
+  EXPECT_EQ(segment.Read<int32_t>(128), 0);  // barrier logged the page first
+}
+
+TEST(Segment, DirtyPagesSnapshotForRedo) {
+  Segment segment(32 * 1024, 4096);
+  segment.WriteValue<int32_t>(4096, 42);
+  auto pages = segment.DirtyPages();
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0].first, 4096);
+  EXPECT_EQ(pages[0].second.size(), 4096u);
+  int32_t value = 0;
+  std::memcpy(&value, pages[0].second.data(), 4);
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Segment, InstallPageBypassesUndo) {
+  Segment segment(16 * 1024, 4096);
+  ftx::Bytes image(4096, 0x5a);
+  segment.InstallPage(4096, image);
+  EXPECT_EQ(segment.Read<uint8_t>(4096), 0x5a);
+  EXPECT_EQ(segment.dirty_page_count(), 0u);
+}
+
+TEST(Segment, ResetToZeroWipesEverything) {
+  Segment segment(16 * 1024);
+  segment.WriteValue<int64_t>(0, 999);
+  segment.Commit();
+  segment.WriteValue<int64_t>(8, 111);
+  segment.ResetToZero();
+  EXPECT_EQ(segment.Read<int64_t>(0), 0);
+  EXPECT_EQ(segment.Read<int64_t>(8), 0);
+  EXPECT_EQ(segment.dirty_page_count(), 0u);
+}
+
+TEST(Segment, CorruptBitIsRolledBackByAbort) {
+  // Vista's COW traps wild stores like any other: rollback cleans them.
+  Segment segment(16 * 1024);
+  segment.WriteValue<uint8_t>(50, 0xf0);
+  segment.Commit();
+  uint32_t committed = segment.Checksum();
+  segment.CorruptBit(50, 3);
+  EXPECT_NE(segment.Checksum(), committed);
+  segment.Abort();
+  EXPECT_EQ(segment.Checksum(), committed);
+}
+
+TEST(Segment, ChecksumDetectsAnyChange) {
+  Segment segment(16 * 1024);
+  uint32_t empty = segment.Checksum();
+  segment.WriteValue<uint8_t>(12345, 1);
+  EXPECT_NE(segment.Checksum(), empty);
+}
+
+class SegmentProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: any interleaving of writes/commits/aborts leaves the segment
+// exactly at its last committed image.
+TEST_P(SegmentProperty, AbortAlwaysRestoresLastCommittedImage) {
+  ftx::Rng rng(GetParam());
+  Segment segment(64 * 1024, 4096);
+  uint32_t committed_checksum = segment.Checksum();
+
+  for (int step = 0; step < 300; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.75) {
+      int64_t offset = static_cast<int64_t>(rng.NextBounded(segment.size() - 8));
+      segment.WriteValue<uint64_t>(offset, rng.NextU64());
+    } else if (roll < 0.88) {
+      segment.Commit();
+      committed_checksum = segment.Checksum();
+    } else {
+      segment.Abort();
+      EXPECT_EQ(segment.Checksum(), committed_checksum);
+    }
+  }
+  segment.Abort();
+  EXPECT_EQ(segment.Checksum(), committed_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentProperty, ::testing::Range<uint64_t>(1, 13));
+
+// --- SegmentHeap ---
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapTest() : segment_(256 * 1024), heap_(&segment_, 4096, 128 * 1024) { heap_.Format(); }
+  Segment segment_;
+  SegmentHeap heap_;
+};
+
+TEST_F(HeapTest, AllocReturnsUsableOffsets) {
+  auto a = heap_.Alloc(100);
+  auto b = heap_.Alloc(200);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  segment_.WriteValue<int64_t>(*a, 1);
+  segment_.WriteValue<int64_t>(*b, 2);
+  EXPECT_EQ(segment_.Read<int64_t>(*a), 1);
+  EXPECT_TRUE(heap_.CheckGuards().ok());
+}
+
+TEST_F(HeapTest, FreeAndReuse) {
+  auto a = heap_.Alloc(1000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap_.Free(*a).ok());
+  auto b = heap_.Alloc(1000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // first-fit reuses the freed block
+}
+
+TEST_F(HeapTest, DoubleFreeRejected) {
+  auto a = heap_.Alloc(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap_.Free(*a).ok());
+  EXPECT_FALSE(heap_.Free(*a).ok());
+}
+
+TEST_F(HeapTest, FreeOfWildPointerRejected) {
+  EXPECT_FALSE(heap_.Free(1).ok());
+  EXPECT_FALSE(heap_.Free(4096 + 123457).ok());
+}
+
+TEST_F(HeapTest, ExhaustionReportsResourceExhausted) {
+  auto big = heap_.Alloc(200 * 1024);  // larger than the arena
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), ftx::StatusCode::kResourceExhausted);
+}
+
+TEST_F(HeapTest, CoalescingRecoversFragmentedSpace) {
+  std::vector<int64_t> blocks;
+  for (int i = 0; i < 8; ++i) {
+    auto block = heap_.Alloc(8 * 1024);
+    ASSERT_TRUE(block.ok());
+    blocks.push_back(*block);
+  }
+  for (int64_t block : blocks) {
+    ASSERT_TRUE(heap_.Free(block).ok());
+  }
+  // After freeing everything, one large allocation must fit again.
+  auto big = heap_.Alloc(100 * 1024);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST_F(HeapTest, GuardsDetectOverrun) {
+  auto a = heap_.Alloc(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap_.CheckGuards().ok());
+  // Write one byte past the payload: into the tail guard.
+  segment_.WriteValue<uint8_t>(*a + 64, 0x00);
+  ftx::Status status = heap_.CheckGuards();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ftx::StatusCode::kDataLoss);
+}
+
+TEST_F(HeapTest, GuardsDetectHeaderCorruption) {
+  auto a = heap_.Alloc(64);
+  ASSERT_TRUE(a.ok());
+  segment_.WriteValue<uint64_t>(*a - 16, 0xdeadbeef);  // smash the magic
+  EXPECT_FALSE(heap_.CheckGuards().ok());
+}
+
+TEST_F(HeapTest, LiveBlocksEnumeratesAllocations) {
+  auto a = heap_.Alloc(100);
+  auto b = heap_.Alloc(200);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto blocks = heap_.LiveBlocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].first, *a);
+  EXPECT_GE(blocks[0].second, 100);
+  EXPECT_EQ(blocks[1].first, *b);
+  ASSERT_TRUE(heap_.Free(*a).ok());
+  EXPECT_EQ(heap_.LiveBlocks().size(), 1u);
+}
+
+class HeapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: random alloc/free churn never corrupts heap metadata, payload
+// writes never smash guards, and all live payloads retain their contents.
+TEST_P(HeapProperty, RandomChurnKeepsInvariants) {
+  ftx::Rng rng(GetParam());
+  Segment segment(512 * 1024);
+  SegmentHeap heap(&segment, 0, 256 * 1024);
+  heap.Format();
+
+  std::map<int64_t, std::pair<int64_t, uint8_t>> live;  // offset -> (size, fill)
+  for (int step = 0; step < 400; ++step) {
+    if (live.size() < 20 && rng.NextBernoulli(0.6)) {
+      int64_t size = static_cast<int64_t>(8 + rng.NextBounded(2000));
+      auto block = heap.Alloc(size);
+      if (block.ok()) {
+        auto fill = static_cast<uint8_t>(1 + rng.NextBounded(255));
+        uint8_t* p = segment.OpenForWrite(*block, static_cast<size_t>(size));
+        std::fill(p, p + size, fill);
+        live[*block] = {size, fill};
+      }
+    } else if (!live.empty()) {
+      auto it = live.begin();
+      std::advance(it, static_cast<int64_t>(rng.NextBounded(live.size())));
+      ASSERT_TRUE(heap.Free(it->first).ok());
+      live.erase(it);
+    }
+    ASSERT_TRUE(heap.CheckGuards().ok()) << "step " << step;
+  }
+  // All surviving payloads intact.
+  for (const auto& [offset, info] : live) {
+    for (int64_t i = 0; i < info.first; i += 97) {
+      EXPECT_EQ(segment.Read<uint8_t>(offset + i), info.second);
+    }
+  }
+  EXPECT_EQ(heap.LiveBlocks().size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapProperty, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
