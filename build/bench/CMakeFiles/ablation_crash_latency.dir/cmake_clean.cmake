@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crash_latency.dir/ablation_crash_latency.cc.o"
+  "CMakeFiles/ablation_crash_latency.dir/ablation_crash_latency.cc.o.d"
+  "ablation_crash_latency"
+  "ablation_crash_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crash_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_protocol_faults.dir/ablation_protocol_faults.cc.o"
+  "CMakeFiles/ablation_protocol_faults.dir/ablation_protocol_faults.cc.o.d"
+  "ablation_protocol_faults"
+  "ablation_protocol_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocol_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

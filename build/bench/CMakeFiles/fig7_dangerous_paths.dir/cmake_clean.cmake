@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dangerous_paths.dir/fig7_dangerous_paths.cc.o"
+  "CMakeFiles/fig7_dangerous_paths.dir/fig7_dangerous_paths.cc.o.d"
+  "fig7_dangerous_paths"
+  "fig7_dangerous_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dangerous_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_magic.dir/fig8_magic.cc.o"
+  "CMakeFiles/fig8_magic.dir/fig8_magic.cc.o.d"
+  "fig8_magic"
+  "fig8_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

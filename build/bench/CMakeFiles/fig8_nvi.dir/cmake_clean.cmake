@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nvi.dir/fig8_nvi.cc.o"
+  "CMakeFiles/fig8_nvi.dir/fig8_nvi.cc.o.d"
+  "fig8_nvi"
+  "fig8_nvi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nvi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_treadmarks.dir/fig8_treadmarks.cc.o"
+  "CMakeFiles/fig8_treadmarks.dir/fig8_treadmarks.cc.o.d"
+  "fig8_treadmarks"
+  "fig8_treadmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_treadmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

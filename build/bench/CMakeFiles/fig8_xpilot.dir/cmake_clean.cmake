@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_xpilot.dir/fig8_xpilot.cc.o"
+  "CMakeFiles/fig8_xpilot.dir/fig8_xpilot.cc.o.d"
+  "fig8_xpilot"
+  "fig8_xpilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_xpilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_commit.dir/micro_commit.cc.o"
+  "CMakeFiles/micro_commit.dir/micro_commit.cc.o.d"
+  "micro_commit"
+  "micro_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section4_composition.dir/section4_composition.cc.o"
+  "CMakeFiles/section4_composition.dir/section4_composition.cc.o.d"
+  "section4_composition"
+  "section4_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section4_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

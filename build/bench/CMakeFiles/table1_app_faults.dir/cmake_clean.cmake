@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_app_faults.dir/table1_app_faults.cc.o"
+  "CMakeFiles/table1_app_faults.dir/table1_app_faults.cc.o.d"
+  "table1_app_faults"
+  "table1_app_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_app_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coin_flip.dir/coin_flip.cpp.o"
+  "CMakeFiles/coin_flip.dir/coin_flip.cpp.o.d"
+  "coin_flip"
+  "coin_flip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coin_flip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

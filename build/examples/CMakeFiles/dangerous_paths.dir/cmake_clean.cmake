@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dangerous_paths.dir/dangerous_paths.cpp.o"
+  "CMakeFiles/dangerous_paths.dir/dangerous_paths.cpp.o.d"
+  "dangerous_paths"
+  "dangerous_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dangerous_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editor_recovery.dir/editor_recovery.cpp.o"
+  "CMakeFiles/editor_recovery.dir/editor_recovery.cpp.o.d"
+  "editor_recovery"
+  "editor_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editor_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_run.dir/ftx_run.cpp.o"
+  "CMakeFiles/ftx_run.dir/ftx_run.cpp.o.d"
+  "ftx_run"
+  "ftx_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

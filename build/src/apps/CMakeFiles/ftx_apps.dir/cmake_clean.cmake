@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_apps.dir/magic.cc.o"
+  "CMakeFiles/ftx_apps.dir/magic.cc.o.d"
+  "CMakeFiles/ftx_apps.dir/nvi.cc.o"
+  "CMakeFiles/ftx_apps.dir/nvi.cc.o.d"
+  "CMakeFiles/ftx_apps.dir/postgres.cc.o"
+  "CMakeFiles/ftx_apps.dir/postgres.cc.o.d"
+  "CMakeFiles/ftx_apps.dir/treadmarks.cc.o"
+  "CMakeFiles/ftx_apps.dir/treadmarks.cc.o.d"
+  "CMakeFiles/ftx_apps.dir/workloads.cc.o"
+  "CMakeFiles/ftx_apps.dir/workloads.cc.o.d"
+  "CMakeFiles/ftx_apps.dir/xpilot.cc.o"
+  "CMakeFiles/ftx_apps.dir/xpilot.cc.o.d"
+  "libftx_apps.a"
+  "libftx_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

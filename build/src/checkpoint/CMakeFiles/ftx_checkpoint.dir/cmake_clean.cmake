@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_checkpoint.dir/app.cc.o"
+  "CMakeFiles/ftx_checkpoint.dir/app.cc.o.d"
+  "CMakeFiles/ftx_checkpoint.dir/runtime.cc.o"
+  "CMakeFiles/ftx_checkpoint.dir/runtime.cc.o.d"
+  "libftx_checkpoint.a"
+  "libftx_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

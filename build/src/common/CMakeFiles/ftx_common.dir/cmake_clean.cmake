@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_common.dir/bytes.cc.o"
+  "CMakeFiles/ftx_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ftx_common.dir/check.cc.o"
+  "CMakeFiles/ftx_common.dir/check.cc.o.d"
+  "CMakeFiles/ftx_common.dir/crc32.cc.o"
+  "CMakeFiles/ftx_common.dir/crc32.cc.o.d"
+  "CMakeFiles/ftx_common.dir/log.cc.o"
+  "CMakeFiles/ftx_common.dir/log.cc.o.d"
+  "CMakeFiles/ftx_common.dir/rng.cc.o"
+  "CMakeFiles/ftx_common.dir/rng.cc.o.d"
+  "CMakeFiles/ftx_common.dir/sim_time.cc.o"
+  "CMakeFiles/ftx_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/ftx_common.dir/status.cc.o"
+  "CMakeFiles/ftx_common.dir/status.cc.o.d"
+  "libftx_common.a"
+  "libftx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

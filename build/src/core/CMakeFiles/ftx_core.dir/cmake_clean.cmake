@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_core.dir/computation.cc.o"
+  "CMakeFiles/ftx_core.dir/computation.cc.o.d"
+  "CMakeFiles/ftx_core.dir/experiment.cc.o"
+  "CMakeFiles/ftx_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ftx_core.dir/fault_study.cc.o"
+  "CMakeFiles/ftx_core.dir/fault_study.cc.o.d"
+  "libftx_core.a"
+  "libftx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

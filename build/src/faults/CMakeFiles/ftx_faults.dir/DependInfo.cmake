@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/calibration.cc" "src/faults/CMakeFiles/ftx_faults.dir/calibration.cc.o" "gcc" "src/faults/CMakeFiles/ftx_faults.dir/calibration.cc.o.d"
+  "/root/repo/src/faults/fault_types.cc" "src/faults/CMakeFiles/ftx_faults.dir/fault_types.cc.o" "gcc" "src/faults/CMakeFiles/ftx_faults.dir/fault_types.cc.o.d"
+  "/root/repo/src/faults/injector.cc" "src/faults/CMakeFiles/ftx_faults.dir/injector.cc.o" "gcc" "src/faults/CMakeFiles/ftx_faults.dir/injector.cc.o.d"
+  "/root/repo/src/faults/os_faults.cc" "src/faults/CMakeFiles/ftx_faults.dir/os_faults.cc.o" "gcc" "src/faults/CMakeFiles/ftx_faults.dir/os_faults.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/ftx_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vista/CMakeFiles/ftx_vista.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ftx_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ftx_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/ftx_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_faults.dir/calibration.cc.o"
+  "CMakeFiles/ftx_faults.dir/calibration.cc.o.d"
+  "CMakeFiles/ftx_faults.dir/fault_types.cc.o"
+  "CMakeFiles/ftx_faults.dir/fault_types.cc.o.d"
+  "CMakeFiles/ftx_faults.dir/injector.cc.o"
+  "CMakeFiles/ftx_faults.dir/injector.cc.o.d"
+  "CMakeFiles/ftx_faults.dir/os_faults.cc.o"
+  "CMakeFiles/ftx_faults.dir/os_faults.cc.o.d"
+  "libftx_faults.a"
+  "libftx_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/protocol.cc" "src/protocol/CMakeFiles/ftx_protocol.dir/protocol.cc.o" "gcc" "src/protocol/CMakeFiles/ftx_protocol.dir/protocol.cc.o.d"
+  "/root/repo/src/protocol/protocol2.cc" "src/protocol/CMakeFiles/ftx_protocol.dir/protocol2.cc.o" "gcc" "src/protocol/CMakeFiles/ftx_protocol.dir/protocol2.cc.o.d"
+  "/root/repo/src/protocol/protocol_space.cc" "src/protocol/CMakeFiles/ftx_protocol.dir/protocol_space.cc.o" "gcc" "src/protocol/CMakeFiles/ftx_protocol.dir/protocol_space.cc.o.d"
+  "/root/repo/src/protocol/script_replay.cc" "src/protocol/CMakeFiles/ftx_protocol.dir/script_replay.cc.o" "gcc" "src/protocol/CMakeFiles/ftx_protocol.dir/script_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/ftx_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_protocol.dir/protocol.cc.o"
+  "CMakeFiles/ftx_protocol.dir/protocol.cc.o.d"
+  "CMakeFiles/ftx_protocol.dir/protocol2.cc.o"
+  "CMakeFiles/ftx_protocol.dir/protocol2.cc.o.d"
+  "CMakeFiles/ftx_protocol.dir/protocol_space.cc.o"
+  "CMakeFiles/ftx_protocol.dir/protocol_space.cc.o.d"
+  "CMakeFiles/ftx_protocol.dir/script_replay.cc.o"
+  "CMakeFiles/ftx_protocol.dir/script_replay.cc.o.d"
+  "libftx_protocol.a"
+  "libftx_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

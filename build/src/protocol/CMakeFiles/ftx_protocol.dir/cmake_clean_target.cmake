@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftx_protocol.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/consistency.cc" "src/recovery/CMakeFiles/ftx_recovery.dir/consistency.cc.o" "gcc" "src/recovery/CMakeFiles/ftx_recovery.dir/consistency.cc.o.d"
+  "/root/repo/src/recovery/orphan.cc" "src/recovery/CMakeFiles/ftx_recovery.dir/orphan.cc.o" "gcc" "src/recovery/CMakeFiles/ftx_recovery.dir/orphan.cc.o.d"
+  "/root/repo/src/recovery/output_recorder.cc" "src/recovery/CMakeFiles/ftx_recovery.dir/output_recorder.cc.o" "gcc" "src/recovery/CMakeFiles/ftx_recovery.dir/output_recorder.cc.o.d"
+  "/root/repo/src/recovery/rollback_set.cc" "src/recovery/CMakeFiles/ftx_recovery.dir/rollback_set.cc.o" "gcc" "src/recovery/CMakeFiles/ftx_recovery.dir/rollback_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/ftx_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_recovery.dir/consistency.cc.o"
+  "CMakeFiles/ftx_recovery.dir/consistency.cc.o.d"
+  "CMakeFiles/ftx_recovery.dir/orphan.cc.o"
+  "CMakeFiles/ftx_recovery.dir/orphan.cc.o.d"
+  "CMakeFiles/ftx_recovery.dir/output_recorder.cc.o"
+  "CMakeFiles/ftx_recovery.dir/output_recorder.cc.o.d"
+  "CMakeFiles/ftx_recovery.dir/rollback_set.cc.o"
+  "CMakeFiles/ftx_recovery.dir/rollback_set.cc.o.d"
+  "libftx_recovery.a"
+  "libftx_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

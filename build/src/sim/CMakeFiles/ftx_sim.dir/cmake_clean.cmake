@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_sim.dir/kernel.cc.o"
+  "CMakeFiles/ftx_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/ftx_sim.dir/network.cc.o"
+  "CMakeFiles/ftx_sim.dir/network.cc.o.d"
+  "CMakeFiles/ftx_sim.dir/simulator.cc.o"
+  "CMakeFiles/ftx_sim.dir/simulator.cc.o.d"
+  "libftx_sim.a"
+  "libftx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statemachine/dangerous_paths.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/dangerous_paths.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/dangerous_paths.cc.o.d"
+  "/root/repo/src/statemachine/event.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/event.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/event.cc.o.d"
+  "/root/repo/src/statemachine/graph.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/graph.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/graph.cc.o.d"
+  "/root/repo/src/statemachine/invariants.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/invariants.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/invariants.cc.o.d"
+  "/root/repo/src/statemachine/optimal_commits.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/optimal_commits.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/optimal_commits.cc.o.d"
+  "/root/repo/src/statemachine/random_model.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/random_model.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/random_model.cc.o.d"
+  "/root/repo/src/statemachine/trace.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/trace.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/trace.cc.o.d"
+  "/root/repo/src/statemachine/trace_format.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/trace_format.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/trace_format.cc.o.d"
+  "/root/repo/src/statemachine/vector_clock.cc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/vector_clock.cc.o" "gcc" "src/statemachine/CMakeFiles/ftx_statemachine.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_statemachine.dir/dangerous_paths.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/dangerous_paths.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/event.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/event.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/graph.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/graph.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/invariants.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/invariants.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/optimal_commits.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/optimal_commits.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/random_model.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/random_model.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/trace.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/trace.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/trace_format.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/trace_format.cc.o.d"
+  "CMakeFiles/ftx_statemachine.dir/vector_clock.cc.o"
+  "CMakeFiles/ftx_statemachine.dir/vector_clock.cc.o.d"
+  "libftx_statemachine.a"
+  "libftx_statemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_storage.dir/disk_model.cc.o"
+  "CMakeFiles/ftx_storage.dir/disk_model.cc.o.d"
+  "CMakeFiles/ftx_storage.dir/redo_log.cc.o"
+  "CMakeFiles/ftx_storage.dir/redo_log.cc.o.d"
+  "CMakeFiles/ftx_storage.dir/undo_log.cc.o"
+  "CMakeFiles/ftx_storage.dir/undo_log.cc.o.d"
+  "libftx_storage.a"
+  "libftx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

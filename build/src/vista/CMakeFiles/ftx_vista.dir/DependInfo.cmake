@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vista/heap.cc" "src/vista/CMakeFiles/ftx_vista.dir/heap.cc.o" "gcc" "src/vista/CMakeFiles/ftx_vista.dir/heap.cc.o.d"
+  "/root/repo/src/vista/segment.cc" "src/vista/CMakeFiles/ftx_vista.dir/segment.cc.o" "gcc" "src/vista/CMakeFiles/ftx_vista.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftx_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

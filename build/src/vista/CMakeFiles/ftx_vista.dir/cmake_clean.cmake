@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftx_vista.dir/heap.cc.o"
+  "CMakeFiles/ftx_vista.dir/heap.cc.o.d"
+  "CMakeFiles/ftx_vista.dir/segment.cc.o"
+  "CMakeFiles/ftx_vista.dir/segment.cc.o.d"
+  "libftx_vista.a"
+  "libftx_vista.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftx_vista.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crosscheck_test.cc" "tests/CMakeFiles/crosscheck_test.dir/crosscheck_test.cc.o" "gcc" "tests/CMakeFiles/crosscheck_test.dir/crosscheck_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ftx_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ftx_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/ftx_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vista/CMakeFiles/ftx_vista.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ftx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ftx_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ftx_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/ftx_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dangerous_paths_test.dir/dangerous_paths_test.cc.o"
+  "CMakeFiles/dangerous_paths_test.dir/dangerous_paths_test.cc.o.d"
+  "dangerous_paths_test"
+  "dangerous_paths_test.pdb"
+  "dangerous_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dangerous_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_study_test.dir/fault_study_test.cc.o"
+  "CMakeFiles/fault_study_test.dir/fault_study_test.cc.o.d"
+  "fault_study_test"
+  "fault_study_test.pdb"
+  "fault_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

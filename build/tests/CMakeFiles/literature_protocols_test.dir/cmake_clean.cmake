@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literature_protocols_test.dir/literature_protocols_test.cc.o"
+  "CMakeFiles/literature_protocols_test.dir/literature_protocols_test.cc.o.d"
+  "literature_protocols_test"
+  "literature_protocols_test.pdb"
+  "literature_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literature_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

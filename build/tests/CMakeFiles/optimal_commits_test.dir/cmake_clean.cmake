@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_commits_test.dir/optimal_commits_test.cc.o"
+  "CMakeFiles/optimal_commits_test.dir/optimal_commits_test.cc.o.d"
+  "optimal_commits_test"
+  "optimal_commits_test.pdb"
+  "optimal_commits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_commits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_commit_test.dir/partial_commit_test.cc.o"
+  "CMakeFiles/partial_commit_test.dir/partial_commit_test.cc.o.d"
+  "partial_commit_test"
+  "partial_commit_test.pdb"
+  "partial_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

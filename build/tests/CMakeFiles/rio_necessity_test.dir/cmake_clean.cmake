@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_necessity_test.dir/rio_necessity_test.cc.o"
+  "CMakeFiles/rio_necessity_test.dir/rio_necessity_test.cc.o.d"
+  "rio_necessity_test"
+  "rio_necessity_test.pdb"
+  "rio_necessity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_necessity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_set_test.dir/rollback_set_test.cc.o"
+  "CMakeFiles/rollback_set_test.dir/rollback_set_test.cc.o.d"
+  "rollback_set_test"
+  "rollback_set_test.pdb"
+  "rollback_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_test.dir/vista_test.cc.o"
+  "CMakeFiles/vista_test.dir/vista_test.cc.o.d"
+  "vista_test"
+  "vista_test.pdb"
+  "vista_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
