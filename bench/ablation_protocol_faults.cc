@@ -13,8 +13,14 @@
 #include "src/core/fault_study.h"
 
 int main(int argc, char** argv) {
-  bool full = ftx_bench::FullScale(argc, argv);
-  int crashes = full ? 50 : 25;
+  ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
+  int crashes =
+      options.scale_override > 0 ? options.scale_override : (options.full_scale ? 50 : 25);
+
+  ftx_obs::ResultsFile results("ablation_protocol_faults");
+  results.SetFullScale(options.full_scale);
+  results.SetMeta("workload", "postgres");
+  results.SetMeta("crashes_per_type", crashes);
 
   std::printf("================================================================\n");
   std::printf("Ablation: Lose-work violations by protocol (postgres, all fault\n");
@@ -42,8 +48,14 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("%-14s %21.0f%%\n", protocol,
-                total_crashes > 0 ? 100.0 * violations / total_crashes : 0.0);
+    double fraction = total_crashes > 0 ? static_cast<double>(violations) / total_crashes : 0.0;
+    std::printf("%-14s %21.0f%%\n", protocol, 100.0 * fraction);
+    ftx_obs::Json row = ftx_obs::Json::Object();
+    row.Set("protocol", protocol);
+    row.Set("crashes", total_crashes);
+    row.Set("violations", violations);
+    row.Set("violation_fraction", fraction);
+    results.AddRow(std::move(row));
   }
 
   std::printf("\nEvery protocol above upholds Save-work; they differ only in how "
@@ -52,5 +64,5 @@ int main(int argc, char** argv) {
               "observation that the farther from the\nhorizontal axis (and the "
               "more logging), the better the chances against\npropagation "
               "failures.\n");
-  return 0;
+  return ftx_bench::FinishBench(results, options);
 }

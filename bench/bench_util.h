@@ -4,21 +4,77 @@
 #define FTX_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "src/apps/workloads.h"
 #include "src/core/experiment.h"
+#include "src/obs/results.h"
 
 namespace ftx_bench {
 
-// Parses "--full" (paper-scale runs) from argv.
-inline bool FullScale(int argc, char** argv) {
+// Common bench command line:
+//   --full         paper-scale run (default is a fast small-scale run)
+//   --scale N      explicit workload scale / trial count, overriding both
+//   --json PATH    write machine-readable results (ftx.bench-results JSON)
+//   --trace PATH   write a Chrome trace_event JSON of the recoverable run
+//                  (benches that run several configurations keep the last
+//                  traced run's file)
+struct BenchOptions {
+  bool full_scale = false;
+  int scale_override = 0;
+  std::string json_path;
+  std::string trace_path;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--full") {
-      return true;
+    std::string arg = argv[i];
+    bool takes_value = arg == "--scale" || arg == "--json" || arg == "--trace";
+    if (takes_value && i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      std::exit(2);
+    }
+    if (arg == "--full") {
+      options.full_scale = true;
+    } else if (arg == "--scale") {
+      options.scale_override = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      options.json_path = argv[++i];
+    } else if (arg == "--trace") {
+      options.trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: %s [--full] [--scale N] [--json PATH] [--trace PATH]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
     }
   }
-  return false;
+  return options;
+}
+
+inline int ResolveScale(const std::string& workload, const BenchOptions& options) {
+  return options.scale_override > 0 ? options.scale_override
+                                    : ftx_apps::DefaultScale(workload, options.full_scale);
+}
+
+// Writes the results file when --json was given. Returns the process exit
+// code so mains can `return FinishBench(results, options);`.
+inline int FinishBench(const ftx_obs::ResultsFile& results, const BenchOptions& options) {
+  if (options.json_path.empty()) {
+    return 0;
+  }
+  ftx::Status status = results.WriteTo(options.json_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", options.json_path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu result rows to %s\n", results.num_rows(), options.json_path.c_str());
+  return 0;
 }
 
 // Runs one Fig. 8 cell: workload × protocol × {rio, dc-disk}.
@@ -29,10 +85,13 @@ struct Fig8Cell {
   double disk_overhead_pct = 0.0;
   double rio_fps = 0.0;
   double disk_fps = 0.0;
+  // Registry snapshots of the two recoverable runs.
+  ftx_obs::MetricsSnapshot rio_metrics;
+  ftx_obs::MetricsSnapshot disk_metrics;
 };
 
 inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& protocol, int scale,
-                            uint64_t seed) {
+                            uint64_t seed, const std::string& trace_path = "") {
   ftx::RunSpec spec;
   spec.workload = workload;
   spec.protocol = protocol;
@@ -40,8 +99,10 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
   spec.seed = seed;
 
   spec.store = ftx::StoreKind::kRio;
+  spec.trace_path = trace_path;  // the recoverable run writes it (runs last)
   ftx::OverheadRow rio = ftx::MeasureOverhead(spec);
   spec.store = ftx::StoreKind::kDisk;
+  spec.trace_path.clear();
   ftx::OverheadRow disk = ftx::MeasureOverhead(spec);
 
   Fig8Cell cell;
@@ -51,7 +112,25 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
   cell.disk_overhead_pct = disk.overhead_percent;
   cell.rio_fps = rio.recoverable_fps;
   cell.disk_fps = disk.recoverable_fps;
+  cell.rio_metrics = std::move(rio.recoverable_metrics);
+  cell.disk_metrics = std::move(disk.recoverable_metrics);
   return cell;
+}
+
+// The Fig. 8 results row shared by all four workload benches.
+inline ftx_obs::Json Fig8RowJson(const std::string& workload, const std::string& protocol,
+                                 int scale, const Fig8Cell& cell) {
+  ftx_obs::Json row = ftx_obs::Json::Object();
+  row.Set("workload", workload);
+  row.Set("protocol", protocol);
+  row.Set("scale", scale);
+  row.Set("checkpoints", cell.checkpoints);
+  row.Set("checkpoints_per_second", cell.ckps_per_sec);
+  row.Set("rio_overhead_pct", cell.rio_overhead_pct);
+  row.Set("disk_overhead_pct", cell.disk_overhead_pct);
+  row.Set("rio_fps", cell.rio_fps);
+  row.Set("disk_fps", cell.disk_fps);
+  return row;
 }
 
 inline void PrintFig8Header(const char* figure, const char* workload, int scale, bool fps_mode) {

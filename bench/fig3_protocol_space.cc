@@ -20,8 +20,11 @@
 #include "src/statemachine/random_model.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
+  ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
+
+  ftx_obs::ResultsFile results("fig3_protocol_space");
+  results.SetFullScale(options.full_scale);
+
   std::printf("%s\n", ftx_proto::RenderProtocolSpaceAscii().c_str());
 
   std::printf("Fig. 4 design variables by position:\n");
@@ -34,6 +37,16 @@ int main(int argc, char** argv) {
                 entry.point.nd_effort, entry.point.visible_effort,
                 vars.relative_commit_frequency, vars.recovery_constraint,
                 vars.propagation_survival, entry.implemented ? "" : "   (literature)");
+    ftx_obs::Json json_row = ftx_obs::Json::Object();
+    json_row.Set("section", "design_variables");
+    json_row.Set("protocol", entry.name);
+    json_row.Set("nd_effort", entry.point.nd_effort);
+    json_row.Set("visible_effort", entry.point.visible_effort);
+    json_row.Set("commit_frequency", vars.relative_commit_frequency);
+    json_row.Set("recovery_constraint", vars.recovery_constraint);
+    json_row.Set("propagation_survival", vars.propagation_survival);
+    json_row.Set("implemented", entry.implemented);
+    results.AddRow(std::move(json_row));
   }
 
   // Empirical check on the reference workload (magic: has every event
@@ -68,6 +81,13 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     std::printf("%-18s %8.2f %10lld\n", row.name.c_str(), row.radius,
                 static_cast<long long>(row.checkpoints));
+    ftx_obs::Json json_row = ftx_obs::Json::Object();
+    json_row.Set("section", "measured_commits");
+    json_row.Set("workload", "magic");
+    json_row.Set("protocol", row.name);
+    json_row.Set("radius", row.radius);
+    json_row.Set("checkpoints", row.checkpoints);
+    results.AddRow(std::move(json_row));
   }
 
   // Fig. 4's third trend, measured: recovery time (the run-time expansion a
@@ -97,6 +117,13 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%-18s %8.2f %16s\n", name, x, expansion.ToString().c_str());
+    ftx_obs::Json json_row = ftx_obs::Json::Object();
+    json_row.Set("section", "failure_expansion");
+    json_row.Set("workload", "postgres");
+    json_row.Set("protocol", name);
+    json_row.Set("nd_effort", x);
+    json_row.Set("expansion_ns", expansion.nanos());
+    results.AddRow(std::move(json_row));
   }
   std::printf("\nHypervisor never commits: one failure replays the entire "
               "history. CPVS\nreplays at most one event. Fig. 4's "
@@ -129,6 +156,18 @@ int main(int argc, char** argv) {
       sum += static_cast<double>(ftx_proto::ReplayScript(script, 3, name).total_commits);
     }
     std::printf("%-18s %14.1f\n", name, sum / kTrials);
+    ftx_obs::Json json_row = ftx_obs::Json::Object();
+    json_row.Set("section", "offline_floor");
+    json_row.Set("protocol", name);
+    json_row.Set("avg_commits", sum / kTrials);
+    results.AddRow(std::move(json_row));
+  }
+  {
+    ftx_obs::Json json_row = ftx_obs::Json::Object();
+    json_row.Set("section", "offline_floor");
+    json_row.Set("protocol", "offline-floor");
+    json_row.Set("avg_commits", floor_sum / kTrials);
+    results.AddRow(std::move(json_row));
   }
   std::printf("%-18s %14.1f   <- floor for commit-ONLY strategies\n", "offline floor",
               floor_sum / kTrials);
@@ -136,5 +175,5 @@ int main(int argc, char** argv) {
               "an escape\nhatch the floor does not use: rendering ND events "
               "deterministic removes the\nSave-work obligation instead of paying "
               "it — the x axis of the space in one row.\n");
-  return 0;
+  return ftx_bench::FinishBench(results, options);
 }

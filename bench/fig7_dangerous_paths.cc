@@ -32,8 +32,14 @@ double DangerousFraction(const ftx_sm::RandomGraphOptions& options, int trials,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool full = ftx_bench::FullScale(argc, argv);
-  const int trials = full ? 400 : 100;
+  ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
+  const int trials =
+      options.scale_override > 0 ? options.scale_override : (options.full_scale ? 400 : 100);
+
+  ftx_obs::ResultsFile results("fig7_dangerous_paths");
+  results.SetFullScale(options.full_scale);
+  results.SetMeta("trials_per_cell", trials);
+  results.SetMeta("num_states", 64);
 
   std::printf("================================================================\n");
   std::printf("Fig. 7: dangerous-path coverage on random state machines\n");
@@ -45,33 +51,51 @@ int main(int argc, char** argv) {
   std::printf("Crash density sweep (branch=0.3, fixed-ND fraction=0.3):\n");
   std::printf("%12s %22s\n", "P(crash)", "dangerous fraction");
   for (double crash : {0.02, 0.05, 0.1, 0.2, 0.4}) {
-    ftx_sm::RandomGraphOptions options = base;
-    options.crash_probability = crash;
-    std::printf("%12.2f %21.1f%%\n", crash, 100 * DangerousFraction(options, trials, 1000));
+    ftx_sm::RandomGraphOptions graph_options = base;
+    graph_options.crash_probability = crash;
+    double fraction = DangerousFraction(graph_options, trials, 1000);
+    std::printf("%12.2f %21.1f%%\n", crash, 100 * fraction);
+    ftx_obs::Json row = ftx_obs::Json::Object();
+    row.Set("sweep", "crash_density");
+    row.Set("crash_probability", crash);
+    row.Set("dangerous_fraction", fraction);
+    results.AddRow(std::move(row));
   }
 
   std::printf("\nFixed-ND fraction sweep (crash=0.1): fixed non-determinism "
               "cannot protect,\nso dangerous paths grow with it:\n");
   std::printf("%12s %22s\n", "P(fixed)", "dangerous fraction");
   for (double fixed : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    ftx_sm::RandomGraphOptions options = base;
-    options.fixed_nd_fraction = fixed;
-    std::printf("%12.2f %21.1f%%\n", fixed, 100 * DangerousFraction(options, trials, 2000));
+    ftx_sm::RandomGraphOptions graph_options = base;
+    graph_options.fixed_nd_fraction = fixed;
+    double fraction = DangerousFraction(graph_options, trials, 2000);
+    std::printf("%12.2f %21.1f%%\n", fixed, 100 * fraction);
+    ftx_obs::Json row = ftx_obs::Json::Object();
+    row.Set("sweep", "fixed_nd_fraction");
+    row.Set("fixed_nd_fraction", fixed);
+    row.Set("dangerous_fraction", fraction);
+    results.AddRow(std::move(row));
   }
 
   std::printf("\nBranching sweep (crash=0.1): more transient choice points "
               "mean more escape\nhatches, so dangerous paths shrink:\n");
   std::printf("%12s %22s\n", "P(branch)", "dangerous fraction");
   for (double branch : {0.05, 0.15, 0.3, 0.5, 0.8}) {
-    ftx_sm::RandomGraphOptions options = base;
-    options.branch_probability = branch;
-    options.fixed_nd_fraction = 0.0;
-    std::printf("%12.2f %21.1f%%\n", branch, 100 * DangerousFraction(options, trials, 3000));
+    ftx_sm::RandomGraphOptions graph_options = base;
+    graph_options.branch_probability = branch;
+    graph_options.fixed_nd_fraction = 0.0;
+    double fraction = DangerousFraction(graph_options, trials, 3000);
+    std::printf("%12.2f %21.1f%%\n", branch, 100 * fraction);
+    ftx_obs::Json row = ftx_obs::Json::Object();
+    row.Set("sweep", "branching");
+    row.Set("branch_probability", branch);
+    row.Set("dangerous_fraction", fraction);
+    results.AddRow(std::move(row));
   }
 
   std::printf("\nSection 2.6 in numbers: applications that crash sooner (higher "
               "crash density\ncloser to the fault) and keep more transient "
               "non-determinism leave fewer\nstates where a commit violates "
               "Lose-work.\n");
-  return 0;
+  return ftx_bench::FinishBench(results, options);
 }

@@ -16,15 +16,24 @@
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
-  bool full = ftx_bench::FullScale(argc, argv);
-  int scale = ftx_apps::DefaultScale("magic", full);
+  ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
+  int scale = ftx_bench::ResolveScale("magic", options);
+
+  ftx_obs::ResultsFile results("fig8_magic");
+  results.SetFullScale(options.full_scale);
+  results.SetMeta("workload", "magic");
+  results.SetMeta("scale", scale);
+  results.SetMeta("seed", 22);
 
   ftx_bench::PrintFig8Header("Fig 8(b)", "magic", scale, /*fps_mode=*/false);
   for (const char* protocol : {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log"}) {
-    ftx_bench::Fig8Cell cell = ftx_bench::RunFig8Cell("magic", protocol, scale, /*seed=*/22);
+    ftx_bench::Fig8Cell cell =
+        ftx_bench::RunFig8Cell("magic", protocol, scale, /*seed=*/22, options.trace_path);
     std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
                 static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
                 cell.disk_overhead_pct);
+    results.AddRow(ftx_bench::Fig8RowJson("magic", protocol, scale, cell));
+    results.AttachMetricsToLastRow(cell.rio_metrics);
   }
-  return 0;
+  return ftx_bench::FinishBench(results, options);
 }

@@ -14,8 +14,13 @@
 #include "src/core/fault_study.h"
 
 int main(int argc, char** argv) {
-  bool full = ftx_bench::FullScale(argc, argv);
-  int crashes = full ? 50 : 30;
+  ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
+  int crashes =
+      options.scale_override > 0 ? options.scale_override : (options.full_scale ? 50 : 30);
+
+  ftx_obs::ResultsFile results("section4_composition");
+  results.SetFullScale(options.full_scale);
+  results.SetMeta("crashes_per_type", crashes);
 
   std::printf("================================================================\n");
   std::printf("Section 4.1: composing the fault studies (%d crashes/type)\n\n", crashes);
@@ -39,6 +44,13 @@ int main(int argc, char** argv) {
       std::printf("  with %2.0f%% Heisenbugs [7]: Lose-work upheld in %4.1f%% of "
                   "crashes -> transparency impossible for %4.1f%%\n",
                   100 * heisenbug_fraction, 100 * upheld, 100 * (1 - upheld));
+      ftx_obs::Json row = ftx_obs::Json::Object();
+      row.Set("section", "application");
+      row.Set("workload", app);
+      row.Set("heisenbug_fraction", heisenbug_fraction);
+      row.Set("heisenbug_violation_fraction", heisenbug_violation);
+      row.Set("losework_upheld_fraction", upheld);
+      results.AddRow(std::move(row));
     }
     std::printf("\n");
   }
@@ -56,12 +68,17 @@ int main(int argc, char** argv) {
           app, type, crashes, 9500 + static_cast<uint64_t>(type) * 131);
       sum += row.failed_recovery_fraction;
     }
+    double failed = sum / ftx_fault::kNumFaultTypes;
     std::printf("  %s: recovery failed after %.0f%% of OS crashes "
                 "(paper: %s)\n",
-                app, 100 * sum / ftx_fault::kNumFaultTypes,
-                app == std::string("nvi") ? "15%" : "3%");
+                app, 100 * failed, app == std::string("nvi") ? "15%" : "3%");
+    ftx_obs::Json row = ftx_obs::Json::Object();
+    row.Set("section", "os");
+    row.Set("workload", app);
+    row.Set("failed_recovery_fraction", failed);
+    results.AddRow(std::move(row));
   }
   std::printf("\nGeneric recovery is likely to work for OS failures; application "
               "failures\nrequire help from the application (Section 6).\n");
-  return 0;
+  return ftx_bench::FinishBench(results, options);
 }

@@ -25,8 +25,12 @@
 #include "src/core/fault_study.h"
 
 int main(int argc, char** argv) {
-  bool full = ftx_bench::FullScale(argc, argv);
-  int crashes = full ? 50 : 50;
+  ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
+  int crashes = options.scale_override > 0 ? options.scale_override : 50;
+
+  ftx_obs::ResultsFile results("table1_app_faults");
+  results.SetFullScale(options.full_scale);
+  results.SetMeta("crashes_per_type", crashes);
 
   std::printf("================================================================\n");
   std::printf("Table 1: application faults violating Lose-work (%d crashes/type)\n", crashes);
@@ -43,11 +47,18 @@ int main(int argc, char** argv) {
       fractions[i] = row.violation_fraction;
       sums[i] += row.violation_fraction;
       ++i;
+      ftx_obs::Json json_row = ftx_obs::Json::Object();
+      json_row.Set("workload", app);
+      json_row.Set("fault_type", std::string(ftx_fault::FaultTypeName(type)));
+      json_row.Set("crashes", row.crashes);
+      json_row.Set("violations", row.violations);
+      json_row.Set("violation_fraction", row.violation_fraction);
+      results.AddRow(std::move(json_row));
     }
     std::printf("%-20s %11.0f%% %11.0f%%\n", std::string(ftx_fault::FaultTypeName(type)).c_str(),
                 100 * fractions[0], 100 * fractions[1]);
   }
   std::printf("%-20s %11.0f%% %11.0f%%\n", "average", 100 * sums[0] / ftx_fault::kNumFaultTypes,
               100 * sums[1] / ftx_fault::kNumFaultTypes);
-  return 0;
+  return ftx_bench::FinishBench(results, options);
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/apps/workloads.h"
+#include "src/core/computation.h"
 #include "src/core/experiment.h"
 #include "src/protocol/protocol_space.h"
 #include "src/recovery/consistency.h"
@@ -38,6 +39,8 @@ struct Args {
   bool list_protocols = false;
   bool summarize_trace = false;
   int64_t dump_trace = 0;  // first N non-internal events per process
+  std::string trace_path;    // Chrome trace_event JSON of the recoverable run
+  std::string metrics_path;  // metrics-registry snapshot as JSON
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -72,6 +75,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->summarize_trace = true;
     } else if (flag == "--dump-trace") {
       args->dump_trace = std::atoll(next());
+    } else if (flag == "--trace") {
+      args->trace_path = next();
+    } else if (flag == "--metrics") {
+      args->metrics_path = next();
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -89,7 +96,8 @@ void Usage() {
       "               [--scale N] [--seed N]\n"
       "               [--fail-at-ms T]... [--fail-pid P]\n"
       "               [--check-save-work] [--list-protocols]\n"
-      "               [--summarize-trace] [--dump-trace N]\n");
+      "               [--summarize-trace] [--dump-trace N]\n"
+      "               [--trace FILE.json] [--metrics FILE.json]\n");
 }
 
 }  // namespace
@@ -126,6 +134,7 @@ int main(int argc, char** argv) {
   ftx::RunOutput baseline = ftx::RunExperiment(baseline_spec);
 
   // The recoverable run with the requested failures.
+  spec.trace_path = args.trace_path;
   auto computation = ftx::BuildComputation(spec);
   for (int64_t at_ms : args.fail_at_ms) {
     computation->ScheduleStopFailure(args.fail_pid, ftx::TimePoint() + ftx::Milliseconds(at_ms));
@@ -186,6 +195,19 @@ int main(int argc, char** argv) {
   }
   if (args.summarize_trace) {
     std::printf("\ntrace summary:\n%s", ftx_sm::SummarizeTrace(computation->trace()).c_str());
+  }
+  if (!args.metrics_path.empty()) {
+    std::FILE* f = std::fopen(args.metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", args.metrics_path.c_str());
+    } else {
+      std::string json = computation->metrics().ToJsonString();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("metrics    : wrote %zu entries to %s\n",
+                  computation->metrics().Snapshot().entries.size(), args.metrics_path.c_str());
+    }
   }
   if (args.dump_trace > 0) {
     ftx_sm::TraceFormatOptions format;

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate ftx bench-results JSON files (the --json output of bench/*).
+
+Checks the schema envelope described in docs/OBSERVABILITY.md:
+
+  * top level: schema == "ftx.bench-results", schema_version == 1,
+    "bench" (string), "full_scale" (bool), "meta" (object), "rows"
+    (non-empty array of flat objects);
+  * row values are strings, numbers, or bools, except an optional nested
+    "metrics" object whose values are numbers (counters/gauges) or
+    histogram objects with count/sum/min/max/bounds/buckets;
+  * bench-specific required row fields for the benches we know about
+    (e.g. fig8 rows must carry workload/protocol/checkpoints).
+
+Usage: check_bench_json.py FILE.json [FILE.json ...]
+Exits 0 if every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA_NAME = "ftx.bench-results"
+SCHEMA_VERSION = 1
+
+# Required row fields per bench name prefix. Rows may carry more.
+REQUIRED_ROW_FIELDS = {
+    "fig8_": ["workload", "protocol", "scale", "checkpoints",
+              "rio_overhead_pct", "disk_overhead_pct"],
+    "table1_app_faults": ["workload", "fault_type", "crashes", "violations",
+                          "violation_fraction"],
+    "table2_os_faults": ["workload", "fault_type", "crashes",
+                         "failed_recoveries", "failed_recovery_fraction"],
+    "fig7_dangerous_paths": ["sweep", "dangerous_fraction"],
+    "fig3_protocol_space": ["section", "protocol"],
+    "section4_composition": ["section", "workload"],
+    "ablation_crash_latency": ["slow_detection_probability",
+                               "violation_fraction"],
+    "ablation_cost_model": ["sweep"],
+    "ablation_protocol_faults": ["protocol", "crashes", "violation_fraction"],
+}
+
+HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "bounds", "buckets"}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_metrics(path, row_index, metrics):
+    ok = True
+    if not isinstance(metrics, dict):
+        return fail(path, f"rows[{row_index}].metrics is not an object")
+    for name, value in metrics.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            continue
+        if isinstance(value, dict):
+            missing = HISTOGRAM_FIELDS - value.keys()
+            if missing:
+                ok = fail(path, f"rows[{row_index}].metrics[{name!r}] is an "
+                                f"object but not a histogram (missing "
+                                f"{sorted(missing)})")
+                continue
+            if len(value["buckets"]) != len(value["bounds"]) + 1:
+                ok = fail(path, f"rows[{row_index}].metrics[{name!r}]: "
+                                f"buckets must have len(bounds)+1 entries")
+            if sum(value["buckets"]) != value["count"]:
+                ok = fail(path, f"rows[{row_index}].metrics[{name!r}]: "
+                                f"bucket counts do not sum to count")
+            continue
+        ok = fail(path, f"rows[{row_index}].metrics[{name!r}] has "
+                        f"unexpected type {type(value).__name__}")
+    return ok
+
+
+def required_fields_for(bench):
+    for prefix, fields in REQUIRED_ROW_FIELDS.items():
+        if bench == prefix or (prefix.endswith("_") and bench.startswith(prefix)):
+            return fields
+    return []
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    ok = True
+    if doc.get("schema") != SCHEMA_NAME:
+        ok = fail(path, f"schema is {doc.get('schema')!r}, "
+                        f"expected {SCHEMA_NAME!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        ok = fail(path, f"schema_version is {doc.get('schema_version')!r}, "
+                        f"expected {SCHEMA_VERSION}")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        ok = fail(path, "missing or empty 'bench'")
+        bench = ""
+    if not isinstance(doc.get("full_scale"), bool):
+        ok = fail(path, "'full_scale' must be a bool")
+    if not isinstance(doc.get("meta"), dict):
+        ok = fail(path, "'meta' must be an object")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "'rows' must be a non-empty array")
+
+    required = required_fields_for(bench)
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            ok = fail(path, f"rows[{i}] is not an object")
+            continue
+        for field in required:
+            if field not in row:
+                ok = fail(path, f"rows[{i}] missing required field "
+                                f"{field!r} for bench {bench!r}")
+        for key, value in row.items():
+            if key == "metrics":
+                ok = check_metrics(path, i, value) and ok
+            elif not isinstance(value, (str, int, float, bool)):
+                ok = fail(path, f"rows[{i}][{key!r}] has unexpected type "
+                                f"{type(value).__name__}")
+    if ok:
+        print(f"{path}: ok ({bench}, {len(rows)} rows)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

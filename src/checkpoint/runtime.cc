@@ -57,6 +57,35 @@ Runtime::Runtime(int pid, int num_processes, App* app,
                                                      app->HeapBytes());
     heap_->Format();
   }
+  if (deps_.metrics != nullptr) {
+    BindMetrics();
+  }
+}
+
+void Runtime::BindMetrics() {
+  ftx_obs::Registry* r = deps_.metrics;
+  const std::string p = "p" + std::to_string(pid_) + ".";
+  // Probes read the very fields stats() exposes: the registry view and the
+  // legacy struct are the same memory.
+  r->RegisterCounterProbe(p + "dc.commits", [this]() { return stats_.commits; });
+  r->RegisterCounterProbe(p + "dc.coordinated_commits",
+                          [this]() { return stats_.coordinated_commits; });
+  r->RegisterCounterProbe(p + "dc.commit_ns", [this]() { return stats_.commit_time.nanos(); });
+  r->RegisterCounterProbe(p + "dc.pages_committed", [this]() { return stats_.pages_committed; });
+  r->RegisterCounterProbe(p + "dc.bytes_persisted", [this]() { return stats_.bytes_persisted; });
+  r->RegisterCounterProbe(p + "dc.events", [this]() { return stats_.events; });
+  r->RegisterCounterProbe(p + "dc.nd_events", [this]() { return stats_.nd_events; });
+  r->RegisterCounterProbe(p + "dc.visible_events", [this]() { return stats_.visible_events; });
+  r->RegisterCounterProbe(p + "dc.sends", [this]() { return stats_.sends; });
+  r->RegisterCounterProbe(p + "dc.receives", [this]() { return stats_.receives; });
+  r->RegisterCounterProbe(p + "dc.logged_events", [this]() { return stats_.logged_events; });
+  r->RegisterCounterProbe(p + "dc.rollbacks", [this]() { return stats_.rollbacks; });
+  r->RegisterCounterProbe(p + "dc.recovery_ns", [this]() { return stats_.recovery_time.nanos(); });
+  crash_counter_ = r->GetCounter(p + "dc.crash_events");
+  fault_counter_ = r->GetCounter(p + "faults.activations");
+  flush_counter_ = r->GetCounter(p + "dc.ndlog_flushes");
+  commit_hist_ = r->GetHistogram("dc.commit_ns");
+  recovery_hist_ = r->GetHistogram("dc.recovery_ns");
 }
 
 void Runtime::SetInputScript(std::vector<ftx::Bytes> script) {
@@ -87,6 +116,7 @@ void Runtime::Initialize() {
 StepOutcome Runtime::RunStep(ftx::Duration* cost_out) {
   FTX_CHECK(alive_);
   FTX_CHECK(!done_);
+  ftx::TimePoint step_begin = Now();
   step_cost_ = pending_overhead_;
   pending_overhead_ = ftx::Duration();
   in_step_ = true;
@@ -100,10 +130,19 @@ StepOutcome Runtime::RunStep(ftx::Duration* cost_out) {
     done_ = true;
   }
   *cost_out = step_cost_;
+  if (deps_.tracer != nullptr) {
+    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kStep, "app", "step", step_begin,
+                       step_begin + step_cost_);
+  }
   return outcome;
 }
 
-void Runtime::Kill() { alive_ = false; }
+void Runtime::Kill() {
+  if (deps_.tracer != nullptr) {
+    deps_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "stop-failure", Now());
+  }
+  alive_ = false;
+}
 
 void Runtime::FlushPendingCommit() {
   if (pending_commit_) {
@@ -122,7 +161,16 @@ ftx_proto::CommitDecision Runtime::PreEvent(ftx_proto::AppEvent event) {
   if (decision.flush_log_before && unflushed_log_bytes_ > 0) {
     // Optimistic Logging's output commit: wait for every outstanding log
     // record to reach stable storage — one batched sequential append.
-    Charge(deps_.store->LogAppendCost(unflushed_log_bytes_));
+    ftx::Duration flush_cost = deps_.store->LogAppendCost(unflushed_log_bytes_);
+    if (deps_.tracer != nullptr) {
+      ftx::TimePoint base = Now() + step_cost_;
+      deps_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc", "ndlog.flush", base,
+                         base + flush_cost);
+    }
+    if (flush_counter_ != nullptr) {
+      flush_counter_->Increment();
+    }
+    Charge(flush_cost);
     unflushed_log_bytes_ = 0;
     flushed_log_records_ = nd_log_.size();
   }
@@ -235,6 +283,16 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   if (deps_.trace != nullptr) {
     deps_.trace->Append(pid_, ftx_sm::EventKind::kCommit, -1, false, "", atomic_group);
   }
+  if (commit_hist_ != nullptr) {
+    commit_hist_->Observe(cost.nanos());
+  }
+  if (deps_.tracer != nullptr) {
+    // The commit occupies the simulated interval just past what this process
+    // has already accrued (the clock itself only advances between events).
+    ftx::TimePoint base = Now() + (in_step_ ? step_cost_ : pending_overhead_);
+    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc",
+                       coordinated ? "commit(2pc)" : "commit", base, base + cost);
+  }
   protocol_->OnCommitted();
   return cost;
 }
@@ -341,6 +399,12 @@ ftx::Duration Runtime::Recover() {
   step_cost_ = saved_step_cost;
 
   stats_.recovery_time += cost;
+  if (recovery_hist_ != nullptr) {
+    recovery_hist_->Observe(cost.nanos());
+  }
+  if (deps_.tracer != nullptr) {
+    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "recover", Now(), Now() + cost);
+  }
   FTX_LOG(kInfo, "p%d recovered to step %lld (cost %s)", pid_,
           static_cast<long long>(step_count_), cost.ToString().c_str());
   return cost;
@@ -374,6 +438,12 @@ ftx::Duration Runtime::RestartFromScratch() {
   Initialize();
   ftx::Duration cost = costs_.recovery_fixed;
   stats_.recovery_time += cost;
+  if (recovery_hist_ != nullptr) {
+    recovery_hist_->Observe(cost.nanos());
+  }
+  if (deps_.tracer != nullptr) {
+    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "restart", Now(), Now() + cost);
+  }
   FTX_LOG(kInfo, "p%d restarted from scratch (all committed work lost)", pid_);
   return cost;
 }
@@ -639,6 +709,12 @@ ftx::Status Runtime::Bind(uint16_t port) {
 
 void Runtime::Crash(const std::string& reason) {
   FTX_LOG(kInfo, "p%d crash: %s", pid_, reason.c_str());
+  if (crash_counter_ != nullptr) {
+    crash_counter_->Increment();
+  }
+  if (deps_.tracer != nullptr) {
+    deps_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "crash: " + reason, Now());
+  }
   if (mode_ == RuntimeMode::kRecoverable && deps_.trace != nullptr) {
     deps_.trace->Append(pid_, ftx_sm::EventKind::kCrash, -1, false, reason);
   }
@@ -651,6 +727,12 @@ void Runtime::Crash(const std::string& reason) {
 }
 
 void Runtime::MarkFaultActivation() {
+  if (fault_counter_ != nullptr) {
+    fault_counter_->Increment();
+  }
+  if (deps_.tracer != nullptr) {
+    deps_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "fault-activation", Now());
+  }
   if (deps_.trace == nullptr || mode_ == RuntimeMode::kBaseline) {
     return;
   }

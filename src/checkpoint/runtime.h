@@ -24,9 +24,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/checkpoint/app.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 #include "src/protocol/protocol.h"
 #include "src/recovery/output_recorder.h"
 #include "src/sim/kernel.h"
@@ -100,6 +103,12 @@ struct RuntimeDeps {
   // commit of round g <= current truly precedes this visible in real time —
   // the "atomic with" ordering the Save-work checker uses for 2PC.
   std::function<int64_t()> latest_atomic_group;
+  // Optional observability sinks. When non-null, the runtime registers
+  // probes for its RuntimeStats fields under "p<pid>." (the registry reads
+  // the same memory stats() reports, so the two views cannot diverge) and
+  // records commit / recovery / crash activity on the simulated timeline.
+  ftx_obs::Registry* metrics = nullptr;
+  ftx_obs::Tracer* tracer = nullptr;
 };
 
 class Runtime : public ProcessEnv {
@@ -251,6 +260,11 @@ class Runtime : public ProcessEnv {
 
   ftx::Duration DoCommit(bool coordinated, int64_t atomic_group = -1);
 
+  // Registers "p<pid>.*" probes over stats_ and creates the owned
+  // instruments below. Called from the constructor when deps_.metrics is
+  // set.
+  void BindMetrics();
+
   int pid_;
   int num_processes_;
   App* app_;
@@ -289,6 +303,15 @@ class Runtime : public ProcessEnv {
   ftx::Duration pending_overhead_;  // costs charged outside a step (2PC)
 
   RuntimeStats stats_;
+
+  // Owned instruments (null when no registry is attached). The histograms
+  // are computation-wide ("dc.commit_ns" / "dc.recovery_ns"), shared across
+  // processes via the registry's get-or-create semantics.
+  ftx_obs::Counter* crash_counter_ = nullptr;
+  ftx_obs::Counter* fault_counter_ = nullptr;
+  ftx_obs::Counter* flush_counter_ = nullptr;
+  ftx_obs::Histogram* commit_hist_ = nullptr;
+  ftx_obs::Histogram* recovery_hist_ = nullptr;
 };
 
 }  // namespace ftx_dc

@@ -2,11 +2,17 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace ftx {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
+bool g_env_consulted = false;
+
+const void* g_time_owner = nullptr;
+int64_t (*g_time_now_ns)(const void*) = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -22,14 +28,90 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+// FTX_LOG_LEVEL is read lazily at the first level query so that callers who
+// configure logging before any output still win, and ones who never touch
+// the API get environment control for free.
+void ConsultEnvOnce() {
+  if (g_env_consulted) {
+    return;
+  }
+  g_env_consulted = true;
+  const char* env = std::getenv("FTX_LOG_LEVEL");
+  if (env != nullptr && !ParseLogLevel(env, &g_level)) {
+    std::fprintf(stderr, "[W log] ignoring unparseable FTX_LOG_LEVEL=\"%s\"\n", env);
+  }
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i] >= 'A' && a[i] <= 'Z' ? static_cast<char>(a[i] - 'A' + 'a') : a[i];
+    if (ca != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text.size() == 1 && text[0] >= '0' && text[0] <= '3') {
+    *out = static_cast<LogLevel>(text[0] - '0');
+    return true;
+  }
+  struct Name {
+    std::string_view name;
+    LogLevel level;
+  };
+  static constexpr Name kNames[] = {
+      {"error", LogLevel::kError},
+      {"warning", LogLevel::kWarning},
+      {"warn", LogLevel::kWarning},
+      {"info", LogLevel::kInfo},
+      {"debug", LogLevel::kDebug},
+  };
+  for (const Name& candidate : kNames) {
+    if (EqualsIgnoreCase(text, candidate.name)) {
+      *out = candidate.level;
+      return true;
+    }
+  }
+  return false;
+}
 
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_env_consulted = true;  // explicit configuration beats the environment
+  g_level = level;
+}
+
+LogLevel GetLogLevel() {
+  ConsultEnvOnce();
+  return g_level;
+}
+
+void SetLogSimTimeSource(const void* owner, int64_t (*now_ns)(const void*)) {
+  g_time_owner = owner;
+  g_time_now_ns = now_ns;
+}
+
+void ClearLogSimTimeSource(const void* owner) {
+  if (g_time_owner == owner) {
+    g_time_owner = nullptr;
+    g_time_now_ns = nullptr;
+  }
+}
 
 void LogMessage(LogLevel level, const char* file, int line, const char* format, ...) {
-  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+  if (g_time_now_ns != nullptr) {
+    int64_t now_ns = g_time_now_ns(g_time_owner);
+    std::fprintf(stderr, "[%s %.6fs %s:%d] ", LevelTag(level),
+                 static_cast<double>(now_ns) * 1e-9, file, line);
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+  }
   va_list args;
   va_start(args, format);
   std::vfprintf(stderr, format, args);

@@ -1,18 +1,39 @@
 // Minimal leveled logging to stderr.
 //
 // Verbosity is process-global and off by default so benchmark output stays
-// clean; tests and examples raise it when diagnosing a scenario.
+// clean; tests and examples raise it when diagnosing a scenario. The
+// FTX_LOG_LEVEL environment variable (error|warning|info|debug, or 0-3) is
+// consulted once at first use; an explicit SetLogLevel overrides it.
+//
+// When a discrete-event simulator is active it registers itself as the log
+// time source and every line is prefixed with the current simulated time,
+// so interleaved per-process logs read as one timeline.
 
 #ifndef FTX_SRC_COMMON_LOG_H_
 #define FTX_SRC_COMMON_LOG_H_
+
+#include <cstdint>
+#include <string_view>
 
 namespace ftx {
 
 enum class LogLevel { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
 
-// Sets the maximum level that will be emitted (default kWarning).
+// Sets the maximum level that will be emitted (default kWarning, or
+// FTX_LOG_LEVEL when set). Overrides the environment.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "error"/"warning"/"info"/"debug" (any case, unique prefixes OK) or
+// "0".."3" into a level. Returns false (and leaves *out alone) on junk.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+// Simulated-time prefixing: while a source is registered, log lines carry
+// the source's current time. `owner` disambiguates nested/overlapping
+// simulator lifetimes: Clear only deregisters if `owner` still owns the
+// slot.
+void SetLogSimTimeSource(const void* owner, int64_t (*now_ns)(const void* owner));
+void ClearLogSimTimeSource(const void* owner);
 
 // printf-style log emission; prefer the FTX_LOG macro.
 void LogMessage(LogLevel level, const char* file, int line, const char* format, ...);

@@ -18,6 +18,11 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
   kernel_ = std::make_unique<ftx_sim::KernelSim>(sim_.get(), n, options_.kernel_limits);
   trace_ = std::make_unique<ftx_sm::Trace>(n);
 
+  tracer_.SetEnabled(options_.enable_tracing || !options_.trace_path.empty());
+  sim_->BindMetrics(&metrics_);
+  network_->BindMetrics(&metrics_);
+  kernel_->BindMetrics(&metrics_);
+
   blocked_.assign(static_cast<size_t>(n), false);
   pump_token_.assign(static_cast<size_t>(n), 0);
   done_time_.assign(static_cast<size_t>(n), TimePoint());
@@ -56,6 +61,15 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
       CoordinatedCommit(pid, scope);
     };
     deps.latest_atomic_group = [this]() { return next_atomic_group_ - 1; };
+    deps.metrics = &metrics_;
+    deps.tracer = &tracer_;
+    const std::string prefix = "p" + std::to_string(pid) + ".";
+    if (disks_.back() != nullptr) {
+      disks_.back()->BindMetrics(&metrics_, prefix);
+    }
+    if (redo_log != nullptr) {
+      redo_log->BindMetrics(&metrics_, prefix);
+    }
 
     std::unique_ptr<ftx_proto::Protocol> protocol;
     if (recoverable) {
@@ -266,6 +280,13 @@ void Computation::CoordinatedCommit(int initiator, ftx_proto::CoordinationScope 
   }
   round += init_rt.CommitNow(/*coordinated=*/false, /*charge_inline=*/false, atomic_group);
   init_rt.ChargeToStep(round);
+
+  metrics_.GetCounter("dc.2pc_rounds")->Increment();
+  if (tracer_.enabled()) {
+    tracer_.Span(initiator, ftx_obs::TraceLane::kCoordination, "2pc",
+                 "2pc-round(" + std::to_string(participants.size() + 1) + ")", sim_->Now(),
+                 sim_->Now() + round);
+  }
 }
 
 void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_delay) {
@@ -355,6 +376,17 @@ ComputationResult Computation::Run() {
     end = sim_->Now();
   }
   result.end_time = end;
+
+  if (!options_.trace_path.empty()) {
+    Status status = tracer_.WriteChromeTrace(options_.trace_path);
+    if (!status.ok()) {
+      FTX_LOG(kWarning, "failed to write trace to %s: %s", options_.trace_path.c_str(),
+              status.ToString().c_str());
+    } else {
+      FTX_LOG(kInfo, "wrote %zu trace events to %s", tracer_.size(),
+              options_.trace_path.c_str());
+    }
+  }
   return result;
 }
 

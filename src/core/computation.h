@@ -19,6 +19,8 @@
 
 #include "src/checkpoint/app.h"
 #include "src/checkpoint/runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 #include "src/protocol/protocol.h"
 #include "src/recovery/output_recorder.h"
 #include "src/sim/kernel.h"
@@ -58,6 +60,11 @@ struct ComputationOptions {
   // Run limits (simulated).
   Duration max_sim_time = Seconds(7200);
   int64_t max_sim_events = 200000000;
+  // Simulated-timeline tracing (steps, commits, 2PC rounds, crashes,
+  // recoveries). When trace_path is non-empty, Run() additionally writes a
+  // Chrome trace_event JSON file there (open in Perfetto / chrome://tracing).
+  bool enable_tracing = false;
+  std::string trace_path;
 };
 
 struct ComputationResult {
@@ -106,6 +113,11 @@ class Computation {
   ftx_sim::KernelSim& kernel() { return *kernel_; }
   ftx_sm::Trace& trace() { return *trace_; }
   ftx_rec::OutputRecorder& recorder() { return recorder_; }
+  // Computation-wide metrics registry: every subsystem (simulator, network,
+  // kernel, per-machine disks/redo logs, per-process runtimes) registers its
+  // instruments here at construction.
+  ftx_obs::Registry& metrics() { return metrics_; }
+  ftx_obs::Tracer& tracer() { return tracer_; }
   ftx_dc::Runtime& runtime(int pid);
   ftx_dc::App& app(int pid);
   const ComputationOptions& options() const { return options_; }
@@ -123,6 +135,11 @@ class Computation {
 
   ComputationOptions options_;
   std::vector<std::unique_ptr<ftx_dc::App>> apps_;
+
+  // Probe closures in the registry read subsystem state, but only when a
+  // snapshot is taken, so member destruction order is not a hazard.
+  ftx_obs::Registry metrics_;
+  ftx_obs::Tracer tracer_;
 
   std::unique_ptr<ftx_sim::Simulator> sim_;
   std::unique_ptr<ftx_sim::Network> network_;

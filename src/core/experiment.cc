@@ -1,6 +1,7 @@
 #include "src/core/experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/apps/workloads.h"
 #include "src/apps/xpilot.h"
@@ -19,6 +20,10 @@ std::unique_ptr<Computation> BuildComputation(const RunSpec& spec) {
   options.protocol = spec.protocol;
   options.store = spec.store;
   options.mode = spec.mode;
+  if (!spec.trace_path.empty()) {
+    options.enable_tracing = true;
+    options.trace_path = spec.trace_path;
+  }
   if (spec.tweak_options) {
     spec.tweak_options(&options);
   }
@@ -38,6 +43,7 @@ RunOutput Collect(Computation& computation, const ComputationResult& result) {
   output.result = result;
   output.outputs = computation.recorder();
   output.elapsed = result.end_time - TimePoint();
+  output.metrics = computation.metrics().Snapshot();
   for (const auto& stats : result.per_process) {
     output.checkpoints += stats.commits;
     output.max_process_commits = std::max(output.max_process_commits, stats.commits);
@@ -92,6 +98,7 @@ OverheadRow MeasureOverhead(const RunSpec& spec) {
   }
   row.baseline_fps = baseline.min_client_fps;
   row.recoverable_fps = recoverable.min_client_fps;
+  row.recoverable_metrics = std::move(recoverable.metrics);
   return row;
 }
 

@@ -23,6 +23,9 @@ struct RunSpec {
   std::string protocol = "cpvs";
   StoreKind store = StoreKind::kRio;
   ftx_dc::RuntimeMode mode = ftx_dc::RuntimeMode::kRecoverable;
+  // Non-empty: enable simulated-timeline tracing and write a Chrome
+  // trace_event JSON file here when the run finishes.
+  std::string trace_path;
   // Optional hook to adjust computation options (failure schedules are
   // installed by the caller on the returned computation instead).
   std::function<void(ComputationOptions*)> tweak_options;
@@ -36,6 +39,10 @@ struct RunOutput {
   int64_t checkpoints = 0;      // total commits across processes
   int64_t max_process_commits = 0;
   double min_client_fps = 0.0;  // xpilot only: slowest client's frame rate
+  // Every instrument the computation's registry held at the end of the run
+  // (simulator/network/kernel activity, per-process runtime stats, disk and
+  // redo-log I/O). Serializes via MetricsSnapshot::ToJson.
+  ftx_obs::MetricsSnapshot metrics;
 };
 
 // Builds the computation for a spec (callers may schedule failures before
@@ -61,6 +68,9 @@ struct OverheadRow {
   double overhead_percent = 0.0;
   double baseline_fps = 0.0;     // xpilot
   double recoverable_fps = 0.0;  // xpilot
+  // Snapshot of the recoverable run's registry (the run the figures
+  // measure); carried into the per-row "metrics" object of --json output.
+  ftx_obs::MetricsSnapshot recoverable_metrics;
 };
 OverheadRow MeasureOverhead(const RunSpec& spec);
 

@@ -1,0 +1,196 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ftx_obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  FTX_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be sorted");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(int64_t value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<int64_t> DefaultLatencyBoundsNs() {
+  std::vector<int64_t> bounds;
+  for (int64_t decade = 1000; decade <= 100000000000LL; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;  // 1us, 2us, 5us, ... 100s, 200s, 500s
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const auto& [entry_name, value] : entries) {
+    if (entry_name == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::TotalCounter(std::string_view suffix) const {
+  int64_t total = 0;
+  for (const auto& [name, value] : entries) {
+    if (value.kind != MetricValue::Kind::kCounter) {
+      continue;
+    }
+    if (name == suffix || (name.size() > suffix.size() + 1 &&
+                           name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+                           name[name.size() - suffix.size() - 1] == '.')) {
+      total += value.counter;
+    }
+  }
+  return total;
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json out = Json::Object();
+  for (const auto& [name, value] : entries) {
+    switch (value.kind) {
+      case MetricValue::Kind::kCounter:
+        out.Set(name, Json(value.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        out.Set(name, Json(value.gauge));
+        break;
+      case MetricValue::Kind::kHistogram: {
+        Json hist = Json::Object();
+        hist.Set("count", Json(value.count));
+        hist.Set("sum", Json(value.sum));
+        hist.Set("min", Json(value.min));
+        hist.Set("max", Json(value.max));
+        Json bounds = Json::Array();
+        for (int64_t b : value.bounds) {
+          bounds.Push(Json(b));
+        }
+        Json buckets = Json::Array();
+        for (int64_t b : value.bucket_counts) {
+          buckets.Push(Json(b));
+        }
+        hist.Set("bounds", std::move(bounds));
+        hist.Set("buckets", std::move(buckets));
+        out.Set(name, std::move(hist));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    FTX_CHECK_MSG(it->second.kind == MetricValue::Kind::kCounter && it->second.counter != nullptr,
+                  "metric %s already registered with a different kind/backing", name.c_str());
+    return it->second.counter;
+  }
+  counters_.emplace_back();
+  Entry entry;
+  entry.kind = MetricValue::Kind::kCounter;
+  entry.counter = &counters_.back();
+  entries_.emplace(name, std::move(entry));
+  return &counters_.back();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    FTX_CHECK_MSG(it->second.kind == MetricValue::Kind::kGauge && it->second.gauge != nullptr,
+                  "metric %s already registered with a different kind/backing", name.c_str());
+    return it->second.gauge;
+  }
+  gauges_.emplace_back();
+  Entry entry;
+  entry.kind = MetricValue::Kind::kGauge;
+  entry.gauge = &gauges_.back();
+  entries_.emplace(name, std::move(entry));
+  return &gauges_.back();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, std::vector<int64_t> bounds) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    FTX_CHECK_MSG(
+        it->second.kind == MetricValue::Kind::kHistogram && it->second.histogram != nullptr,
+        "metric %s already registered with a different kind", name.c_str());
+    return it->second.histogram;
+  }
+  histograms_.emplace_back(std::move(bounds));
+  Entry entry;
+  entry.kind = MetricValue::Kind::kHistogram;
+  entry.histogram = &histograms_.back();
+  entries_.emplace(name, std::move(entry));
+  return &histograms_.back();
+}
+
+void Registry::RegisterCounterProbe(const std::string& name, std::function<int64_t()> probe) {
+  FTX_CHECK(probe != nullptr);
+  Entry entry;
+  entry.kind = MetricValue::Kind::kCounter;
+  entry.counter_probe = std::move(probe);
+  entries_[name] = std::move(entry);
+}
+
+void Registry::RegisterGaugeProbe(const std::string& name, std::function<double()> probe) {
+  FTX_CHECK(probe != nullptr);
+  Entry entry;
+  entry.kind = MetricValue::Kind::kGauge;
+  entry.gauge_probe = std::move(probe);
+  entries_[name] = std::move(entry);
+}
+
+void Registry::Unregister(const std::string& name) { entries_.erase(name); }
+
+bool Registry::Contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricValue value;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricValue::Kind::kCounter:
+        value.counter = entry.counter != nullptr ? entry.counter->value() : entry.counter_probe();
+        break;
+      case MetricValue::Kind::kGauge:
+        value.gauge = entry.gauge != nullptr ? entry.gauge->value() : entry.gauge_probe();
+        break;
+      case MetricValue::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        value.count = h.count();
+        value.sum = h.sum();
+        value.min = h.min();
+        value.max = h.max();
+        value.bounds = h.bounds();
+        value.bucket_counts = h.bucket_counts();
+        break;
+      }
+    }
+    snapshot.entries.emplace_back(name, std::move(value));
+  }
+  return snapshot;
+}
+
+std::string Registry::ToJsonString(int indent) const { return Snapshot().ToJson().Dump(indent); }
+
+}  // namespace ftx_obs

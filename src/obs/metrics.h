@@ -1,0 +1,169 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Every measured quantity the paper's figures rest on — commit counts,
+// bytes persisted, recovery latencies, simulator/network/disk activity — is
+// exposed through one Registry per Computation instead of ad-hoc structs.
+// Two backing modes keep the hot paths free:
+//
+//  * owned instruments (Counter/Gauge/Histogram) allocated by the registry,
+//    incremented through stable pointers;
+//  * probe-backed instruments registered over existing state (a pointer or
+//    closure reading a struct field), so legacy accounting like
+//    Runtime::RuntimeStats keeps its single source of truth and the
+//    registry view can never diverge from it.
+//
+// Snapshot() materializes every instrument into an ordered, value-semantic
+// MetricsSnapshot that serializes to JSON for the results emitter.
+//
+// Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase paths,
+// `<subsystem>.<quantity>` for computation-wide instruments
+// ("sim.messages_delivered", "dc.commit_ns") and `p<pid>.` prefixes for
+// per-process ones ("p0.dc.commits", "p2.disk.sync_writes").
+
+#ifndef FTX_SRC_OBS_METRICS_H_
+#define FTX_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace ftx_obs {
+
+// Monotonically increasing integer quantity.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Instantaneous level; may move in both directions.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Distribution over fixed inclusive bucket upper bounds (in the observed
+// unit, typically nanoseconds of simulated time): bucket i counts values
+// <= bounds[i] that no earlier bucket counted. The last implicit bucket is
+// +inf. Bounds are set at creation and never change.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  // bucket_counts().size() == bounds().size() + 1 (overflow bucket last).
+  const std::vector<int64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Default latency bucket bounds: 1-2-5 decades from 1 us to 100 s, in ns.
+std::vector<int64_t> DefaultLatencyBoundsNs();
+
+// One materialized instrument value.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  int64_t counter = 0;
+  double gauge = 0.0;
+  // Histogram payload (empty unless kind == kHistogram).
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  std::vector<int64_t> bounds;
+  std::vector<int64_t> bucket_counts;
+};
+
+// Ordered, value-semantic copy of a registry's state.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, MetricValue>> entries;
+
+  const MetricValue* Find(std::string_view name) const;
+  // Sum of every counter whose name ends with `.suffix` (aggregates
+  // per-process instruments: TotalCounter("dc.commits") sums p*.dc.commits).
+  int64_t TotalCounter(std::string_view suffix) const;
+
+  // {"name": value, ...} with histograms as
+  // {"count":..,"sum":..,"min":..,"max":..,"bounds":[..],"buckets":[..]}.
+  Json ToJson() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Owned instruments: get-or-create by name. Pointers remain valid for the
+  // registry's lifetime. Re-requesting a name returns the same instrument;
+  // requesting an existing name as a different kind aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds = DefaultLatencyBoundsNs());
+
+  // Probe-backed instruments: the closure is evaluated at Snapshot() time.
+  // The owner of the probed state must outlive the registry (or call
+  // Unregister). Registering an existing name replaces the probe.
+  void RegisterCounterProbe(const std::string& name, std::function<int64_t()> probe);
+  void RegisterGaugeProbe(const std::string& name, std::function<double()> probe);
+  void Unregister(const std::string& name);
+
+  bool Contains(std::string_view name) const;
+  size_t size() const { return entries_.size(); }
+
+  MetricsSnapshot Snapshot() const;
+  // Snapshot().ToJson().Dump(indent) convenience.
+  std::string ToJsonString(int indent = 2) const;
+
+ private:
+  struct Entry {
+    MetricValue::Kind kind = MetricValue::Kind::kCounter;
+    Counter* counter = nullptr;        // owned (counters_ element) or null
+    Gauge* gauge = nullptr;            // owned or null
+    Histogram* histogram = nullptr;    // owned or null
+    std::function<int64_t()> counter_probe;
+    std::function<double()> gauge_probe;
+  };
+
+  // std::map keeps snapshots sorted by name, which makes emitted JSON
+  // stable and diffable across runs.
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace ftx_obs
+
+#endif  // FTX_SRC_OBS_METRICS_H_

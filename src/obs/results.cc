@@ -1,0 +1,46 @@
+#include "src/obs/results.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace ftx_obs {
+
+ResultsFile::ResultsFile(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+void ResultsFile::SetMeta(const std::string& key, Json value) {
+  meta_.Set(key, std::move(value));
+}
+
+void ResultsFile::AddRow(Json row) {
+  FTX_CHECK_MSG(row.is_object(), "results rows must be JSON objects");
+  rows_.push_back(std::move(row));
+}
+
+void ResultsFile::AttachMetricsToLastRow(const MetricsSnapshot& snapshot, const std::string& key) {
+  FTX_CHECK_MSG(!rows_.empty(), "AttachMetricsToLastRow with no rows");
+  rows_.back().Set(key, snapshot.ToJson());
+}
+
+Json ResultsFile::ToJson() const {
+  Json root = Json::Object();
+  root.Set("schema", Json(kResultsSchemaName));
+  root.Set("schema_version", Json(kResultsSchemaVersion));
+  root.Set("bench", Json(bench_name_));
+  root.Set("full_scale", Json(full_scale_));
+  root.Set("meta", meta_);
+  Json rows = Json::Array();
+  for (const Json& row : rows_) {
+    rows.Push(row);
+  }
+  root.Set("rows", std::move(rows));
+  return root;
+}
+
+ftx::Status ResultsFile::WriteTo(const std::string& path) const {
+  std::string document = ToJson().Dump(1);
+  document += '\n';
+  return WriteFileContents(path, document);
+}
+
+}  // namespace ftx_obs

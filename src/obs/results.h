@@ -1,0 +1,63 @@
+// Machine-readable experiment results (the BENCH_*.json format).
+//
+// Every bench binary (and ftx_run) can emit its measurements as a
+// schema-versioned JSON document so runs land as diffable artifacts instead
+// of hand-formatted tables. The envelope is uniform across benches:
+//
+//   {
+//     "schema": "ftx.bench-results",
+//     "schema_version": 1,
+//     "bench": "fig8_nvi",
+//     "full_scale": false,
+//     "meta": { ... free-form bench-level context ... },
+//     "rows": [ {"workload": "nvi", "protocol": "cpvs", ...}, ... ]
+//   }
+//
+// Rows are flat objects of strings/numbers/bools, optionally carrying a
+// nested "metrics" object (a Registry snapshot). scripts/check_bench_json.py
+// validates emitted files against this schema; docs/OBSERVABILITY.md
+// documents the per-bench row fields.
+
+#ifndef FTX_SRC_OBS_RESULTS_H_
+#define FTX_SRC_OBS_RESULTS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace ftx_obs {
+
+inline constexpr const char* kResultsSchemaName = "ftx.bench-results";
+inline constexpr int kResultsSchemaVersion = 1;
+
+class ResultsFile {
+ public:
+  explicit ResultsFile(std::string bench_name);
+
+  // Bench-level context ("scale", "seed_base", ...).
+  void SetMeta(const std::string& key, Json value);
+  void SetFullScale(bool full_scale) { full_scale_ = full_scale; }
+
+  // Appends one measurement row; `row` must be a JSON object.
+  void AddRow(Json row);
+
+  // Attaches a metrics snapshot under `key` in the most recent row.
+  void AttachMetricsToLastRow(const MetricsSnapshot& snapshot, const std::string& key = "metrics");
+
+  size_t num_rows() const { return rows_.size(); }
+
+  Json ToJson() const;
+  ftx::Status WriteTo(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  bool full_scale_ = false;
+  Json meta_ = Json::Object();
+  std::vector<Json> rows_;
+};
+
+}  // namespace ftx_obs
+
+#endif  // FTX_SRC_OBS_RESULTS_H_

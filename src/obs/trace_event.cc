@@ -1,0 +1,116 @@
+#include "src/obs/trace_event.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ftx_obs {
+
+const char* TraceLaneName(TraceLane lane) {
+  switch (lane) {
+    case TraceLane::kStep:
+      return "steps";
+    case TraceLane::kStorage:
+      return "commits+log";
+    case TraceLane::kRecovery:
+      return "failures+recovery";
+    case TraceLane::kCoordination:
+      return "2pc";
+  }
+  return "?";
+}
+
+void Tracer::Span(int pid, TraceLane lane, const char* category, std::string name,
+                  ftx::TimePoint begin, ftx::TimePoint end) {
+  if (!enabled_) {
+    return;
+  }
+  if (end < begin) {
+    end = begin;
+  }
+  // Keep each (pid, lane) track overlap-free: charged costs can lag the
+  // simulator clock (pending overheads are billed at the next step), so a
+  // span occasionally starts before the previous one on its track ended.
+  // Shifting the start preserves durations on the timeline and guarantees
+  // the exported B/E events nest.
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->pid == pid && it->lane == lane && it->phase == 'E') {
+      if (begin.nanos() < it->ts_ns) {
+        ftx::Duration length = end - begin;
+        begin = ftx::TimePoint(it->ts_ns);
+        end = begin + length;
+      }
+      break;
+    }
+  }
+  events_.push_back(TraceEvent{'B', pid, lane, category, name, begin.nanos(), next_seq_++});
+  events_.push_back(TraceEvent{'E', pid, lane, category, std::move(name), end.nanos(), next_seq_++});
+}
+
+void Tracer::Instant(int pid, TraceLane lane, const char* category, std::string name,
+                     ftx::TimePoint at) {
+  if (!enabled_) {
+    return;
+  }
+  events_.push_back(TraceEvent{'i', pid, lane, category, std::move(name), at.nanos(), next_seq_++});
+}
+
+Json Tracer::ToChromeTrace() const {
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events_.size());
+  for (const TraceEvent& event : events_) {
+    sorted.push_back(&event);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const TraceEvent* a, const TraceEvent* b) {
+    if (a->ts_ns != b->ts_ns) {
+      return a->ts_ns < b->ts_ns;
+    }
+    return a->seq < b->seq;
+  });
+
+  Json trace_events = Json::Array();
+
+  // Thread-name metadata for every (pid, lane) in use, emitted first.
+  std::map<std::pair<int, int>, bool> lanes_in_use;
+  for (const TraceEvent& event : events_) {
+    lanes_in_use[{event.pid, static_cast<int>(event.lane)}] = true;
+  }
+  for (const auto& [key, unused] : lanes_in_use) {
+    (void)unused;
+    Json meta = Json::Object();
+    meta.Set("name", Json("thread_name"));
+    meta.Set("ph", Json("M"));
+    meta.Set("pid", Json(key.first));
+    meta.Set("tid", Json(key.second));
+    Json args = Json::Object();
+    args.Set("name", Json(TraceLaneName(static_cast<TraceLane>(key.second))));
+    meta.Set("args", std::move(args));
+    trace_events.Push(std::move(meta));
+  }
+
+  for (const TraceEvent* event : sorted) {
+    Json j = Json::Object();
+    j.Set("name", Json(event->name));
+    j.Set("cat", Json(event->category));
+    j.Set("ph", Json(std::string(1, event->phase)));
+    // trace_event timestamps are microseconds; keep ns precision fractional.
+    j.Set("ts", Json(static_cast<double>(event->ts_ns) / 1000.0));
+    j.Set("pid", Json(event->pid));
+    j.Set("tid", Json(static_cast<int>(event->lane)));
+    if (event->phase == 'i') {
+      j.Set("s", Json("t"));  // instant scope: thread
+    }
+    trace_events.Push(std::move(j));
+  }
+
+  Json root = Json::Object();
+  root.Set("traceEvents", std::move(trace_events));
+  root.Set("displayTimeUnit", Json("ms"));
+  return root;
+}
+
+ftx::Status Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteFileContents(path, ToChromeTraceJson());
+}
+
+}  // namespace ftx_obs

@@ -115,6 +115,7 @@ ftx::Status KernelSim::Apply(int pid, const SyscallRecord& record, int* out_fd,
 }
 
 ftx::Result<int> KernelSim::Open(int pid, const std::string& path, bool writable) {
+  ++syscalls_;
   SyscallRecord record;
   record.op = SyscallRecord::Op::kOpen;
   record.path = path;
@@ -130,6 +131,7 @@ ftx::Result<int> KernelSim::Open(int pid, const std::string& path, bool writable
 }
 
 ftx::Status KernelSim::Close(int pid, int fd) {
+  ++syscalls_;
   SyscallRecord record;
   record.op = SyscallRecord::Op::kClose;
   record.fd = fd;
@@ -139,6 +141,7 @@ ftx::Status KernelSim::Close(int pid, int fd) {
 }
 
 ftx::Status KernelSim::Bind(int pid, uint16_t port) {
+  ++syscalls_;
   SyscallRecord record;
   record.op = SyscallRecord::Op::kBind;
   record.port = port;
@@ -148,6 +151,7 @@ ftx::Status KernelSim::Bind(int pid, uint16_t port) {
 }
 
 ftx::Status KernelSim::Seek(int pid, int fd, int64_t offset) {
+  ++syscalls_;
   SyscallRecord record;
   record.op = SyscallRecord::Op::kSeek;
   record.fd = fd;
@@ -158,6 +162,7 @@ ftx::Status KernelSim::Seek(int pid, int fd, int64_t offset) {
 }
 
 ftx::Result<int64_t> KernelSim::Write(int pid, int fd, int64_t nbytes) {
+  ++syscalls_;
   FTX_CHECK_GE(nbytes, 0);
   SyscallRecord record;
   record.op = SyscallRecord::Op::kWrite;
@@ -174,6 +179,7 @@ ftx::Result<int64_t> KernelSim::Write(int pid, int fd, int64_t nbytes) {
 
 ftx::TimePoint KernelSim::GetTimeOfDay(int pid) {
   (void)pid;
+  ++syscalls_;
   // The perturbation models clock-read granularity; more importantly it is
   // drawn from the simulator's RNG stream, so a reexecuting process sees a
   // different value — the definition of a transient ND event.
@@ -182,6 +188,7 @@ ftx::TimePoint KernelSim::GetTimeOfDay(int pid) {
 }
 
 ftx::Status KernelSim::ReconstructFor(int pid, size_t record_count) {
+  ++reconstructions_;
   FTX_CHECK(pid >= 0 && static_cast<size_t>(pid) < records_.size());
   auto& log = records_[static_cast<size_t>(pid)];
   FTX_CHECK_LE(record_count, log.size());
@@ -205,6 +212,13 @@ ftx::Status KernelSim::ReconstructFor(int pid, size_t record_count) {
   }
   log.resize(record_count);
   return ftx::Status::Ok();
+}
+
+void KernelSim::BindMetrics(ftx_obs::Registry* registry) {
+  registry->RegisterCounterProbe("kernel.syscalls", [this]() { return syscalls_; });
+  registry->RegisterCounterProbe("kernel.reconstructions", [this]() { return reconstructions_; });
+  registry->RegisterGaugeProbe("kernel.disk_blocks_free",
+                               [this]() { return static_cast<double>(disk_blocks_free()); });
 }
 
 }  // namespace ftx_sim

@@ -26,6 +26,7 @@
 
 #include "src/common/status.h"
 #include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace ftx_sim {
@@ -99,12 +100,18 @@ class KernelSim {
 
   int64_t disk_blocks_free() const;
 
+  // Exposes syscall-layer counters through a metrics registry
+  // ("kernel.syscalls", "kernel.reconstructions", "kernel.disk_blocks_free").
+  void BindMetrics(ftx_obs::Registry* registry);
+
  private:
   ftx::Status Apply(int pid, const SyscallRecord& record, int* out_fd, int64_t* out_written);
   KernelState& MutableStateOf(int pid);
 
   Simulator* sim_;
   KernelLimits limits_;
+  int64_t syscalls_ = 0;
+  int64_t reconstructions_ = 0;
   std::vector<KernelState> states_;
   std::vector<std::vector<SyscallRecord>> records_;
 };

@@ -69,6 +69,7 @@ std::optional<Message> Network::Deliver(int dst) {
   Message msg = std::move(box.front());
   box.pop_front();
   recovery_buffer_[static_cast<size_t>(dst)].push_back(msg);
+  ++messages_delivered_;
   return msg;
 }
 
@@ -105,10 +106,18 @@ void Network::RequeueRetained(int dst) {
   auto& box = inbox_[static_cast<size_t>(dst)];
   // Retained messages were delivered before anything still in the inbox, so
   // they go to the front, preserving original order.
+  messages_requeued_ += static_cast<int64_t>(buffer.size());
   for (auto it = buffer.rbegin(); it != buffer.rend(); ++it) {
     box.push_front(*it);
   }
   buffer.clear();
+}
+
+void Network::BindMetrics(ftx_obs::Registry* registry) {
+  registry->RegisterCounterProbe("sim.messages_sent", [this]() { return next_message_id_; });
+  registry->RegisterCounterProbe("sim.messages_delivered", [this]() { return messages_delivered_; });
+  registry->RegisterCounterProbe("sim.messages_requeued", [this]() { return messages_requeued_; });
+  registry->RegisterCounterProbe("sim.bytes_sent", [this]() { return total_bytes_; });
 }
 
 void Network::SetArrivalCallback(int dst, std::function<void()> callback) {

@@ -24,6 +24,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace ftx_sim {
@@ -91,11 +92,17 @@ class Network {
   int64_t total_messages() const { return next_message_id_; }
   int64_t total_bytes() const { return total_bytes_; }
 
+  // Exposes fabric counters through a metrics registry ("sim.messages_sent",
+  // "sim.messages_delivered", "sim.messages_requeued", "sim.bytes_sent").
+  void BindMetrics(ftx_obs::Registry* registry);
+
  private:
   Simulator* sim_;
   NetworkOptions options_;
   int64_t next_message_id_ = 0;
   int64_t total_bytes_ = 0;
+  int64_t messages_delivered_ = 0;
+  int64_t messages_requeued_ = 0;
   // Enforces FIFO per (src, dst) even under jitter: a message never arrives
   // before an earlier message on the same channel.
   std::map<std::pair<int, int>, ftx::TimePoint> last_delivery_;

@@ -3,10 +3,24 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/log.h"
 
 namespace ftx_sim {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  // While this simulator lives, log lines carry its simulated clock.
+  ftx::SetLogSimTimeSource(this, [](const void* owner) {
+    return static_cast<const Simulator*>(owner)->Now().nanos();
+  });
+}
+
+Simulator::~Simulator() { ftx::ClearLogSimTimeSource(this); }
+
+void Simulator::BindMetrics(ftx_obs::Registry* registry) {
+  registry->RegisterCounterProbe("sim.events_executed", [this]() { return events_executed_; });
+  registry->RegisterCounterProbe("sim.events_scheduled", [this]() { return next_seq_; });
+  registry->RegisterGaugeProbe("sim.now_s", [this]() { return now_.seconds(); });
+}
 
 void Simulator::ScheduleAt(ftx::TimePoint t, std::function<void()> fn) {
   FTX_CHECK_MSG(t >= now_, "scheduling into the past: %s < %s", t.ToString().c_str(),

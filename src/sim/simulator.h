@@ -15,15 +15,25 @@
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
 
 namespace ftx_sim {
 
 class Simulator {
  public:
   explicit Simulator(uint64_t seed);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   ftx::TimePoint Now() const { return now_; }
   ftx::Rng& rng() { return rng_; }
+
+  // Exposes the simulator's activity counters and clock through a metrics
+  // registry ("sim.events_executed", "sim.events_scheduled", "sim.now_s").
+  // The simulator must outlive the registry's snapshots.
+  void BindMetrics(ftx_obs::Registry* registry);
 
   // Schedules fn to run at absolute time t (>= Now()).
   void ScheduleAt(ftx::TimePoint t, std::function<void()> fn);

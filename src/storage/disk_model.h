@@ -11,8 +11,10 @@
 #define FTX_SRC_STORAGE_DISK_MODEL_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
 
 namespace ftx_store {
 
@@ -53,6 +55,15 @@ class DiskModel {
   int64_t total_ios() const { return total_ios_; }
   int64_t total_bytes() const { return total_bytes_; }
   const DiskParameters& parameters() const { return params_; }
+
+  // Exposes I/O counters through a metrics registry under
+  // "<prefix>disk.sync_writes" and "<prefix>disk.bytes_written" (prefix is
+  // typically "p<pid>." since each machine owns one disk).
+  void BindMetrics(ftx_obs::Registry* registry, const std::string& prefix) {
+    registry->RegisterCounterProbe(prefix + "disk.sync_writes", [this]() { return total_ios_; });
+    registry->RegisterCounterProbe(prefix + "disk.bytes_written",
+                                   [this]() { return total_bytes_; });
+  }
 
  private:
   ftx::Duration Access(int64_t offset, int64_t bytes);

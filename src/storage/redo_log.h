@@ -11,10 +11,12 @@
 #define FTX_SRC_STORAGE_REDO_LOG_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/obs/metrics.h"
 
 namespace ftx_store {
 
@@ -44,6 +46,16 @@ class RedoLog {
 
   int64_t bytes_written() const { return bytes_written_; }
   int64_t next_sequence() const { return next_sequence_; }
+
+  // Exposes log counters through a metrics registry under
+  // "<prefix>redo.records" and "<prefix>redo.bytes_written" (prefix is
+  // typically "p<pid>." since each process owns one log).
+  void BindMetrics(ftx_obs::Registry* registry, const std::string& prefix) {
+    registry->RegisterCounterProbe(prefix + "redo.records",
+                                   [this]() { return next_sequence_; });
+    registry->RegisterCounterProbe(prefix + "redo.bytes_written",
+                                   [this]() { return bytes_written_; });
+  }
 
  private:
   std::vector<RedoRecord> records_;

@@ -1,0 +1,412 @@
+// Tests for the observability layer: Json document model, the metrics
+// registry (owned + probe-backed instruments), the simulated-timeline
+// tracer and its Chrome trace_event export, the results emitter, and the
+// end-to-end guarantees the layer makes about real computations (registry
+// never diverges from RuntimeStats; crashed processes leave commit and
+// recovery spans on the timeline).
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/computation.h"
+#include "src/core/experiment.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/results.h"
+#include "src/obs/trace_event.h"
+
+namespace {
+
+using ftx_obs::Json;
+
+TEST(JsonTest, ScalarDumpAndTypes) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json(std::string("hi")).Dump(), "\"hi\"");
+  EXPECT_TRUE(Json(1.5).is_number());
+}
+
+TEST(JsonTest, Int64Exactness) {
+  // Values above 2^53 must survive Dump -> Parse without double rounding.
+  const int64_t big = (int64_t{1} << 60) + 3;
+  Json doc = Json::Object();
+  doc.Set("big", big);
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(doc.Dump(), &parsed));
+  ASSERT_NE(parsed.Find("big"), nullptr);
+  EXPECT_EQ(parsed.Find("big")->integer(), big);
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json doc = Json::Object();
+  doc.Set("s", "a\"b\\c\n\t\x01");
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(doc.Dump(), &parsed));
+  EXPECT_EQ(parsed.Find("s")->str(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json doc = Json::Object();
+  doc.Set("zebra", 1).Set("alpha", 2).Set("mid", 3);
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "zebra");
+  EXPECT_EQ(doc.members()[1].first, "alpha");
+  EXPECT_EQ(doc.members()[2].first, "mid");
+  // Set on an existing key overwrites in place.
+  doc.Set("alpha", 9);
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.Find("alpha")->integer(), 9);
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  Json out;
+  EXPECT_FALSE(Json::Parse("", &out));
+  EXPECT_FALSE(Json::Parse("{", &out));
+  EXPECT_FALSE(Json::Parse("[1,]", &out));
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing", &out));
+  EXPECT_FALSE(Json::Parse("'single'", &out));
+  std::string error;
+  EXPECT_FALSE(Json::Parse("{\"a\":}", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, ParseRoundTripsNestedDocument) {
+  Json doc = Json::Object();
+  doc.Set("list", Json::Array().Push(1).Push(2.5).Push("three").Push(Json()));
+  doc.Set("nested", Json::Object().Set("ok", true));
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(doc.Dump(2), &parsed));
+  EXPECT_EQ(parsed.Dump(), doc.Dump());
+}
+
+TEST(MetricsTest, CounterSemantics) {
+  ftx_obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsTest, GaugeSemantics) {
+  ftx_obs::Gauge g;
+  g.Set(10.0);
+  g.Add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  ftx_obs::Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.Observe(5);     // bucket 0 (<= 10)
+  h.Observe(10);    // bucket 0 (bounds are inclusive upper limits)
+  h.Observe(99);    // bucket 1
+  h.Observe(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 5114);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 5000);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_EQ(h.bucket_counts()[1], 1);
+  EXPECT_EQ(h.bucket_counts()[2], 0);
+  EXPECT_EQ(h.bucket_counts()[3], 1);
+}
+
+TEST(MetricsTest, RegistryGetOrCreateReturnsSameInstrument) {
+  ftx_obs::Registry registry;
+  ftx_obs::Counter* a = registry.GetCounter("x.count");
+  ftx_obs::Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(registry.GetCounter("x.count")->value(), 1);
+  EXPECT_TRUE(registry.Contains("x.count"));
+  EXPECT_FALSE(registry.Contains("x.other"));
+}
+
+TEST(MetricsTest, ProbesAreEvaluatedAtSnapshotTime) {
+  ftx_obs::Registry registry;
+  int64_t backing = 7;
+  registry.RegisterCounterProbe("probe.count", [&backing]() { return backing; });
+  EXPECT_EQ(registry.Snapshot().Find("probe.count")->counter, 7);
+  backing = 19;  // no re-registration needed: the closure reads live state
+  EXPECT_EQ(registry.Snapshot().Find("probe.count")->counter, 19);
+}
+
+TEST(MetricsTest, SnapshotTotalCounterAggregatesPerProcessNames) {
+  ftx_obs::Registry registry;
+  registry.GetCounter("p0.dc.commits")->Add(3);
+  registry.GetCounter("p1.dc.commits")->Add(4);
+  registry.GetCounter("p1.dc.rollbacks")->Add(100);
+  EXPECT_EQ(registry.Snapshot().TotalCounter("dc.commits"), 7);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrip) {
+  ftx_obs::Registry registry;
+  registry.GetCounter("a.count")->Add(5);
+  registry.GetGauge("b.level")->Set(2.25);
+  registry.GetHistogram("c.latency_ns", {100, 1000})->Observe(50);
+  registry.GetHistogram("c.latency_ns")->Observe(700);
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(registry.ToJsonString(), &parsed));
+  EXPECT_EQ(parsed.Find("a.count")->integer(), 5);
+  EXPECT_DOUBLE_EQ(parsed.Find("b.level")->number(), 2.25);
+  const Json* hist = parsed.Find("c.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->integer(), 2);
+  EXPECT_EQ(hist->Find("sum")->integer(), 750);
+  EXPECT_EQ(hist->Find("min")->integer(), 50);
+  EXPECT_EQ(hist->Find("max")->integer(), 700);
+  ASSERT_EQ(hist->Find("buckets")->size(), 3u);
+  EXPECT_EQ(hist->Find("buckets")->at(0).integer(), 1);
+  EXPECT_EQ(hist->Find("buckets")->at(1).integer(), 1);
+}
+
+// --- tracer ---
+
+ftx::TimePoint AtNs(int64_t ns) { return ftx::TimePoint() + ftx::Nanoseconds(ns); }
+
+// Asserts the Chrome export invariants every consumer relies on: the
+// document parses, timestamps are monotone in array order, and B/E events
+// are balanced (never negative depth, zero depth at the end) per
+// (pid, tid) track.
+void CheckChromeTraceWellFormed(const ftx_obs::Tracer& tracer) {
+  Json doc;
+  ASSERT_TRUE(Json::Parse(tracer.ToChromeTraceJson(), &doc));
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  double last_ts = -1;
+  std::map<std::pair<int64_t, int64_t>, int> depth;
+  for (const Json& event : events->items()) {
+    const std::string& phase = event.Find("ph")->str();
+    if (phase == "M") {
+      continue;  // metadata events carry no timestamp ordering obligation
+    }
+    double ts = event.Find("ts")->number();
+    EXPECT_GE(ts, last_ts) << "timestamps must be sorted for Perfetto";
+    last_ts = ts;
+    auto track = std::make_pair(event.Find("pid")->integer(), event.Find("tid")->integer());
+    if (phase == "B") {
+      ++depth[track];
+    } else if (phase == "E") {
+      --depth[track];
+      EXPECT_GE(depth[track], 0) << "E without matching B on a track";
+    }
+  }
+  for (const auto& [track, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced B/E on pid=" << track.first << " tid=" << track.second;
+  }
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  ftx_obs::Tracer tracer;
+  tracer.Span(0, ftx_obs::TraceLane::kStep, "app", "step", AtNs(0), AtNs(10));
+  tracer.Instant(0, ftx_obs::TraceLane::kRecovery, "dc", "crash", AtNs(5));
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, SpanAndInstantExport) {
+  ftx_obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.Span(0, ftx_obs::TraceLane::kStep, "app", "step", AtNs(1000), AtNs(3000));
+  tracer.Span(1, ftx_obs::TraceLane::kStorage, "dc", "commit", AtNs(2000), AtNs(2000));
+  tracer.Instant(0, ftx_obs::TraceLane::kRecovery, "dc", "crash", AtNs(2500));
+  CheckChromeTraceWellFormed(tracer);
+
+  Json doc;
+  ASSERT_TRUE(Json::Parse(tracer.ToChromeTraceJson(), &doc));
+  int begins = 0, ends = 0, instants = 0;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    const std::string& phase = event.Find("ph")->str();
+    begins += phase == "B";
+    ends += phase == "E";
+    instants += phase == "i";
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(instants, 1);
+}
+
+TEST(TracerTest, OverlappingSpansOnOneLaneStayBalanced) {
+  // The runtime computes span times from caller-supplied costs; if two
+  // overlap on the same (pid, lane) the exporter must repair them so the
+  // B/E stream stays balanced rather than emitting interleaved pairs.
+  ftx_obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.Span(0, ftx_obs::TraceLane::kStorage, "dc", "commit", AtNs(100), AtNs(300));
+  tracer.Span(0, ftx_obs::TraceLane::kStorage, "dc", "commit", AtNs(200), AtNs(400));
+  tracer.Span(0, ftx_obs::TraceLane::kStorage, "dc", "flush", AtNs(250), AtNs(260));
+  CheckChromeTraceWellFormed(tracer);
+}
+
+TEST(TracerTest, LaneMetadataNamesEveryTrackInUse) {
+  ftx_obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.Span(2, ftx_obs::TraceLane::kCoordination, "dc", "2pc-round(3)", AtNs(0), AtNs(50));
+  Json doc;
+  ASSERT_TRUE(Json::Parse(tracer.ToChromeTraceJson(), &doc));
+  bool found_thread_name = false;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    if (event.Find("ph")->str() == "M" && event.Find("name")->str() == "thread_name") {
+      found_thread_name = true;
+      EXPECT_EQ(event.Find("pid")->integer(), 2);
+    }
+  }
+  EXPECT_TRUE(found_thread_name);
+}
+
+// --- results emitter ---
+
+TEST(ResultsTest, EnvelopeShape) {
+  ftx_obs::ResultsFile results("unit_test_bench");
+  results.SetFullScale(true);
+  results.SetMeta("seed", 7);
+  results.AddRow(Json::Object().Set("workload", "nvi").Set("checkpoints", 12));
+
+  ftx_obs::Registry registry;
+  registry.GetCounter("p0.dc.commits")->Add(12);
+  results.AttachMetricsToLastRow(registry.Snapshot());
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(results.ToJson().Dump(2), &parsed));
+  EXPECT_EQ(parsed.Find("schema")->str(), ftx_obs::kResultsSchemaName);
+  EXPECT_EQ(parsed.Find("schema_version")->integer(), ftx_obs::kResultsSchemaVersion);
+  EXPECT_EQ(parsed.Find("bench")->str(), "unit_test_bench");
+  EXPECT_TRUE(parsed.Find("full_scale")->boolean());
+  EXPECT_EQ(parsed.Find("meta")->Find("seed")->integer(), 7);
+  ASSERT_EQ(parsed.Find("rows")->size(), 1u);
+  const Json& row = parsed.Find("rows")->at(0);
+  EXPECT_EQ(row.Find("checkpoints")->integer(), 12);
+  EXPECT_EQ(row.Find("metrics")->Find("p0.dc.commits")->integer(), 12);
+}
+
+// --- integration with real computations ---
+
+TEST(ObsIntegrationTest, RegistryNeverDivergesFromRuntimeStats) {
+  // The per-process probes read the same RuntimeStats memory stats()
+  // reports, so after a full run (including a crash and recovery) every
+  // probed field must match the struct exactly.
+  ftx::RunSpec spec;
+  spec.workload = "magic";
+  spec.scale = 80;
+  spec.seed = 5;
+  spec.protocol = "cpvs";
+  auto computation = ftx::BuildComputation(spec);
+  computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(20),
+                                   ftx::Milliseconds(1));
+  ftx::ComputationResult result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+
+  ftx_obs::MetricsSnapshot snapshot = computation->metrics().Snapshot();
+  for (int pid = 0; pid < computation->num_processes(); ++pid) {
+    const ftx_dc::RuntimeStats& stats = result.per_process[static_cast<size_t>(pid)];
+    const std::string p = "p" + std::to_string(pid) + ".";
+    auto probed = [&](const std::string& name) {
+      const ftx_obs::MetricValue* value = snapshot.Find(p + name);
+      EXPECT_NE(value, nullptr) << p + name;
+      return value == nullptr ? int64_t{-1} : value->counter;
+    };
+    EXPECT_EQ(probed("dc.commits"), stats.commits);
+    EXPECT_EQ(probed("dc.coordinated_commits"), stats.coordinated_commits);
+    EXPECT_EQ(probed("dc.commit_ns"), stats.commit_time.nanos());
+    EXPECT_EQ(probed("dc.pages_committed"), stats.pages_committed);
+    EXPECT_EQ(probed("dc.bytes_persisted"), stats.bytes_persisted);
+    EXPECT_EQ(probed("dc.events"), stats.events);
+    EXPECT_EQ(probed("dc.nd_events"), stats.nd_events);
+    EXPECT_EQ(probed("dc.visible_events"), stats.visible_events);
+    EXPECT_EQ(probed("dc.sends"), stats.sends);
+    EXPECT_EQ(probed("dc.receives"), stats.receives);
+    EXPECT_EQ(probed("dc.logged_events"), stats.logged_events);
+    EXPECT_EQ(probed("dc.rollbacks"), stats.rollbacks);
+    EXPECT_EQ(probed("dc.recovery_ns"), stats.recovery_time.nanos());
+  }
+
+  // Computation-wide instruments exist and saw traffic.
+  EXPECT_GT(snapshot.Find("sim.events_executed")->counter, 0);
+  EXPECT_GT(snapshot.Find("kernel.syscalls")->counter, 0);
+  EXPECT_EQ(snapshot.TotalCounter("dc.rollbacks"), result.total_rollbacks);
+  EXPECT_EQ(snapshot.TotalCounter("dc.commits"), result.total_commits);
+}
+
+TEST(ObsIntegrationTest, CrashedProcessLeavesCommitAndRecoverySpans) {
+  // Acceptance criterion: a recoverable run with a mid-run failure exports
+  // a Chrome trace containing at least one commit span and at least one
+  // recovery span for every crashed process.
+  ftx::RunSpec spec;
+  spec.workload = "postgres";
+  spec.scale = 200;
+  spec.seed = 3;
+  spec.protocol = "cpvs";
+  auto computation = ftx::BuildComputation(spec);
+  computation->tracer().SetEnabled(true);
+  const int kCrashedPid = 0;
+  computation->ScheduleStopFailure(kCrashedPid, ftx::TimePoint() + ftx::Milliseconds(30),
+                                   ftx::Milliseconds(1));
+  ftx::ComputationResult result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+
+  CheckChromeTraceWellFormed(computation->tracer());
+
+  Json doc;
+  ASSERT_TRUE(Json::Parse(computation->tracer().ToChromeTraceJson(), &doc));
+  int commit_spans = 0;
+  int recovery_spans = 0;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    if (event.Find("ph")->str() != "B" || event.Find("pid")->integer() != kCrashedPid) {
+      continue;
+    }
+    const std::string& name = event.Find("name")->str();
+    commit_spans += name.rfind("commit", 0) == 0;
+    recovery_spans += name == "recover" || name == "restart";
+  }
+  EXPECT_GE(commit_spans, 1);
+  EXPECT_GE(recovery_spans, 1);
+}
+
+TEST(ObsIntegrationTest, BaselineModeRegistersMetricsButNoSpans) {
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 30;
+  spec.seed = 2;
+  spec.mode = ftx_dc::RuntimeMode::kBaseline;
+  auto computation = ftx::BuildComputation(spec);
+  computation->tracer().SetEnabled(true);
+  ftx::ComputationResult result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+  ftx_obs::MetricsSnapshot snapshot = computation->metrics().Snapshot();
+  EXPECT_EQ(snapshot.TotalCounter("dc.commits"), 0);
+  // Per-process probes are registered even in baseline mode (baseline runs
+  // skip event accounting, so the values stay zero but the names exist).
+  EXPECT_NE(snapshot.Find("p0.dc.events"), nullptr);
+  EXPECT_GT(snapshot.Find("sim.events_executed")->counter, 0);
+  // Baseline runs never commit or recover; only step spans may appear.
+  for (const ftx_obs::TraceEvent& event : computation->tracer().events()) {
+    EXPECT_EQ(event.lane, ftx_obs::TraceLane::kStep);
+  }
+}
+
+TEST(ObsIntegrationTest, RunOutputCarriesMetricsSnapshot) {
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 30;
+  spec.seed = 2;
+  spec.protocol = "cand";
+  ftx::RunOutput output = ftx::RunExperiment(spec);
+  EXPECT_EQ(output.metrics.TotalCounter("dc.commits"), output.checkpoints);
+}
+
+}  // namespace
