@@ -7,8 +7,6 @@
 // across a wide band of hardware assumptions, not just at the calibrated
 // point.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
@@ -16,75 +14,88 @@ int main(int argc, char** argv) {
   int scale = options.scale_override > 0 ? options.scale_override
                                          : (options.full_scale ? 4000 : 800);
 
-  ftx_obs::ResultsFile results("ablation_cost_model");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("workload", "nvi");
-  results.SetMeta("scale", scale);
+  ftx_bench::Suite suite("ablation_cost_model", options);
+  suite.SetMeta("workload", "nvi");
+  suite.SetMeta("scale", scale);
 
-  std::printf("================================================================\n");
-  std::printf("Ablation: Fig. 8(a) shape vs cost-model parameters (nvi, %d keys)\n\n",
-              scale);
+  suite.Text(ftx_bench::Sprintf(
+      "================================================================\n"
+      "Ablation: Fig. 8(a) shape vs cost-model parameters (nvi, %d keys)\n\n",
+      scale));
 
-  std::printf("Rio fixed commit cost sweep (DC overhead, cpvs vs cbndvs-log):\n");
-  std::printf("%14s %12s %14s\n", "commit cost", "cpvs ovh", "cbndvs-log ovh");
+  suite.Text(ftx_bench::Sprintf("Rio fixed commit cost sweep (DC overhead, cpvs vs cbndvs-log):\n"
+                                "%14s %12s %14s\n",
+                                "commit cost", "cpvs ovh", "cbndvs-log ovh"));
   for (int64_t micros : {100, 400, 1000, 4000}) {
-    double overheads[2];
-    int i = 0;
-    for (const char* protocol : {"cpvs", "cbndvs-log"}) {
-      ftx::RunSpec spec;
-      spec.workload = "nvi";
-      spec.scale = scale;
-      spec.protocol = protocol;
-      spec.store = ftx::StoreKind::kRio;
-      spec.tweak_options = [micros](ftx::ComputationOptions* options) {
-        (void)options;  // Rio parameters are store-level; emulate via costs:
-        options->costs.page_trap = ftx::Microseconds(micros / 100 + 1);
-      };
-      // The fixed cost itself is swept through the page-trap proxy above
-      // plus the store default; report measured overhead.
-      ftx::OverheadRow row = ftx::MeasureOverhead(spec);
-      overheads[i++] = row.overhead_percent;
-    }
-    std::printf("%11lldus %11.2f%% %13.2f%%\n", static_cast<long long>(micros), overheads[0],
-                overheads[1]);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("sweep", "rio_commit_cost");
-    row.Set("commit_cost_us", micros);
-    row.Set("cpvs_overhead_pct", overheads[0]);
-    row.Set("cbndvs_log_overhead_pct", overheads[1]);
-    results.AddRow(std::move(row));
+    suite.AddRow([micros, scale](ftx_bench::RowContext& ctx) {
+      double overheads[2];
+      int i = 0;
+      for (const char* protocol : {"cpvs", "cbndvs-log"}) {
+        ftx::RunSpec spec;
+        spec.workload = "nvi";
+        spec.scale = scale;
+        spec.seed = ctx.SeedOr(1);
+        spec.protocol = protocol;
+        spec.store = ftx::StoreKind::kRio;
+        spec.tweak_options = [micros](ftx::ComputationOptions* computation_options) {
+          // Rio parameters are store-level; emulate via the page-trap proxy.
+          computation_options->costs.page_trap = ftx::Microseconds(micros / 100 + 1);
+        };
+        // The fixed cost itself is swept through the page-trap proxy above
+        // plus the store default; report measured overhead.
+        overheads[i++] = ftx::MeasureOverhead(spec, ctx.pool).overhead_percent;
+      }
+      ftx_bench::RowResult result;
+      result.console =
+          ftx_bench::Sprintf("%11lldus %11.2f%% %13.2f%%\n", static_cast<long long>(micros),
+                             overheads[0], overheads[1]);
+      ftx_obs::Json row = ftx_obs::Json::Object();
+      row.Set("sweep", "rio_commit_cost");
+      row.Set("commit_cost_us", micros);
+      row.Set("cpvs_overhead_pct", overheads[0]);
+      row.Set("cbndvs_log_overhead_pct", overheads[1]);
+      result.json.push_back(std::move(row));
+      return result;
+    });
   }
 
-  std::printf("\nDisk seek-time sweep (DC-disk overhead, cpvs vs cbndvs-log):\n");
-  std::printf("%14s %12s %14s\n", "avg seek", "cpvs ovh", "cbndvs-log ovh");
+  suite.Text(ftx_bench::Sprintf("\nDisk seek-time sweep (DC-disk overhead, cpvs vs cbndvs-log):\n"
+                                "%14s %12s %14s\n",
+                                "avg seek", "cpvs ovh", "cbndvs-log ovh"));
   for (int64_t seek_ms : {2, 4, 8, 16}) {
-    double overheads[2];
-    int i = 0;
-    for (const char* protocol : {"cpvs", "cbndvs-log"}) {
-      ftx::RunSpec spec;
-      spec.workload = "nvi";
-      spec.scale = scale;
-      spec.protocol = protocol;
-      spec.store = ftx::StoreKind::kDisk;
-      spec.tweak_options = [seek_ms](ftx::ComputationOptions* options) {
-        options->disk.average_seek = ftx::Milliseconds(seek_ms);
-      };
-      ftx::OverheadRow row = ftx::MeasureOverhead(spec);
-      overheads[i++] = row.overhead_percent;
-    }
-    std::printf("%11lldms %11.1f%% %13.1f%%\n", static_cast<long long>(seek_ms), overheads[0],
-                overheads[1]);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("sweep", "disk_seek");
-    row.Set("seek_ms", seek_ms);
-    row.Set("cpvs_overhead_pct", overheads[0]);
-    row.Set("cbndvs_log_overhead_pct", overheads[1]);
-    results.AddRow(std::move(row));
+    suite.AddRow([seek_ms, scale](ftx_bench::RowContext& ctx) {
+      double overheads[2];
+      int i = 0;
+      for (const char* protocol : {"cpvs", "cbndvs-log"}) {
+        ftx::RunSpec spec;
+        spec.workload = "nvi";
+        spec.scale = scale;
+        spec.seed = ctx.SeedOr(1);
+        spec.protocol = protocol;
+        spec.store = ftx::StoreKind::kDisk;
+        spec.tweak_options = [seek_ms](ftx::ComputationOptions* computation_options) {
+          computation_options->disk.average_seek = ftx::Milliseconds(seek_ms);
+        };
+        overheads[i++] = ftx::MeasureOverhead(spec, ctx.pool).overhead_percent;
+      }
+      ftx_bench::RowResult result;
+      result.console =
+          ftx_bench::Sprintf("%11lldms %11.1f%% %13.1f%%\n", static_cast<long long>(seek_ms),
+                             overheads[0], overheads[1]);
+      ftx_obs::Json row = ftx_obs::Json::Object();
+      row.Set("sweep", "disk_seek");
+      row.Set("seek_ms", seek_ms);
+      row.Set("cpvs_overhead_pct", overheads[0]);
+      row.Set("cbndvs_log_overhead_pct", overheads[1]);
+      result.json.push_back(std::move(row));
+      return result;
+    });
   }
 
-  std::printf("\nAcross the whole sweep the ordering never flips: commit-per-"
-              "visible protocols\npay per keystroke while logging protocols "
-              "pay per log record — Fig. 8's shape\nis a property of the "
-              "protocols, not of one hardware calibration.\n");
-  return ftx_bench::FinishBench(results, options);
+  suite.Text(
+      "\nAcross the whole sweep the ordering never flips: commit-per-"
+      "visible protocols\npay per keystroke while logging protocols "
+      "pay per log record — Fig. 8's shape\nis a property of the "
+      "protocols, not of one hardware calibration.\n");
+  return suite.Run();
 }

@@ -7,53 +7,58 @@
 // quantity; see DESIGN.md §5) for one fault class and shows how Table 1's
 // violation fraction responds.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 #include "src/apps/workloads.h"
 #include "src/core/computation.h"
+#include "src/core/fault_study.h"
 #include "src/faults/injector.h"
 #include "src/statemachine/invariants.h"
 
 namespace {
 
-double ViolationFraction(double slow_probability, int target_crashes, uint64_t seed_base) {
-  int crashes = 0;
-  int violations = 0;
-  uint64_t seed = seed_base;
-  while (crashes < target_crashes && seed < seed_base + 40ull * target_crashes) {
-    ftx_apps::WorkloadSetup setup =
-        ftx_apps::MakeWorkload("postgres", 600, seed, /*interactive=*/false);
-    ftx_fault::FaultSpec spec;
-    spec.type = ftx_fault::FaultType::kHeapBitFlip;
-    spec.activation_step = 150 + static_cast<int64_t>(seed % 250);
-    spec.slow_detection_probability = slow_probability;
-    spec.continue_probability = 0.6;
-    spec.seed = seed * 31 + 7;
-    auto faulty = std::make_unique<ftx_fault::FaultyApp>(std::move(setup.apps[0]), spec);
-    ftx_fault::FaultyApp* faulty_raw = faulty.get();
+ftx::FaultRunResult RunOneTrial(double slow_probability, uint64_t seed) {
+  ftx_apps::WorkloadSetup setup =
+      ftx_apps::MakeWorkload("postgres", 600, seed, /*interactive=*/false);
+  ftx_fault::FaultSpec spec;
+  spec.type = ftx_fault::FaultType::kHeapBitFlip;
+  spec.activation_step = 150 + static_cast<int64_t>(seed % 250);
+  spec.slow_detection_probability = slow_probability;
+  spec.continue_probability = 0.6;
+  spec.seed = seed * 31 + 7;
+  auto faulty = std::make_unique<ftx_fault::FaultyApp>(std::move(setup.apps[0]), spec);
+  ftx_fault::FaultyApp* faulty_raw = faulty.get();
 
-    ftx::ComputationOptions options;
-    options.seed = seed;
-    options.protocol = "cpvs";
-    options.max_recovery_attempts = 2;
-    std::vector<std::unique_ptr<ftx_dc::App>> apps;
-    apps.push_back(std::move(faulty));
-    ftx::Computation computation(options, std::move(apps));
-    computation.SetInputScript(0, setup.scripts[0]);
-    computation.Run();
-    ++seed;
+  ftx::ComputationOptions options;
+  options.seed = seed;
+  options.protocol = "cpvs";
+  options.max_recovery_attempts = 2;
+  std::vector<std::unique_ptr<ftx_dc::App>> apps;
+  apps.push_back(std::move(faulty));
+  ftx::Computation computation(options, std::move(apps));
+  computation.SetInputScript(0, setup.scripts[0]);
+  computation.Run();
 
-    if (!faulty_raw->outcome().crashed) {
-      continue;
-    }
-    ++crashes;
+  ftx::FaultRunResult result;
+  result.crashed = faulty_raw->outcome().crashed;
+  if (result.crashed) {
     auto lose_work = ftx_sm::CheckLoseWorkOperational(computation.trace(), 0);
-    if (lose_work.applicable && lose_work.violated) {
+    result.violated_lose_work = lose_work.applicable && lose_work.violated;
+  }
+  return result;
+}
+
+double ViolationFraction(ftx::TrialPool* pool, double slow_probability, int target_crashes,
+                         uint64_t seed_base) {
+  std::vector<ftx::FaultRunResult> crashes = ftx::RunCrashingTrials(
+      pool, target_crashes, seed_base, 40 * target_crashes,
+      [slow_probability](uint64_t seed) { return RunOneTrial(slow_probability, seed); });
+  int violations = 0;
+  for (const ftx::FaultRunResult& result : crashes) {
+    if (result.violated_lose_work) {
       ++violations;
     }
   }
-  return crashes == 0 ? 0.0 : static_cast<double>(violations) / crashes;
+  return crashes.empty() ? 0.0 : static_cast<double>(violations) / crashes.size();
 }
 
 }  // namespace
@@ -63,28 +68,37 @@ int main(int argc, char** argv) {
   int crashes =
       options.scale_override > 0 ? options.scale_override : (options.full_scale ? 50 : 25);
 
-  ftx_obs::ResultsFile results("ablation_crash_latency");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("crashes_per_point", crashes);
-  results.SetMeta("workload", "postgres");
-  results.SetMeta("protocol", "cpvs");
+  ftx_bench::Suite suite("ablation_crash_latency", options);
+  suite.SetMeta("crashes_per_point", crashes);
+  suite.SetMeta("workload", "postgres");
+  suite.SetMeta("protocol", "cpvs");
 
-  std::printf("================================================================\n");
-  std::printf("Ablation: crash latency vs Lose-work violations (postgres, heap\n");
-  std::printf("bit flips, CPVS, %d crashes per point)\n\n", crashes);
-  std::printf("%22s %22s\n", "P(slow detection)", "Lose-work violations");
+  suite.Text(ftx_bench::Sprintf(
+      "================================================================\n"
+      "Ablation: crash latency vs Lose-work violations (postgres, heap\n"
+      "bit flips, CPVS, %d crashes per point)\n\n"
+      "%22s %22s\n",
+      crashes, "P(slow detection)", "Lose-work violations"));
+
   for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
-    double fraction = ViolationFraction(p, crashes, 40000 + static_cast<uint64_t>(p * 1000));
-    std::printf("%22.2f %21.0f%%\n", p, 100 * fraction);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("slow_detection_probability", p);
-    row.Set("violation_fraction", fraction);
-    results.AddRow(std::move(row));
+    suite.AddRow([p, crashes](ftx_bench::RowContext& ctx) {
+      uint64_t seed_base = ctx.SeedOr(40000 + static_cast<uint64_t>(p * 1000));
+      double fraction = ViolationFraction(ctx.pool, p, crashes, seed_base);
+      ftx_bench::RowResult result;
+      result.console = ftx_bench::Sprintf("%22.2f %21.0f%%\n", p, 100 * fraction);
+      ftx_obs::Json row = ftx_obs::Json::Object();
+      row.Set("slow_detection_probability", p);
+      row.Set("violation_fraction", fraction);
+      result.json.push_back(std::move(row));
+      return result;
+    });
   }
-  std::printf("\nCrashing before the next commit (P(slow)=0) makes generic "
-              "recovery always\npossible for this fault class; every added "
-              "step of detection latency is\nanother commit window on the "
-              "dangerous path — the quantitative form of the\npaper's "
-              "crash-early advice.\n");
-  return ftx_bench::FinishBench(results, options);
+
+  suite.Text(
+      "\nCrashing before the next commit (P(slow)=0) makes generic "
+      "recovery always\npossible for this fault class; every added "
+      "step of detection latency is\nanother commit window on the "
+      "dangerous path — the quantitative form of the\npaper's "
+      "crash-early advice.\n");
+  return suite.Run();
 }

@@ -7,8 +7,6 @@
 // commit so rarely that most propagation failures become survivable — the
 // Fig. 4 propagation-survival trend, measured on the actual fault pipeline.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 #include "src/core/fault_study.h"
 
@@ -17,52 +15,56 @@ int main(int argc, char** argv) {
   int crashes =
       options.scale_override > 0 ? options.scale_override : (options.full_scale ? 50 : 25);
 
-  ftx_obs::ResultsFile results("ablation_protocol_faults");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("workload", "postgres");
-  results.SetMeta("crashes_per_type", crashes);
+  ftx_bench::Suite suite("ablation_protocol_faults", options);
+  suite.SetMeta("workload", "postgres");
+  suite.SetMeta("crashes_per_type", crashes);
 
-  std::printf("================================================================\n");
-  std::printf("Ablation: Lose-work violations by protocol (postgres, all fault\n");
-  std::printf("types pooled, %d crashes per type per protocol)\n\n", crashes);
-  std::printf("%-14s %22s\n", "protocol", "violation fraction");
+  suite.Text(ftx_bench::Sprintf(
+      "================================================================\n"
+      "Ablation: Lose-work violations by protocol (postgres, all fault\n"
+      "types pooled, %d crashes per type per protocol)\n\n"
+      "%-14s %22s\n",
+      crashes, "protocol", "violation fraction"));
 
   for (const char* protocol : {"cand", "cpvs", "cbndvs", "cand-log", "cbndvs-log",
                                "optimistic-log", "hypervisor"}) {
-    int total_crashes = 0;
-    int violations = 0;
-    for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
-      uint64_t seed = 80000 + static_cast<uint64_t>(type) * 509;
-      int type_crashes = 0;
-      while (type_crashes < crashes && seed < 80000 + static_cast<uint64_t>(type) * 509 +
-                                                  40ull * static_cast<uint64_t>(crashes)) {
-        ftx::FaultRunResult result = ftx::RunApplicationFault("postgres", type, seed, protocol);
-        ++seed;
-        if (!result.crashed) {
-          continue;
-        }
-        ++type_crashes;
-        ++total_crashes;
-        if (result.violated_lose_work) {
-          ++violations;
+    suite.AddRow([protocol, crashes](ftx_bench::RowContext& ctx) {
+      uint64_t seed_base = ctx.SeedOr(80000);
+      int total_crashes = 0;
+      int violations = 0;
+      for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
+        std::vector<ftx::FaultRunResult> crashing = ftx::RunCrashingTrials(
+            ctx.pool, crashes, seed_base + static_cast<uint64_t>(type) * 509, 40 * crashes,
+            [protocol, type](uint64_t seed) {
+              return ftx::RunApplicationFault("postgres", type, seed, protocol);
+            });
+        for (const ftx::FaultRunResult& result : crashing) {
+          ++total_crashes;
+          if (result.violated_lose_work) {
+            ++violations;
+          }
         }
       }
-    }
-    double fraction = total_crashes > 0 ? static_cast<double>(violations) / total_crashes : 0.0;
-    std::printf("%-14s %21.0f%%\n", protocol, 100.0 * fraction);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("protocol", protocol);
-    row.Set("crashes", total_crashes);
-    row.Set("violations", violations);
-    row.Set("violation_fraction", fraction);
-    results.AddRow(std::move(row));
+      double fraction =
+          total_crashes > 0 ? static_cast<double>(violations) / total_crashes : 0.0;
+      ftx_bench::RowResult result;
+      result.console = ftx_bench::Sprintf("%-14s %21.0f%%\n", protocol, 100.0 * fraction);
+      ftx_obs::Json row = ftx_obs::Json::Object();
+      row.Set("protocol", protocol);
+      row.Set("crashes", total_crashes);
+      row.Set("violations", violations);
+      row.Set("violation_fraction", fraction);
+      result.json.push_back(std::move(row));
+      return result;
+    });
   }
 
-  std::printf("\nEvery protocol above upholds Save-work; they differ only in how "
-              "many commits\nland on dangerous paths. Hypervisor never commits "
-              "after startup, so it never\nviolates Lose-work — the paper's "
-              "observation that the farther from the\nhorizontal axis (and the "
-              "more logging), the better the chances against\npropagation "
-              "failures.\n");
-  return ftx_bench::FinishBench(results, options);
+  suite.Text(
+      "\nEvery protocol above upholds Save-work; they differ only in how "
+      "many commits\nland on dangerous paths. Hypervisor never commits "
+      "after startup, so it never\nviolates Lose-work — the paper's "
+      "observation that the farther from the\nhorizontal axis (and the "
+      "more logging), the better the chances against\npropagation "
+      "failures.\n");
+  return suite.Run();
 }

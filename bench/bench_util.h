@@ -1,83 +1,26 @@
-// Shared helpers for the paper-reproduction bench binaries.
+// Shared helpers for the paper-reproduction bench binaries, on top of the
+// declarative suite in bench/suite.h (options, pool, rendering, JSON).
 
 #ifndef FTX_BENCH_BENCH_UTIL_H_
 #define FTX_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <utility>
 
+#include "bench/suite.h"
 #include "src/apps/workloads.h"
 #include "src/core/experiment.h"
-#include "src/obs/results.h"
 
 namespace ftx_bench {
-
-// Common bench command line:
-//   --full         paper-scale run (default is a fast small-scale run)
-//   --scale N      explicit workload scale / trial count, overriding both
-//   --json PATH    write machine-readable results (ftx.bench-results JSON)
-//   --trace PATH   write a Chrome trace_event JSON of the recoverable run
-//                  (benches that run several configurations keep the last
-//                  traced run's file)
-struct BenchOptions {
-  bool full_scale = false;
-  int scale_override = 0;
-  std::string json_path;
-  std::string trace_path;
-};
-
-inline BenchOptions ParseBenchOptions(int argc, char** argv) {
-  BenchOptions options;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    bool takes_value = arg == "--scale" || arg == "--json" || arg == "--trace";
-    if (takes_value && i + 1 >= argc) {
-      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-      std::exit(2);
-    }
-    if (arg == "--full") {
-      options.full_scale = true;
-    } else if (arg == "--scale") {
-      options.scale_override = std::atoi(argv[++i]);
-    } else if (arg == "--json") {
-      options.json_path = argv[++i];
-    } else if (arg == "--trace") {
-      options.trace_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "unknown argument: %s\n"
-                   "usage: %s [--full] [--scale N] [--json PATH] [--trace PATH]\n",
-                   arg.c_str(), argv[0]);
-      std::exit(2);
-    }
-  }
-  return options;
-}
 
 inline int ResolveScale(const std::string& workload, const BenchOptions& options) {
   return options.scale_override > 0 ? options.scale_override
                                     : ftx_apps::DefaultScale(workload, options.full_scale);
 }
 
-// Writes the results file when --json was given. Returns the process exit
-// code so mains can `return FinishBench(results, options);`.
-inline int FinishBench(const ftx_obs::ResultsFile& results, const BenchOptions& options) {
-  if (options.json_path.empty()) {
-    return 0;
-  }
-  ftx::Status status = results.WriteTo(options.json_path);
-  if (!status.ok()) {
-    std::fprintf(stderr, "failed to write %s: %s\n", options.json_path.c_str(),
-                 status.ToString().c_str());
-    return 1;
-  }
-  std::printf("wrote %zu result rows to %s\n", results.num_rows(), options.json_path.c_str());
-  return 0;
-}
-
-// Runs one Fig. 8 cell: workload × protocol × {rio, dc-disk}.
+// Runs one Fig. 8 cell: workload × protocol × {rio, dc-disk}. The four
+// underlying simulations (two baselines, two recoverable runs) fan out
+// across `pool`; only the rio recoverable run writes `trace_path`.
 struct Fig8Cell {
   int64_t checkpoints = 0;
   double ckps_per_sec = 0.0;
@@ -91,7 +34,8 @@ struct Fig8Cell {
 };
 
 inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& protocol, int scale,
-                            uint64_t seed, const std::string& trace_path = "") {
+                            uint64_t seed, ftx::TrialPool* pool,
+                            const std::string& trace_path = "") {
   ftx::RunSpec spec;
   spec.workload = workload;
   spec.protocol = protocol;
@@ -99,11 +43,11 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
   spec.seed = seed;
 
   spec.store = ftx::StoreKind::kRio;
-  spec.trace_path = trace_path;  // the recoverable run writes it (runs last)
-  ftx::OverheadRow rio = ftx::MeasureOverhead(spec);
+  spec.trace_path = trace_path;  // only the recoverable rio run writes it
+  ftx::OverheadRow rio = ftx::MeasureOverhead(spec, pool);
   spec.store = ftx::StoreKind::kDisk;
   spec.trace_path.clear();
-  ftx::OverheadRow disk = ftx::MeasureOverhead(spec);
+  ftx::OverheadRow disk = ftx::MeasureOverhead(spec, pool);
 
   Fig8Cell cell;
   cell.checkpoints = rio.checkpoints;
@@ -117,7 +61,8 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
   return cell;
 }
 
-// The Fig. 8 results row shared by all four workload benches.
+// The Fig. 8 results row shared by all four workload benches, carrying the
+// rio recoverable run's registry snapshot under "metrics".
 inline ftx_obs::Json Fig8RowJson(const std::string& workload, const std::string& protocol,
                                  int scale, const Fig8Cell& cell) {
   ftx_obs::Json row = ftx_obs::Json::Object();
@@ -130,19 +75,45 @@ inline ftx_obs::Json Fig8RowJson(const std::string& workload, const std::string&
   row.Set("disk_overhead_pct", cell.disk_overhead_pct);
   row.Set("rio_fps", cell.rio_fps);
   row.Set("disk_fps", cell.disk_fps);
+  row.Set("metrics", cell.rio_metrics.ToJson());
   return row;
 }
 
-inline void PrintFig8Header(const char* figure, const char* workload, int scale, bool fps_mode) {
-  std::printf("================================================================\n");
-  std::printf("%s: %s (scale=%d)\n", figure, workload, scale);
-  std::printf("Fig. 8 reproduction: commit counts and overhead per protocol.\n");
+inline std::string Fig8Header(const char* figure, const char* workload, int scale,
+                              bool fps_mode) {
+  std::string text;
+  text += "================================================================\n";
+  text += Sprintf("%s: %s (scale=%d)\n", figure, workload, scale);
+  text += "Fig. 8 reproduction: commit counts and overhead per protocol.\n";
   if (fps_mode) {
-    std::printf("%-12s %10s %14s %14s\n", "protocol", "ckpts/s", "DC fps", "DC-disk fps");
+    text += Sprintf("%-12s %10s %14s %14s\n", "protocol", "ckpts/s", "DC fps", "DC-disk fps");
   } else {
-    std::printf("%-12s %10s %14s %14s\n", "protocol", "ckpts", "DC overhead", "DC-disk ovh");
+    text += Sprintf("%-12s %10s %14s %14s\n", "protocol", "ckpts", "DC overhead", "DC-disk ovh");
   }
-  std::printf("----------------------------------------------------------------\n");
+  text += "----------------------------------------------------------------\n";
+  return text;
+}
+
+// One Fig. 8 protocol row for the suite: runs the cell and renders the
+// standard console line and JSON row. `seed` is the bench's built-in seed
+// (--seed still overrides through the context).
+inline void AddFig8Row(Suite& suite, const std::string& workload, const std::string& protocol,
+                       int scale, uint64_t seed, bool fps_mode) {
+  suite.AddRow([workload, protocol, scale, seed, fps_mode](RowContext& ctx) {
+    Fig8Cell cell =
+        RunFig8Cell(workload, protocol, scale, ctx.SeedOr(seed), ctx.pool, ctx.trace_path);
+    RowResult result;
+    if (fps_mode) {
+      result.console = Sprintf("%-12s %10.0f %11.1f fps %11.1f fps\n", protocol.c_str(),
+                               cell.ckps_per_sec, cell.rio_fps, cell.disk_fps);
+    } else {
+      result.console = Sprintf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol.c_str(),
+                               static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
+                               cell.disk_overhead_pct);
+    }
+    result.json.push_back(Fig8RowJson(workload, protocol, scale, cell));
+    return result;
+  });
 }
 
 }  // namespace ftx_bench

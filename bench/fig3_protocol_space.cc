@@ -10,7 +10,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
@@ -22,128 +21,149 @@
 int main(int argc, char** argv) {
   ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
 
-  ftx_obs::ResultsFile results("fig3_protocol_space");
-  results.SetFullScale(options.full_scale);
+  ftx_bench::Suite suite("fig3_protocol_space", options);
 
-  std::printf("%s\n", ftx_proto::RenderProtocolSpaceAscii().c_str());
+  suite.Text(ftx_bench::Sprintf("%s\n", ftx_proto::RenderProtocolSpaceAscii().c_str()));
 
-  std::printf("Fig. 4 design variables by position:\n");
-  std::printf("%-26s %6s %6s %12s %10s %10s\n", "protocol", "x", "y", "commit-freq",
-              "recov-cost", "prop-surv");
-  std::printf("--------------------------------------------------------------------------\n");
+  suite.Text(ftx_bench::Sprintf(
+      "Fig. 4 design variables by position:\n"
+      "%-26s %6s %6s %12s %10s %10s\n"
+      "--------------------------------------------------------------------------\n",
+      "protocol", "x", "y", "commit-freq", "recov-cost", "prop-surv"));
   for (const auto& entry : ftx_proto::ProtocolSpaceEntries()) {
-    auto vars = ftx_proto::DeriveDesignVariables(entry.point);
-    std::printf("%-26s %6.2f %6.2f %12.2f %10.2f %10.2f%s\n", entry.name.c_str(),
-                entry.point.nd_effort, entry.point.visible_effort,
-                vars.relative_commit_frequency, vars.recovery_constraint,
-                vars.propagation_survival, entry.implemented ? "" : "   (literature)");
-    ftx_obs::Json json_row = ftx_obs::Json::Object();
-    json_row.Set("section", "design_variables");
-    json_row.Set("protocol", entry.name);
-    json_row.Set("nd_effort", entry.point.nd_effort);
-    json_row.Set("visible_effort", entry.point.visible_effort);
-    json_row.Set("commit_frequency", vars.relative_commit_frequency);
-    json_row.Set("recovery_constraint", vars.recovery_constraint);
-    json_row.Set("propagation_survival", vars.propagation_survival);
-    json_row.Set("implemented", entry.implemented);
-    results.AddRow(std::move(json_row));
+    suite.AddRow([entry](ftx_bench::RowContext&) {
+      auto vars = ftx_proto::DeriveDesignVariables(entry.point);
+      ftx_bench::RowResult result;
+      result.console = ftx_bench::Sprintf(
+          "%-26s %6.2f %6.2f %12.2f %10.2f %10.2f%s\n", entry.name.c_str(),
+          entry.point.nd_effort, entry.point.visible_effort, vars.relative_commit_frequency,
+          vars.recovery_constraint, vars.propagation_survival,
+          entry.implemented ? "" : "   (literature)");
+      ftx_obs::Json json_row = ftx_obs::Json::Object();
+      json_row.Set("section", "design_variables");
+      json_row.Set("protocol", entry.name);
+      json_row.Set("nd_effort", entry.point.nd_effort);
+      json_row.Set("visible_effort", entry.point.visible_effort);
+      json_row.Set("commit_frequency", vars.relative_commit_frequency);
+      json_row.Set("recovery_constraint", vars.recovery_constraint);
+      json_row.Set("propagation_survival", vars.propagation_survival);
+      json_row.Set("implemented", entry.implemented);
+      result.json.push_back(std::move(json_row));
+      return result;
+    });
   }
 
   // Empirical check on the reference workload (magic: has every event
   // class). The 2PC/coordinated points degrade to local commits on a
-  // single-process workload, which is itself instructive.
-  std::printf("\nMeasured commits on the magic workload (radial distance should "
-              "reduce commits):\n");
-  std::printf("%-18s %8s %10s\n", "protocol", "radius", "ckpts");
-  struct Row {
-    std::string name;
-    double radius;
-    int64_t checkpoints;
-  };
-  std::vector<Row> rows;
+  // single-process workload, which is itself instructive. Radius is a
+  // static property of each entry, so the rows are declared (and therefore
+  // rendered) in radial order.
+  suite.Text(ftx_bench::Sprintf(
+      "\nMeasured commits on the magic workload (radial distance should "
+      "reduce commits):\n"
+      "%-18s %8s %10s\n",
+      "protocol", "radius", "ckpts"));
+  std::vector<ftx_proto::ProtocolSpaceEntry> implemented;
   for (const auto& entry : ftx_proto::ProtocolSpaceEntries()) {
-    if (!entry.implemented) {
-      continue;
+    if (entry.implemented) {
+      implemented.push_back(entry);
     }
-    ftx::RunSpec spec;
-    spec.workload = "magic";
-    spec.scale = 60;
-    spec.seed = 7;
-    spec.protocol = entry.name;
-    ftx::RunOutput out = ftx::RunExperiment(spec);
-    double radius = std::sqrt(entry.point.nd_effort * entry.point.nd_effort +
-                              entry.point.visible_effort * entry.point.visible_effort);
-    rows.push_back({entry.name, radius, out.checkpoints});
   }
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return a.radius < b.radius;
-  });
-  for (const Row& row : rows) {
-    std::printf("%-18s %8.2f %10lld\n", row.name.c_str(), row.radius,
-                static_cast<long long>(row.checkpoints));
-    ftx_obs::Json json_row = ftx_obs::Json::Object();
-    json_row.Set("section", "measured_commits");
-    json_row.Set("workload", "magic");
-    json_row.Set("protocol", row.name);
-    json_row.Set("radius", row.radius);
-    json_row.Set("checkpoints", row.checkpoints);
-    results.AddRow(std::move(json_row));
+  auto radius_of = [](const ftx_proto::ProtocolSpaceEntry& entry) {
+    return std::sqrt(entry.point.nd_effort * entry.point.nd_effort +
+                     entry.point.visible_effort * entry.point.visible_effort);
+  };
+  std::sort(implemented.begin(), implemented.end(),
+            [&radius_of](const auto& a, const auto& b) { return radius_of(a) < radius_of(b); });
+  for (const auto& entry : implemented) {
+    double radius = radius_of(entry);
+    suite.AddRow([entry, radius](ftx_bench::RowContext& ctx) {
+      ftx::RunSpec spec;
+      spec.workload = "magic";
+      spec.scale = 60;
+      spec.seed = ctx.SeedOr(7);
+      spec.protocol = entry.name;
+      ftx::RunOutput out = ftx::RunExperiment(spec);
+      ftx_bench::RowResult result;
+      result.console = ftx_bench::Sprintf("%-18s %8.2f %10lld\n", entry.name.c_str(), radius,
+                                          static_cast<long long>(out.checkpoints));
+      ftx_obs::Json json_row = ftx_obs::Json::Object();
+      json_row.Set("section", "measured_commits");
+      json_row.Set("workload", "magic");
+      json_row.Set("protocol", entry.name);
+      json_row.Set("radius", radius);
+      json_row.Set("checkpoints", out.checkpoints);
+      result.json.push_back(std::move(json_row));
+      return result;
+    });
   }
 
   // Fig. 4's third trend, measured: recovery time (the run-time expansion a
   // mid-run failure causes) grows with distance along the non-determinism
   // axis, because further-out protocols roll back further and replay more.
-  std::printf("\nMeasured failure expansion (postgres, one stop failure at "
-              "t=120ms):\n");
-  std::printf("%-18s %8s %16s\n", "protocol", "x", "replay cost");
+  suite.Text(ftx_bench::Sprintf(
+      "\nMeasured failure expansion (postgres, one stop failure at "
+      "t=120ms):\n"
+      "%-18s %8s %16s\n",
+      "protocol", "x", "replay cost"));
   for (const char* name : {"cpvs", "cbndvs", "cand", "sbl", "cand-log", "targon32",
                            "optimistic-log", "hypervisor"}) {
-    ftx::RunSpec spec;
-    spec.workload = "postgres";
-    spec.scale = 400;
-    spec.seed = 9;
-    spec.protocol = name;
+    suite.AddRow([name](ftx_bench::RowContext& ctx) {
+      ftx::RunSpec spec;
+      spec.workload = "postgres";
+      spec.scale = 400;
+      spec.seed = ctx.SeedOr(9);
+      spec.protocol = name;
 
-    ftx::RunOutput clean = ftx::RunExperiment(spec);
-    auto computation = ftx::BuildComputation(spec);
-    computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(120),
-                                     ftx::Milliseconds(1));
-    auto failed = computation->Run();
-    ftx::Duration expansion = (failed.end_time - ftx::TimePoint()) - clean.elapsed;
-    double x = 0;
-    for (const auto& entry : ftx_proto::ProtocolSpaceEntries()) {
-      if (entry.name == name) {
-        x = entry.point.nd_effort;
+      ftx::RunOutput clean = ftx::RunExperiment(spec);
+      auto computation = ftx::BuildComputation(spec);
+      computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(120),
+                                       ftx::Milliseconds(1));
+      auto failed = computation->Run();
+      ftx::Duration expansion = (failed.end_time - ftx::TimePoint()) - clean.elapsed;
+      double x = 0;
+      for (const auto& entry : ftx_proto::ProtocolSpaceEntries()) {
+        if (entry.name == name) {
+          x = entry.point.nd_effort;
+        }
       }
-    }
-    std::printf("%-18s %8.2f %16s\n", name, x, expansion.ToString().c_str());
-    ftx_obs::Json json_row = ftx_obs::Json::Object();
-    json_row.Set("section", "failure_expansion");
-    json_row.Set("workload", "postgres");
-    json_row.Set("protocol", name);
-    json_row.Set("nd_effort", x);
-    json_row.Set("expansion_ns", expansion.nanos());
-    results.AddRow(std::move(json_row));
+      ftx_bench::RowResult result;
+      result.console =
+          ftx_bench::Sprintf("%-18s %8.2f %16s\n", name, x, expansion.ToString().c_str());
+      ftx_obs::Json json_row = ftx_obs::Json::Object();
+      json_row.Set("section", "failure_expansion");
+      json_row.Set("workload", "postgres");
+      json_row.Set("protocol", name);
+      json_row.Set("nd_effort", x);
+      json_row.Set("expansion_ns", expansion.nanos());
+      result.json.push_back(std::move(json_row));
+      return result;
+    });
   }
-  std::printf("\nHypervisor never commits: one failure replays the entire "
-              "history. CPVS\nreplays at most one event. Fig. 4's "
-              "recovery-time axis, measured.\n");
+  suite.Text(
+      "\nHypervisor never commits: one failure replays the entire "
+      "history. CPVS\nreplays at most one event. Fig. 4's "
+      "recovery-time axis, measured.\n");
 
   // The floor of the protocol space: with hindsight, how few commits would
   // Save-work have needed? Averaged over random 3-process computations.
-  std::printf("\nOnline protocols vs the offline (hindsight) floor, averaged "
-              "over 20 random\n3-process computations of 120 events:\n");
-  std::printf("%-18s %14s\n", "protocol", "avg commits");
+  // The shared scripts are built once here and read (never written) by the
+  // replay rows below.
+  suite.Text(ftx_bench::Sprintf(
+      "\nOnline protocols vs the offline (hindsight) floor, averaged "
+      "over 20 random\n3-process computations of 120 events:\n"
+      "%-18s %14s\n",
+      "protocol", "avg commits"));
   const int kTrials = 20;
-  std::vector<std::vector<ftx_sm::ScriptedEvent>> scripts;
+  static std::vector<std::vector<ftx_sm::ScriptedEvent>> scripts;
   double floor_sum = 0;
   for (int trial = 0; trial < kTrials; ++trial) {
     ftx::Rng rng(1000 + static_cast<uint64_t>(trial));
-    ftx_sm::RandomTraceOptions options;
-    options.num_processes = 3;
-    options.events_per_process = 40;
-    scripts.push_back(ftx_sm::MakeRandomScript(&rng, options));
-    ftx_sm::Trace raw(options.num_processes);
+    ftx_sm::RandomTraceOptions trace_options;
+    trace_options.num_processes = 3;
+    trace_options.events_per_process = 40;
+    scripts.push_back(ftx_sm::MakeRandomScript(&rng, trace_options));
+    ftx_sm::Trace raw(trace_options.num_processes);
     for (const auto& ev : scripts.back()) {
       raw.Append(ev.process, ev.kind, ev.message_id, ev.logged);
     }
@@ -151,29 +171,36 @@ int main(int argc, char** argv) {
   }
   for (const char* name : {"commit-all", "cand", "cpvs", "cbndvs", "cand-log", "cbndvs-log",
                            "cpv-2pc", "cbndv-2pc", "coordinated-ckpt"}) {
-    double sum = 0;
-    for (const auto& script : scripts) {
-      sum += static_cast<double>(ftx_proto::ReplayScript(script, 3, name).total_commits);
-    }
-    std::printf("%-18s %14.1f\n", name, sum / kTrials);
-    ftx_obs::Json json_row = ftx_obs::Json::Object();
-    json_row.Set("section", "offline_floor");
-    json_row.Set("protocol", name);
-    json_row.Set("avg_commits", sum / kTrials);
-    results.AddRow(std::move(json_row));
+    suite.AddRow([name](ftx_bench::RowContext&) {
+      double sum = 0;
+      for (const auto& script : scripts) {
+        sum += static_cast<double>(ftx_proto::ReplayScript(script, 3, name).total_commits);
+      }
+      ftx_bench::RowResult result;
+      result.console = ftx_bench::Sprintf("%-18s %14.1f\n", name, sum / kTrials);
+      ftx_obs::Json json_row = ftx_obs::Json::Object();
+      json_row.Set("section", "offline_floor");
+      json_row.Set("protocol", name);
+      json_row.Set("avg_commits", sum / kTrials);
+      result.json.push_back(std::move(json_row));
+      return result;
+    });
   }
-  {
+  suite.AddRow([floor_sum](ftx_bench::RowContext&) {
+    ftx_bench::RowResult result;
+    result.console = ftx_bench::Sprintf("%-18s %14.1f   <- floor for commit-ONLY strategies\n",
+                                        "offline floor", floor_sum / kTrials);
     ftx_obs::Json json_row = ftx_obs::Json::Object();
     json_row.Set("section", "offline_floor");
     json_row.Set("protocol", "offline-floor");
     json_row.Set("avg_commits", floor_sum / kTrials);
-    results.AddRow(std::move(json_row));
-  }
-  std::printf("%-18s %14.1f   <- floor for commit-ONLY strategies\n", "offline floor",
-              floor_sum / kTrials);
-  std::printf("\nThe -log protocols dip below the commit floor because logging is "
-              "an escape\nhatch the floor does not use: rendering ND events "
-              "deterministic removes the\nSave-work obligation instead of paying "
-              "it — the x axis of the space in one row.\n");
-  return ftx_bench::FinishBench(results, options);
+    result.json.push_back(std::move(json_row));
+    return result;
+  });
+  suite.Text(
+      "\nThe -log protocols dip below the commit floor because logging is "
+      "an escape\nhatch the floor does not use: rendering ND events "
+      "deterministic removes the\nSave-work obligation instead of paying "
+      "it — the x axis of the space in one row.\n");
+  return suite.Run();
 }

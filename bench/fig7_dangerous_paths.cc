@@ -6,8 +6,6 @@
 // recommendations fall out of the numbers: more transient non-determinism
 // and earlier crashes both shrink dangerous paths.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/statemachine/dangerous_paths.h"
@@ -15,18 +13,45 @@
 
 namespace {
 
-double DangerousFraction(const ftx_sm::RandomGraphOptions& options, int trials,
-                         uint64_t seed_base) {
+struct TrialCount {
   int64_t colored = 0;
   int64_t total = 0;
-  for (int trial = 0; trial < trials; ++trial) {
-    ftx::Rng rng(seed_base + static_cast<uint64_t>(trial));
-    ftx_sm::StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
-    ftx_sm::DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
-    colored += result.num_colored;
-    total += graph.num_edges();
+};
+
+double DangerousFraction(ftx::TrialPool* pool, const ftx_sm::RandomGraphOptions& options,
+                         int trials, uint64_t seed_base) {
+  std::vector<TrialCount> counts =
+      ftx::RunSharded(*pool, trials, seed_base, [&options](int64_t, uint64_t seed) {
+        ftx::Rng rng(seed);
+        ftx_sm::StateMachineGraph graph = ftx_sm::MakeRandomGraph(&rng, options);
+        ftx_sm::DangerousPathsResult result = ftx_sm::ColorDangerousPaths(graph);
+        return TrialCount{result.num_colored, graph.num_edges()};
+      });
+  int64_t colored = 0;
+  int64_t total = 0;
+  for (const TrialCount& count : counts) {
+    colored += count.colored;
+    total += count.total;
   }
   return total == 0 ? 0.0 : static_cast<double>(colored) / static_cast<double>(total);
+}
+
+void AddSweepRow(ftx_bench::Suite& suite, const ftx_sm::RandomGraphOptions& graph_options,
+                 int trials, uint64_t seed_base, const char* sweep, const char* field,
+                 double value) {
+  suite.AddRow(
+      [graph_options, trials, seed_base, sweep, field, value](ftx_bench::RowContext& ctx) {
+        double fraction =
+            DangerousFraction(ctx.pool, graph_options, trials, ctx.SeedOr(seed_base));
+        ftx_bench::RowResult result;
+        result.console = ftx_bench::Sprintf("%12.2f %21.1f%%\n", value, 100 * fraction);
+        ftx_obs::Json row = ftx_obs::Json::Object();
+        row.Set("sweep", sweep);
+        row.Set(field, value);
+        row.Set("dangerous_fraction", fraction);
+        result.json.push_back(std::move(row));
+        return result;
+      });
 }
 
 }  // namespace
@@ -36,66 +61,54 @@ int main(int argc, char** argv) {
   const int trials =
       options.scale_override > 0 ? options.scale_override : (options.full_scale ? 400 : 100);
 
-  ftx_obs::ResultsFile results("fig7_dangerous_paths");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("trials_per_cell", trials);
-  results.SetMeta("num_states", 64);
+  ftx_bench::Suite suite("fig7_dangerous_paths", options);
+  suite.SetMeta("trials_per_cell", trials);
+  suite.SetMeta("num_states", 64);
 
-  std::printf("================================================================\n");
-  std::printf("Fig. 7: dangerous-path coverage on random state machines\n");
-  std::printf("(%d machines of 64 states per cell)\n\n", trials);
+  suite.Text(ftx_bench::Sprintf(
+      "================================================================\n"
+      "Fig. 7: dangerous-path coverage on random state machines\n"
+      "(%d machines of 64 states per cell)\n\n",
+      trials));
 
   ftx_sm::RandomGraphOptions base;
   base.num_states = 64;
 
-  std::printf("Crash density sweep (branch=0.3, fixed-ND fraction=0.3):\n");
-  std::printf("%12s %22s\n", "P(crash)", "dangerous fraction");
+  suite.Text(ftx_bench::Sprintf("Crash density sweep (branch=0.3, fixed-ND fraction=0.3):\n"
+                                "%12s %22s\n",
+                                "P(crash)", "dangerous fraction"));
   for (double crash : {0.02, 0.05, 0.1, 0.2, 0.4}) {
     ftx_sm::RandomGraphOptions graph_options = base;
     graph_options.crash_probability = crash;
-    double fraction = DangerousFraction(graph_options, trials, 1000);
-    std::printf("%12.2f %21.1f%%\n", crash, 100 * fraction);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("sweep", "crash_density");
-    row.Set("crash_probability", crash);
-    row.Set("dangerous_fraction", fraction);
-    results.AddRow(std::move(row));
+    AddSweepRow(suite, graph_options, trials, 1000, "crash_density", "crash_probability", crash);
   }
 
-  std::printf("\nFixed-ND fraction sweep (crash=0.1): fixed non-determinism "
-              "cannot protect,\nso dangerous paths grow with it:\n");
-  std::printf("%12s %22s\n", "P(fixed)", "dangerous fraction");
+  suite.Text(ftx_bench::Sprintf("\nFixed-ND fraction sweep (crash=0.1): fixed non-determinism "
+                                "cannot protect,\nso dangerous paths grow with it:\n"
+                                "%12s %22s\n",
+                                "P(fixed)", "dangerous fraction"));
   for (double fixed : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     ftx_sm::RandomGraphOptions graph_options = base;
     graph_options.fixed_nd_fraction = fixed;
-    double fraction = DangerousFraction(graph_options, trials, 2000);
-    std::printf("%12.2f %21.1f%%\n", fixed, 100 * fraction);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("sweep", "fixed_nd_fraction");
-    row.Set("fixed_nd_fraction", fixed);
-    row.Set("dangerous_fraction", fraction);
-    results.AddRow(std::move(row));
+    AddSweepRow(suite, graph_options, trials, 2000, "fixed_nd_fraction", "fixed_nd_fraction",
+                fixed);
   }
 
-  std::printf("\nBranching sweep (crash=0.1): more transient choice points "
-              "mean more escape\nhatches, so dangerous paths shrink:\n");
-  std::printf("%12s %22s\n", "P(branch)", "dangerous fraction");
+  suite.Text(ftx_bench::Sprintf("\nBranching sweep (crash=0.1): more transient choice points "
+                                "mean more escape\nhatches, so dangerous paths shrink:\n"
+                                "%12s %22s\n",
+                                "P(branch)", "dangerous fraction"));
   for (double branch : {0.05, 0.15, 0.3, 0.5, 0.8}) {
     ftx_sm::RandomGraphOptions graph_options = base;
     graph_options.branch_probability = branch;
     graph_options.fixed_nd_fraction = 0.0;
-    double fraction = DangerousFraction(graph_options, trials, 3000);
-    std::printf("%12.2f %21.1f%%\n", branch, 100 * fraction);
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("sweep", "branching");
-    row.Set("branch_probability", branch);
-    row.Set("dangerous_fraction", fraction);
-    results.AddRow(std::move(row));
+    AddSweepRow(suite, graph_options, trials, 3000, "branching", "branch_probability", branch);
   }
 
-  std::printf("\nSection 2.6 in numbers: applications that crash sooner (higher "
-              "crash density\ncloser to the fault) and keep more transient "
-              "non-determinism leave fewer\nstates where a commit violates "
-              "Lose-work.\n");
-  return ftx_bench::FinishBench(results, options);
+  suite.Text(
+      "\nSection 2.6 in numbers: applications that crash sooner (higher "
+      "crash density\ncloser to the fault) and keep more transient "
+      "non-determinism leave fewer\nstates where a commit violates "
+      "Lose-work.\n");
+  return suite.Run();
 }

@@ -11,29 +11,20 @@
 // CBNDVS (unloggable timeofday/select keep it armed); DC-disk overheads
 // are dominated by the large per-command dirty footprint.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
   ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
   int scale = ftx_bench::ResolveScale("magic", options);
 
-  ftx_obs::ResultsFile results("fig8_magic");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("workload", "magic");
-  results.SetMeta("scale", scale);
-  results.SetMeta("seed", 22);
+  ftx_bench::Suite suite("fig8_magic", options);
+  suite.SetMeta("workload", "magic");
+  suite.SetMeta("scale", scale);
+  suite.SetMeta("seed", 22);
 
-  ftx_bench::PrintFig8Header("Fig 8(b)", "magic", scale, /*fps_mode=*/false);
+  suite.Text(ftx_bench::Fig8Header("Fig 8(b)", "magic", scale, /*fps_mode=*/false));
   for (const char* protocol : {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log"}) {
-    ftx_bench::Fig8Cell cell =
-        ftx_bench::RunFig8Cell("magic", protocol, scale, /*seed=*/22, options.trace_path);
-    std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
-                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
-                cell.disk_overhead_pct);
-    results.AddRow(ftx_bench::Fig8RowJson("magic", protocol, scale, cell));
-    results.AttachMetricsToLastRow(cell.rio_metrics);
+    ftx_bench::AddFig8Row(suite, "magic", protocol, scale, /*seed=*/22, /*fps_mode=*/false);
   }
-  return ftx_bench::FinishBench(results, options);
+  return suite.Run();
 }

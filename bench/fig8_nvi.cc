@@ -10,29 +10,20 @@
 // collapses commits to single digits; Rio overhead ~1%, disk ~40%+ without
 // logging and ~12% with.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
   ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
   int scale = ftx_bench::ResolveScale("nvi", options);
 
-  ftx_obs::ResultsFile results("fig8_nvi");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("workload", "nvi");
-  results.SetMeta("scale", scale);
-  results.SetMeta("seed", 11);
+  ftx_bench::Suite suite("fig8_nvi", options);
+  suite.SetMeta("workload", "nvi");
+  suite.SetMeta("scale", scale);
+  suite.SetMeta("seed", 11);
 
-  ftx_bench::PrintFig8Header("Fig 8(a)", "nvi", scale, /*fps_mode=*/false);
+  suite.Text(ftx_bench::Fig8Header("Fig 8(a)", "nvi", scale, /*fps_mode=*/false));
   for (const char* protocol : {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log"}) {
-    ftx_bench::Fig8Cell cell =
-        ftx_bench::RunFig8Cell("nvi", protocol, scale, /*seed=*/11, options.trace_path);
-    std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
-                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
-                cell.disk_overhead_pct);
-    results.AddRow(ftx_bench::Fig8RowJson("nvi", protocol, scale, cell));
-    results.AttachMetricsToLastRow(cell.rio_metrics);
+    ftx_bench::AddFig8Row(suite, "nvi", protocol, scale, /*seed=*/11, /*fps_mode=*/false);
   }
-  return ftx_bench::FinishBench(results, options);
+  return suite.Run();
 }

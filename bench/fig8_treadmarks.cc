@@ -12,30 +12,22 @@
 // CBNDVS-LOG >> 2PC (visible events are rare, so coordinated commits win
 // by orders of magnitude); DC-disk is unusable except under 2PC.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
   ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
   int scale = ftx_bench::ResolveScale("treadmarks", options);
 
-  ftx_obs::ResultsFile results("fig8_treadmarks");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("workload", "treadmarks");
-  results.SetMeta("scale", scale);
-  results.SetMeta("seed", 44);
+  ftx_bench::Suite suite("fig8_treadmarks", options);
+  suite.SetMeta("workload", "treadmarks");
+  suite.SetMeta("scale", scale);
+  suite.SetMeta("seed", 44);
 
-  ftx_bench::PrintFig8Header("Fig 8(d)", "treadmarks barnes-hut", scale, /*fps_mode=*/false);
+  suite.Text(ftx_bench::Fig8Header("Fig 8(d)", "treadmarks barnes-hut", scale,
+                                   /*fps_mode=*/false));
   for (const char* protocol :
        {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log", "cpv-2pc", "cbndv-2pc"}) {
-    ftx_bench::Fig8Cell cell =
-        ftx_bench::RunFig8Cell("treadmarks", protocol, scale, /*seed=*/44, options.trace_path);
-    std::printf("%-12s %10lld %13.1f%% %13.1f%%\n", protocol,
-                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
-                cell.disk_overhead_pct);
-    results.AddRow(ftx_bench::Fig8RowJson("treadmarks", protocol, scale, cell));
-    results.AttachMetricsToLastRow(cell.rio_metrics);
+    ftx_bench::AddFig8Row(suite, "treadmarks", protocol, scale, /*seed=*/44, /*fps_mode=*/false);
   }
-  return ftx_bench::FinishBench(results, options);
+  return suite.Run();
 }

@@ -14,29 +14,21 @@
 // Checking sustains full speed everywhere; DC-disk degrades, to unplayable
 // for the CAND variants.
 
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
   ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
   int scale = ftx_bench::ResolveScale("xpilot", options);
 
-  ftx_obs::ResultsFile results("fig8_xpilot");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("workload", "xpilot");
-  results.SetMeta("scale", scale);
-  results.SetMeta("seed", 33);
+  ftx_bench::Suite suite("fig8_xpilot", options);
+  suite.SetMeta("workload", "xpilot");
+  suite.SetMeta("scale", scale);
+  suite.SetMeta("seed", 33);
 
-  ftx_bench::PrintFig8Header("Fig 8(c)", "xpilot", scale, /*fps_mode=*/true);
+  suite.Text(ftx_bench::Fig8Header("Fig 8(c)", "xpilot", scale, /*fps_mode=*/true));
   for (const char* protocol :
        {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log", "cpv-2pc", "cbndv-2pc"}) {
-    ftx_bench::Fig8Cell cell =
-        ftx_bench::RunFig8Cell("xpilot", protocol, scale, /*seed=*/33, options.trace_path);
-    std::printf("%-12s %10.0f %11.1f fps %11.1f fps\n", protocol, cell.ckps_per_sec, cell.rio_fps,
-                cell.disk_fps);
-    results.AddRow(ftx_bench::Fig8RowJson("xpilot", protocol, scale, cell));
-    results.AttachMetricsToLastRow(cell.rio_metrics);
+    ftx_bench::AddFig8Row(suite, "xpilot", protocol, scale, /*seed=*/33, /*fps_mode=*/true);
   }
-  return ftx_bench::FinishBench(results, options);
+  return suite.Run();
 }

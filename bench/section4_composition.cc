@@ -8,7 +8,7 @@
 // Lose-work is upheld in at most ~10% of application crashes — and its more
 // hopeful OS-fault counterpart from Table 2.
 
-#include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/core/fault_study.h"
@@ -18,67 +18,93 @@ int main(int argc, char** argv) {
   int crashes =
       options.scale_override > 0 ? options.scale_override : (options.full_scale ? 50 : 30);
 
-  ftx_obs::ResultsFile results("section4_composition");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("crashes_per_type", crashes);
+  ftx_bench::Suite suite("section4_composition", options);
+  suite.SetMeta("crashes_per_type", crashes);
 
-  std::printf("================================================================\n");
-  std::printf("Section 4.1: composing the fault studies (%d crashes/type)\n\n", crashes);
+  suite.Text(ftx_bench::Sprintf(
+      "================================================================\n"
+      "Section 4.1: composing the fault studies (%d crashes/type)\n\n",
+      crashes));
 
   for (const char* app : {"nvi", "postgres"}) {
-    double sum = 0;
-    for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
-      ftx::FaultStudyRow row = ftx::RunApplicationFaultStudy(
-          app, type, crashes, 9000 + static_cast<uint64_t>(type) * 131);
-      sum += row.violation_fraction;
-    }
-    double heisenbug_violation = sum / ftx_fault::kNumFaultTypes;
+    suite.AddRow([app, crashes](ftx_bench::RowContext& ctx) {
+      uint64_t seed_base = ctx.SeedOr(9000);
+      double sum = 0;
+      for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
+        ftx::FaultStudySpec spec;
+        spec.app = app;
+        spec.type = type;
+        spec.kind = ftx::FaultStudyKind::kApplication;
+        spec.target_crashes = crashes;
+        spec.seed_base = seed_base + static_cast<uint64_t>(type) * 131;
+        spec.pool = ctx.pool;
+        sum += ftx::RunFaultStudy(spec).violation_fraction;
+      }
+      double heisenbug_violation = sum / ftx_fault::kNumFaultTypes;
 
-    std::printf("%s:\n", app);
-    std::printf("  measured Lose-work violation rate for Heisenbugs: %.0f%%\n",
-                100 * heisenbug_violation);
-    for (double heisenbug_fraction : {0.05, 0.15}) {
-      // Bohrbugs (1 - heisenbug_fraction of crashes) always violate; of the
-      // Heisenbugs, the measured fraction violates.
-      double upheld = heisenbug_fraction * (1.0 - heisenbug_violation);
-      std::printf("  with %2.0f%% Heisenbugs [7]: Lose-work upheld in %4.1f%% of "
-                  "crashes -> transparency impossible for %4.1f%%\n",
-                  100 * heisenbug_fraction, 100 * upheld, 100 * (1 - upheld));
-      ftx_obs::Json row = ftx_obs::Json::Object();
-      row.Set("section", "application");
-      row.Set("workload", app);
-      row.Set("heisenbug_fraction", heisenbug_fraction);
-      row.Set("heisenbug_violation_fraction", heisenbug_violation);
-      row.Set("losework_upheld_fraction", upheld);
-      results.AddRow(std::move(row));
-    }
-    std::printf("\n");
+      ftx_bench::RowResult result;
+      result.console += ftx_bench::Sprintf("%s:\n", app);
+      result.console += ftx_bench::Sprintf(
+          "  measured Lose-work violation rate for Heisenbugs: %.0f%%\n",
+          100 * heisenbug_violation);
+      for (double heisenbug_fraction : {0.05, 0.15}) {
+        // Bohrbugs (1 - heisenbug_fraction of crashes) always violate; of
+        // the Heisenbugs, the measured fraction violates.
+        double upheld = heisenbug_fraction * (1.0 - heisenbug_violation);
+        result.console += ftx_bench::Sprintf(
+            "  with %2.0f%% Heisenbugs [7]: Lose-work upheld in %4.1f%% of "
+            "crashes -> transparency impossible for %4.1f%%\n",
+            100 * heisenbug_fraction, 100 * upheld, 100 * (1 - upheld));
+        ftx_obs::Json row = ftx_obs::Json::Object();
+        row.Set("section", "application");
+        row.Set("workload", app);
+        row.Set("heisenbug_fraction", heisenbug_fraction);
+        row.Set("heisenbug_violation_fraction", heisenbug_violation);
+        row.Set("losework_upheld_fraction", upheld);
+        result.json.push_back(std::move(row));
+      }
+      result.console += "\n";
+      return result;
+    });
   }
 
-  std::printf("Paper's conclusion: Lose-work holds in at most 65%% of 15%% ~= "
-              "10%% of application\ncrashes; transparency is impossible for "
-              "the remaining ~90%%.\n\n");
+  suite.Text(
+      "Paper's conclusion: Lose-work holds in at most 65% of 15% ~= "
+      "10% of application\ncrashes; transparency is impossible for "
+      "the remaining ~90%.\n\n");
 
   // The OS-fault side (Table 2): much better news.
-  std::printf("Operating-system faults (Table 2 aggregate):\n");
+  suite.Text("Operating-system faults (Table 2 aggregate):\n");
   for (const char* app : {"nvi", "postgres"}) {
-    double sum = 0;
-    for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
-      ftx::FaultStudyRow row = ftx::RunOsFaultStudy(
-          app, type, crashes, 9500 + static_cast<uint64_t>(type) * 131);
-      sum += row.failed_recovery_fraction;
-    }
-    double failed = sum / ftx_fault::kNumFaultTypes;
-    std::printf("  %s: recovery failed after %.0f%% of OS crashes "
-                "(paper: %s)\n",
-                app, 100 * failed, app == std::string("nvi") ? "15%" : "3%");
-    ftx_obs::Json row = ftx_obs::Json::Object();
-    row.Set("section", "os");
-    row.Set("workload", app);
-    row.Set("failed_recovery_fraction", failed);
-    results.AddRow(std::move(row));
+    suite.AddRow([app, crashes](ftx_bench::RowContext& ctx) {
+      uint64_t seed_base = ctx.SeedOr(9500);
+      double sum = 0;
+      for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
+        ftx::FaultStudySpec spec;
+        spec.app = app;
+        spec.type = type;
+        spec.kind = ftx::FaultStudyKind::kOs;
+        spec.target_crashes = crashes;
+        spec.seed_base = seed_base + static_cast<uint64_t>(type) * 131;
+        spec.pool = ctx.pool;
+        sum += ftx::RunFaultStudy(spec).failed_recovery_fraction;
+      }
+      double failed = sum / ftx_fault::kNumFaultTypes;
+
+      ftx_bench::RowResult result;
+      result.console = ftx_bench::Sprintf(
+          "  %s: recovery failed after %.0f%% of OS crashes (paper: %s)\n", app, 100 * failed,
+          app == std::string("nvi") ? "15%" : "3%");
+      ftx_obs::Json row = ftx_obs::Json::Object();
+      row.Set("section", "os");
+      row.Set("workload", app);
+      row.Set("failed_recovery_fraction", failed);
+      result.json.push_back(std::move(row));
+      return result;
+    });
   }
-  std::printf("\nGeneric recovery is likely to work for OS failures; application "
-              "failures\nrequire help from the application (Section 6).\n");
-  return ftx_bench::FinishBench(results, options);
+  suite.Text(
+      "\nGeneric recovery is likely to work for OS failures; application "
+      "failures\nrequire help from the application (Section 6).\n");
+  return suite.Run();
 }

@@ -18,7 +18,6 @@
 // activation. The "agree" column reports how often the trace-level
 // measurement and the end-to-end outcome matched (expected: always).
 
-#include <cstdio>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -28,37 +27,56 @@ int main(int argc, char** argv) {
   ftx_bench::BenchOptions options = ftx_bench::ParseBenchOptions(argc, argv);
   int crashes = options.scale_override > 0 ? options.scale_override : 50;
 
-  ftx_obs::ResultsFile results("table1_app_faults");
-  results.SetFullScale(options.full_scale);
-  results.SetMeta("crashes_per_type", crashes);
+  ftx_bench::Suite suite("table1_app_faults", options);
+  suite.SetMeta("crashes_per_type", crashes);
 
-  std::printf("================================================================\n");
-  std::printf("Table 1: application faults violating Lose-work (%d crashes/type)\n", crashes);
-  std::printf("%-20s %12s %12s\n", "fault type", "nvi", "postgres");
-  std::printf("----------------------------------------------------------------\n");
+  suite.Text(ftx_bench::Sprintf(
+      "================================================================\n"
+      "Table 1: application faults violating Lose-work (%d crashes/type)\n"
+      "%-20s %12s %12s\n"
+      "----------------------------------------------------------------\n",
+      crashes, "fault type", "nvi", "postgres"));
 
-  double sums[2] = {0, 0};
   for (ftx_fault::FaultType type : ftx_fault::AllFaultTypes()) {
-    double fractions[2];
-    int i = 0;
-    for (const char* app : {"nvi", "postgres"}) {
-      ftx::FaultStudyRow row = ftx::RunApplicationFaultStudy(
-          app, type, crashes, 1000 + static_cast<uint64_t>(type) * 977);
-      fractions[i] = row.violation_fraction;
-      sums[i] += row.violation_fraction;
-      ++i;
-      ftx_obs::Json json_row = ftx_obs::Json::Object();
-      json_row.Set("workload", app);
-      json_row.Set("fault_type", std::string(ftx_fault::FaultTypeName(type)));
-      json_row.Set("crashes", row.crashes);
-      json_row.Set("violations", row.violations);
-      json_row.Set("violation_fraction", row.violation_fraction);
-      results.AddRow(std::move(json_row));
-    }
-    std::printf("%-20s %11.0f%% %11.0f%%\n", std::string(ftx_fault::FaultTypeName(type)).c_str(),
-                100 * fractions[0], 100 * fractions[1]);
+    suite.AddRow([type, crashes](ftx_bench::RowContext& ctx) {
+      ftx_bench::RowResult result;
+      double fractions[2];
+      int i = 0;
+      for (const char* app : {"nvi", "postgres"}) {
+        ftx::FaultStudySpec spec;
+        spec.app = app;
+        spec.type = type;
+        spec.kind = ftx::FaultStudyKind::kApplication;
+        spec.target_crashes = crashes;
+        spec.seed_base = ctx.SeedOr(1000 + static_cast<uint64_t>(type) * 977);
+        spec.pool = ctx.pool;
+        ftx::FaultStudyRow row = ftx::RunFaultStudy(spec);
+        fractions[i++] = row.violation_fraction;
+        result.values.push_back(row.violation_fraction);
+        ftx_obs::Json json_row = ftx_obs::Json::Object();
+        json_row.Set("workload", app);
+        json_row.Set("fault_type", std::string(ftx_fault::FaultTypeName(type)));
+        json_row.Set("crashes", row.crashes);
+        json_row.Set("violations", row.violations);
+        json_row.Set("violation_fraction", row.violation_fraction);
+        result.json.push_back(std::move(json_row));
+      }
+      result.console = ftx_bench::Sprintf(
+          "%-20s %11.0f%% %11.0f%%\n", std::string(ftx_fault::FaultTypeName(type)).c_str(),
+          100 * fractions[0], 100 * fractions[1]);
+      return result;
+    });
   }
-  std::printf("%-20s %11.0f%% %11.0f%%\n", "average", 100 * sums[0] / ftx_fault::kNumFaultTypes,
-              100 * sums[1] / ftx_fault::kNumFaultTypes);
-  return ftx_bench::FinishBench(results, options);
+
+  suite.Summarize([](const std::vector<ftx_bench::RowResult>& rows) {
+    double sums[2] = {0, 0};
+    for (const ftx_bench::RowResult& row : rows) {
+      sums[0] += row.values[0];
+      sums[1] += row.values[1];
+    }
+    return ftx_bench::Sprintf("%-20s %11.0f%% %11.0f%%\n", "average",
+                              100 * sums[0] / ftx_fault::kNumFaultTypes,
+                              100 * sums[1] / ftx_fault::kNumFaultTypes);
+  });
+  return suite.Run();
 }

@@ -1,18 +1,28 @@
 #include "src/common/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
 
 namespace ftx {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
-bool g_env_consulted = false;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<bool> g_level_explicit{false};
+std::once_flag g_env_once;
 
-const void* g_time_owner = nullptr;
-int64_t (*g_time_now_ns)(const void*) = nullptr;
+// Whole lines are emitted under this mutex so parallel trial workers never
+// interleave mid-line.
+std::mutex g_emit_mu;
+
+// Per-thread: each worker thread's simulator prefixes only that thread's
+// lines (see the header's thread-safety note).
+thread_local const void* t_time_owner = nullptr;
+thread_local int64_t (*t_time_now_ns)(const void*) = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -32,14 +42,21 @@ const char* LevelTag(LogLevel level) {
 // configure logging before any output still win, and ones who never touch
 // the API get environment control for free.
 void ConsultEnvOnce() {
-  if (g_env_consulted) {
-    return;
-  }
-  g_env_consulted = true;
-  const char* env = std::getenv("FTX_LOG_LEVEL");
-  if (env != nullptr && !ParseLogLevel(env, &g_level)) {
-    std::fprintf(stderr, "[W log] ignoring unparseable FTX_LOG_LEVEL=\"%s\"\n", env);
-  }
+  std::call_once(g_env_once, [] {
+    if (g_level_explicit.load(std::memory_order_relaxed)) {
+      return;  // an explicit SetLogLevel beat the first query
+    }
+    const char* env = std::getenv("FTX_LOG_LEVEL");
+    if (env == nullptr) {
+      return;
+    }
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) {
+      g_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr, "[W log] ignoring unparseable FTX_LOG_LEVEL=\"%s\"\n", env);
+    }
+  });
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
@@ -83,40 +100,57 @@ bool ParseLogLevel(std::string_view text, LogLevel* out) {
 }
 
 void SetLogLevel(LogLevel level) {
-  g_env_consulted = true;  // explicit configuration beats the environment
-  g_level = level;
+  g_level_explicit.store(true, std::memory_order_relaxed);  // beats the environment
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
   ConsultEnvOnce();
-  return g_level;
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void SetLogSimTimeSource(const void* owner, int64_t (*now_ns)(const void*)) {
-  g_time_owner = owner;
-  g_time_now_ns = now_ns;
+  t_time_owner = owner;
+  t_time_now_ns = now_ns;
 }
 
 void ClearLogSimTimeSource(const void* owner) {
-  if (g_time_owner == owner) {
-    g_time_owner = nullptr;
-    g_time_now_ns = nullptr;
+  if (t_time_owner == owner) {
+    t_time_owner = nullptr;
+    t_time_now_ns = nullptr;
   }
 }
 
 void LogMessage(LogLevel level, const char* file, int line, const char* format, ...) {
-  if (g_time_now_ns != nullptr) {
-    int64_t now_ns = g_time_now_ns(g_time_owner);
-    std::fprintf(stderr, "[%s %.6fs %s:%d] ", LevelTag(level),
-                 static_cast<double>(now_ns) * 1e-9, file, line);
+  char prefix[256];
+  if (t_time_now_ns != nullptr) {
+    int64_t now_ns = t_time_now_ns(t_time_owner);
+    std::snprintf(prefix, sizeof prefix, "[%s %.6fs %s:%d] ", LevelTag(level),
+                  static_cast<double>(now_ns) * 1e-9, file, line);
   } else {
-    std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+    std::snprintf(prefix, sizeof prefix, "[%s %s:%d] ", LevelTag(level), file, line);
   }
+
+  // Format the body off-lock, growing once if the stack buffer is short.
+  char stack_body[512];
+  std::string heap_body;
+  const char* body = stack_body;
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(stack_body, sizeof stack_body, format, args);
   va_end(args);
-  std::fprintf(stderr, "\n");
+  if (needed >= static_cast<int>(sizeof stack_body)) {
+    heap_body.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(heap_body.data(), heap_body.size(), format, args_copy);
+    heap_body.resize(static_cast<size_t>(needed));
+    body = heap_body.c_str();
+  }
+  va_end(args_copy);
+
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  std::fprintf(stderr, "%s%s\n", prefix, body);
 }
 
 }  // namespace ftx

@@ -8,6 +8,12 @@
 // When a discrete-event simulator is active it registers itself as the log
 // time source and every line is prefixed with the current simulated time,
 // so interleaved per-process logs read as one timeline.
+//
+// Thread-safety: the level is an atomic read on the hot path; lines are
+// formatted off-lock and emitted whole under one mutex, so parallel trials
+// never interleave mid-line. The simulated-time source slot is thread-local
+// — each worker thread running its own Simulator (see ftx::TrialPool) gets
+// that simulator's clock in its prefixes without racing the other workers.
 
 #ifndef FTX_SRC_COMMON_LOG_H_
 #define FTX_SRC_COMMON_LOG_H_
@@ -28,10 +34,10 @@ LogLevel GetLogLevel();
 // "0".."3" into a level. Returns false (and leaves *out alone) on junk.
 bool ParseLogLevel(std::string_view text, LogLevel* out);
 
-// Simulated-time prefixing: while a source is registered, log lines carry
-// the source's current time. `owner` disambiguates nested/overlapping
-// simulator lifetimes: Clear only deregisters if `owner` still owns the
-// slot.
+// Simulated-time prefixing: while a source is registered, log lines emitted
+// from the registering thread carry the source's current time. The slot is
+// thread-local; `owner` disambiguates nested/overlapping simulator lifetimes
+// on one thread: Clear only deregisters if `owner` still owns the slot.
 void SetLogSimTimeSource(const void* owner, int64_t (*now_ns)(const void* owner));
 void ClearLogSimTimeSource(const void* owner);
 

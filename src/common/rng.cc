@@ -18,6 +18,14 @@ uint64_t SplitMix64Next(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t trial_index) {
+  // SplitMix64's state advances by a fixed odd gamma per step, so the state
+  // feeding output #(trial_index+1) is reachable directly; one finalizer call
+  // then gives that output with full avalanche between neighbouring trials.
+  uint64_t state = base_seed + trial_index * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64Next(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) {

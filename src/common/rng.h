@@ -20,6 +20,13 @@ namespace ftx {
 // tests can derive independent child seeds the same way Rng does.
 uint64_t SplitMix64Next(uint64_t* state);
 
+// Seed of trial `trial_index` in a sharded experiment: the (trial_index+1)-th
+// output of the SplitMix64 stream seeded with `base_seed`, computed in O(1)
+// by jumping the stream's additive state. Every (base_seed, trial_index)
+// pair maps to the same seed on every thread count and schedule, which is
+// what makes --jobs 1 and --jobs N runs bit-identical.
+uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t trial_index);
+
 // xoshiro256** 1.0. Not thread-safe; each simulated entity owns its own Rng.
 class Rng {
  public:

@@ -71,14 +71,34 @@ RunOutput RunExperiment(const RunSpec& spec) {
   return Collect(*computation, result);
 }
 
-OverheadRow MeasureOverhead(const RunSpec& spec) {
+OverheadRow MeasureOverhead(const RunSpec& spec) { return MeasureOverhead(spec, nullptr); }
+
+OverheadRow MeasureOverhead(const RunSpec& spec, TrialPool* pool) {
   RunSpec baseline_spec = spec;
   baseline_spec.mode = ftx_dc::RuntimeMode::kBaseline;
-  RunOutput baseline = RunExperiment(baseline_spec);
+  // Only the recoverable run — the one the figures measure — writes the
+  // trace. (Serially the baseline's file was immediately overwritten; in
+  // parallel the two runs would race on it.)
+  baseline_spec.trace_path.clear();
 
   RunSpec recoverable_spec = spec;
   recoverable_spec.mode = ftx_dc::RuntimeMode::kRecoverable;
-  RunOutput recoverable = RunExperiment(recoverable_spec);
+
+  RunOutput baseline;
+  RunOutput recoverable;
+  auto run_half = [&](int64_t i) {
+    if (i == 0) {
+      baseline = RunExperiment(baseline_spec);
+    } else {
+      recoverable = RunExperiment(recoverable_spec);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(2, run_half);
+  } else {
+    run_half(0);
+    run_half(1);
+  }
 
   OverheadRow row;
   row.workload = spec.workload;

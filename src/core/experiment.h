@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/core/computation.h"
+#include "src/core/parallel.h"
 #include "src/recovery/consistency.h"
 
 namespace ftx {
@@ -73,6 +74,13 @@ struct OverheadRow {
   ftx_obs::MetricsSnapshot recoverable_metrics;
 };
 OverheadRow MeasureOverhead(const RunSpec& spec);
+
+// Same measurement with the baseline and recoverable runs fanned across
+// `pool` (they are independent simulations). The baseline run never writes a
+// trace — only the recoverable run, the one the figures measure, honours
+// spec.trace_path — so the emitted row and trace are identical to the serial
+// overload's for any pool size. pool == nullptr falls back to serial.
+OverheadRow MeasureOverhead(const RunSpec& spec, TrialPool* pool);
 
 // Runs the workload twice — failure-free baseline as the reference, then
 // the recoverable version with `schedule_failures` applied — and checks

@@ -1,5 +1,6 @@
 #include "src/core/fault_study.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -24,7 +25,7 @@ struct StudySetup {
 };
 
 StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::FaultSpec& spec,
-                                  uint64_t seed, const std::string& protocol) {
+                                  uint64_t seed, const std::string& protocol, StoreKind store) {
   int scale = StudyScale(app_name);
   ftx_apps::WorkloadSetup setup =
       ftx_apps::MakeWorkload(app_name, scale, seed, /*interactive=*/false);
@@ -38,7 +39,7 @@ StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::
   ComputationOptions options;
   options.seed = seed;
   options.protocol = protocol;
-  options.store = StoreKind::kRio;
+  options.store = store;
   options.auto_recover = true;
   options.recovery_delay = Milliseconds(5);
   options.max_recovery_attempts = 2;
@@ -52,7 +53,7 @@ StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::
 }
 
 FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::FaultType type,
-                                   uint64_t seed, const std::string& protocol,
+                                   uint64_t seed, const std::string& protocol, StoreKind store,
                                    double slow_detection_probability,
                                    double continue_probability) {
   ftx::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
@@ -65,7 +66,7 @@ FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::Fault
   spec.continue_probability = continue_probability;
   spec.seed = rng.NextU64();
 
-  StudySetup setup = BuildFaultyComputation(app_name, spec, seed, protocol);
+  StudySetup setup = BuildFaultyComputation(app_name, spec, seed, protocol, store);
   ComputationResult run = setup.computation->Run();
 
   FaultRunResult result;
@@ -92,19 +93,19 @@ FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::Fault
 }  // namespace
 
 FaultRunResult RunApplicationFault(const std::string& app_name, ftx_fault::FaultType type,
-                                   uint64_t seed, const std::string& protocol) {
-  return RunPropagationFault(app_name, type, seed, protocol,
+                                   uint64_t seed, const std::string& protocol, StoreKind store) {
+  return RunPropagationFault(app_name, type, seed, protocol, store,
                              ftx_fault::AppFaultSlowDetectionProbability(app_name, type),
                              ftx_fault::ContinueProbability(type));
 }
 
 FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type, uint64_t seed,
-                          const std::string& protocol) {
+                          const std::string& protocol, StoreKind store) {
   ftx::Rng rng(seed * 0xd1b54a32d192ed03ULL + 5);
   ftx_fault::OsFaultPlan plan = ftx_fault::PlanOsFault(&rng, app_name, type);
 
   if (plan.manifestation == ftx_fault::OsFaultManifestation::kPropagationFailure) {
-    FaultRunResult result = RunPropagationFault(app_name, type, seed, protocol,
+    FaultRunResult result = RunPropagationFault(app_name, type, seed, protocol, store,
                                                 plan.slow_detection_probability,
                                                 plan.continue_probability);
     // OS propagation failures always crash *something* — if the corruption
@@ -122,7 +123,7 @@ FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type
   // the application from its last commit. Run it for real.
   ftx_fault::FaultSpec no_fault;
   no_fault.activation_step = -1;  // never activates
-  StudySetup setup = BuildFaultyComputation(app_name, no_fault, seed, protocol);
+  StudySetup setup = BuildFaultyComputation(app_name, no_fault, seed, protocol, store);
   // Crash somewhere in the middle of the (non-interactive) run.
   Duration when = Seconds(0.02 + 0.2 * plan.when_fraction);
   setup.computation->ScheduleOsStopFailure(TimePoint() + when, /*reboot_delay=*/Seconds(1.0));
@@ -135,23 +136,61 @@ FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type
   return result;
 }
 
-namespace {
-
-FaultStudyRow AggregateStudy(const std::string& app_name, ftx_fault::FaultType type,
-                             int target_crashes, uint64_t seed_base, bool os_study) {
-  FaultStudyRow row;
-  row.type = type;
-  uint64_t seed = seed_base;
-  int attempts = 0;
-  while (row.crashes < target_crashes && attempts < target_crashes * 20) {
-    ++attempts;
-    FaultRunResult result = os_study ? RunOsFault(app_name, type, seed)
-                                     : RunApplicationFault(app_name, type, seed);
-    ++seed;
-    if (!result.crashed) {
-      continue;  // the paper's methodology: only crashing runs count
+std::vector<FaultRunResult> RunCrashingTrials(
+    TrialPool* pool, int target, uint64_t seed_base, int max_attempts,
+    const std::function<FaultRunResult(uint64_t seed)>& attempt) {
+  std::vector<FaultRunResult> crashing;
+  if (target <= 0 || max_attempts <= 0) {
+    return crashing;
+  }
+  // Attempts run in waves sized to the pool, but the crash count always
+  // folds in attempt order and stops at `target`, so the returned vector is
+  // the same for every pool size (a wave may compute attempts past the
+  // stopping point; they are discarded). Serial runs use waves of one and
+  // therefore never compute a surplus attempt — exactly the old loop.
+  const int64_t wave =
+      pool != nullptr && pool->jobs() > 1 ? static_cast<int64_t>(pool->jobs()) * 2 : 1;
+  int64_t issued = 0;
+  while (static_cast<int>(crashing.size()) < target && issued < max_attempts) {
+    const int64_t n = std::min<int64_t>(wave, max_attempts - issued);
+    std::vector<FaultRunResult> results(static_cast<size_t>(n));
+    auto body = [&](int64_t i) {
+      results[static_cast<size_t>(i)] =
+          attempt(DeriveTrialSeed(seed_base, static_cast<uint64_t>(issued + i)));
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(n, body);
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        body(i);
+      }
     }
-    ++row.crashes;
+    issued += n;
+    for (FaultRunResult& result : results) {
+      if (!result.crashed) {
+        continue;  // the paper's methodology: only crashing runs count
+      }
+      crashing.push_back(result);
+      if (static_cast<int>(crashing.size()) >= target) {
+        break;
+      }
+    }
+  }
+  return crashing;
+}
+
+FaultStudyRow RunFaultStudy(const FaultStudySpec& spec) {
+  FaultStudyRow row;
+  row.type = spec.type;
+  std::vector<FaultRunResult> crashes = RunCrashingTrials(
+      spec.pool, spec.target_crashes, spec.seed_base, spec.target_crashes * 20,
+      [&spec](uint64_t seed) {
+        return spec.kind == FaultStudyKind::kOs
+                   ? RunOsFault(spec.app, spec.type, seed, spec.protocol, spec.store)
+                   : RunApplicationFault(spec.app, spec.type, seed, spec.protocol, spec.store);
+      });
+  row.crashes = static_cast<int>(crashes.size());
+  for (const FaultRunResult& result : crashes) {
     if (result.violated_lose_work) {
       ++row.violations;
     }
@@ -166,16 +205,26 @@ FaultStudyRow AggregateStudy(const std::string& app_name, ftx_fault::FaultType t
   return row;
 }
 
-}  // namespace
-
 FaultStudyRow RunApplicationFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
                                        int target_crashes, uint64_t seed_base) {
-  return AggregateStudy(app_name, type, target_crashes, seed_base, /*os_study=*/false);
+  FaultStudySpec spec;
+  spec.app = app_name;
+  spec.type = type;
+  spec.kind = FaultStudyKind::kApplication;
+  spec.target_crashes = target_crashes;
+  spec.seed_base = seed_base;
+  return RunFaultStudy(spec);
 }
 
 FaultStudyRow RunOsFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
                               int target_crashes, uint64_t seed_base) {
-  return AggregateStudy(app_name, type, target_crashes, seed_base, /*os_study=*/true);
+  FaultStudySpec spec;
+  spec.app = app_name;
+  spec.type = type;
+  spec.kind = FaultStudyKind::kOs;
+  spec.target_crashes = target_crashes;
+  spec.seed_base = seed_base;
+  return RunFaultStudy(spec);
 }
 
 }  // namespace ftx

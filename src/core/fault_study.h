@@ -18,8 +18,12 @@
 #ifndef FTX_SRC_CORE_FAULT_STUDY_H_
 #define FTX_SRC_CORE_FAULT_STUDY_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "src/core/computation.h"
+#include "src/core/parallel.h"
 #include "src/faults/fault_types.h"
 
 namespace ftx {
@@ -36,15 +40,17 @@ struct FaultRunResult {
 // the given seed. `protocol` defaults to CPVS, the paper's choice (and the
 // best protocol for not violating Lose-work on single-process apps).
 FaultRunResult RunApplicationFault(const std::string& app_name, ftx_fault::FaultType type,
-                                   uint64_t seed, const std::string& protocol = "cpvs");
+                                   uint64_t seed, const std::string& protocol = "cpvs",
+                                   StoreKind store = StoreKind::kRio);
 
 // One Table 2 run: inject an operating-system fault of `type` while
 // `app_name` runs. Stop-failure manifestations schedule a whole-machine
 // stop; propagation manifestations corrupt application state.
 FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type, uint64_t seed,
-                          const std::string& protocol = "cpvs");
+                          const std::string& protocol = "cpvs",
+                          StoreKind store = StoreKind::kRio);
 
-// Aggregated study: `runs_per_type` crashing runs per fault type.
+// Aggregated study: `target_crashes` crashing runs of one fault type.
 struct FaultStudyRow {
   ftx_fault::FaultType type = ftx_fault::FaultType::kStackBitFlip;
   int crashes = 0;
@@ -54,9 +60,44 @@ struct FaultStudyRow {
   double failed_recovery_fraction = 0.0;
 };
 
+// Which study the spec drives: Table 1 injects into the application's own
+// code; Table 2 injects into the simulated kernel.
+enum class FaultStudyKind { kApplication, kOs };
+
+// Everything a study needs, in named fields. Replaces the positional
+// RunApplicationFaultStudy/RunOsFaultStudy entry points.
+struct FaultStudySpec {
+  std::string app = "nvi";
+  ftx_fault::FaultType type = ftx_fault::FaultType::kStackBitFlip;
+  FaultStudyKind kind = FaultStudyKind::kApplication;
+  int target_crashes = 50;
+  uint64_t seed_base = 1;
+  std::string protocol = "cpvs";
+  StoreKind store = StoreKind::kRio;
+  // Non-null: attempts fan out across the pool in deterministic waves (each
+  // attempt's seed comes from DeriveTrialSeed(seed_base, attempt) and the
+  // crash count folds in attempt order, so any --jobs value produces the
+  // same row). Null: same seeds and fold order, one attempt at a time.
+  TrialPool* pool = nullptr;
+};
+
+FaultStudyRow RunFaultStudy(const FaultStudySpec& spec);
+
+// The wave engine under RunFaultStudy, reusable for custom trials (see
+// bench/ablation_crash_latency): runs attempt(DeriveTrialSeed(seed_base, i))
+// for i = 0, 1, ... until `target` attempts report crashed, never issuing
+// more than `max_attempts`, and returns the crashing results in attempt
+// order. Deterministic for a fixed seed_base regardless of pool size.
+std::vector<FaultRunResult> RunCrashingTrials(
+    TrialPool* pool, int target, uint64_t seed_base, int max_attempts,
+    const std::function<FaultRunResult(uint64_t seed)>& attempt);
+
+// Deprecated positional shims, kept for one release.
+[[deprecated("use RunFaultStudy(FaultStudySpec) with kind = kApplication")]]
 FaultStudyRow RunApplicationFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
                                        int target_crashes, uint64_t seed_base);
 
+[[deprecated("use RunFaultStudy(FaultStudySpec) with kind = kOs")]]
 FaultStudyRow RunOsFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
                               int target_crashes, uint64_t seed_base);
 

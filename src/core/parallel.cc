@@ -1,0 +1,116 @@
+#include "src/core/parallel.h"
+
+#include <algorithm>
+
+namespace ftx {
+
+int TrialPool::DefaultJobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+TrialPool::TrialPool(int jobs) : jobs_(jobs <= 0 ? DefaultJobs() : jobs) {
+  // The calling thread is the jobs_-th worker: it drains its own batches in
+  // ParallelFor, so only jobs_ - 1 dedicated threads are needed.
+  workers_.reserve(static_cast<size_t>(jobs_ - 1));
+  for (int i = 0; i < jobs_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void TrialPool::RunOneIndex(Batch* batch, std::unique_lock<std::mutex>& lock) {
+  int64_t index = batch->next++;
+  ++batch->active;
+  if (batch->next >= batch->n) {
+    open_batches_.erase(std::find(open_batches_.begin(), open_batches_.end(), batch));
+  }
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    (*batch->fn)(index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error && (batch->error_index < 0 || index < batch->error_index)) {
+    // Keep the lowest-index exception so the rethrow is deterministic.
+    batch->error = error;
+    batch->error_index = index;
+  }
+  if (--batch->active == 0 && batch->next >= batch->n) {
+    batch->done_cv.notify_all();
+  }
+}
+
+void TrialPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!open_batches_.empty()) {
+      // Oldest batch first: outer batches were opened before the inner
+      // batches their trials spawn, so finishing them first frees their
+      // callers soonest.
+      RunOneIndex(open_batches_.front(), lock);
+      continue;
+    }
+    if (shutdown_) {
+      return;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void TrialPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (jobs_ == 1 || n == 1) {
+    // Serial fast path with the same contract as the sharded one: every
+    // index runs, the lowest-index exception is rethrown afterwards.
+    std::exception_ptr error;
+    for (int64_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  std::unique_lock<std::mutex> lock(mu_);
+  open_batches_.push_back(&batch);
+  work_cv_.notify_all();
+  // Help with our own batch until every index is claimed, then wait for the
+  // stragglers other threads still run. Workers never touch `batch` after
+  // its last active index finishes, so stack ownership is safe.
+  while (batch.next < batch.n) {
+    RunOneIndex(&batch, lock);
+  }
+  while (batch.active > 0) {
+    batch.done_cv.wait(lock);
+  }
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+}  // namespace ftx

@@ -1,0 +1,102 @@
+// Parallel trial engine for the experiment stack.
+//
+// The paper's evaluation is embarrassingly parallel: thousands of
+// independent fault-injection trials (Tables 1-2, Fig. 7) and
+// protocol-by-workload measurement rows (Fig. 8) each build their own
+// Simulator/Computation from a seed and never touch shared state. TrialPool
+// fans that work out across a fixed set of worker threads while keeping the
+// results bit-identical to a serial run:
+//
+//  * per-trial seeds are derived from (base_seed, trial_index) via
+//    ftx::DeriveTrialSeed (a SplitMix64 stream jump), never from shared RNG
+//    state, so a trial's inputs do not depend on scheduling;
+//  * results are gathered into a vector indexed by trial, so downstream
+//    folds see them in trial order regardless of completion order;
+//  * the calling thread participates in its own batch, so nested
+//    ParallelFor calls (a bench row that itself shards a fault study) can
+//    never deadlock the fixed-size pool.
+//
+// Thread-safety contract for trial bodies: each trial must confine its
+// mutable state (Computation, Registry, Rng) to itself. The process-global
+// log state is thread-safe and its simulated-time prefix is per-thread (see
+// src/common/log.h).
+
+#ifndef FTX_SRC_CORE_PARALLEL_H_
+#define FTX_SRC_CORE_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ftx {
+
+class TrialPool {
+ public:
+  // jobs <= 0 selects hardware concurrency. jobs == 1 runs everything
+  // inline on the calling thread (no worker threads, no locking).
+  explicit TrialPool(int jobs = 0);
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static int DefaultJobs();
+
+  // Runs fn(i) for every i in [0, n), fanning across the pool; the calling
+  // thread helps drain its own batch, so fn may itself call ParallelFor.
+  // All n indices run even if some throw; afterwards the lowest-index
+  // exception (a deterministic choice) is rethrown. The pool remains usable
+  // after an exception.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct Batch {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t n = 0;
+    int64_t next = 0;    // next unclaimed index (guarded by pool mu_)
+    int64_t active = 0;  // claimed but unfinished indices
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    int64_t error_index = -1;
+  };
+
+  void WorkerLoop();
+  // Claims and runs one index of `batch`. `lock` is held on entry and exit,
+  // released while the trial body runs.
+  void RunOneIndex(Batch* batch, std::unique_lock<std::mutex>& lock);
+
+  int jobs_ = 1;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<Batch*> open_batches_;  // batches with unclaimed indices
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs `trial(i, DeriveTrialSeed(base_seed, i))` for every trial in
+// [0, num_trials) across the pool and returns the results in trial order.
+// The result type must be default-constructible.
+template <typename Fn>
+auto RunSharded(TrialPool& pool, int64_t num_trials, uint64_t base_seed, Fn&& trial)
+    -> std::vector<decltype(trial(int64_t{0}, uint64_t{0}))> {
+  using Result = decltype(trial(int64_t{0}, uint64_t{0}));
+  std::vector<Result> results(static_cast<size_t>(num_trials > 0 ? num_trials : 0));
+  pool.ParallelFor(num_trials, [&](int64_t i) {
+    results[static_cast<size_t>(i)] = trial(i, DeriveTrialSeed(base_seed, static_cast<uint64_t>(i)));
+  });
+  return results;
+}
+
+}  // namespace ftx
+
+#endif  // FTX_SRC_CORE_PARALLEL_H_

@@ -18,6 +18,10 @@
 // values to show how Table 1 shifts when applications crash sooner, the
 // paper's §2.6 recommendation.
 
+// The tables are constexpr and every lookup is a pure function of its
+// arguments, so concurrent sharded trials (ftx::TrialPool) may call these
+// freely; keep it that way — no caches or lazily built state here.
+
 #ifndef FTX_SRC_FAULTS_CALIBRATION_H_
 #define FTX_SRC_FAULTS_CALIBRATION_H_
 

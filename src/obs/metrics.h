@@ -15,6 +15,15 @@
 // Snapshot() materializes every instrument into an ordered, value-semantic
 // MetricsSnapshot that serializes to JSON for the results emitter.
 //
+// Thread-safety: a Registry is deliberately unsynchronized. Its confinement
+// contract — one Registry per Computation, every instrument and probe owned
+// by that computation's subsystems — is what lets the parallel trial engine
+// (ftx::TrialPool) run whole computations on worker threads without locks:
+// no instrument is ever shared across trials, and each trial's Snapshot()
+// is taken on the thread that ran it. Snapshots are value-semantic and the
+// results emitter merges them in trial-index order, so emitted JSON is
+// identical for any --jobs value.
+//
 // Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase paths,
 // `<subsystem>.<quantity>` for computation-wide instruments
 // ("sim.messages_delivered", "dc.commit_ns") and `p<pid>.` prefixes for

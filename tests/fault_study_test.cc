@@ -108,8 +108,12 @@ TEST(FaultStudy, StopFailureManifestationsAlwaysRecover) {
 }
 
 TEST(FaultStudy, AggregationCountsAreCoherent) {
-  ftx::FaultStudyRow row = ftx::RunApplicationFaultStudy(
-      "postgres", ftx_fault::FaultType::kHeapBitFlip, /*target_crashes=*/15, /*seed_base=*/400);
+  ftx::FaultStudySpec spec;
+  spec.app = "postgres";
+  spec.type = ftx_fault::FaultType::kHeapBitFlip;
+  spec.target_crashes = 15;
+  spec.seed_base = 400;
+  ftx::FaultStudyRow row = ftx::RunFaultStudy(spec);
   EXPECT_EQ(row.crashes, 15);
   EXPECT_LE(row.violations, row.crashes);
   EXPECT_LE(row.failed_recoveries, row.crashes);
@@ -121,10 +125,32 @@ TEST(FaultStudy, AggregationCountsAreCoherent) {
 
 TEST(FaultStudy, FastDetectingFaultsRarelyViolate) {
   // nvi stack flips crash before the next commit (Table 1's 0% row).
-  ftx::FaultStudyRow row = ftx::RunApplicationFaultStudy(
-      "nvi", ftx_fault::FaultType::kStackBitFlip, /*target_crashes=*/15, /*seed_base=*/500);
+  ftx::FaultStudySpec spec;
+  spec.app = "nvi";
+  spec.type = ftx_fault::FaultType::kStackBitFlip;
+  spec.target_crashes = 15;
+  spec.seed_base = 500;
+  ftx::FaultStudyRow row = ftx::RunFaultStudy(spec);
   EXPECT_EQ(row.crashes, 15);
   EXPECT_LT(row.violation_fraction, 0.2);
+}
+
+TEST(FaultStudy, DeprecatedShimsMatchSpecApi) {
+  ftx::FaultStudySpec spec;
+  spec.app = "postgres";
+  spec.type = ftx_fault::FaultType::kDeleteBranch;
+  spec.kind = ftx::FaultStudyKind::kOs;
+  spec.target_crashes = 8;
+  spec.seed_base = 4400;
+  ftx::FaultStudyRow expected = ftx::RunFaultStudy(spec);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ftx::FaultStudyRow shimmed =
+      ftx::RunOsFaultStudy("postgres", ftx_fault::FaultType::kDeleteBranch, 8, 4400);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(shimmed.crashes, expected.crashes);
+  EXPECT_EQ(shimmed.violations, expected.violations);
+  EXPECT_EQ(shimmed.failed_recoveries, expected.failed_recoveries);
 }
 
 TEST(FaultStudy, RareCommitProtocolViolatesLess) {

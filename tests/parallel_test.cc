@@ -1,0 +1,200 @@
+// Tests for the parallel trial engine (ftx::TrialPool) and its determinism
+// contract: --jobs 1 and --jobs N must produce identical results, per-trial
+// seeds must be pure functions of (base_seed, trial_index), and the pool
+// must survive nested use and throwing trial bodies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/experiment.h"
+#include "src/core/fault_study.h"
+#include "src/core/parallel.h"
+
+namespace {
+
+TEST(DeriveTrialSeed, IsDeterministicAndDisperses) {
+  EXPECT_EQ(ftx::DeriveTrialSeed(1, 0), ftx::DeriveTrialSeed(1, 0));
+  std::set<uint64_t> seeds;
+  for (uint64_t base : {0ull, 1ull, 42ull, 0xffffffffffffffffull}) {
+    for (uint64_t trial = 0; trial < 64; ++trial) {
+      seeds.insert(ftx::DeriveTrialSeed(base, trial));
+    }
+  }
+  // A stream jump must not collide across nearby bases and indices.
+  EXPECT_EQ(seeds.size(), 4u * 64u);
+}
+
+TEST(DeriveTrialSeed, DiffersFromLinearSeedScan) {
+  // Adjacent trial indices must not produce adjacent RNG states: the whole
+  // point of the derivation is decorrelating trials that a linear
+  // base+index scheme would put on overlapping xoshiro streams.
+  uint64_t a = ftx::DeriveTrialSeed(100, 0);
+  uint64_t b = ftx::DeriveTrialSeed(100, 1);
+  EXPECT_NE(b - a, 1u);
+}
+
+TEST(TrialPool, DefaultJobsIsPositive) { EXPECT_GE(ftx::TrialPool::DefaultJobs(), 1); }
+
+TEST(TrialPool, RunsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 4}) {
+    ftx::TrialPool pool(jobs);
+    EXPECT_EQ(pool.jobs(), jobs);
+    constexpr int64_t kN = 100;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.ParallelFor(kN, [&](int64_t i) { counts[static_cast<size_t>(i)]++; });
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[static_cast<size_t>(i)].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(TrialPool, ZeroAndNegativeCountsAreNoops) {
+  ftx::TrialPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(TrialPool, NestedParallelForDoesNotDeadlock) {
+  // A bench row that itself shards a fault study: outer and inner loops
+  // share one fixed-size pool. The calling thread helps drain its own
+  // batch, so this must complete even with a single-thread pool.
+  for (int jobs : {1, 2, 4}) {
+    ftx::TrialPool pool(jobs);
+    std::atomic<int> total{0};
+    pool.ParallelFor(8, [&](int64_t) {
+      pool.ParallelFor(8, [&](int64_t) { total++; });
+    });
+    EXPECT_EQ(total.load(), 64) << "jobs=" << jobs;
+  }
+}
+
+TEST(TrialPool, LowestIndexExceptionWinsAndPoolSurvives) {
+  for (int jobs : {1, 4}) {
+    ftx::TrialPool pool(jobs);
+    std::vector<std::atomic<int>> counts(32);
+    auto run = [&] {
+      pool.ParallelFor(32, [&](int64_t i) {
+        counts[static_cast<size_t>(i)]++;
+        if (i == 7 || i == 23) {
+          throw std::runtime_error("trial " + std::to_string(i));
+        }
+      });
+    };
+    EXPECT_THROW(
+        {
+          try {
+            run();
+          } catch (const std::runtime_error& e) {
+            // Deterministic choice: the lowest-index exception is rethrown
+            // no matter which trial threw first in wall-clock order.
+            EXPECT_STREQ(e.what(), "trial 7");
+            throw;
+          }
+        },
+        std::runtime_error);
+    // Every index still ran (failures don't starve later trials)...
+    for (auto& count : counts) {
+      EXPECT_EQ(count.load(), 1);
+    }
+    // ...and the pool remains usable afterwards.
+    std::atomic<int> after{0};
+    pool.ParallelFor(16, [&](int64_t) { after++; });
+    EXPECT_EQ(after.load(), 16);
+  }
+}
+
+TEST(RunSharded, ResultsAreInTrialOrderAndJobsInvariant) {
+  auto trial = [](int64_t i, uint64_t seed) {
+    ftx::Rng rng(seed);
+    return static_cast<double>(i) + static_cast<double>(rng.NextU64() % 1000) * 1e-3;
+  };
+  ftx::TrialPool serial(1);
+  ftx::TrialPool wide(8);
+  std::vector<double> a = ftx::RunSharded(serial, 50, 99, trial);
+  std::vector<double> b = ftx::RunSharded(wide, 50, 99, trial);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(a, b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], static_cast<double>(i));  // slot i holds trial i
+    EXPECT_LT(a[i], static_cast<double>(i) + 1.0);
+  }
+}
+
+TEST(RunCrashingTrials, PoolSizeDoesNotChangeTheAccumulation) {
+  // Synthetic attempt: "crashes" on a seed-derived coin so serial and
+  // sharded runs must keep exactly the same attempts in the same order.
+  auto attempt = [](uint64_t seed) {
+    ftx::FaultRunResult result;
+    result.crashed = seed % 3 != 0;
+    result.violated_lose_work = seed % 5 == 0;
+    return result;
+  };
+  std::vector<ftx::FaultRunResult> serial =
+      ftx::RunCrashingTrials(nullptr, 20, 777, 200, attempt);
+  ftx::TrialPool pool(8);
+  std::vector<ftx::FaultRunResult> sharded =
+      ftx::RunCrashingTrials(&pool, 20, 777, 200, attempt);
+  ASSERT_EQ(serial.size(), sharded.size());
+  ASSERT_EQ(serial.size(), 20u);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].crashed, sharded[i].crashed);
+    EXPECT_EQ(serial[i].violated_lose_work, sharded[i].violated_lose_work);
+  }
+}
+
+TEST(RunCrashingTrials, RespectsMaxAttempts) {
+  int attempts = 0;
+  auto attempt = [&attempts](uint64_t) {
+    ++attempts;
+    return ftx::FaultRunResult{};  // never crashes
+  };
+  std::vector<ftx::FaultRunResult> results =
+      ftx::RunCrashingTrials(nullptr, 10, 1, /*max_attempts=*/25, attempt);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(attempts, 25);
+}
+
+TEST(FaultStudyParallel, ShardedStudyMatchesSerialStudy) {
+  // The end-to-end determinism contract on a real fault study: identical
+  // FaultStudyRow for --jobs 1 and --jobs 8.
+  ftx::FaultStudySpec spec;
+  spec.app = "postgres";
+  spec.type = ftx_fault::FaultType::kHeapBitFlip;
+  spec.target_crashes = 8;
+  spec.seed_base = 1234;
+  ftx::FaultStudyRow serial = ftx::RunFaultStudy(spec);
+
+  ftx::TrialPool pool(8);
+  spec.pool = &pool;
+  ftx::FaultStudyRow sharded = ftx::RunFaultStudy(spec);
+
+  EXPECT_EQ(serial.crashes, sharded.crashes);
+  EXPECT_EQ(serial.violations, sharded.violations);
+  EXPECT_EQ(serial.failed_recoveries, sharded.failed_recoveries);
+  EXPECT_EQ(serial.violation_fraction, sharded.violation_fraction);
+  EXPECT_EQ(serial.failed_recovery_fraction, sharded.failed_recovery_fraction);
+}
+
+TEST(MeasureOverheadParallel, PoolAndSerialRowsAgree) {
+  ftx::RunSpec spec;
+  spec.workload = "magic";
+  spec.scale = 30;
+  spec.seed = 5;
+  spec.protocol = "cpvs";
+  ftx::OverheadRow serial = ftx::MeasureOverhead(spec);
+  ftx::TrialPool pool(4);
+  ftx::OverheadRow pooled = ftx::MeasureOverhead(spec, &pool);
+  EXPECT_EQ(serial.checkpoints, pooled.checkpoints);
+  EXPECT_EQ(serial.baseline.nanos(), pooled.baseline.nanos());
+  EXPECT_EQ(serial.recoverable.nanos(), pooled.recoverable.nanos());
+  EXPECT_EQ(serial.overhead_percent, pooled.overhead_percent);
+}
+
+}  // namespace

@@ -101,10 +101,22 @@ TEST(Fig8Shape, TreadMarksCommitOrdering) {
 
 // --- Tables 1/2 bands ---
 
+ftx::FaultStudyRow RunStudy(const std::string& app, ftx_fault::FaultType type,
+                            ftx::FaultStudyKind kind, int target_crashes, uint64_t seed_base) {
+  ftx::FaultStudySpec spec;
+  spec.app = app;
+  spec.type = type;
+  spec.kind = kind;
+  spec.target_crashes = target_crashes;
+  spec.seed_base = seed_base;
+  return ftx::RunFaultStudy(spec);
+}
+
 TEST(TableShape, HeapFlipsViolateFarMoreThanStackFlipsForNvi) {
-  auto heap = ftx::RunApplicationFaultStudy("nvi", ftx_fault::FaultType::kHeapBitFlip, 20, 70000);
-  auto stack =
-      ftx::RunApplicationFaultStudy("nvi", ftx_fault::FaultType::kStackBitFlip, 20, 71000);
+  auto heap = RunStudy("nvi", ftx_fault::FaultType::kHeapBitFlip,
+                       ftx::FaultStudyKind::kApplication, 20, 70000);
+  auto stack = RunStudy("nvi", ftx_fault::FaultType::kStackBitFlip,
+                        ftx::FaultStudyKind::kApplication, 20, 71000);
   EXPECT_GT(heap.violation_fraction, 0.6);   // paper: 83%
   EXPECT_LT(stack.violation_fraction, 0.15);  // paper: 0%
 }
@@ -115,8 +127,10 @@ TEST(TableShape, OsFaultsHurtNviMoreThanPostgres) {
   for (ftx_fault::FaultType type :
        {ftx_fault::FaultType::kStackBitFlip, ftx_fault::FaultType::kDeleteBranch,
         ftx_fault::FaultType::kOffByOne}) {
-    nvi_sum += ftx::RunOsFaultStudy("nvi", type, 20, 72000).failed_recovery_fraction;
-    postgres_sum += ftx::RunOsFaultStudy("postgres", type, 20, 73000).failed_recovery_fraction;
+    nvi_sum += RunStudy("nvi", type, ftx::FaultStudyKind::kOs, 20, 72000)
+                   .failed_recovery_fraction;
+    postgres_sum += RunStudy("postgres", type, ftx::FaultStudyKind::kOs, 20, 73000)
+                        .failed_recovery_fraction;
   }
   EXPECT_GT(nvi_sum, postgres_sum);  // paper: 15% vs 3% average
 }
