@@ -8,10 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "src/common/crc32.h"
 #include "src/common/rng.h"
 #include "src/statemachine/dangerous_paths.h"
 #include "src/statemachine/invariants.h"
 #include "src/statemachine/random_model.h"
+#include "src/storage/redo_log.h"
 #include "src/storage/stable_store.h"
 #include "src/vista/heap.h"
 #include "src/vista/segment.h"
@@ -29,6 +33,26 @@ void BM_SegmentWriteBarrier(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentWriteBarrier);
 
+void BM_SegmentWriteBarrierSparse(benchmark::State& state) {
+  // Worst case for the cached-range fast path: every store lands on a fresh
+  // page with a changed value, so each one pays first-touch bookkeeping and
+  // a before-image materialization. Pages are recycled via periodic commits
+  // to keep the dirty set bounded.
+  ftx_vista::Segment segment(4 << 20);
+  const int64_t pages = static_cast<int64_t>(segment.size() / segment.page_size());
+  int64_t page = 0;
+  uint64_t value = 1;
+  for (auto _ : state) {
+    segment.WriteValue<uint64_t>(page * 4096, value++);
+    if (++page == pages) {
+      page = 0;
+      segment.Commit();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentWriteBarrierSparse);
+
 void BM_SegmentCommit(benchmark::State& state) {
   const int64_t pages = state.range(0);
   ftx_vista::Segment segment(16 << 20);
@@ -40,7 +64,62 @@ void BM_SegmentCommit(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * pages);
 }
-BENCHMARK(BM_SegmentCommit)->Arg(1)->Arg(16)->Arg(256);
+BENCHMARK(BM_SegmentCommit)->Arg(1)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SegmentCommitMutating(benchmark::State& state) {
+  // Every epoch stores a value the page does not already hold, so each dirty
+  // page pays the full copy-on-write cost: before-image copy into a pooled
+  // undo slot plus the store. Measures the materialization + arena path that
+  // BM_SegmentCommit's repeated values skip after the first epoch.
+  const int64_t pages = state.range(0);
+  ftx_vista::Segment segment(16 << 20);
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    for (int64_t p = 0; p < pages; ++p) {
+      segment.WriteValue<uint64_t>(p * 4096, epoch);
+    }
+    segment.Commit();
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_SegmentCommitMutating)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_RedoRecordAppend(benchmark::State& state) {
+  // DC-disk commit serialization: walk the dirty set with the zero-copy
+  // visitor and append each page image into a redo record.
+  const int64_t pages = state.range(0);
+  ftx_vista::Segment segment(16 << 20);
+  for (int64_t p = 0; p < pages; ++p) {
+    segment.WriteValue<uint64_t>(p * 4096, static_cast<uint64_t>(p) + 1);
+  }
+  for (auto _ : state) {
+    ftx_store::RedoRecord record;
+    record.ReservePages(segment.persisted_dirty_page_count(), segment.page_size());
+    segment.ForEachPersistedDirtyPage(
+        [&record](int64_t offset, const uint8_t* image, size_t size) {
+          record.AppendPage(offset, image, size);
+        });
+    benchmark::DoNotOptimize(record.PayloadBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_RedoRecordAppend)->Arg(16)->Arg(256);
+
+void BM_Crc32(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buffer(bytes);
+  ftx::Rng rng(7);
+  for (auto& b : buffer) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftx::Crc32(buffer.data(), buffer.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_SegmentAbort(benchmark::State& state) {
   const int64_t pages = state.range(0);

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Runs the commit-path micro-benchmarks (bench/micro_commit) and emits
+# BENCH_hotpath.json in the ftx.bench-results schema, including speedups
+# against the recorded pre-overhaul baseline (std::set dirty tracking,
+# per-page heap-allocated before-images, byte-at-a-time CRC).
+#
+# Usage: scripts/bench_hotpath.sh [OUT.json]
+#   BUILD_DIR=build        build tree containing bench/micro_commit
+#   BENCH_MIN_TIME=0.1     google-benchmark --benchmark_min_time (seconds,
+#                          plain double; this benchmark build rejects the
+#                          "0.1s" suffix form)
+#
+# The acceptance gates checked into meta.acceptance mirror the overhaul's
+# targets: BM_SegmentWriteBarrier >= 3x and BM_SegmentCommit/1024 >= 2x over
+# the baseline. Validate the output with scripts/check_bench_json.py.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_hotpath.json}
+MIN_TIME=${BENCH_MIN_TIME:-0.1}
+BIN="$BUILD_DIR/bench/micro_commit"
+
+if [ ! -x "$BIN" ]; then
+  echo "bench_hotpath: $BIN not found; build the 'micro_commit' target first" >&2
+  exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+  --benchmark_filter='BM_Segment|BM_RedoRecordAppend|BM_Crc32' >"$RAW"
+
+python3 - "$RAW" "$OUT" "$MIN_TIME" <<'PYEOF'
+import json
+import sys
+
+raw_path, out_path, min_time = sys.argv[1], sys.argv[2], sys.argv[3]
+
+# Pre-overhaul cpu-time baseline (ns) measured on the same host with the
+# std::set / per-page-allocation implementation, for speedup reporting.
+BASELINE_CPU_NS = {
+    "BM_SegmentWriteBarrier": 24.7,
+    "BM_SegmentCommit/1": 109.4,
+    "BM_SegmentCommit/16": 3542.3,
+    "BM_SegmentCommit/64": 14316.6,
+    "BM_SegmentCommit/256": 91204.4,
+    "BM_SegmentCommit/1024": 472382.4,
+    "BM_SegmentAbort/16": 5113.3,
+    "BM_SegmentAbort/256": 112272.4,
+}
+
+ACCEPTANCE = [
+    ("BM_SegmentWriteBarrier", 3.0),
+    ("BM_SegmentCommit/1024", 2.0),
+]
+
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+with open(raw_path, encoding="utf-8") as f:
+    doc = json.load(f)
+
+rows = []
+speedups = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    scale = TO_NS[b.get("time_unit", "ns")]
+    row = {
+        "benchmark": b["name"],
+        "real_time_ns": b["real_time"] * scale,
+        "cpu_time_ns": b["cpu_time"] * scale,
+        "iterations": b["iterations"],
+    }
+    for extra in ("items_per_second", "bytes_per_second"):
+        if extra in b:
+            row[extra] = b[extra]
+    baseline = BASELINE_CPU_NS.get(b["name"])
+    if baseline is not None:
+        row["baseline_cpu_time_ns"] = baseline
+        row["speedup"] = baseline / row["cpu_time_ns"]
+        speedups[b["name"]] = row["speedup"]
+    rows.append(row)
+
+if not rows:
+    sys.exit("bench_hotpath: no benchmark rows in google-benchmark output")
+
+context = doc.get("context", {})
+acceptance = {}
+for name, required in ACCEPTANCE:
+    got = speedups.get(name)
+    key = name.replace("BM_", "").replace("/", "_")
+    acceptance[key + "_speedup"] = got if got is not None else -1.0
+    acceptance[key + "_required"] = required
+    acceptance[key + "_pass"] = got is not None and got >= required
+
+out = {
+    "schema": "ftx.bench-results",
+    "schema_version": 1,
+    "bench": "micro_commit_hotpath",
+    "full_scale": float(min_time) >= 0.5,
+    "meta": {
+        "benchmark_min_time": float(min_time),
+        "num_cpus": context.get("num_cpus", 0),
+        "mhz_per_cpu": context.get("mhz_per_cpu", 0),
+        "library_build_type": context.get("library_build_type", ""),
+        "baseline": "pre-overhaul micro_commit (std::set dirty tracking, "
+                    "per-page allocation, byte-at-a-time CRC)",
+        "acceptance": acceptance,
+    },
+    "rows": rows,
+}
+
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(out, f, indent=1)
+    f.write("\n")
+
+for name, required in ACCEPTANCE:
+    got = speedups.get(name)
+    status = "PASS" if got is not None and got >= required else "FAIL"
+    shown = f"{got:.2f}x" if got is not None else "missing"
+    print(f"bench_hotpath: {name}: {shown} (required {required:.1f}x) {status}")
+print(f"bench_hotpath: wrote {out_path} ({len(rows)} rows)")
+PYEOF

@@ -37,6 +37,8 @@ REQUIRED_ROW_FIELDS = {
                                "violation_fraction"],
     "ablation_cost_model": ["sweep"],
     "ablation_protocol_faults": ["protocol", "crashes", "violation_fraction"],
+    "micro_commit_hotpath": ["benchmark", "real_time_ns", "cpu_time_ns",
+                             "iterations"],
 }
 
 HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "bounds", "buckets"}

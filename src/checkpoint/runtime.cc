@@ -253,9 +253,15 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   meta.nd_consumed = nd_consumed_;
 
   if (deps_.redo_log != nullptr) {
-    // DC-disk: synchronous redo record of the dirty pages + metadata.
+    // DC-disk: synchronous redo record of the dirty pages + metadata. The
+    // segment's visitor hands page spans straight to record serialization —
+    // the only copy is the one the persist itself requires.
     ftx_store::RedoRecord record;
-    record.pages = segment_->DirtyPages();
+    record.ReservePages(pages, segment_->page_size());
+    segment_->ForEachPersistedDirtyPage(
+        [&record](int64_t offset, const uint8_t* image, size_t size) {
+          record.AppendPage(offset, image, size);
+        });
     ftx::AppendValue(&record.metadata, meta);
     int64_t payload = record.PayloadBytes() + 64;
     cost += deps_.store->PersistCost(payload);
@@ -340,9 +346,12 @@ ftx::Duration Runtime::Recover() {
       disk_params = &disk_store->disk()->parameters();
     }
     for (const ftx_store::RedoRecord& record : deps_.redo_log->records()) {
-      for (const auto& [offset, image] : record.pages) {
-        segment_->InstallPage(offset, image);
-      }
+      FTX_CHECK_MSG(record.ValidatePages(), "redo record failed CRC validation");
+      bool well_formed =
+          record.ForEachPage([this](int64_t offset, const uint8_t* image, size_t size) {
+            segment_->InstallPage(offset, image, size);
+          });
+      FTX_CHECK_MSG(well_formed, "redo record page payload malformed");
       if (disk_params != nullptr) {
         cost += disk_params->half_rotation;
         cost += ftx::Nanoseconds(disk_params->per_byte.nanos() * record.PayloadBytes());

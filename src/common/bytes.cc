@@ -4,8 +4,24 @@
 
 namespace ftx {
 
+void EnsureAppendCapacity(Bytes* out, size_t extra) {
+  size_t needed = out->size() + extra;
+  if (needed <= out->capacity()) {
+    return;
+  }
+  size_t doubled = out->capacity() * 2;
+  out->reserve(needed > doubled ? needed : doubled);
+}
+
+void AppendRaw(Bytes* out, const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  EnsureAppendCapacity(out, size);
+  out->insert(out->end(), p, p + size);
+}
+
 void AppendString(Bytes* out, const std::string& s) {
   AppendValue(out, static_cast<uint32_t>(s.size()));
+  EnsureAppendCapacity(out, s.size());
   out->insert(out->end(), s.begin(), s.end());
 }
 

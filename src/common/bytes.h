@@ -12,6 +12,12 @@ namespace ftx {
 
 using Bytes = std::vector<uint8_t>;
 
+// Grows `out`'s capacity to hold `extra` more bytes, doubling rather than
+// reserving the exact size (an exact reserve per append defeats the
+// vector's geometric growth and turns long append sequences — large redo
+// records — quadratic).
+void EnsureAppendCapacity(Bytes* out, size_t extra);
+
 // Serializes a trivially-copyable value into `out` (little-endian host
 // layout; the simulator never crosses real machines, so host layout is the
 // wire format).
@@ -19,8 +25,12 @@ template <typename T>
 void AppendValue(Bytes* out, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto* p = reinterpret_cast<const uint8_t*>(&value);
+  EnsureAppendCapacity(out, sizeof(T));
   out->insert(out->end(), p, p + sizeof(T));
 }
+
+// Appends a raw byte run.
+void AppendRaw(Bytes* out, const void* data, size_t size);
 
 // Reads a value back; returns false if fewer than sizeof(T) bytes remain.
 // Advances *offset on success.

@@ -1,37 +1,64 @@
 #include "src/common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace ftx {
 namespace {
 
 constexpr uint32_t kPolynomial = 0xedb88320u;  // reflected IEEE 802.3
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 lookup tables. Table()[0] is the classic byte-at-a-time table;
+// Table()[k][i] advances the CRC of byte i by k additional zero bytes, which
+// lets the hot loop fold eight input bytes per iteration with eight
+// independent table loads (Intel's slicing-by-8 technique). The CRC values
+// produced are bit-identical to the byte-at-a-time form.
+using SliceTables = std::array<std::array<uint32_t, 256>, 8>;
+
+SliceTables BuildTables() {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] = (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xff];
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
+const SliceTables& Tables() {
+  static const SliceTables tables = BuildTables();
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size) {
-  const auto& table = Table();
+  const SliceTables& t = Tables();
   const auto* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xffffffffu;
-  for (size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  // Fold eight bytes per iteration. The two 32-bit loads are unaligned-safe
+  // via memcpy (compiles to plain loads on x86/arm) and assume little-endian
+  // hosts, which everything this library targets is.
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^ t[4][lo >> 24] ^
+        t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^ t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

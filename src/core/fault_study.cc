@@ -205,26 +205,4 @@ FaultStudyRow RunFaultStudy(const FaultStudySpec& spec) {
   return row;
 }
 
-FaultStudyRow RunApplicationFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
-                                       int target_crashes, uint64_t seed_base) {
-  FaultStudySpec spec;
-  spec.app = app_name;
-  spec.type = type;
-  spec.kind = FaultStudyKind::kApplication;
-  spec.target_crashes = target_crashes;
-  spec.seed_base = seed_base;
-  return RunFaultStudy(spec);
-}
-
-FaultStudyRow RunOsFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
-                              int target_crashes, uint64_t seed_base) {
-  FaultStudySpec spec;
-  spec.app = app_name;
-  spec.type = type;
-  spec.kind = FaultStudyKind::kOs;
-  spec.target_crashes = target_crashes;
-  spec.seed_base = seed_base;
-  return RunFaultStudy(spec);
-}
-
 }  // namespace ftx

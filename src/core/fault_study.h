@@ -64,8 +64,7 @@ struct FaultStudyRow {
 // code; Table 2 injects into the simulated kernel.
 enum class FaultStudyKind { kApplication, kOs };
 
-// Everything a study needs, in named fields. Replaces the positional
-// RunApplicationFaultStudy/RunOsFaultStudy entry points.
+// Everything a study needs, in named fields.
 struct FaultStudySpec {
   std::string app = "nvi";
   ftx_fault::FaultType type = ftx_fault::FaultType::kStackBitFlip;
@@ -91,15 +90,6 @@ FaultStudyRow RunFaultStudy(const FaultStudySpec& spec);
 std::vector<FaultRunResult> RunCrashingTrials(
     TrialPool* pool, int target, uint64_t seed_base, int max_attempts,
     const std::function<FaultRunResult(uint64_t seed)>& attempt);
-
-// Deprecated positional shims, kept for one release.
-[[deprecated("use RunFaultStudy(FaultStudySpec) with kind = kApplication")]]
-FaultStudyRow RunApplicationFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
-                                       int target_crashes, uint64_t seed_base);
-
-[[deprecated("use RunFaultStudy(FaultStudySpec) with kind = kOs")]]
-FaultStudyRow RunOsFaultStudy(const std::string& app_name, ftx_fault::FaultType type,
-                              int target_crashes, uint64_t seed_base);
 
 }  // namespace ftx
 

@@ -4,13 +4,28 @@
 
 namespace ftx_store {
 
-int64_t RedoRecord::PayloadBytes() const {
-  int64_t total = static_cast<int64_t>(metadata.size());
-  for (const auto& [offset, image] : pages) {
-    (void)offset;
-    total += static_cast<int64_t>(image.size()) + static_cast<int64_t>(sizeof(int64_t));
+void RedoRecord::ReservePages(int64_t pages, size_t image_size) {
+  if (pages <= 0) {
+    return;
   }
-  return total;
+  pages_payload.reserve(pages_payload.size() +
+                        static_cast<size_t>(pages) * (2 * sizeof(int64_t) + image_size));
+}
+
+void RedoRecord::AppendPage(int64_t offset, const uint8_t* data, size_t size) {
+  size_t run_begin = pages_payload.size();
+  ftx::AppendValue(&pages_payload, offset);
+  ftx::AppendValue(&pages_payload, static_cast<int64_t>(size));
+  ftx::AppendRaw(&pages_payload, data, size);
+  pages_crc = ftx::Crc32Extend(pages_crc, pages_payload.data() + run_begin,
+                               pages_payload.size() - run_begin);
+  ++page_count;
+  page_bytes += static_cast<int64_t>(size);
+}
+
+int64_t RedoRecord::PayloadBytes() const {
+  return static_cast<int64_t>(metadata.size()) + page_bytes +
+         page_count * static_cast<int64_t>(sizeof(int64_t));
 }
 
 int64_t RedoLog::Append(RedoRecord record) {

@@ -6,6 +6,13 @@
 // replaying every record in order. I/O *latency* is charged separately by
 // the DiskStore policy (see stable_store.h), which models the synchronous
 // writes these appends imply.
+//
+// Page images are serialized directly into one flat per-record buffer
+// ([offset][size][bytes]... runs) as the segment's dirty-page visitor hands
+// them over — the single copy is the one the persist itself requires; there
+// is no intermediate vector of per-page heap buffers. Each record carries a
+// CRC (slice-by-8) over its page payload that recovery validates before
+// installing pages.
 
 #ifndef FTX_SRC_STORAGE_REDO_LOG_H_
 #define FTX_SRC_STORAGE_REDO_LOG_H_
@@ -16,17 +23,55 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/crc32.h"
 #include "src/obs/metrics.h"
 
 namespace ftx_store {
 
 struct RedoRecord {
   int64_t sequence = 0;
-  // (segment offset, page image) pairs dirtied since the previous commit.
-  std::vector<std::pair<int64_t, ftx::Bytes>> pages;
+  // Serialized dirty pages: page_count runs of
+  // [int64 offset][int64 size][size bytes], in segment order.
+  ftx::Bytes pages_payload;
+  int64_t page_count = 0;
+  int64_t page_bytes = 0;  // sum of image sizes (excludes framing)
+  uint32_t pages_crc = 0;  // running CRC over pages_payload
   // Opaque metadata blob (register file + kernel capture point).
   ftx::Bytes metadata;
 
+  // Pre-sizes the payload buffer for `pages` images of `image_size` bytes.
+  void ReservePages(int64_t pages, size_t image_size);
+
+  // Serializes one page image straight from the source buffer (typically
+  // the live segment) and extends the payload CRC.
+  void AppendPage(int64_t offset, const uint8_t* data, size_t size);
+
+  // Decodes the payload, invoking visitor(offset, data, size) per page.
+  // Returns false (possibly mid-iteration) on a malformed payload.
+  template <typename Visitor>
+  bool ForEachPage(Visitor&& visitor) const {
+    size_t cursor = 0;
+    for (int64_t i = 0; i < page_count; ++i) {
+      int64_t offset = 0;
+      int64_t size = 0;
+      if (!ftx::ReadValue(pages_payload, &cursor, &offset) ||
+          !ftx::ReadValue(pages_payload, &cursor, &size) || size < 0 ||
+          cursor + static_cast<size_t>(size) > pages_payload.size()) {
+        return false;
+      }
+      visitor(offset, pages_payload.data() + cursor, static_cast<size_t>(size));
+      cursor += static_cast<size_t>(size);
+    }
+    return cursor == pages_payload.size();
+  }
+
+  // Recomputes the payload CRC and compares against pages_crc.
+  bool ValidatePages() const {
+    return ftx::Crc32(pages_payload.data(), pages_payload.size()) == pages_crc;
+  }
+
+  // Billable payload: page images + one int64 offset of framing per page +
+  // metadata. (The cost model charges logical content, not host encoding.)
   int64_t PayloadBytes() const;
 };
 

@@ -6,24 +6,43 @@
 
 namespace ftx_store {
 
+UndoLog::UndoLog(size_t slot_size) : slot_size_(slot_size) { FTX_CHECK_GT(slot_size, 0u); }
+
 void UndoLog::RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size) {
   FTX_CHECK_GE(offset, 0);
   UndoRecord record;
   record.offset = offset;
-  record.before_image.assign(data, data + size);
+  record.size = static_cast<int64_t>(size);
+  if (size == slot_size_) {
+    if (free_slots_.empty()) {
+      FTX_CHECK_LT(slots_.size(), static_cast<size_t>(INT32_MAX));
+      free_slots_.push_back(static_cast<int32_t>(slots_.size()));
+      slots_.push_back(std::make_unique<uint8_t[]>(slot_size_));
+    }
+    record.slot = free_slots_.back();
+    free_slots_.pop_back();
+    std::memcpy(slots_[record.slot].get(), data, size);
+  } else {
+    record.odd_bytes.assign(data, data + size);
+  }
   byte_size_ += static_cast<int64_t>(size);
   records_.push_back(std::move(record));
 }
 
 void UndoLog::ApplyReverseInto(uint8_t* base, size_t base_size) {
   for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-    FTX_CHECK_LE(static_cast<size_t>(it->offset) + it->before_image.size(), base_size);
-    std::memcpy(base + it->offset, it->before_image.data(), it->before_image.size());
+    FTX_CHECK_LE(static_cast<size_t>(it->offset + it->size), base_size);
+    std::memcpy(base + it->offset, RecordData(*it), static_cast<size_t>(it->size));
   }
   Discard();
 }
 
 void UndoLog::Discard() {
+  for (const UndoRecord& record : records_) {
+    if (record.slot >= 0) {
+      free_slots_.push_back(record.slot);
+    }
+  }
   records_.clear();
   byte_size_ = 0;
 }

@@ -2,17 +2,20 @@
 
 #include <cstring>
 
-#include "src/common/check.h"
 #include "src/common/crc32.h"
 
 namespace ftx_vista {
 
-Segment::Segment(size_t size, size_t page_size) : page_size_(page_size) {
+Segment::Segment(size_t size, size_t page_size) : page_size_(page_size), undo_(page_size) {
   FTX_CHECK_GT(size, 0u);
   FTX_CHECK_GT(page_size, 0u);
   // Round the segment up to whole pages.
-  size_t pages = (size + page_size - 1) / page_size;
-  data_.assign(pages * page_size, 0);
+  num_pages_ = (size + page_size - 1) / page_size;
+  data_.assign(num_pages_ * page_size, 0);
+  size_t words = (num_pages_ + 63) / 64;
+  dirty_bits_.assign(words, 0);
+  pending_bits_.assign(words, 0);
+  volatile_bits_.assign(words, 0);
 }
 
 void Segment::ReadRaw(int64_t offset, void* dst, size_t size) const {
@@ -21,62 +24,118 @@ void Segment::ReadRaw(int64_t offset, void* dst, size_t size) const {
   std::memcpy(dst, data_.data() + offset, size);
 }
 
-void Segment::TouchPages(int64_t offset, size_t size) {
-  FTX_CHECK_GE(offset, 0);
-  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
+void Segment::MarkDirtyPending(int64_t page) {
+  uint64_t& word = dirty_bits_[page >> 6];
+  uint64_t bit = 1ull << (page & 63);
+  if ((word & bit) != 0) {
+    return;
+  }
+  // First touch since the last commit — what Vista's copy-on-write trap
+  // catches. The before-image stays pending (the page still holds committed
+  // content) until a write actually changes its bytes.
+  word |= bit;
+  pending_bits_[page >> 6] |= bit;
+  dirty_order_.push_back(page);
+  if (!TestBit(volatile_bits_, page)) {
+    ++persisted_dirty_;
+  }
+}
+
+void Segment::MaterializeBeforeImage(int64_t page) {
+  uint64_t& word = pending_bits_[page >> 6];
+  uint64_t bit = 1ull << (page & 63);
+  if ((word & bit) == 0) {
+    return;
+  }
+  word &= ~bit;
+  undo_.RecordBeforeImage(page * static_cast<int64_t>(page_size_),
+                          data_.data() + page * static_cast<int64_t>(page_size_), page_size_);
+}
+
+void Segment::UpdateFastRange(int64_t page) {
+  if (TestBit(pending_bits_, page)) {
+    // A pending page cannot be written through the fast path (the barrier
+    // must see the first content-changing store), so leave it empty.
+    fast_begin_ = 0;
+    fast_end_ = 0;
+    return;
+  }
+  fast_begin_ = page * static_cast<int64_t>(page_size_);
+  fast_end_ = fast_begin_ + static_cast<int64_t>(page_size_);
+}
+
+void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
   if (size == 0) {
     return;
   }
   int64_t first = offset / static_cast<int64_t>(page_size_);
   int64_t last = (offset + static_cast<int64_t>(size) - 1) / static_cast<int64_t>(page_size_);
   for (int64_t page = first; page <= last; ++page) {
-    if (dirty_pages_.insert(page).second) {
-      // First touch since the last commit: log the page's before-image,
-      // exactly what Vista's copy-on-write trap does.
-      undo_.RecordBeforeImage(page * static_cast<int64_t>(page_size_),
-                              data_.data() + page * static_cast<int64_t>(page_size_), page_size_);
-    }
+    MarkDirtyPending(page);
   }
-}
-
-void Segment::Write(int64_t offset, const void* src, size_t size) {
-  TouchPages(offset, size);
+  if (std::memcmp(data_.data() + offset, src, size) == 0) {
+    // Silent store: the bytes are already there. The pages count as dirty
+    // (the COW trap fired) but no before-image copy and no store happen.
+    UpdateFastRange(last);
+    return;
+  }
+  for (int64_t page = first; page <= last; ++page) {
+    MaterializeBeforeImage(page);
+  }
   std::memcpy(data_.data() + offset, src, size);
+  UpdateFastRange(last);
 }
 
-uint8_t* Segment::OpenForWrite(int64_t offset, size_t size) {
-  TouchPages(offset, size);
+uint8_t* Segment::OpenForWriteSlow(int64_t offset, size_t size) {
+  if (size > 0) {
+    int64_t first = offset / static_cast<int64_t>(page_size_);
+    int64_t last = (offset + static_cast<int64_t>(size) - 1) / static_cast<int64_t>(page_size_);
+    for (int64_t page = first; page <= last; ++page) {
+      // The caller mutates through a raw pointer the barrier cannot watch:
+      // materialize eagerly.
+      MarkDirtyPending(page);
+      MaterializeBeforeImage(page);
+    }
+    UpdateFastRange(last);
+  }
   return data_.data() + offset;
+}
+
+void Segment::ClearDirtyTracking() {
+  for (int64_t page : dirty_order_) {
+    dirty_bits_[page >> 6] &= ~(1ull << (page & 63));
+    pending_bits_[page >> 6] &= ~(1ull << (page & 63));
+  }
+  dirty_order_.clear();
+  persisted_dirty_ = 0;
+  fast_begin_ = 0;
+  fast_end_ = 0;
 }
 
 void Segment::Commit() {
   undo_.Discard();
-  dirty_pages_.clear();
+  ClearDirtyTracking();
 }
 
 void Segment::Abort() {
+  // Pages still pending were never modified; the undo log holds exactly the
+  // pages that changed.
   undo_.ApplyReverseInto(data_.data(), data_.size());
-  dirty_pages_.clear();
+  ClearDirtyTracking();
 }
 
 void Segment::ResetToZero() {
-  std::fill(data_.begin(), data_.end(), 0);
+  std::memset(data_.data(), 0, data_.size());
   undo_.Discard();
-  dirty_pages_.clear();
+  ClearDirtyTracking();
 }
 
 std::vector<std::pair<int64_t, ftx::Bytes>> Segment::DirtyPages() const {
   std::vector<std::pair<int64_t, ftx::Bytes>> pages;
-  pages.reserve(dirty_pages_.size());
-  for (int64_t page : dirty_pages_) {
-    if (IsPageVolatile(page)) {
-      continue;  // recomputable: never persisted
-    }
-    int64_t offset = page * static_cast<int64_t>(page_size_);
-    pages.emplace_back(offset,
-                       ftx::Bytes(data_.begin() + offset,
-                                  data_.begin() + offset + static_cast<int64_t>(page_size_)));
-  }
+  pages.reserve(persisted_dirty_);
+  ForEachPersistedDirtyPage([&](int64_t offset, const uint8_t* image, size_t size) {
+    pages.emplace_back(offset, ftx::Bytes(image, image + size));
+  });
   return pages;
 }
 
@@ -87,40 +146,50 @@ void Segment::MarkVolatile(int64_t offset, int64_t size) {
   int64_t first = offset / static_cast<int64_t>(page_size_);
   int64_t last = (offset + size - 1) / static_cast<int64_t>(page_size_);
   for (int64_t page = first; page <= last; ++page) {
-    volatile_pages_.insert(page);
-  }
-}
-
-bool Segment::IsPageVolatile(int64_t page) const {
-  return volatile_pages_.count(page) != 0;
-}
-
-size_t Segment::persisted_dirty_page_count() const {
-  size_t n = 0;
-  for (int64_t page : dirty_pages_) {
-    if (!IsPageVolatile(page)) {
-      ++n;
+    uint64_t& word = volatile_bits_[page >> 6];
+    uint64_t bit = 1ull << (page & 63);
+    if ((word & bit) != 0) {
+      continue;
+    }
+    word |= bit;
+    // An already-dirty page leaving the persisted set keeps the count exact.
+    if ((dirty_bits_[page >> 6] & bit) != 0) {
+      --persisted_dirty_;
     }
   }
-  return n;
 }
 
 void Segment::ZeroVolatileRanges() {
-  for (int64_t page : volatile_pages_) {
-    int64_t offset = page * static_cast<int64_t>(page_size_);
-    std::fill(data_.begin() + offset, data_.begin() + offset + static_cast<int64_t>(page_size_),
-              0);
+  for (size_t word = 0; word < volatile_bits_.size(); ++word) {
+    uint64_t bits = volatile_bits_[word];
+    while (bits != 0) {
+      int64_t page = static_cast<int64_t>(word * 64) + std::countr_zero(bits);
+      bits &= bits - 1;
+      std::memset(data_.data() + page * static_cast<int64_t>(page_size_), 0, page_size_);
+    }
   }
 }
 
-void Segment::InstallPage(int64_t offset, const ftx::Bytes& image) {
-  FTX_CHECK_EQ(image.size(), page_size_);
+void Segment::InstallPage(int64_t offset, const uint8_t* image, size_t size) {
+  FTX_CHECK_EQ(size, page_size_);
   FTX_CHECK_EQ(offset % static_cast<int64_t>(page_size_), 0);
-  FTX_CHECK_LE(static_cast<size_t>(offset) + image.size(), data_.size());
-  std::memcpy(data_.data() + offset, image.data(), image.size());
+  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
+  std::memcpy(data_.data() + offset, image, size);
 }
 
-uint32_t Segment::Checksum() const { return ftx::Crc32(data_.data(), data_.size()); }
+uint32_t Segment::Checksum(int64_t offset, size_t size) const {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
+  uint32_t crc = 0;
+  size_t cursor = static_cast<size_t>(offset);
+  size_t end = cursor + size;
+  while (cursor < end) {
+    size_t chunk = end - cursor < page_size_ ? end - cursor : page_size_;
+    crc = ftx::Crc32Extend(crc, data_.data() + cursor, chunk);
+    cursor += chunk;
+  }
+  return crc;
+}
 
 void Segment::CorruptBit(int64_t offset, int bit) {
   FTX_CHECK_GE(offset, 0);

@@ -135,22 +135,18 @@ TEST(FaultStudy, FastDetectingFaultsRarelyViolate) {
   EXPECT_LT(row.violation_fraction, 0.2);
 }
 
-TEST(FaultStudy, DeprecatedShimsMatchSpecApi) {
+TEST(FaultStudy, SpecApiIsDeterministicForFixedSeedBase) {
   ftx::FaultStudySpec spec;
   spec.app = "postgres";
   spec.type = ftx_fault::FaultType::kDeleteBranch;
   spec.kind = ftx::FaultStudyKind::kOs;
   spec.target_crashes = 8;
   spec.seed_base = 4400;
-  ftx::FaultStudyRow expected = ftx::RunFaultStudy(spec);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ftx::FaultStudyRow shimmed =
-      ftx::RunOsFaultStudy("postgres", ftx_fault::FaultType::kDeleteBranch, 8, 4400);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(shimmed.crashes, expected.crashes);
-  EXPECT_EQ(shimmed.violations, expected.violations);
-  EXPECT_EQ(shimmed.failed_recoveries, expected.failed_recoveries);
+  ftx::FaultStudyRow first = ftx::RunFaultStudy(spec);
+  ftx::FaultStudyRow second = ftx::RunFaultStudy(spec);
+  EXPECT_EQ(first.crashes, second.crashes);
+  EXPECT_EQ(first.violations, second.violations);
+  EXPECT_EQ(first.failed_recoveries, second.failed_recoveries);
 }
 
 TEST(FaultStudy, RareCommitProtocolViolatesLess) {

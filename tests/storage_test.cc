@@ -93,12 +93,54 @@ TEST(UndoLog, TracksByteSize) {
   EXPECT_EQ(log.record_count(), 2u);
 }
 
+TEST(UndoLog, PooledSlotsAreReusedAcrossEpochs) {
+  // Steady state — the same number of slot-sized regions logged every
+  // commit epoch — must not allocate new slots after the first epoch, and
+  // reused slots must never leak a previous epoch's before-image.
+  constexpr size_t kSlot = 64;
+  std::vector<uint8_t> buffer(4 * kSlot, 0);
+  ftx_store::UndoLog log(kSlot);
+
+  for (uint8_t epoch = 1; epoch <= 10; ++epoch) {
+    for (size_t page = 0; page < 4; ++page) {
+      log.RecordBeforeImage(static_cast<int64_t>(page * kSlot), buffer.data() + page * kSlot,
+                            kSlot);
+      std::fill(buffer.begin() + page * kSlot, buffer.begin() + (page + 1) * kSlot, epoch);
+    }
+    EXPECT_EQ(log.allocated_slots(), 4u) << "epoch " << int(epoch);
+    if (epoch % 2 == 0) {
+      // Abort path: before-images of THIS epoch come back, not stale ones.
+      std::vector<uint8_t> expected(buffer.size(), static_cast<uint8_t>(epoch - 1));
+      log.ApplyReverseInto(buffer.data(), buffer.size());
+      EXPECT_EQ(buffer, expected) << "epoch " << int(epoch);
+      std::fill(buffer.begin(), buffer.end(), epoch);
+    } else {
+      log.Discard();  // commit path: slots return to the free list
+    }
+    EXPECT_EQ(log.free_slots(), 4u);
+    EXPECT_TRUE(log.empty());
+  }
+  EXPECT_EQ(log.allocated_slots(), 4u);
+}
+
+TEST(UndoLog, OddSizedRegionsUseFallback) {
+  std::vector<uint8_t> buffer(100, 7);
+  ftx_store::UndoLog log(64);
+  log.RecordBeforeImage(0, buffer.data(), 100);  // not slot-sized
+  EXPECT_EQ(log.allocated_slots(), 0u);
+  EXPECT_EQ(log.records()[0].slot, -1);
+  std::fill(buffer.begin(), buffer.end(), 9);
+  log.ApplyReverseInto(buffer.data(), buffer.size());
+  EXPECT_EQ(buffer, std::vector<uint8_t>(100, 7));
+}
+
 // --- RedoLog ---
 
 TEST(RedoLog, AppendsAssignSequences) {
   ftx_store::RedoLog log;
+  ftx::Bytes image(4096, 1);
   ftx_store::RedoRecord a;
-  a.pages.emplace_back(0, ftx::Bytes(4096, 1));
+  a.AppendPage(0, image.data(), image.size());
   log.Append(std::move(a));
   ftx_store::RedoRecord b;
   b.metadata = ftx::Bytes(64, 2);
@@ -112,10 +154,41 @@ TEST(RedoLog, AppendsAssignSequences) {
 
 TEST(RedoLog, PayloadBytesCountPagesAndMetadata) {
   ftx_store::RedoRecord record;
-  record.pages.emplace_back(0, ftx::Bytes(4096, 0));
-  record.pages.emplace_back(4096, ftx::Bytes(4096, 0));
+  ftx::Bytes image(4096, 0);
+  record.AppendPage(0, image.data(), image.size());
+  record.AppendPage(4096, image.data(), image.size());
   record.metadata = ftx::Bytes(100, 0);
   EXPECT_EQ(record.PayloadBytes(), 2 * (4096 + 8) + 100);
+}
+
+TEST(RedoRecord, SerializationRoundTripsAndValidates) {
+  ftx_store::RedoRecord record;
+  ftx::Bytes first(64, 0xaa);
+  ftx::Bytes second(64, 0xbb);
+  record.AppendPage(0, first.data(), first.size());
+  record.AppendPage(128, second.data(), second.size());
+  EXPECT_EQ(record.page_count, 2);
+  EXPECT_EQ(record.page_bytes, 128);
+  EXPECT_TRUE(record.ValidatePages());
+
+  std::vector<std::pair<int64_t, ftx::Bytes>> decoded;
+  EXPECT_TRUE(record.ForEachPage([&](int64_t offset, const uint8_t* data, size_t size) {
+    decoded.emplace_back(offset, ftx::Bytes(data, data + size));
+  }));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].first, 0);
+  EXPECT_EQ(decoded[0].second, first);
+  EXPECT_EQ(decoded[1].first, 128);
+  EXPECT_EQ(decoded[1].second, second);
+}
+
+TEST(RedoRecord, ValidationCatchesCorruptedPayload) {
+  ftx_store::RedoRecord record;
+  ftx::Bytes image(64, 0x5c);
+  record.AppendPage(0, image.data(), image.size());
+  ASSERT_TRUE(record.ValidatePages());
+  record.pages_payload[20] ^= 0x01;  // bit rot in a page image
+  EXPECT_FALSE(record.ValidatePages());
 }
 
 TEST(RedoLog, TruncateDropsPrefix) {
