@@ -12,7 +12,14 @@
 #
 # The acceptance gates checked into meta.acceptance mirror the overhaul's
 # targets: BM_SegmentWriteBarrier >= 3x and BM_SegmentCommit/1024 >= 2x over
-# the baseline. Validate the output with scripts/check_bench_json.py.
+# the baseline. BASELINE_CPU_NS values are absolute nanoseconds measured on
+# the original development host, so speedups (and the gates) are only
+# meaningful on comparable hardware — treat cross-machine numbers as a
+# trajectory, not a comparison. On a full-scale run (BENCH_MIN_TIME >= 0.5)
+# a failed gate exits nonzero; quick smoke runs (like the ctest fixture at
+# 0.01) report PASS/FAIL but always exit 0, since timings at tiny min_time
+# are too noisy to gate on. Validate the output with
+# scripts/check_bench_json.py.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,8 +45,10 @@ import sys
 
 raw_path, out_path, min_time = sys.argv[1], sys.argv[2], sys.argv[3]
 
-# Pre-overhaul cpu-time baseline (ns) measured on the same host with the
-# std::set / per-page-allocation implementation, for speedup reporting.
+# Pre-overhaul cpu-time baseline (ns) measured on the original development
+# host with the std::set / per-page-allocation implementation, for speedup
+# reporting. Host-specific absolute values: speedups computed against them
+# are not comparable across machines.
 BASELINE_CPU_NS = {
     "BM_SegmentWriteBarrier": 24.7,
     "BM_SegmentCommit/1": 109.4,
@@ -116,10 +125,20 @@ with open(out_path, "w", encoding="utf-8") as f:
     json.dump(out, f, indent=1)
     f.write("\n")
 
+failed = []
 for name, required in ACCEPTANCE:
     got = speedups.get(name)
-    status = "PASS" if got is not None and got >= required else "FAIL"
+    ok = got is not None and got >= required
+    if not ok:
+        failed.append(name)
     shown = f"{got:.2f}x" if got is not None else "missing"
-    print(f"bench_hotpath: {name}: {shown} (required {required:.1f}x) {status}")
+    print(f"bench_hotpath: {name}: {shown} (required {required:.1f}x) "
+          f"{'PASS' if ok else 'FAIL'}")
 print(f"bench_hotpath: wrote {out_path} ({len(rows)} rows)")
+if failed and out["full_scale"]:
+    sys.exit(f"bench_hotpath: acceptance gate(s) failed at full scale: "
+             f"{', '.join(failed)}")
+if failed:
+    print("bench_hotpath: gates advisory at this min_time "
+          "(full_scale requires BENCH_MIN_TIME >= 0.5)")
 PYEOF

@@ -1,7 +1,14 @@
 #include "src/common/crc32.h"
 
 #include <array>
+#include <bit>
 #include <cstring>
+
+// The slice-by-8 loop folds two 32-bit loads into the CRC assuming
+// little-endian byte order; a big-endian port would need byteswaps, not a
+// silently different checksum.
+static_assert(std::endian::native == std::endian::little,
+              "Crc32Extend's slice-by-8 loop requires a little-endian host");
 
 namespace ftx {
 namespace {

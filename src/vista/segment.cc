@@ -65,6 +65,8 @@ void Segment::UpdateFastRange(int64_t page) {
 }
 
 void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
   if (size == 0) {
     return;
   }
@@ -87,6 +89,8 @@ void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
 }
 
 uint8_t* Segment::OpenForWriteSlow(int64_t offset, size_t size) {
+  FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
   if (size > 0) {
     int64_t first = offset / static_cast<int64_t>(page_size_);
     int64_t last = (offset + static_cast<int64_t>(size) - 1) / static_cast<int64_t>(page_size_);
@@ -171,6 +175,10 @@ void Segment::ZeroVolatileRanges() {
 }
 
 void Segment::InstallPage(int64_t offset, const uint8_t* image, size_t size) {
+  // Installing a page behind the barrier while a transaction holds dirty
+  // tracking would leave stale undo images and a stale fast range; recovery
+  // always runs with tracking clear.
+  FTX_CHECK(!HasUncommittedChanges());
   FTX_CHECK_EQ(size, page_size_);
   FTX_CHECK_EQ(offset % static_cast<int64_t>(page_size_), 0);
   FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());

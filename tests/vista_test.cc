@@ -100,6 +100,40 @@ TEST(Segment, InstallPageBypassesUndo) {
   EXPECT_EQ(segment.dirty_page_count(), 0u);
 }
 
+TEST(SegmentDeathTest, OutOfBoundsWriteAborts) {
+  Segment segment(16 * 1024, 4096);
+  int64_t v = 7;
+  // Starts past the end.
+  EXPECT_DEATH(segment.Write(16 * 1024, &v, sizeof(v)), "CHECK failed");
+  // Starts in bounds, runs past the end.
+  EXPECT_DEATH(segment.Write(16 * 1024 - 4, &v, sizeof(v)), "CHECK failed");
+  // Negative offset.
+  EXPECT_DEATH(segment.Write(-8, &v, sizeof(v)), "CHECK failed");
+}
+
+TEST(SegmentDeathTest, OutOfBoundsOpenForWriteAborts) {
+  Segment segment(16 * 1024, 4096);
+  EXPECT_DEATH(segment.OpenForWrite(16 * 1024, 1), "CHECK failed");
+  EXPECT_DEATH(segment.OpenForWrite(16 * 1024 - 4, 8), "CHECK failed");
+  EXPECT_DEATH(segment.OpenForWrite(-1, 1), "CHECK failed");
+}
+
+TEST(SegmentDeathTest, OutOfBoundsWriteAbortsEvenWithFastRangeCached) {
+  Segment segment(16 * 1024, 4096);
+  // Populate the cached fast range with the last page, then verify a write
+  // running past the segment end still takes the checking slow path.
+  segment.WriteValue<int64_t>(16 * 1024 - 4096, 1);
+  int64_t v = 7;
+  EXPECT_DEATH(segment.Write(16 * 1024 - 4, &v, sizeof(v)), "CHECK failed");
+}
+
+TEST(SegmentDeathTest, InstallPageWithUncommittedChangesAborts) {
+  Segment segment(16 * 1024, 4096);
+  segment.WriteValue<int64_t>(4096, 1);
+  ftx::Bytes image(4096, 0x5a);
+  EXPECT_DEATH(segment.InstallPage(4096, image), "CHECK failed");
+}
+
 TEST(Segment, ResetToZeroWipesEverything) {
   Segment segment(16 * 1024);
   segment.WriteValue<int64_t>(0, 999);
