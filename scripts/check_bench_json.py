@@ -39,6 +39,11 @@ REQUIRED_ROW_FIELDS = {
     "ablation_protocol_faults": ["protocol", "crashes", "violation_fraction"],
     "micro_commit_hotpath": ["benchmark", "real_time_ns", "cpu_time_ns",
                              "iterations"],
+    "torture_commit": ["workload", "protocol", "scale", "commits",
+                       "crash_states", "prefix_states", "torn_states",
+                       "reorder_states", "survivor_committed",
+                       "survivor_inflight", "survivor_none", "replays",
+                       "replays_consistent", "violations", "ok"],
 }
 
 HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "bounds", "buckets"}
@@ -125,6 +130,18 @@ def check_file(path):
             elif not isinstance(value, (str, int, float, bool)):
                 ok = fail(path, f"rows[{i}][{key!r}] has unexpected type "
                                 f"{type(value).__name__}")
+        # Torture reports gate hard: an explored crash state that violates
+        # the Save-work invariant fails validation, not just the binary.
+        if bench == "torture_commit":
+            if row.get("violations") != 0 or row.get("ok") is not True:
+                ok = fail(path, f"rows[{i}]: crash-state invariant violated "
+                                f"(violations={row.get('violations')!r}, "
+                                f"diagnostics="
+                                f"{row.get('violation_diagnostics')!r})")
+            if row.get("replays") != row.get("replays_consistent"):
+                ok = fail(path, f"rows[{i}]: {row.get('replays')} replays but "
+                                f"only {row.get('replays_consistent')} "
+                                f"consistent")
     if ok:
         print(f"{path}: ok ({bench}, {len(rows)} rows)")
     return ok

@@ -39,6 +39,11 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
       stores_.push_back(std::make_unique<ftx_store::DiskStore>(disks_.back().get()));
       redo_logs_.push_back(std::make_unique<ftx_store::RedoLog>());
       redo_log = redo_logs_.back().get();
+      if (options_.journal_disk_writes) {
+        ftx_store::WriteJournal* journal = disks_.back()->EnableJournal();
+        journal->SetClock([this]() { return sim_->Now(); });
+        redo_log->AttachJournal(journal);
+      }
     } else if (options_.store == StoreKind::kVolatileMemory) {
       disks_.push_back(nullptr);
       stores_.push_back(std::make_unique<ftx_store::MemoryStore>());
@@ -92,6 +97,17 @@ ftx_dc::Runtime& Computation::runtime(int pid) {
 ftx_dc::App& Computation::app(int pid) {
   FTX_CHECK(pid >= 0 && pid < num_processes());
   return *apps_[static_cast<size_t>(pid)];
+}
+
+ftx_store::RedoLog* Computation::redo_log(int pid) {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return redo_logs_[static_cast<size_t>(pid)].get();
+}
+
+ftx_store::WriteJournal* Computation::write_journal(int pid) {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return disks_[static_cast<size_t>(pid)] == nullptr ? nullptr
+                                                     : disks_[static_cast<size_t>(pid)]->journal();
 }
 
 void Computation::SetInputScript(int pid, std::vector<Bytes> script) {

@@ -51,6 +51,12 @@ struct ComputationOptions {
   ftx_sim::NetworkOptions network;
   ftx_sim::KernelLimits kernel_limits;
   ftx_store::DiskParameters disk;
+  // DC-disk only: journal every redo-log disk write as sector-granular ops
+  // with barriers at the commit's two sync points (see
+  // src/storage/write_journal.h). Off by default — the journal retains
+  // every byte ever committed, and only the crash-state exploration engine
+  // (src/torture/) consumes it. Never changes any simulated quantity.
+  bool journal_disk_writes = false;
   // Automatic recovery after a crash event (propagation-failure studies).
   bool auto_recover = true;
   Duration recovery_delay = Milliseconds(50);
@@ -120,6 +126,12 @@ class Computation {
   ftx_obs::Tracer& tracer() { return tracer_; }
   ftx_dc::Runtime& runtime(int pid);
   ftx_dc::App& app(int pid);
+  // DC-disk only (nullptr otherwise): the machine's redo log, and — when
+  // journal_disk_writes is set — its write-op journal. The torture engine
+  // uses these to collect op traces and to install survivor records before
+  // a scheduled recovery.
+  ftx_store::RedoLog* redo_log(int pid);
+  ftx_store::WriteJournal* write_journal(int pid);
   const ComputationOptions& options() const { return options_; }
   int recovery_attempts(int pid) const;
   // True when a process exhausted max_recovery_attempts (it kept crashing

@@ -11,10 +11,12 @@
 #define FTX_SRC_STORAGE_DISK_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/common/sim_time.h"
 #include "src/obs/metrics.h"
+#include "src/storage/write_journal.h"
 
 namespace ftx_store {
 
@@ -56,6 +58,19 @@ class DiskModel {
   int64_t total_bytes() const { return total_bytes_; }
   const DiskParameters& parameters() const { return params_; }
 
+  // Opt-in write-op journal for this disk's platters: off by default (the
+  // cost model alone needs no content), enabled by the crash-state
+  // exploration engine so commits leave a sector-granular op trace. The
+  // journal belongs to the disk because it describes *this* machine's
+  // persistent state; producers (RedoLog) borrow it via journal().
+  WriteJournal* EnableJournal() {
+    if (journal_ == nullptr) {
+      journal_ = std::make_unique<WriteJournal>();
+    }
+    return journal_.get();
+  }
+  WriteJournal* journal() const { return journal_.get(); }
+
   // Exposes I/O counters through a metrics registry under
   // "<prefix>disk.sync_writes" and "<prefix>disk.bytes_written" (prefix is
   // typically "p<pid>." since each machine owns one disk).
@@ -72,6 +87,7 @@ class DiskModel {
   int64_t head_position_ = 0;
   int64_t total_ios_ = 0;
   int64_t total_bytes_ = 0;
+  std::unique_ptr<WriteJournal> journal_;
 };
 
 }  // namespace ftx_store

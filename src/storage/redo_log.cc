@@ -1,6 +1,11 @@
 #include "src/storage/redo_log.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/storage/log_image.h"
+#include "src/storage/write_journal.h"
 
 namespace ftx_store {
 
@@ -28,10 +33,42 @@ int64_t RedoRecord::PayloadBytes() const {
          page_count * static_cast<int64_t>(sizeof(int64_t));
 }
 
+void RedoLog::AttachJournal(WriteJournal* journal) {
+  journal_ = journal;
+  journal_tail_ = kLogStartOffset;
+  journal_log_start_ = kLogStartOffset;
+  journal_start_sequence_ = next_sequence_;
+  journal_offsets_.clear();
+}
+
 int64_t RedoLog::Append(RedoRecord record) {
   record.sequence = next_sequence_++;
   int64_t payload = record.PayloadBytes() + 64;  // record header
   bytes_written_ += payload;
+
+  if (journal_ != nullptr) {
+    // The paper's two synchronous I/Os, in order: (1) the record body, then
+    // a sync barrier; (2) the one-sector commit slot, then a sync barrier.
+    // Slot parity alternates with the sequence, so this commit never touches
+    // the sector that vouches for the previous one.
+    ftx::Bytes encoded = EncodeRecord(record);
+    journal_offsets_.emplace_back(record.sequence, journal_tail_);
+    journal_->Write(journal_tail_, encoded.data(), encoded.size(), record.sequence);
+    journal_->Barrier(record.sequence);
+
+    CommitSlot slot;
+    slot.sequence = record.sequence;
+    slot.log_start = journal_log_start_;
+    slot.log_end = journal_tail_ + static_cast<int64_t>(encoded.size());
+    slot.start_sequence = journal_start_sequence_;
+    ftx::Bytes slot_sector = EncodeCommitSlot(slot);
+    journal_->Write((record.sequence & 1) * kSectorBytes, slot_sector.data(), slot_sector.size(),
+                    record.sequence);
+    journal_->Barrier(record.sequence);
+
+    journal_tail_ = slot.log_end;
+  }
+
   records_.push_back(std::move(record));
   return payload;
 }
@@ -40,6 +77,39 @@ void RedoLog::TruncateThrough(int64_t sequence) {
   records_.erase(std::remove_if(records_.begin(), records_.end(),
                                 [&](const RedoRecord& r) { return r.sequence <= sequence; }),
                  records_.end());
+
+  if (journal_ != nullptr && sequence >= journal_start_sequence_ && next_sequence_ > 0) {
+    // Retire the prefix by rewriting the current slot with a narrowed
+    // [log_start, log_end) — one atomic sector write, same parity as the
+    // newest committed record so the update supersedes in place. The retired
+    // record bytes stay on the platters but the slot no longer vouches for
+    // them. A crash before this write survives with the stale (wider) slot,
+    // which still decodes the full record chain — recovery just replays more.
+    journal_start_sequence_ = sequence + 1;
+    while (!journal_offsets_.empty() && journal_offsets_.front().first <= sequence) {
+      journal_offsets_.erase(journal_offsets_.begin());
+    }
+    journal_log_start_ =
+        journal_offsets_.empty() ? journal_tail_ : journal_offsets_.front().second;
+
+    const int64_t newest = next_sequence_ - 1;
+    CommitSlot slot;
+    slot.sequence = newest;
+    slot.log_start = journal_log_start_;
+    slot.log_end = journal_tail_;
+    slot.start_sequence = std::min(journal_start_sequence_, newest + 1);
+    ftx::Bytes slot_sector = EncodeCommitSlot(slot);
+    journal_->Write((newest & 1) * kSectorBytes, slot_sector.data(), slot_sector.size(), newest);
+    journal_->Barrier(newest);
+  }
+}
+
+void RedoLog::RestoreForRecovery(std::vector<RedoRecord> records) {
+  for (size_t i = 1; i < records.size(); ++i) {
+    FTX_CHECK_EQ(records[i].sequence, records[i - 1].sequence + 1);
+  }
+  next_sequence_ = records.empty() ? 0 : records.back().sequence + 1;
+  records_ = std::move(records);
 }
 
 }  // namespace ftx_store

@@ -54,9 +54,13 @@ struct RedoRecord {
     for (int64_t i = 0; i < page_count; ++i) {
       int64_t offset = 0;
       int64_t size = 0;
+      // Framing before use: compare the claimed size against the bytes that
+      // actually remain (cursor <= payload size here, so the subtraction is
+      // safe). The additive form `cursor + size > payload size` wraps for a
+      // huge claimed size and would over-read a truncated tail.
       if (!ftx::ReadValue(pages_payload, &cursor, &offset) ||
           !ftx::ReadValue(pages_payload, &cursor, &size) || size < 0 ||
-          cursor + static_cast<size_t>(size) > pages_payload.size()) {
+          static_cast<uint64_t>(size) > pages_payload.size() - cursor) {
         return false;
       }
       visitor(offset, pages_payload.data() + cursor, static_cast<size_t>(size));
@@ -75,6 +79,8 @@ struct RedoRecord {
   int64_t PayloadBytes() const;
 };
 
+class WriteJournal;
+
 class RedoLog {
  public:
   // Appends a record; returns its payload size in bytes (for I/O charging).
@@ -88,6 +94,20 @@ class RedoLog {
   // skipped truncation; the library supports it so long runs stay bounded
   // once a full-state checkpoint record supersedes the prefix.
   void TruncateThrough(int64_t sequence);
+
+  // Attaches a sector-granular write journal (owned by the machine's
+  // DiskModel): every Append then emits the commit's two synchronous I/Os as
+  // journal ops — record sectors + barrier, commit-slot sector + barrier —
+  // and TruncateThrough emits the slot rewrite that retires the prefix. The
+  // crash-state exploration engine replays these ops to build survivor
+  // images (see src/storage/log_image.h). nullptr detaches.
+  void AttachJournal(WriteJournal* journal);
+
+  // Replaces the in-memory record chain with what survived on disk — the
+  // records a SurvivorLog decoded from a crash-state image — so a fresh
+  // computation's Recover() sees exactly the survivor state. Sequences must
+  // be contiguous; next_sequence resumes after the last survivor.
+  void RestoreForRecovery(std::vector<RedoRecord> records);
 
   int64_t bytes_written() const { return bytes_written_; }
   int64_t next_sequence() const { return next_sequence_; }
@@ -106,6 +126,14 @@ class RedoLog {
   std::vector<RedoRecord> records_;
   int64_t bytes_written_ = 0;
   int64_t next_sequence_ = 0;
+  // Journaling state: where the next record lands in the on-disk image, the
+  // oldest sequence the record area still vouches for, and the byte offset
+  // of every live record (so truncation can narrow log_start exactly).
+  WriteJournal* journal_ = nullptr;
+  int64_t journal_tail_ = 0;
+  int64_t journal_log_start_ = 0;
+  int64_t journal_start_sequence_ = 0;
+  std::vector<std::pair<int64_t, int64_t>> journal_offsets_;  // (sequence, offset)
 };
 
 }  // namespace ftx_store
