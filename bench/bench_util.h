@@ -31,16 +31,21 @@ struct Fig8Cell {
   // Registry snapshots of the two recoverable runs.
   ftx_obs::MetricsSnapshot rio_metrics;
   ftx_obs::MetricsSnapshot disk_metrics;
+  // --audit: the causal-audit reports of the two recoverable runs.
+  bool audited = false;
+  ftx_obs::Json rio_audit;
+  ftx_obs::Json disk_audit;
 };
 
 inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& protocol, int scale,
                             uint64_t seed, ftx::TrialPool* pool,
-                            const std::string& trace_path = "") {
+                            const std::string& trace_path = "", bool audit = false) {
   ftx::RunSpec spec;
   spec.workload = workload;
   spec.protocol = protocol;
   spec.scale = scale;
   spec.seed = seed;
+  spec.audit = audit;
 
   spec.store = ftx::StoreKind::kRio;
   spec.trace_path = trace_path;  // only the recoverable rio run writes it
@@ -58,6 +63,9 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
   cell.disk_fps = disk.recoverable_fps;
   cell.rio_metrics = std::move(rio.recoverable_metrics);
   cell.disk_metrics = std::move(disk.recoverable_metrics);
+  cell.audited = rio.audited && disk.audited;
+  cell.rio_audit = std::move(rio.audit_report);
+  cell.disk_audit = std::move(disk.audit_report);
   return cell;
 }
 
@@ -76,6 +84,12 @@ inline ftx_obs::Json Fig8RowJson(const std::string& workload, const std::string&
   row.Set("rio_fps", cell.rio_fps);
   row.Set("disk_fps", cell.disk_fps);
   row.Set("metrics", cell.rio_metrics.ToJson());
+  if (cell.audited) {
+    // Causal-audit reports of the two recoverable runs (the gate:
+    // audit.violations == 0; scripts/check_bench_json.py enforces it).
+    row.Set("audit", cell.rio_audit);
+    row.Set("audit_disk", cell.disk_audit);
+  }
   return row;
 }
 
@@ -100,8 +114,8 @@ inline std::string Fig8Header(const char* figure, const char* workload, int scal
 inline void AddFig8Row(Suite& suite, const std::string& workload, const std::string& protocol,
                        int scale, uint64_t seed, bool fps_mode) {
   suite.AddRow([workload, protocol, scale, seed, fps_mode](RowContext& ctx) {
-    Fig8Cell cell =
-        RunFig8Cell(workload, protocol, scale, ctx.SeedOr(seed), ctx.pool, ctx.trace_path);
+    Fig8Cell cell = RunFig8Cell(workload, protocol, scale, ctx.SeedOr(seed), ctx.pool,
+                                ctx.trace_path, ctx.options->audit);
     RowResult result;
     if (fps_mode) {
       result.console = Sprintf("%-12s %10.0f %11.1f fps %11.1f fps\n", protocol.c_str(),

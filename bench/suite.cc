@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/common/log.h"
+
 namespace ftx_bench {
 namespace {
 
@@ -31,17 +33,21 @@ constexpr FlagSpec kBenchFlags[] = {
      [](BenchOptions* options, const char* value) { options->json_path = value; }},
     {"--trace", "PATH", "write a Chrome trace_event JSON of the traced run",
      [](BenchOptions* options, const char* value) { options->trace_path = value; }},
+    {"--audit", nullptr, "enable the live causal audit on every recoverable run",
+     [](BenchOptions* options, const char*) { options->audit = true; }},
+    {"--log-level", "LEVEL", "error|warning|info|debug (default warning)",
+     [](BenchOptions* options, const char* value) {
+       ftx::LogLevel level;
+       if (!ftx::ParseLogLevel(value, &level)) {
+         std::fprintf(stderr, "invalid --log-level: %s\n", value);
+         std::exit(2);
+       }
+       options->log_level = value;
+       ftx::SetLogLevel(level);
+     }},
 };
 
-void PrintUsage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [flags]\n", argv0);
-  for (const FlagSpec& flag : kBenchFlags) {
-    char left[32];
-    std::snprintf(left, sizeof left, "%s %s", flag.name,
-                  flag.value_name == nullptr ? "" : flag.value_name);
-    std::fprintf(stderr, "  %-14s %s\n", left, flag.doc);
-  }
-}
+void PrintUsage(const char* argv0) { std::fputs(BenchUsageText(argv0).c_str(), stderr); }
 
 const FlagSpec* FindFlag(const char* name) {
   for (const FlagSpec& flag : kBenchFlags) {
@@ -53,6 +59,17 @@ const FlagSpec* FindFlag(const char* name) {
 }
 
 }  // namespace
+
+std::string BenchUsageText(const char* argv0) {
+  std::string text = Sprintf("usage: %s [flags]\n", argv0);
+  for (const FlagSpec& flag : kBenchFlags) {
+    char left[32];
+    std::snprintf(left, sizeof left, "%s %s", flag.name,
+                  flag.value_name == nullptr ? "" : flag.value_name);
+    text += Sprintf("  %-16s %s\n", left, flag.doc);
+  }
+  return text;
+}
 
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions options;

@@ -43,7 +43,11 @@ namespace ftx_bench {
 //                  seeds derive from it via ftx::DeriveTrialSeed
 //   --json PATH    write machine-readable results (ftx.bench-results JSON)
 //   --trace PATH   write a Chrome trace_event JSON of the traced run
-// Unknown flags and missing values print the usage table and exit 2.
+//   --audit        enable the live causal audit (src/obs/causal/) on every
+//                  recoverable run; rows report it under "audit"
+//   --log-level L  error|warning|info|debug (default warning)
+// Unknown flags, missing values, and bad --log-level names print the usage
+// table and exit 2.
 struct BenchOptions {
   bool full_scale = false;
   int scale_override = 0;
@@ -51,9 +55,14 @@ struct BenchOptions {
   uint64_t seed = 0;  // 0 = use the bench's built-in seeds
   std::string json_path;
   std::string trace_path;
+  bool audit = false;
+  std::string log_level;  // as given; applied via ftx::SetLogLevel at parse
 };
 
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+// The generated usage table (tests pin that every kBenchFlags entry renders).
+std::string BenchUsageText(const char* argv0);
 
 // printf into a std::string (rows build their console text with this).
 std::string Sprintf(const char* format, ...) __attribute__((format(printf, 1, 2)));

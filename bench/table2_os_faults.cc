@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
         spec.target_crashes = crashes;
         spec.seed_base = ctx.SeedOr(5000 + static_cast<uint64_t>(type) * 977);
         spec.pool = ctx.pool;
+        spec.audit = ctx.options->audit;
         ftx::FaultStudyRow row = ftx::RunFaultStudy(spec);
         fractions[i++] = row.failed_recovery_fraction;
         result.values.push_back(row.failed_recovery_fraction);
@@ -57,6 +58,18 @@ int main(int argc, char** argv) {
         json_row.Set("crashes", row.crashes);
         json_row.Set("failed_recoveries", row.failed_recoveries);
         json_row.Set("failed_recovery_fraction", row.failed_recovery_fraction);
+        if (row.audited) {
+          ftx_obs::Json audit = ftx_obs::Json::Object();
+          audit.Set("schema_version", ftx_causal::kCausalAuditSchemaVersion);
+          audit.Set("violations", row.audit_violations);
+          audit.Set("incidents_total", row.audit_incidents);
+          ftx_obs::Json dumps = ftx_obs::Json::Array();
+          for (const std::string& dump : row.audit_incident_dumps) {
+            dumps.Push(dump);
+          }
+          audit.Set("incident_dumps", std::move(dumps));
+          json_row.Set("audit", std::move(audit));
+        }
         result.json.push_back(std::move(json_row));
       }
       result.console = ftx_bench::Sprintf(

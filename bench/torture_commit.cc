@@ -71,8 +71,11 @@ int main(int argc, char** argv) {
         spec.max_commit_windows = depth.smoke_windows;
       }
 
+      spec.audit = ctx.options->audit;
+
       ftx_torture::TortureReport report = ftx_torture::ExploreCommitPath(spec, ctx.pool);
-      total_violations.fetch_add(report.violations, std::memory_order_relaxed);
+      total_violations.fetch_add(report.violations + report.audit_violations,
+                                 std::memory_order_relaxed);
 
       ftx_bench::RowResult result;
       result.console = ftx_bench::Sprintf(

@@ -8,11 +8,20 @@ Checks the schema envelope described in docs/OBSERVABILITY.md:
     (non-empty array of flat objects);
   * row values are strings, numbers, or bools, except an optional nested
     "metrics" object whose values are numbers (counters/gauges) or
-    histogram objects with count/sum/min/max/bounds/buckets;
+    histogram objects with count/sum/min/max/p50/p90/p99/bounds/buckets,
+    and optional nested "audit"/"audit_disk" causal-audit reports
+    (ftx.causal-audit schema v1) whose Save-work violation count must be
+    zero;
   * bench-specific required row fields for the benches we know about
     (e.g. fig8 rows must carry workload/protocol/checkpoints).
 
-Usage: check_bench_json.py FILE.json [FILE.json ...]
+With --trace the files are instead Chrome trace_event JSON (the --trace
+output of bench/*): every B/E slice must nest per (pid, tid) track, every
+flow-finish ('f') must bind to a preceding flow-start ('s') with the same
+(cat, name, id), and every counter sample ('C') must carry a numeric args
+object.
+
+Usage: check_bench_json.py [--trace] FILE.json [FILE.json ...]
 Exits 0 if every file validates, 1 otherwise.
 """
 
@@ -21,6 +30,7 @@ import sys
 
 SCHEMA_NAME = "ftx.bench-results"
 SCHEMA_VERSION = 1
+AUDIT_SCHEMA_VERSION = 1
 
 # Required row fields per bench name prefix. Rows may carry more.
 REQUIRED_ROW_FIELDS = {
@@ -46,7 +56,12 @@ REQUIRED_ROW_FIELDS = {
                        "replays_consistent", "violations", "ok"],
 }
 
-HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "bounds", "buckets"}
+HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "p50", "p90", "p99",
+                    "bounds", "buckets"}
+
+# Keys of the nested causal-audit report ("audit" / "audit_disk" row
+# members) that must be present; reports may carry more.
+AUDIT_REQUIRED_FIELDS = {"schema_version", "violations"}
 
 
 def fail(path, message):
@@ -54,12 +69,16 @@ def fail(path, message):
     return False
 
 
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def check_metrics(path, row_index, metrics):
     ok = True
     if not isinstance(metrics, dict):
         return fail(path, f"rows[{row_index}].metrics is not an object")
     for name, value in metrics.items():
-        if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if is_number(value):
             continue
         if isinstance(value, dict):
             missing = HISTOGRAM_FIELDS - value.keys()
@@ -74,9 +93,65 @@ def check_metrics(path, row_index, metrics):
             if sum(value["buckets"]) != value["count"]:
                 ok = fail(path, f"rows[{row_index}].metrics[{name!r}]: "
                                 f"bucket counts do not sum to count")
+            if value["count"] > 0:
+                quantiles = [value["min"], value["p50"], value["p90"],
+                             value["p99"], value["max"]]
+                if any(not is_number(q) for q in quantiles):
+                    ok = fail(path, f"rows[{row_index}].metrics[{name!r}]: "
+                                    f"non-numeric quantile")
+                elif sorted(quantiles) != quantiles:
+                    ok = fail(path, f"rows[{row_index}].metrics[{name!r}]: "
+                                    f"quantiles not monotone "
+                                    f"(min<=p50<=p90<=p99<=max): {quantiles}")
             continue
         ok = fail(path, f"rows[{row_index}].metrics[{name!r}] has "
                         f"unexpected type {type(value).__name__}")
+    return ok
+
+
+def check_audit(path, row_index, key, audit):
+    """Validates a nested causal-audit report and gates violations == 0."""
+    if not isinstance(audit, dict):
+        return fail(path, f"rows[{row_index}].{key} is not an object")
+    ok = True
+    missing = AUDIT_REQUIRED_FIELDS - audit.keys()
+    if missing:
+        return fail(path, f"rows[{row_index}].{key} missing {sorted(missing)}")
+    if audit["schema_version"] != AUDIT_SCHEMA_VERSION:
+        ok = fail(path, f"rows[{row_index}].{key}.schema_version is "
+                        f"{audit['schema_version']!r}, expected "
+                        f"{AUDIT_SCHEMA_VERSION}")
+    # The gate: an audited run must uphold Save-work online.
+    if audit["violations"] != 0:
+        details = audit.get("findings", audit.get("incidents_total"))
+        ok = fail(path, f"rows[{row_index}].{key}: Save-work violated online "
+                        f"(violations={audit['violations']!r}, "
+                        f"findings={details!r})")
+    findings = audit.get("findings")
+    if findings is not None:
+        if not isinstance(findings, list):
+            ok = fail(path, f"rows[{row_index}].{key}.findings is not a list")
+        else:
+            for j, finding in enumerate(findings):
+                if not isinstance(finding, dict) or "detail" not in finding:
+                    ok = fail(path, f"rows[{row_index}].{key}.findings[{j}] "
+                                    f"is not a finding object")
+    incidents = audit.get("incidents")
+    if incidents is not None:
+        if not isinstance(incidents, list):
+            ok = fail(path, f"rows[{row_index}].{key}.incidents is not a list")
+        else:
+            for j, incident in enumerate(incidents):
+                if (not isinstance(incident, dict)
+                        or not isinstance(incident.get("reason"), str)
+                        or not isinstance(incident.get("dump"), str)):
+                    ok = fail(path, f"rows[{row_index}].{key}.incidents[{j}] "
+                                    f"must carry string reason and dump")
+    dumps = audit.get("incident_dumps")
+    if dumps is not None and (not isinstance(dumps, list) or
+                              any(not isinstance(d, str) for d in dumps)):
+        ok = fail(path, f"rows[{row_index}].{key}.incident_dumps must be a "
+                        f"list of strings")
     return ok
 
 
@@ -127,6 +202,8 @@ def check_file(path):
         for key, value in row.items():
             if key == "metrics":
                 ok = check_metrics(path, i, value) and ok
+            elif key in ("audit", "audit_disk"):
+                ok = check_audit(path, i, key, value) and ok
             elif not isinstance(value, (str, int, float, bool)):
                 ok = fail(path, f"rows[{i}][{key!r}] has unexpected type "
                                 f"{type(value).__name__}")
@@ -147,13 +224,83 @@ def check_file(path):
     return ok
 
 
+def check_trace_file(path):
+    """Validates a Chrome trace_event JSON file (bench --trace output)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail(path, "not a trace_event document (no traceEvents array)")
+
+    ok = True
+    events = doc["traceEvents"]
+    depth = {}        # (pid, tid) -> open B count
+    flow_starts = set()  # (cat, name, id) seen as 's'
+    counts = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            ok = fail(path, f"traceEvents[{i}] is not an object")
+            continue
+        phase = event.get("ph")
+        counts[phase] = counts.get(phase, 0) + 1
+        if phase == "M":
+            continue
+        if phase not in ("B", "E", "i", "s", "f", "C"):
+            ok = fail(path, f"traceEvents[{i}]: unexpected phase {phase!r}")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        if phase == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif phase == "E":
+            depth[track] = depth.get(track, 0) - 1
+            if depth[track] < 0:
+                ok = fail(path, f"traceEvents[{i}]: 'E' without open 'B' on "
+                                f"track {track}")
+        elif phase in ("s", "f"):
+            flow_key = (event.get("cat"), event.get("name"), event.get("id"))
+            if event.get("id") is None:
+                ok = fail(path, f"traceEvents[{i}]: flow event without id")
+            elif phase == "s":
+                flow_starts.add(flow_key)
+            elif flow_key not in flow_starts:
+                ok = fail(path, f"traceEvents[{i}]: flow finish {flow_key} "
+                                f"without a preceding start")
+            if phase == "f" and event.get("bp") != "e":
+                ok = fail(path, f"traceEvents[{i}]: flow finish must bind "
+                                f"with bp='e'")
+        elif phase == "C":
+            args = event.get("args")
+            if (not isinstance(args, dict) or not args
+                    or any(not is_number(v) for v in args.values())):
+                ok = fail(path, f"traceEvents[{i}]: counter sample needs a "
+                                f"non-empty numeric args object")
+    for track, open_slices in depth.items():
+        if open_slices != 0:
+            ok = fail(path, f"track {track}: {open_slices} unclosed 'B' "
+                            f"slices at end of trace")
+    if ok:
+        summary = ", ".join(f"{phase}={n}" for phase, n in sorted(counts.items()))
+        print(f"{path}: ok (trace, {len(events)} events: {summary})")
+    return ok
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    trace_mode = False
+    if args and args[0] == "--trace":
+        trace_mode = True
+        args = args[1:]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
     ok = True
-    for path in argv[1:]:
-        ok = check_file(path) and ok
+    for path in args:
+        if trace_mode:
+            ok = check_trace_file(path) and ok
+        else:
+            ok = check_file(path) and ok
     return 0 if ok else 1
 
 

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/obs/causal/audit.h"
 
 namespace ftx_dc {
 namespace {
@@ -158,6 +159,9 @@ ftx_proto::CommitDecision Runtime::PreEvent(ftx_proto::AppEvent event) {
   }
   FlushPendingCommit();
   decision = protocol_->Decide(event);
+  if (deps_.audit != nullptr) {
+    deps_.audit->OnProtocolDecision(pid_, event, decision);
+  }
   if (decision.flush_log_before && unflushed_log_bytes_ > 0) {
     // Optimistic Logging's output commit: wait for every outstanding log
     // record to reach stable storage — one batched sequential append.
@@ -235,12 +239,15 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
     segment_->Commit();
     return ftx::Duration();
   }
-  ftx::Duration cost = deps_.store->CommitFixedCost();
+  const ftx::Duration fixed_cost = deps_.store->CommitFixedCost();
   // Volatile (recomputable) ranges are excluded from what a commit
   // persists; their pages still pay the COW trap but not the persist path.
   const auto trapped = static_cast<int64_t>(segment_->dirty_page_count());
   const auto pages = static_cast<int64_t>(segment_->persisted_dirty_page_count());
-  cost += costs_.page_trap * trapped + costs_.page_reprotect * pages;
+  const ftx::Duration before_image_cost = costs_.page_trap * trapped;
+  const ftx::Duration reprotect_cost = costs_.page_reprotect * pages;
+  ftx::Duration cost = fixed_cost;
+  cost += before_image_cost + reprotect_cost;
 
   // Capture the post-commit resume point: the synthetic register file plus
   // the kernel / input / ND-log cursors recovery must restore.
@@ -252,6 +259,8 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   meta.input_cursor = input_cursor_;
   meta.nd_consumed = nd_consumed_;
 
+  ftx::Duration persist_cost;
+  int64_t payload_bytes = 0;
   if (deps_.redo_log != nullptr) {
     // DC-disk: synchronous redo record of the dirty pages + metadata. The
     // segment's visitor hands page spans straight to record serialization —
@@ -263,15 +272,18 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
           record.AppendPage(offset, image, size);
         });
     ftx::AppendValue(&record.metadata, meta);
-    int64_t payload = record.PayloadBytes() + 64;
-    cost += deps_.store->PersistCost(payload);
-    stats_.bytes_persisted += payload;
+    payload_bytes = record.PayloadBytes() + 64;
+    persist_cost = deps_.store->PersistCost(payload_bytes);
+    cost += persist_cost;
+    stats_.bytes_persisted += payload_bytes;
     deps_.redo_log->Append(std::move(record));
   } else {
     // Rio: data is already in the persistent segment; commit atomically
     // discards the undo log. Charge the (memory-speed) cost of retiring it.
-    cost += deps_.store->PersistCost(segment_->undo_bytes());
-    stats_.bytes_persisted += segment_->undo_bytes();
+    payload_bytes = segment_->undo_bytes();
+    persist_cost = deps_.store->PersistCost(payload_bytes);
+    cost += persist_cost;
+    stats_.bytes_persisted += payload_bytes;
   }
   committed_ = meta;
 
@@ -286,6 +298,22 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   stats_.commit_time += cost;
   stats_.pages_committed += pages;
 
+  if (deps_.audit != nullptr) {
+    // Stage the component breakdown so the audit ledger can attach it to the
+    // kCommit trace event appended just below. Purely observational: every
+    // quantity here was already computed for the charge above.
+    ftx_causal::CommitCosts cc;
+    cc.fixed_ns = fixed_cost.nanos();
+    cc.before_image_ns = before_image_cost.nanos();
+    cc.reprotect_ns = reprotect_cost.nanos();
+    cc.persist_ns = persist_cost.nanos();
+    cc.pages = pages;
+    cc.payload_bytes = payload_bytes;
+    const ftx::TimePoint base = Now() + (in_step_ ? step_cost_ : pending_overhead_);
+    cc.begin_ns = base.nanos();
+    cc.end_ns = (base + cost).nanos();
+    deps_.audit->StageCommitCosts(pid_, cc);
+  }
   if (deps_.trace != nullptr) {
     deps_.trace->Append(pid_, ftx_sm::EventKind::kCommit, -1, false, "", atomic_group);
   }
@@ -414,6 +442,9 @@ ftx::Duration Runtime::Recover() {
   if (deps_.tracer != nullptr) {
     deps_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "recover", Now(), Now() + cost);
   }
+  if (deps_.audit != nullptr) {
+    deps_.audit->OnRecovery(pid_, "recover", cost.nanos());
+  }
   FTX_LOG(kInfo, "p%d recovered to step %lld (cost %s)", pid_,
           static_cast<long long>(step_count_), cost.ToString().c_str());
   return cost;
@@ -452,6 +483,9 @@ ftx::Duration Runtime::RestartFromScratch() {
   }
   if (deps_.tracer != nullptr) {
     deps_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "restart", Now(), Now() + cost);
+  }
+  if (deps_.audit != nullptr) {
+    deps_.audit->OnRecovery(pid_, "restart", cost.nanos());
   }
   FTX_LOG(kInfo, "p%d restarted from scratch (all committed work lost)", pid_);
   return cost;

@@ -41,6 +41,10 @@
 #include "src/vista/heap.h"
 #include "src/vista/segment.h"
 
+namespace ftx_causal {
+class CausalAudit;
+}  // namespace ftx_causal
+
 namespace ftx_dc {
 
 // Cost model knobs (see DESIGN.md §5 for calibration rationale).
@@ -109,6 +113,11 @@ struct RuntimeDeps {
   // records commit / recovery / crash activity on the simulated timeline.
   ftx_obs::Registry* metrics = nullptr;
   ftx_obs::Tracer* tracer = nullptr;
+  // Live causal audit (src/obs/causal/). When non-null the runtime reports
+  // protocol decisions, stages per-commit cost attribution just before the
+  // commit's trace event, and annotates recoveries. Strictly observational:
+  // no simulated quantity depends on it.
+  ftx_causal::CausalAudit* audit = nullptr;
 };
 
 class Runtime : public ProcessEnv {

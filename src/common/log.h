@@ -30,7 +30,7 @@ enum class LogLevel { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Parses "error"/"warning"/"info"/"debug" (any case, unique prefixes OK) or
+// Parses "error"/"warning"/"warn"/"info"/"debug" (any case) or
 // "0".."3" into a level. Returns false (and leaves *out alone) on junk.
 bool ParseLogLevel(std::string_view text, LogLevel* out);
 

@@ -23,6 +23,18 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
   network_->BindMetrics(&metrics_);
   kernel_->BindMetrics(&metrics_);
 
+  if (options_.audit && options_.mode == ftx_dc::RuntimeMode::kRecoverable) {
+    audit_ = std::make_unique<ftx_causal::CausalAudit>(n, options_.audit_options);
+    audit_->SetTimeSource([this]() { return sim_->Now().nanos(); });
+    audit_->SetTracer(&tracer_);
+    trace_->SetAppendObserver(
+        [this](ftx_sm::EventRef ref, const ftx_sm::TraceEvent& ev,
+               const ftx_sm::VectorClock& clock) { audit_->OnTraceEvent(ref, ev, clock); });
+    network_->SetMessageObserver([this](int64_t id, int src, int dst, int64_t bytes) {
+      audit_->OnMessage(id, src, dst, bytes);
+    });
+  }
+
   blocked_.assign(static_cast<size_t>(n), false);
   pump_token_.assign(static_cast<size_t>(n), 0);
   done_time_.assign(static_cast<size_t>(n), TimePoint());
@@ -68,6 +80,7 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
     deps.latest_atomic_group = [this]() { return next_atomic_group_ - 1; };
     deps.metrics = &metrics_;
     deps.tracer = &tracer_;
+    deps.audit = audit_.get();
     const std::string prefix = "p" + std::to_string(pid) + ".";
     if (disks_.back() != nullptr) {
       disks_.back()->BindMetrics(&metrics_, prefix);
@@ -78,7 +91,8 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
 
     std::unique_ptr<ftx_proto::Protocol> protocol;
     if (recoverable) {
-      protocol = ftx_proto::MakeProtocolByName(options_.protocol);
+      protocol = options_.protocol_factory ? options_.protocol_factory()
+                                           : ftx_proto::MakeProtocolByName(options_.protocol);
     }
     runtimes_.push_back(std::make_unique<ftx_dc::Runtime>(pid, n, apps_[static_cast<size_t>(pid)].get(),
                                                           std::move(protocol), deps, options_.mode,
@@ -175,6 +189,12 @@ void Computation::Pump(int pid) {
         recovery_abandoned_[static_cast<size_t>(pid)] = true;
         FTX_LOG(kInfo, "p%d: recovery abandoned after %d attempts", pid,
                 recovery_attempts_[static_cast<size_t>(pid)]);
+        if (audit_ != nullptr) {
+          audit_->RecordIncident(
+              "recovery abandoned p" + std::to_string(pid) + " after " +
+                  std::to_string(recovery_attempts_[static_cast<size_t>(pid)]) + " attempts",
+              std::nullopt);
+        }
         return;
       }
       ++recovery_attempts_[static_cast<size_t>(pid)];
@@ -374,6 +394,10 @@ ComputationResult Computation::Run() {
     sim_->RunOne();
     FTX_CHECK_MSG(++executed <= options_.max_sim_events,
                   "computation exceeded simulated event limit");
+  }
+
+  if (audit_ != nullptr) {
+    audit_->Finalize();
   }
 
   ComputationResult result;

@@ -13,12 +13,14 @@
 #ifndef FTX_SRC_CORE_COMPUTATION_H_
 #define FTX_SRC_CORE_COMPUTATION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/checkpoint/app.h"
 #include "src/checkpoint/runtime.h"
+#include "src/obs/causal/audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
 #include "src/protocol/protocol.h"
@@ -71,6 +73,19 @@ struct ComputationOptions {
   // Chrome trace_event JSON file there (open in Perfetto / chrome://tracing).
   bool enable_tracing = false;
   std::string trace_path;
+  // Live causal audit (src/obs/causal/): vector-clock event ledger, online
+  // Save-work verification, crash flight recorder, per-commit cost
+  // attribution. Strictly observational — simulated quantities are
+  // byte-identical with the audit on or off. Recoverable mode only (baseline
+  // runs have no trace to audit). Off by default; tests and the --audit
+  // bench flag turn it on.
+  bool audit = false;
+  ftx_causal::CausalAuditOptions audit_options;
+  // Test hook: when set, used instead of MakeProtocolByName(protocol) to
+  // build each process's protocol (e.g. a deliberately broken
+  // commit-too-little protocol the audit must flag). Called once per
+  // process.
+  std::function<std::unique_ptr<ftx_proto::Protocol>()> protocol_factory;
 };
 
 struct ComputationResult {
@@ -124,6 +139,8 @@ class Computation {
   // instruments here at construction.
   ftx_obs::Registry& metrics() { return metrics_; }
   ftx_obs::Tracer& tracer() { return tracer_; }
+  // Null unless ComputationOptions::audit was set (and mode is recoverable).
+  ftx_causal::CausalAudit* audit() { return audit_.get(); }
   ftx_dc::Runtime& runtime(int pid);
   ftx_dc::App& app(int pid);
   // DC-disk only (nullptr otherwise): the machine's redo log, and — when
@@ -158,6 +175,7 @@ class Computation {
   std::unique_ptr<ftx_sim::KernelSim> kernel_;
   std::unique_ptr<ftx_sm::Trace> trace_;
   ftx_rec::OutputRecorder recorder_;
+  std::unique_ptr<ftx_causal::CausalAudit> audit_;
 
   // Per-process storage stack (one disk/log per machine in DC-disk mode).
   std::vector<std::unique_ptr<ftx_store::DiskModel>> disks_;

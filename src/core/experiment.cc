@@ -24,6 +24,7 @@ std::unique_ptr<Computation> BuildComputation(const RunSpec& spec) {
     options.enable_tracing = true;
     options.trace_path = spec.trace_path;
   }
+  options.audit = spec.audit;
   if (spec.tweak_options) {
     spec.tweak_options(&options);
   }
@@ -44,6 +45,12 @@ RunOutput Collect(Computation& computation, const ComputationResult& result) {
   output.outputs = computation.recorder();
   output.elapsed = result.end_time - TimePoint();
   output.metrics = computation.metrics().Snapshot();
+  if (computation.audit() != nullptr) {
+    computation.audit()->Finalize();  // idempotent (Run already finalized)
+    output.audited = true;
+    output.audit_violations = computation.audit()->violations();
+    output.audit_report = computation.audit()->ToJson();
+  }
   for (const auto& stats : result.per_process) {
     output.checkpoints += stats.commits;
     output.max_process_commits = std::max(output.max_process_commits, stats.commits);
@@ -80,6 +87,7 @@ OverheadRow MeasureOverhead(const RunSpec& spec, TrialPool* pool) {
   // trace. (Serially the baseline's file was immediately overwritten; in
   // parallel the two runs would race on it.)
   baseline_spec.trace_path.clear();
+  baseline_spec.audit = false;  // nothing to audit without a trace
 
   RunSpec recoverable_spec = spec;
   recoverable_spec.mode = ftx_dc::RuntimeMode::kRecoverable;
@@ -119,6 +127,9 @@ OverheadRow MeasureOverhead(const RunSpec& spec, TrialPool* pool) {
   row.baseline_fps = baseline.min_client_fps;
   row.recoverable_fps = recoverable.min_client_fps;
   row.recoverable_metrics = std::move(recoverable.metrics);
+  row.audited = recoverable.audited;
+  row.audit_violations = recoverable.audit_violations;
+  row.audit_report = std::move(recoverable.audit_report);
   return row;
 }
 

@@ -27,6 +27,8 @@ struct RunSpec {
   // Non-empty: enable simulated-timeline tracing and write a Chrome
   // trace_event JSON file here when the run finishes.
   std::string trace_path;
+  // Live causal audit (recoverable runs only; see ComputationOptions::audit).
+  bool audit = false;
   // Optional hook to adjust computation options (failure schedules are
   // installed by the caller on the returned computation instead).
   std::function<void(ComputationOptions*)> tweak_options;
@@ -44,6 +46,12 @@ struct RunOutput {
   // (simulator/network/kernel activity, per-process runtime stats, disk and
   // redo-log I/O). Serializes via MetricsSnapshot::ToJson.
   ftx_obs::MetricsSnapshot metrics;
+  // When the run was audited: the causal-audit report (CausalAudit::ToJson)
+  // and its Save-work violation count; audit_report is a JSON null
+  // otherwise.
+  bool audited = false;
+  int64_t audit_violations = 0;
+  ftx_obs::Json audit_report;
 };
 
 // Builds the computation for a spec (callers may schedule failures before
@@ -72,6 +80,11 @@ struct OverheadRow {
   // Snapshot of the recoverable run's registry (the run the figures
   // measure); carried into the per-row "metrics" object of --json output.
   ftx_obs::MetricsSnapshot recoverable_metrics;
+  // Causal audit of the recoverable run when spec.audit was set (the
+  // baseline half is never audited — it has no trace).
+  bool audited = false;
+  int64_t audit_violations = 0;
+  ftx_obs::Json audit_report;
 };
 OverheadRow MeasureOverhead(const RunSpec& spec);
 

@@ -25,7 +25,8 @@ struct StudySetup {
 };
 
 StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::FaultSpec& spec,
-                                  uint64_t seed, const std::string& protocol, StoreKind store) {
+                                  uint64_t seed, const std::string& protocol, StoreKind store,
+                                  bool audit) {
   int scale = StudyScale(app_name);
   ftx_apps::WorkloadSetup setup =
       ftx_apps::MakeWorkload(app_name, scale, seed, /*interactive=*/false);
@@ -44,6 +45,7 @@ StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::
   options.recovery_delay = Milliseconds(5);
   options.max_recovery_attempts = 2;
   options.max_sim_time = Seconds(600.0);
+  options.audit = audit;
 
   StudySetup result;
   result.computation = std::make_unique<Computation>(std::move(options), std::move(apps));
@@ -52,10 +54,24 @@ StudySetup BuildFaultyComputation(const std::string& app_name, const ftx_fault::
   return result;
 }
 
+void CollectAudit(Computation& computation, FaultRunResult* result) {
+  ftx_causal::CausalAudit* audit = computation.audit();
+  if (audit == nullptr) {
+    return;
+  }
+  audit->Finalize();  // idempotent (Run already finalized)
+  result->audited = true;
+  result->audit_violations = audit->violations();
+  result->audit_incidents = audit->flight().total_incidents();
+  if (!audit->flight().incidents().empty()) {
+    result->audit_first_dump = audit->flight().incidents().front().dump;
+  }
+}
+
 FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::FaultType type,
                                    uint64_t seed, const std::string& protocol, StoreKind store,
                                    double slow_detection_probability,
-                                   double continue_probability) {
+                                   double continue_probability, bool audit) {
   ftx::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
   ftx_fault::FaultSpec spec;
   spec.type = type;
@@ -66,10 +82,11 @@ FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::Fault
   spec.continue_probability = continue_probability;
   spec.seed = rng.NextU64();
 
-  StudySetup setup = BuildFaultyComputation(app_name, spec, seed, protocol, store);
+  StudySetup setup = BuildFaultyComputation(app_name, spec, seed, protocol, store, audit);
   ComputationResult run = setup.computation->Run();
 
   FaultRunResult result;
+  CollectAudit(*setup.computation, &result);
   const ftx_fault::InjectionOutcome& outcome = setup.faulty->outcome();
   result.crashed = outcome.crashed;
   result.benign = outcome.benign_overwrite && !outcome.crashed;
@@ -93,21 +110,22 @@ FaultRunResult RunPropagationFault(const std::string& app_name, ftx_fault::Fault
 }  // namespace
 
 FaultRunResult RunApplicationFault(const std::string& app_name, ftx_fault::FaultType type,
-                                   uint64_t seed, const std::string& protocol, StoreKind store) {
+                                   uint64_t seed, const std::string& protocol, StoreKind store,
+                                   bool audit) {
   return RunPropagationFault(app_name, type, seed, protocol, store,
                              ftx_fault::AppFaultSlowDetectionProbability(app_name, type),
-                             ftx_fault::ContinueProbability(type));
+                             ftx_fault::ContinueProbability(type), audit);
 }
 
 FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type, uint64_t seed,
-                          const std::string& protocol, StoreKind store) {
+                          const std::string& protocol, StoreKind store, bool audit) {
   ftx::Rng rng(seed * 0xd1b54a32d192ed03ULL + 5);
   ftx_fault::OsFaultPlan plan = ftx_fault::PlanOsFault(&rng, app_name, type);
 
   if (plan.manifestation == ftx_fault::OsFaultManifestation::kPropagationFailure) {
     FaultRunResult result = RunPropagationFault(app_name, type, seed, protocol, store,
                                                 plan.slow_detection_probability,
-                                                plan.continue_probability);
+                                                plan.continue_probability, audit);
     // OS propagation failures always crash *something* — if the corruption
     // was benignly overwritten in the application, the kernel itself still
     // went down; treat it as a stop failure instead (recovery succeeds).
@@ -123,13 +141,14 @@ FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type
   // the application from its last commit. Run it for real.
   ftx_fault::FaultSpec no_fault;
   no_fault.activation_step = -1;  // never activates
-  StudySetup setup = BuildFaultyComputation(app_name, no_fault, seed, protocol, store);
+  StudySetup setup = BuildFaultyComputation(app_name, no_fault, seed, protocol, store, audit);
   // Crash somewhere in the middle of the (non-interactive) run.
   Duration when = Seconds(0.02 + 0.2 * plan.when_fraction);
   setup.computation->ScheduleOsStopFailure(TimePoint() + when, /*reboot_delay=*/Seconds(1.0));
   ComputationResult run = setup.computation->Run();
 
   FaultRunResult result;
+  CollectAudit(*setup.computation, &result);
   result.crashed = true;
   result.recovery_failed = !run.all_done;
   result.trace_and_outcome_agree = true;
@@ -186,16 +205,23 @@ FaultStudyRow RunFaultStudy(const FaultStudySpec& spec) {
       spec.pool, spec.target_crashes, spec.seed_base, spec.target_crashes * 20,
       [&spec](uint64_t seed) {
         return spec.kind == FaultStudyKind::kOs
-                   ? RunOsFault(spec.app, spec.type, seed, spec.protocol, spec.store)
-                   : RunApplicationFault(spec.app, spec.type, seed, spec.protocol, spec.store);
+                   ? RunOsFault(spec.app, spec.type, seed, spec.protocol, spec.store, spec.audit)
+                   : RunApplicationFault(spec.app, spec.type, seed, spec.protocol, spec.store,
+                                         spec.audit);
       });
   row.crashes = static_cast<int>(crashes.size());
+  row.audited = spec.audit;
   for (const FaultRunResult& result : crashes) {
     if (result.violated_lose_work) {
       ++row.violations;
     }
     if (result.recovery_failed) {
       ++row.failed_recoveries;
+    }
+    row.audit_violations += result.audit_violations;
+    row.audit_incidents += result.audit_incidents;
+    if (!result.audit_first_dump.empty() && row.audit_incident_dumps.size() < 2) {
+      row.audit_incident_dumps.push_back(result.audit_first_dump);
     }
   }
   if (row.crashes > 0) {

@@ -34,6 +34,15 @@ struct FaultRunResult {
   bool violated_lose_work = false;  // commit between activation and crash
   bool recovery_failed = false;  // process never completed its run
   bool trace_and_outcome_agree = false;  // end-to-end cross-check
+  // Filled when the run was audited (see FaultStudySpec::audit): online
+  // Save-work violation count and the number of flight-recorder incidents
+  // (crash injections, abandoned recoveries, Save-work findings).
+  bool audited = false;
+  int64_t audit_violations = 0;
+  int64_t audit_incidents = 0;
+  // First flight-recorder dump of the run (crash incidents carry the causal
+  // chain to the crash event), empty when none was recorded.
+  std::string audit_first_dump;
 };
 
 // One Table 1 run: inject `type` into `app_name` ("nvi" or "postgres") with
@@ -41,14 +50,14 @@ struct FaultRunResult {
 // best protocol for not violating Lose-work on single-process apps).
 FaultRunResult RunApplicationFault(const std::string& app_name, ftx_fault::FaultType type,
                                    uint64_t seed, const std::string& protocol = "cpvs",
-                                   StoreKind store = StoreKind::kRio);
+                                   StoreKind store = StoreKind::kRio, bool audit = false);
 
 // One Table 2 run: inject an operating-system fault of `type` while
 // `app_name` runs. Stop-failure manifestations schedule a whole-machine
 // stop; propagation manifestations corrupt application state.
 FaultRunResult RunOsFault(const std::string& app_name, ftx_fault::FaultType type, uint64_t seed,
                           const std::string& protocol = "cpvs",
-                          StoreKind store = StoreKind::kRio);
+                          StoreKind store = StoreKind::kRio, bool audit = false);
 
 // Aggregated study: `target_crashes` crashing runs of one fault type.
 struct FaultStudyRow {
@@ -58,6 +67,13 @@ struct FaultStudyRow {
   int failed_recoveries = 0;  // Table 2 numerator
   double violation_fraction = 0.0;
   double failed_recovery_fraction = 0.0;
+  // Aggregated over the crashing runs when FaultStudySpec::audit was set.
+  bool audited = false;
+  int64_t audit_violations = 0;
+  int64_t audit_incidents = 0;
+  // Flight-recorder dumps from the first few crashing runs, folded in
+  // attempt order (deterministic for any pool size).
+  std::vector<std::string> audit_incident_dumps;
 };
 
 // Which study the spec drives: Table 1 injects into the application's own
@@ -73,6 +89,12 @@ struct FaultStudySpec {
   uint64_t seed_base = 1;
   std::string protocol = "cpvs";
   StoreKind store = StoreKind::kRio;
+  // Live causal audit on every recoverable run of the study (strictly
+  // observational; see ComputationOptions::audit). A fault study with
+  // Save-work upheld must report zero online violations even across crashes
+  // and recoveries — the crashes themselves land as flight-recorder
+  // incidents.
+  bool audit = false;
   // Non-null: attempts fan out across the pool in deterministic waves (each
   // attempt's seed comes from DeriveTrialSeed(seed_base, attempt) and the
   // crash count folds in attempt order, so any --jobs value produces the

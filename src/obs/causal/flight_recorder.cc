@@ -1,0 +1,75 @@
+#include "src/obs/causal/flight_recorder.h"
+
+#include "src/common/check.h"
+
+namespace ftx_causal {
+
+FlightRecorder::FlightRecorder(const CausalLedger* ledger, int max_incidents)
+    : ledger_(ledger), max_incidents_(max_incidents) {
+  FTX_CHECK(ledger != nullptr);
+  FTX_CHECK_GT(max_incidents, 0);
+}
+
+std::string FlightRecorder::Dump(const std::string& reason,
+                                 const std::optional<ftx_sm::EventRef>& focus) const {
+  const LedgerEntry* focus_entry =
+      focus.has_value() ? ledger_->FindByRef(*focus) : nullptr;
+
+  std::string out = "=== flight recorder: " + reason + " ===\n";
+  const int64_t total = ledger_->total_appended();
+  const int64_t retained = ledger_->size();
+  out += "focus=" + (focus.has_value() ? RefToString(*focus) : std::string("-"));
+  out += " events=" + std::to_string(total - retained) + ".." + std::to_string(total - 1) +
+         " of " + std::to_string(total) + "\n";
+
+  ledger_->ForEach([&](const LedgerEntry& entry) {
+    // Causal-chain mark: entry precedes (or is) the focus iff the focus's
+    // clock has absorbed it.
+    const bool on_chain =
+        focus_entry != nullptr && !entry.note && entry.ref.valid() &&
+        focus_entry->clock.Get(entry.ref.process) >= entry.ref.index + 1;
+    out += on_chain ? "* " : "  ";
+    out += "[" + std::to_string(entry.seq) + "] t=" + std::to_string(entry.sim_time_ns) + "ns ";
+    if (entry.note) {
+      out += "note " + entry.label;
+    } else {
+      out += RefToString(entry.ref);
+      out += " ";
+      out += ftx_sm::EventKindName(entry.kind);
+      if (entry.logged) {
+        out += "(logged)";
+      }
+      if (entry.message_id >= 0) {
+        out += " msg=" + std::to_string(entry.message_id);
+      }
+      if (entry.atomic_group >= 0) {
+        out += " group=" + std::to_string(entry.atomic_group);
+      }
+      if (!entry.label.empty()) {
+        out += " \"" + entry.label + "\"";
+      }
+      if (entry.has_costs) {
+        out += " cost{fixed=" + std::to_string(entry.costs.fixed_ns) +
+               " before_image=" + std::to_string(entry.costs.before_image_ns) +
+               " reprotect=" + std::to_string(entry.costs.reprotect_ns) +
+               " persist=" + std::to_string(entry.costs.persist_ns) +
+               " pages=" + std::to_string(entry.costs.pages) +
+               " bytes=" + std::to_string(entry.costs.payload_bytes) + "}";
+      }
+      out += " clock=" + entry.clock.ToString();
+    }
+    out += "\n";
+  });
+  return out;
+}
+
+void FlightRecorder::RecordIncident(const std::string& reason,
+                                    const std::optional<ftx_sm::EventRef>& focus) {
+  ++total_incidents_;
+  if (static_cast<int64_t>(incidents_.size()) >= max_incidents_) {
+    return;
+  }
+  incidents_.push_back(Incident{reason, Dump(reason, focus)});
+}
+
+}  // namespace ftx_causal

@@ -1,0 +1,59 @@
+// Crash flight recorder: deterministic dumps of the ledger's recent past.
+//
+// On an incident — crash injection, abandoned recovery, a Save-work finding
+// or a torture-engine violation — the recorder renders the ledger's ring
+// (the last N events) as a text dump, oldest to newest, marking with '*'
+// every event that causally precedes (or is) the incident's focus event.
+// The marks come straight from the stored vector clocks: entry e precedes
+// focus f iff clock(f)[e.process] >= e.index + 1, so the dump shows the
+// causal chain that led to the incident, not just a time-ordered tail.
+//
+// Dumps are pure functions of the (deterministic) simulated run — integer
+// sim times, event refs, clocks — so they are byte-identical across --jobs
+// values; the CTest suite asserts that.
+
+#ifndef FTX_SRC_OBS_CAUSAL_FLIGHT_RECORDER_H_
+#define FTX_SRC_OBS_CAUSAL_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/causal/ledger.h"
+
+namespace ftx_causal {
+
+class FlightRecorder {
+ public:
+  // The ledger must outlive the recorder (both live in CausalAudit).
+  FlightRecorder(const CausalLedger* ledger, int max_incidents);
+
+  // Renders the current ring. `focus`, when it names an event still in the
+  // ring, selects the causal chain to mark; otherwise the dump is unmarked.
+  std::string Dump(const std::string& reason,
+                   const std::optional<ftx_sm::EventRef>& focus) const;
+
+  // Dump() + retain. Beyond max_incidents only the count advances (the
+  // first incidents are the diagnostic ones; a crash loop must not hoard
+  // memory).
+  void RecordIncident(const std::string& reason,
+                      const std::optional<ftx_sm::EventRef>& focus);
+
+  struct Incident {
+    std::string reason;
+    std::string dump;
+  };
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  int64_t total_incidents() const { return total_incidents_; }
+
+ private:
+  const CausalLedger* ledger_;
+  int max_incidents_;
+  std::vector<Incident> incidents_;
+  int64_t total_incidents_ = 0;
+};
+
+}  // namespace ftx_causal
+
+#endif  // FTX_SRC_OBS_CAUSAL_FLIGHT_RECORDER_H_

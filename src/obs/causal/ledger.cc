@@ -1,0 +1,52 @@
+#include "src/obs/causal/ledger.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace ftx_causal {
+
+CausalLedger::CausalLedger(int capacity) : capacity_(capacity) {
+  FTX_CHECK_GT(capacity, 0);
+  ring_.reserve(static_cast<size_t>(capacity));
+}
+
+int64_t CausalLedger::Append(LedgerEntry entry) {
+  const int64_t seq = next_seq_++;
+  entry.seq = seq;
+  const auto slot = static_cast<size_t>(seq % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(entry);
+  } else {
+    ring_.push_back(std::move(entry));
+  }
+  return seq;
+}
+
+int64_t CausalLedger::size() const { return static_cast<int64_t>(ring_.size()); }
+
+void CausalLedger::ForEach(const std::function<void(const LedgerEntry&)>& fn) const {
+  const int64_t first = next_seq_ - static_cast<int64_t>(ring_.size());
+  for (int64_t seq = first; seq < next_seq_; ++seq) {
+    fn(ring_[static_cast<size_t>(seq % capacity_)]);
+  }
+}
+
+const LedgerEntry* CausalLedger::FindByRef(const ftx_sm::EventRef& ref) const {
+  const LedgerEntry* found = nullptr;
+  for (const LedgerEntry& entry : ring_) {
+    if (!entry.note && entry.ref == ref && (found == nullptr || entry.seq > found->seq)) {
+      found = &entry;
+    }
+  }
+  return found;
+}
+
+std::string RefToString(const ftx_sm::EventRef& ref) {
+  if (!ref.valid()) {
+    return "-";
+  }
+  return "p" + std::to_string(ref.process) + "#" + std::to_string(ref.index);
+}
+
+}  // namespace ftx_causal

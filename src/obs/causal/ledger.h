@@ -1,0 +1,101 @@
+// Vector-clock event ledger: the record the live causal audit runs on.
+//
+// The ledger mirrors the computation's executed-event trace
+// (ftx_sm::Trace) into a bounded ring of entries, each stamped with the
+// appending process's vector clock, the simulated time of the append, and —
+// for commits — the cost attribution the runtime staged (barrier/before-
+// image, re-protection, persist I/O). Non-trace annotations (recovery
+// completions) ride along as `note` entries with an invalid ref.
+//
+// The ring is what the flight recorder dumps on an incident: the last N
+// events with enough causal structure (the stored clocks) to mark which of
+// them causally precede a focus event. Totals keep counting past the
+// capacity so a dump can say "events 1180..1435 of 1435".
+//
+// Everything here is confined to one Computation (same contract as
+// ftx_obs::Registry — see src/obs/metrics.h) and never feeds back into
+// simulation: appending to the ledger cannot change a simulated quantity.
+
+#ifndef FTX_SRC_OBS_CAUSAL_LEDGER_H_
+#define FTX_SRC_OBS_CAUSAL_LEDGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/statemachine/trace.h"
+#include "src/statemachine/vector_clock.h"
+
+namespace ftx_causal {
+
+// Per-commit cost attribution, staged by Runtime::DoCommit just before the
+// commit's trace event is appended. Durations are simulated nanoseconds and
+// partition the commit's total charged cost; `before_image_ns` covers the
+// COW trap + before-image copy the write barrier charged (billed at commit,
+// per dirty page), `persist_ns` is the sync I/O (DC-disk) or memory-speed
+// undo retirement (Rio), and `payload_bytes` is what the persist CRC'd.
+struct CommitCosts {
+  int64_t fixed_ns = 0;
+  int64_t before_image_ns = 0;
+  int64_t reprotect_ns = 0;
+  int64_t persist_ns = 0;
+  int64_t pages = 0;
+  int64_t payload_bytes = 0;
+  int64_t begin_ns = 0;  // simulated interval the commit occupies
+  int64_t end_ns = 0;
+
+  int64_t TotalNs() const { return fixed_ns + before_image_ns + reprotect_ns + persist_ns; }
+};
+
+struct LedgerEntry {
+  int64_t seq = -1;  // global append order, assigned by the ledger
+  // Trace identity; !ref.valid() for note entries.
+  ftx_sm::EventRef ref;
+  ftx_sm::EventKind kind = ftx_sm::EventKind::kInternal;
+  bool logged = false;
+  int64_t message_id = -1;
+  int64_t atomic_group = -1;
+  std::string label;
+  int64_t sim_time_ns = 0;
+  // The appending process's clock as of this event (empty for notes).
+  ftx_sm::VectorClock clock;
+  // Commit cost attribution (kCommit entries whose runtime staged costs).
+  bool has_costs = false;
+  CommitCosts costs;
+  bool note = false;  // annotation outside the trace (recovery, restart)
+};
+
+// Bounded ring of the most recent entries, plus running totals.
+class CausalLedger {
+ public:
+  explicit CausalLedger(int capacity);
+
+  // Assigns the entry's seq and appends, evicting the oldest past capacity.
+  // Returns the assigned seq.
+  int64_t Append(LedgerEntry entry);
+
+  int capacity() const { return capacity_; }
+  int64_t total_appended() const { return next_seq_; }
+  // Entries currently retained (<= capacity).
+  int64_t size() const;
+
+  // Oldest-to-newest walk of the retained entries.
+  void ForEach(const std::function<void(const LedgerEntry&)>& fn) const;
+
+  // Retained entry with the given trace ref (newest match), or nullptr.
+  const LedgerEntry* FindByRef(const ftx_sm::EventRef& ref) const;
+
+ private:
+  int capacity_;
+  int64_t next_seq_ = 0;
+  std::vector<LedgerEntry> ring_;  // slot = seq % capacity_
+};
+
+// "p<pid>#<index>" (or "-" for an invalid ref) — the notation the offline
+// checker's diagnostics use.
+std::string RefToString(const ftx_sm::EventRef& ref);
+
+}  // namespace ftx_causal
+
+#endif  // FTX_SRC_OBS_CAUSAL_LEDGER_H_

@@ -26,6 +26,37 @@ void Histogram::Observe(int64_t value) {
   sum_ += value;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const int64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Bucket i spans (bounds[i-1], bounds[i]]; clamp the edges to the
+      // observed extremes so the open-ended first/overflow buckets (and any
+      // bucket wider than the data) interpolate over real values.
+      double lo = i == 0 ? static_cast<double>(min_) : static_cast<double>(bounds_[i - 1]);
+      double hi = i < bounds_.size() ? static_cast<double>(bounds_[i]) : static_cast<double>(max_);
+      lo = std::max(lo, static_cast<double>(min_));
+      hi = std::min(hi, static_cast<double>(max_));
+      if (hi < lo) {
+        hi = lo;
+      }
+      const double within = std::max(0.0, target - static_cast<double>(cumulative));
+      return lo + (hi - lo) * within / static_cast<double>(buckets_[i]);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
 std::vector<int64_t> DefaultLatencyBoundsNs() {
   std::vector<int64_t> bounds;
   for (int64_t decade = 1000; decade <= 100000000000LL; decade *= 10) {
@@ -76,6 +107,9 @@ Json MetricsSnapshot::ToJson() const {
         hist.Set("sum", Json(value.sum));
         hist.Set("min", Json(value.min));
         hist.Set("max", Json(value.max));
+        hist.Set("p50", Json(value.p50));
+        hist.Set("p90", Json(value.p90));
+        hist.Set("p99", Json(value.p99));
         Json bounds = Json::Array();
         for (int64_t b : value.bounds) {
           bounds.Push(Json(b));
@@ -181,6 +215,9 @@ MetricsSnapshot Registry::Snapshot() const {
         value.sum = h.sum();
         value.min = h.min();
         value.max = h.max();
+        value.p50 = h.Quantile(0.50);
+        value.p90 = h.Quantile(0.90);
+        value.p99 = h.Quantile(0.99);
         value.bounds = h.bounds();
         value.bucket_counts = h.bucket_counts();
         break;

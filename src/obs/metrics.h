@@ -24,6 +24,18 @@
 // results emitter merges them in trial-index order, so emitted JSON is
 // identical for any --jobs value.
 //
+// Ownership rule (the audited contract; see tests/parallel_test.cc for the
+// TSan-covered regression): a Registry, every instrument pointer handed out
+// by it, and every probe closure registered with it are confined to one
+// trial — created, written, snapshotted, and destroyed on whichever pool
+// thread runs that trial's computation, with the pool's ParallelFor join
+// providing the ordering edge before the caller reads merged snapshots.
+// Never cache an instrument pointer across trials, share a Registry between
+// two computations, or register a probe over state another trial mutates;
+// any of those reintroduces the data race this design exists to avoid. Code
+// that genuinely needs cross-trial aggregation must merge MetricsSnapshot
+// values after the join, not share instruments.
+//
 // Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase paths,
 // `<subsystem>.<quantity>` for computation-wide instruments
 // ("sim.messages_delivered", "dc.commit_ns") and `p<pid>.` prefixes for
@@ -86,6 +98,13 @@ class Histogram {
   // bucket_counts().size() == bounds().size() + 1 (overflow bucket last).
   const std::vector<int64_t>& bucket_counts() const { return buckets_; }
 
+  // Bucket-interpolated quantile estimate for q in [0, 1]: the continuous
+  // rank q*count is located in the cumulative bucket counts and linearly
+  // interpolated across the containing bucket's [lower, upper] bound range,
+  // clamped to the observed [min, max] (so the first and overflow buckets
+  // use the true extremes rather than -inf/+inf). Returns 0 when empty.
+  double Quantile(double q) const;
+
  private:
   std::vector<int64_t> bounds_;
   std::vector<int64_t> buckets_;
@@ -109,6 +128,9 @@ struct MetricValue {
   int64_t sum = 0;
   int64_t min = 0;
   int64_t max = 0;
+  double p50 = 0.0;  // bucket-interpolated summary quantiles
+  double p90 = 0.0;
+  double p99 = 0.0;
   std::vector<int64_t> bounds;
   std::vector<int64_t> bucket_counts;
 };
@@ -123,7 +145,8 @@ struct MetricsSnapshot {
   int64_t TotalCounter(std::string_view suffix) const;
 
   // {"name": value, ...} with histograms as
-  // {"count":..,"sum":..,"min":..,"max":..,"bounds":[..],"buckets":[..]}.
+  // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..,
+  //  "bounds":[..],"buckets":[..]}.
   Json ToJson() const;
 };
 

@@ -55,6 +55,37 @@ void Tracer::Instant(int pid, TraceLane lane, const char* category, std::string 
   events_.push_back(TraceEvent{'i', pid, lane, category, std::move(name), at.nanos(), next_seq_++});
 }
 
+void Tracer::FlowStart(int pid, TraceLane lane, const char* category, std::string name,
+                       ftx::TimePoint at, int64_t flow_id) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event{'s', pid, lane, category, std::move(name), at.nanos(), next_seq_++};
+  event.flow_id = flow_id;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::FlowFinish(int pid, TraceLane lane, const char* category, std::string name,
+                        ftx::TimePoint at, int64_t flow_id) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event{'f', pid, lane, category, std::move(name), at.nanos(), next_seq_++};
+  event.flow_id = flow_id;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::CounterSample(int pid, const char* category, std::string name, ftx::TimePoint at,
+                           std::vector<std::pair<std::string, double>> values) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event{'C', pid, TraceLane::kStorage, category, std::move(name), at.nanos(),
+                   next_seq_++};
+  event.counter_values = std::move(values);
+  events_.push_back(std::move(event));
+}
+
 Json Tracer::ToChromeTrace() const {
   std::vector<const TraceEvent*> sorted;
   sorted.reserve(events_.size());
@@ -71,8 +102,12 @@ Json Tracer::ToChromeTrace() const {
   Json trace_events = Json::Array();
 
   // Thread-name metadata for every (pid, lane) in use, emitted first.
+  // Counter tracks render per (pid, name) and have no thread identity.
   std::map<std::pair<int, int>, bool> lanes_in_use;
   for (const TraceEvent& event : events_) {
+    if (event.phase == 'C') {
+      continue;
+    }
     lanes_in_use[{event.pid, static_cast<int>(event.lane)}] = true;
   }
   for (const auto& [key, unused] : lanes_in_use) {
@@ -99,6 +134,19 @@ Json Tracer::ToChromeTrace() const {
     j.Set("tid", Json(static_cast<int>(event->lane)));
     if (event->phase == 'i') {
       j.Set("s", Json("t"));  // instant scope: thread
+    }
+    if (event->phase == 's' || event->phase == 'f') {
+      j.Set("id", Json(event->flow_id));
+      if (event->phase == 'f') {
+        j.Set("bp", Json("e"));  // bind the arrow to the enclosing slice
+      }
+    }
+    if (event->phase == 'C') {
+      Json args = Json::Object();
+      for (const auto& [series, value] : event->counter_values) {
+        args.Set(series, Json(value));
+      }
+      j.Set("args", std::move(args));
     }
     trace_events.Push(std::move(j));
   }

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -40,13 +41,18 @@ enum class TraceLane : int {
 const char* TraceLaneName(TraceLane lane);
 
 struct TraceEvent {
-  char phase = 'i';  // 'B', 'E', or 'i' (instant)
+  char phase = 'i';  // 'B', 'E', 'i' (instant), 's'/'f' (flow), 'C' (counter)
   int pid = 0;
   TraceLane lane = TraceLane::kStep;
   const char* category = "";
   std::string name;
   int64_t ts_ns = 0;
   int64_t seq = 0;  // recording order; tie-break for equal timestamps
+  // Flow binding id for 's'/'f' phases; -1 otherwise. A flow start and its
+  // finish pair up on (category, name, flow_id).
+  int64_t flow_id = -1;
+  // Counter series for 'C' phases (name -> sampled value), empty otherwise.
+  std::vector<std::pair<std::string, double>> counter_values;
 };
 
 class Tracer {
@@ -61,6 +67,20 @@ class Tracer {
 
   // Records a point event.
   void Instant(int pid, TraceLane lane, const char* category, std::string name, ftx::TimePoint at);
+
+  // Records one end of a flow arrow (Perfetto draws start -> finish). The
+  // two ends pair on (category, name, flow_id); flow_id must be >= 0. The
+  // finish is emitted with "bp":"e" so the arrow binds to the enclosing
+  // slice (or the instant point) at each end.
+  void FlowStart(int pid, TraceLane lane, const char* category, std::string name,
+                 ftx::TimePoint at, int64_t flow_id);
+  void FlowFinish(int pid, TraceLane lane, const char* category, std::string name,
+                  ftx::TimePoint at, int64_t flow_id);
+
+  // Records a 'C' counter sample: one stacked counter track per (pid, name)
+  // with one series per (series name, value) pair.
+  void CounterSample(int pid, const char* category, std::string name, ftx::TimePoint at,
+                     std::vector<std::pair<std::string, double>> values);
 
   size_t size() const { return events_.size(); }
   const std::vector<TraceEvent>& events() const { return events_; }

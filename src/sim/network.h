@@ -86,6 +86,11 @@ class Network {
   // receivers to wake up. One callback per process.
   void SetArrivalCallback(int dst, std::function<void()> callback);
 
+  // Invoked at Send time with (id, src, dst, payload bytes). Observational
+  // only (the causal audit's send ledger); never affects delivery.
+  using MessageObserver = std::function<void(int64_t, int, int, int64_t)>;
+  void SetMessageObserver(MessageObserver observer) { message_observer_ = std::move(observer); }
+
   // Time a message of `bytes` payload takes in transit (without jitter).
   ftx::Duration TransitTime(size_t bytes) const;
 
@@ -109,6 +114,7 @@ class Network {
   std::vector<std::deque<Message>> inbox_;
   std::vector<std::deque<Message>> recovery_buffer_;
   std::vector<std::function<void()>> arrival_callback_;
+  MessageObserver message_observer_;
 };
 
 }  // namespace ftx_sim

@@ -66,6 +66,9 @@ EventRef Trace::Append(ProcessId p, EventKind kind, int64_t message_id, bool log
   if (kind == EventKind::kSend) {
     send_of_message_[message_id] = ref;
   }
+  if (observer_) {
+    observer_(ref, per_process_[sp].back(), clocks_[sp].back());
+  }
   return ref;
 }
 

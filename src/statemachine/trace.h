@@ -10,6 +10,7 @@
 #define FTX_SRC_STATEMACHINE_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -63,6 +64,15 @@ class Trace {
   EventRef Append(ProcessId p, EventKind kind, int64_t message_id = -1, bool logged = false,
                   std::string label = {}, int64_t atomic_group = -1);
 
+  // Observer invoked at the end of every Append with the new event's
+  // reference, the recorded event, and the appending process's vector clock
+  // as of that event. The live causal audit (src/obs/causal/) installs one to
+  // mirror the trace into its ledger without a second event stream; null
+  // (the default) costs nothing.
+  using AppendObserver =
+      std::function<void(EventRef, const TraceEvent&, const VectorClock&)>;
+  void SetAppendObserver(AppendObserver observer) { observer_ = std::move(observer); }
+
   // Marks an already-recorded event as the activation of an injected fault.
   void MarkFaultActivation(EventRef ref);
 
@@ -100,6 +110,7 @@ class Trace {
   std::vector<VectorClock> current_clock_;           // running clock per process
   std::vector<std::vector<int64_t>> commit_indices_; // sorted commit positions
   std::map<int64_t, EventRef> send_of_message_;
+  AppendObserver observer_;
 };
 
 }  // namespace ftx_sm

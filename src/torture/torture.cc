@@ -11,6 +11,7 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/core/experiment.h"
+#include "src/obs/causal/audit.h"
 #include "src/recovery/consistency.h"
 #include "src/storage/log_image.h"
 #include "src/storage/write_journal.h"
@@ -501,6 +502,19 @@ ftx_obs::Json TortureReport::ToJsonRow() const {
   row.Set("replays_skipped_same_step", replays_skipped_same_step);
   row.Set("violations", violations);
   row.Set("ok", ok());
+  if (audited) {
+    ftx_obs::Json audit = ftx_obs::Json::Object();
+    audit.Set("schema_version", ftx_causal::kCausalAuditSchemaVersion);
+    audit.Set("violations", audit_violations);
+    audit.Set("events", audit_events);
+    audit.Set("incidents_total", audit_incidents);
+    ftx_obs::Json dumps = ftx_obs::Json::Array();
+    for (const std::string& dump : audit_incident_dumps) {
+      dumps.Push(dump);
+    }
+    audit.Set("incident_dumps", std::move(dumps));
+    row.Set("audit", audit);
+  }
   std::string joined;
   for (const std::string& d : violation_diagnostics) {
     if (!joined.empty()) {
@@ -545,11 +559,34 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   // timeline is identical to an unjournaled one.
   ftx::RunSpec traced_spec = base;
   traced_spec.mode = ftx_dc::RuntimeMode::kRecoverable;
+  traced_spec.audit = spec.audit;
   traced_spec.tweak_options = [](ftx::ComputationOptions* o) { o->journal_disk_writes = true; };
   std::unique_ptr<ftx::Computation> traced = ftx::BuildComputation(traced_spec);
   ftx::ComputationResult traced_result = traced->Run();
   FTX_CHECK_MSG(traced_result.all_done, "torture trace run did not complete");
   report.num_processes = traced->num_processes();
+  ftx_causal::CausalAudit* audit = traced->audit();
+  if (audit != nullptr) {
+    audit->Finalize();  // idempotent (Run already finalized)
+    report.audited = true;
+    report.audit_violations = audit->violations();
+    report.audit_events = audit->ledger().total_appended();
+  }
+  // Records a flight dump of the traced run's causal tail for a torture
+  // violation found in a later (offline) phase. Called only from the
+  // single-threaded fold loops below — never from sharded workers.
+  auto record_violation_dump = [&report, audit](const std::string& diagnostic) {
+    if (audit == nullptr) {
+      return;
+    }
+    const size_t retained_before = audit->flight().incidents().size();
+    audit->RecordIncident("torture violation: " + diagnostic, std::nullopt);
+    ++report.audit_incidents;
+    const auto& incidents = audit->flight().incidents();
+    if (incidents.size() > retained_before && report.audit_incident_dumps.size() < 5) {
+      report.audit_incident_dumps.push_back(incidents.back().dump);
+    }
+  };
 
   const ftx_store::WriteJournal* journal = traced->write_journal(0);
   FTX_CHECK_MSG(journal != nullptr, "traced run has no write journal");
@@ -845,6 +882,7 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
           if (report.violation_diagnostics.size() < 5) {
             report.violation_diagnostics.push_back(outcome.violation);
           }
+          record_violation_dump(outcome.violation);
           break;
       }
     }
@@ -938,11 +976,13 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
       ++report.replays_consistent;
     } else {
       ++report.violations;
+      const std::string diagnostic = "replay survivor=" +
+                                     std::to_string(replay_survivors[i]) + ": " +
+                                     replays[i].diagnostic;
       if (report.violation_diagnostics.size() < 5) {
-        report.violation_diagnostics.push_back(
-            "replay survivor=" + std::to_string(replay_survivors[i]) + ": " +
-            replays[i].diagnostic);
+        report.violation_diagnostics.push_back(diagnostic);
       }
+      record_violation_dump(diagnostic);
     }
   }
   return report;

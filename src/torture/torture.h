@@ -70,6 +70,12 @@ struct TortureSpec {
   // Replay every distinct survivor checkpoint through recovery (phase 5).
   // Decode-level exploration (phase 4) always runs.
   bool replay = true;
+  // Live causal audit (src/obs/causal/) on the traced recoverable run: the
+  // online Save-work check must report zero violations, and every torture
+  // violation additionally records a flight-recorder dump of the traced
+  // run's causal tail. Strictly observational, so the traced timeline (and
+  // hence the op trace and every crash state) is unchanged.
+  bool audit = false;
 };
 
 struct TortureReport {
@@ -115,7 +121,17 @@ struct TortureReport {
   int64_t violations = 0;
   std::vector<std::string> violation_diagnostics;
 
-  bool ok() const { return violations == 0; }
+  // Causal audit of the traced run (TortureSpec::audit). audit_violations
+  // counts online Save-work findings (must be zero — the traced run is
+  // failure-free); audit_incident_dumps holds the flight-recorder dump
+  // recorded for each torture violation (capped like the diagnostics).
+  bool audited = false;
+  int64_t audit_violations = 0;
+  int64_t audit_events = 0;  // causal-ledger appends in the traced run
+  int64_t audit_incidents = 0;
+  std::vector<std::string> audit_incident_dumps;
+
+  bool ok() const { return violations == 0 && audit_violations == 0; }
 
   // Flat ftx.bench-results row (diagnostics joined, capped).
   ftx_obs::Json ToJsonRow() const;

@@ -1,0 +1,543 @@
+// Tests for the live causal audit (src/obs/causal/): the vector-clock
+// ledger ring, the online Save-work auditor pinned finding-for-finding
+// against the offline oracle (ftx_sm::CheckSaveWork) on hand-built and
+// randomized traces, the crash flight recorder, and the end-to-end
+// guarantees — audited real runs report zero violations, a deliberately
+// broken commit-too-little protocol is flagged with a dump naming the
+// uncovered ND event, and the audit never perturbs a simulated quantity.
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/workloads.h"
+#include "src/common/rng.h"
+#include "src/core/computation.h"
+#include "src/core/experiment.h"
+#include "src/core/fault_study.h"
+#include "src/obs/causal/audit.h"
+#include "src/obs/causal/auditor.h"
+#include "src/obs/causal/flight_recorder.h"
+#include "src/obs/causal/ledger.h"
+#include "src/statemachine/invariants.h"
+#include "src/statemachine/trace.h"
+
+namespace {
+
+using ftx_sm::EventKind;
+using ftx_sm::EventRef;
+using ftx_sm::Trace;
+
+// --- ledger ---
+
+TEST(CausalLedger, RingEvictsOldestButTotalsKeepCounting) {
+  ftx_causal::CausalLedger ledger(4);
+  for (int i = 0; i < 10; ++i) {
+    ftx_causal::LedgerEntry entry;
+    entry.ref = EventRef{0, i};
+    entry.kind = EventKind::kInternal;
+    EXPECT_EQ(ledger.Append(std::move(entry)), i);
+  }
+  EXPECT_EQ(ledger.total_appended(), 10);
+  EXPECT_EQ(ledger.size(), 4);
+  std::vector<int64_t> seqs;
+  ledger.ForEach([&seqs](const ftx_causal::LedgerEntry& e) { seqs.push_back(e.seq); });
+  EXPECT_EQ(seqs, (std::vector<int64_t>{6, 7, 8, 9}));
+  EXPECT_EQ(ledger.FindByRef(EventRef{0, 3}), nullptr);  // evicted
+  ASSERT_NE(ledger.FindByRef(EventRef{0, 8}), nullptr);
+}
+
+TEST(CausalLedger, RefToStringNotation) {
+  EXPECT_EQ(ftx_causal::RefToString(EventRef{2, 17}), "p2#17");
+  EXPECT_EQ(ftx_causal::RefToString(EventRef{}), "-");
+}
+
+// --- flight recorder ---
+
+TEST(FlightRecorder, RetainsUpToMaxIncidentsButCountsAll) {
+  ftx_causal::CausalLedger ledger(8);
+  ftx_causal::FlightRecorder flight(&ledger, /*max_incidents=*/2);
+  ftx_causal::LedgerEntry entry;
+  entry.ref = EventRef{0, 0};
+  ledger.Append(std::move(entry));
+  for (int i = 0; i < 5; ++i) {
+    flight.RecordIncident("incident " + std::to_string(i), std::nullopt);
+  }
+  EXPECT_EQ(flight.total_incidents(), 5);
+  ASSERT_EQ(flight.incidents().size(), 2u);
+  EXPECT_EQ(flight.incidents()[0].reason, "incident 0");
+  EXPECT_EQ(flight.incidents()[1].reason, "incident 1");
+}
+
+TEST(FlightRecorder, DumpMarksCausalChainOfFocus) {
+  // p0's ND flows to p1 via a message; p1's visible is the focus. The ND,
+  // the send, and the receive precede it causally and get '*'; p0's later
+  // unrelated event does not.
+  Trace trace(2);
+  ftx_causal::CausalLedger ledger(16);
+  trace.SetAppendObserver([&ledger](EventRef ref, const ftx_sm::TraceEvent& ev,
+                                    const ftx_sm::VectorClock& clock) {
+    ftx_causal::LedgerEntry entry;
+    entry.ref = ref;
+    entry.kind = ev.kind;
+    entry.label = ev.label;
+    entry.clock = clock;
+    ledger.Append(std::move(entry));
+  });
+  trace.Append(0, EventKind::kTransientNd, -1, false, "flip");
+  trace.Append(0, EventKind::kSend, 1);
+  trace.Append(1, EventKind::kReceive, 1);
+  EventRef focus = trace.Append(1, EventKind::kVisible, -1, false, "echo");
+  trace.Append(0, EventKind::kInternal, -1, false, "later");
+
+  ftx_causal::FlightRecorder flight(&ledger, 4);
+  std::string dump = flight.Dump("test", focus);
+  EXPECT_NE(dump.find("flight recorder: test"), std::string::npos);
+  EXPECT_NE(dump.find("* [0]"), std::string::npos);  // the ND is on the chain
+  EXPECT_NE(dump.find("p0#0"), std::string::npos);
+  EXPECT_NE(dump.find("* [3]"), std::string::npos);  // the focus itself
+  // p0's unrelated event [4] is rendered unmarked.
+  EXPECT_NE(dump.find("  [4]"), std::string::npos);
+  EXPECT_EQ(dump.find("* [4]"), std::string::npos);
+}
+
+// --- online auditor vs hand-built traces ---
+
+// Runs the online auditor over a trace as it is built (via the same append
+// observer the Computation installs) and returns it finalized.
+std::unique_ptr<ftx_causal::SaveWorkAuditor> AuditLive(
+    Trace& trace, const std::function<void(Trace&)>& build) {
+  auto auditor = std::make_unique<ftx_causal::SaveWorkAuditor>(trace.num_processes());
+  trace.SetAppendObserver([&auditor](EventRef ref, const ftx_sm::TraceEvent& ev,
+                                     const ftx_sm::VectorClock& clock) {
+    auditor->OnEvent(ref, ev, clock);
+  });
+  build(trace);
+  auditor->Finalize();
+  return auditor;
+}
+
+TEST(SaveWorkAuditor, UncoveredNdBeforeVisibleIsOneFinding) {
+  Trace trace(1);
+  auto auditor = AuditLive(trace, [](Trace& t) {
+    t.Append(0, EventKind::kTransientNd, -1, false, "flip");
+    t.Append(0, EventKind::kVisible, -1, false, "heads");
+  });
+  ASSERT_EQ(auditor->findings().size(), 1u);
+  const ftx_causal::SaveWorkFinding& finding = auditor->findings()[0];
+  EXPECT_TRUE(finding.visible_rule);
+  EXPECT_EQ(finding.nd, (EventRef{0, 0}));
+  EXPECT_EQ(finding.downstream, (EventRef{0, 1}));
+  EXPECT_NE(finding.ToString().find("uncovered transient_nd p0#0"), std::string::npos);
+  EXPECT_NE(finding.ToString().find("visible p0#1"), std::string::npos);
+}
+
+TEST(SaveWorkAuditor, CommitBetweenNdAndVisibleCovers) {
+  Trace trace(1);
+  auto auditor = AuditLive(trace, [](Trace& t) {
+    t.Append(0, EventKind::kTransientNd);
+    t.Append(0, EventKind::kCommit);
+    t.Append(0, EventKind::kVisible);
+  });
+  EXPECT_EQ(auditor->violations(), 0);
+  EXPECT_EQ(auditor->nd_unlogged(), 1);
+  EXPECT_EQ(auditor->downstream_checked(), 2);
+}
+
+TEST(SaveWorkAuditor, OrphanRuleFlagsRemoteCommitOfUncommittedNd) {
+  // Fig. 2: B's ND reaches A, A commits the dependence.
+  Trace trace(2);
+  auto auditor = AuditLive(trace, [](Trace& t) {
+    t.Append(1, EventKind::kTransientNd);
+    t.Append(1, EventKind::kSend, 1);
+    t.Append(0, EventKind::kReceive, 1);
+    t.Append(0, EventKind::kCommit);
+  });
+  EXPECT_GT(auditor->CountOrphanRule(), 0);
+  bool found = false;
+  for (const auto& finding : auditor->findings()) {
+    found |= !finding.visible_rule && finding.nd == EventRef{1, 0};
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SaveWorkAuditor, TwoPhaseCommitRoundIsAtomicallyCovered) {
+  // The participant's commit is appended before the coordinator's same-group
+  // commit — the live case that forces the pending-check machinery.
+  Trace trace(2);
+  auto auditor = AuditLive(trace, [](Trace& t) {
+    t.Append(1, EventKind::kTransientNd);
+    t.Append(1, EventKind::kSend, 1);
+    t.Append(0, EventKind::kReceive, 1);
+    t.Append(0, EventKind::kSend, 100);  // prepare
+    t.Append(1, EventKind::kReceive, 100);
+    t.Append(1, EventKind::kCommit, -1, false, "", /*atomic_group=*/1);
+    t.Append(1, EventKind::kSend, 101);  // ack
+    t.Append(0, EventKind::kReceive, 101);
+    t.Append(0, EventKind::kCommit, -1, false, "", /*atomic_group=*/1);
+    t.Append(0, EventKind::kVisible);
+  });
+  EXPECT_EQ(auditor->violations(), 0);
+}
+
+TEST(SaveWorkAuditor, PendingCheckBecomesFindingAtFinalize) {
+  // B's uncovered ND is committed remotely by A; B has no commit at all, so
+  // the check stays pending until Finalize resolves it as a violation.
+  Trace trace(2);
+  auto auditor = AuditLive(trace, [](Trace& t) {
+    t.Append(1, EventKind::kTransientNd);
+    t.Append(1, EventKind::kSend, 1);
+    t.Append(0, EventKind::kReceive, 1);
+    t.Append(0, EventKind::kCommit);
+  });
+  ASSERT_GE(auditor->findings().size(), 1u);
+  bool at_finalize = false;
+  for (const auto& finding : auditor->findings()) {
+    at_finalize |= finding.resolved_at_finalize;
+  }
+  EXPECT_TRUE(at_finalize);
+  EXPECT_GT(auditor->pending_resolved_at_finalize(), 0);
+  EXPECT_TRUE(auditor->finalized());
+}
+
+// --- randomized equivalence with the offline oracle ---
+
+using PairKey = std::tuple<int, int64_t, int, int64_t, bool>;
+
+std::vector<PairKey> OfflinePairs(const Trace& trace) {
+  std::vector<PairKey> out;
+  for (const ftx_sm::SaveWorkViolation& v : ftx_sm::CheckSaveWork(trace).violations) {
+    out.emplace_back(v.nd_event.process, v.nd_event.index, v.downstream.process,
+                     v.downstream.index, v.visible_rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PairKey> OnlinePairs(const ftx_causal::SaveWorkAuditor& auditor) {
+  std::vector<PairKey> out;
+  for (const ftx_causal::SaveWorkFinding& f : auditor.findings()) {
+    out.emplace_back(f.nd.process, f.nd.index, f.downstream.process, f.downstream.index,
+                     f.visible_rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Random mixes of every event class the trace model has, including logged
+// ND, cross-process messages, and (optionally) serialized 2PC rounds with
+// increasing atomic groups — the exact shapes the runtime emits.
+void BuildRandomTrace(Trace* trace, uint64_t seed, int num_processes, int steps,
+                      bool with_2pc_rounds) {
+  ftx::Rng rng(seed);
+  struct Outstanding {
+    int64_t id;
+    int src;
+  };
+  std::vector<Outstanding> outstanding;
+  int64_t next_msg = 1;
+  int64_t next_group = 1;
+  for (int i = 0; i < steps; ++i) {
+    const int p = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(num_processes)));
+    const int64_t roll = rng.NextInRange(0, 99);
+    if (with_2pc_rounds && num_processes >= 2 && roll < 6) {
+      // One complete coordinated round: prepare, participant commits, acks,
+      // coordinator commit, visible. Rounds never interleave.
+      const int64_t group = next_group++;
+      std::vector<int64_t> acks;
+      for (int q = 0; q < num_processes; ++q) {
+        if (q == p) {
+          continue;
+        }
+        const int64_t prepare = next_msg++;
+        trace->Append(p, EventKind::kSend, prepare);
+        trace->Append(q, EventKind::kReceive, prepare);
+        trace->Append(q, EventKind::kCommit, -1, false, "", group);
+        const int64_t ack = next_msg++;
+        trace->Append(q, EventKind::kSend, ack);
+        acks.push_back(ack);
+      }
+      for (int64_t ack : acks) {
+        trace->Append(p, EventKind::kReceive, ack);
+      }
+      trace->Append(p, EventKind::kCommit, -1, false, "", group);
+      trace->Append(p, EventKind::kVisible);
+    } else if (roll < 20) {
+      trace->Append(p, EventKind::kTransientNd, -1, rng.NextBernoulli(0.3));
+    } else if (roll < 28) {
+      trace->Append(p, EventKind::kFixedNd, -1, rng.NextBernoulli(0.3));
+    } else if (roll < 40) {
+      trace->Append(p, EventKind::kCommit);
+    } else if (roll < 52) {
+      trace->Append(p, EventKind::kVisible);
+    } else if (roll < 68 && num_processes >= 2) {
+      trace->Append(p, EventKind::kSend, next_msg);
+      outstanding.push_back({next_msg, p});
+      ++next_msg;
+    } else if (roll < 84 && !outstanding.empty()) {
+      const size_t pick = rng.NextBounded(outstanding.size());
+      const Outstanding msg = outstanding[pick];
+      outstanding.erase(outstanding.begin() + static_cast<std::ptrdiff_t>(pick));
+      int dst = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(num_processes)));
+      if (dst == msg.src) {
+        dst = (dst + 1) % num_processes;
+      }
+      trace->Append(dst, EventKind::kReceive, msg.id, rng.NextBernoulli(0.3));
+    } else {
+      trace->Append(p, EventKind::kInternal);
+    }
+  }
+}
+
+TEST(SaveWorkAuditor, MatchesOfflineOracleOnRandomTraces) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    for (int num_processes : {1, 2, 4}) {
+      Trace trace(num_processes);
+      auto auditor = AuditLive(trace, [&](Trace& t) {
+        BuildRandomTrace(&t, seed * 1000 + static_cast<uint64_t>(num_processes), num_processes,
+                         120, /*with_2pc_rounds=*/false);
+      });
+      EXPECT_EQ(OnlinePairs(*auditor), OfflinePairs(trace))
+          << "seed=" << seed << " processes=" << num_processes;
+    }
+  }
+}
+
+TEST(SaveWorkAuditor, MatchesOfflineOracleOnRandomTracesWith2pcRounds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Trace trace(3);
+    auto auditor = AuditLive(trace, [&](Trace& t) {
+      BuildRandomTrace(&t, seed * 7919, 3, 120, /*with_2pc_rounds=*/true);
+    });
+    EXPECT_EQ(OnlinePairs(*auditor), OfflinePairs(trace)) << "seed=" << seed;
+  }
+}
+
+// --- end-to-end: audited real runs ---
+
+TEST(CausalAuditIntegration, AuditedRunsReportZeroViolations) {
+  // The acceptance criterion's fast slice (the full protocol x workload
+  // matrix runs in the audited CTest bench entries): every measured
+  // single-process protocol plus the coordinated ones on treadmarks.
+  for (const char* protocol : {"cand", "cand-log", "cpvs", "cbndvs", "cbndvs-log"}) {
+    ftx::RunSpec spec;
+    spec.workload = "nvi";
+    spec.protocol = protocol;
+    spec.scale = 40;
+    spec.audit = true;
+    ftx::RunOutput output = ftx::RunExperiment(spec);
+    ASSERT_TRUE(output.result.all_done) << protocol;
+    ASSERT_TRUE(output.audited) << protocol;
+    EXPECT_EQ(output.audit_violations, 0) << protocol;
+    ASSERT_NE(output.audit_report.Find("events"), nullptr) << protocol;
+    EXPECT_GT(output.audit_report.Find("events")->integer(), 0) << protocol;
+    EXPECT_TRUE(output.audit_report.Find("finalized")->boolean()) << protocol;
+  }
+  for (const char* protocol : {"cpv-2pc", "cbndv-2pc"}) {
+    ftx::RunSpec spec;
+    spec.workload = "treadmarks";
+    spec.protocol = protocol;
+    spec.scale = 3;
+    spec.audit = true;
+    ftx::RunOutput output = ftx::RunExperiment(spec);
+    ASSERT_TRUE(output.result.all_done) << protocol;
+    ASSERT_TRUE(output.audited) << protocol;
+    EXPECT_EQ(output.audit_violations, 0) << protocol;
+  }
+}
+
+TEST(CausalAuditIntegration, AuditMatchesOfflineCheckerOnRealTraces) {
+  // The online verdict on a real audited run equals the offline checker run
+  // over the very same trace, finding-for-finding (here: zero findings).
+  ftx::RunSpec spec;
+  spec.workload = "magic";
+  spec.protocol = "cbndvs";
+  spec.scale = 25;
+  spec.audit = true;
+  auto computation = ftx::BuildComputation(spec);
+  auto result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_NE(computation->audit(), nullptr);
+  EXPECT_EQ(OnlinePairs(computation->audit()->auditor()),
+            OfflinePairs(computation->trace()));
+}
+
+TEST(CausalAuditIntegration, AuditNeverPerturbsSimulatedQuantities) {
+  // Same spec, same failure schedule; only the audit toggle differs. Every
+  // simulated quantity must be byte-identical (the audit is an observer).
+  auto run = [](bool audit) {
+    ftx::RunSpec spec;
+    spec.workload = "postgres";
+    spec.protocol = "cpvs";
+    spec.scale = 120;
+    spec.seed = 11;
+    spec.audit = audit;
+    auto computation = ftx::BuildComputation(spec);
+    computation->ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(15),
+                                     ftx::Milliseconds(1));
+    auto result = computation->Run();
+    return std::make_tuple(result.all_done, result.end_time.nanos(), result.total_commits,
+                           result.total_events, result.total_rollbacks,
+                           computation->metrics().ToJsonString());
+  };
+  auto off = run(false);
+  auto on = run(true);
+  EXPECT_TRUE(std::get<0>(on));
+  EXPECT_EQ(off, on);
+}
+
+// A protocol that commits too little: it never commits and never logs, so
+// every unlogged ND event preceding a visible is a Save-work violation the
+// audit must flag live.
+class CommitTooLittleProtocol : public ftx_proto::Protocol {
+ public:
+  std::string_view name() const override { return "commit-too-little"; }
+  ftx_proto::SpacePoint space_point() const override { return {}; }
+  ftx_proto::CommitDecision Decide(ftx_proto::AppEvent event) override {
+    if (ftx_proto::IsNdEvent(event)) {
+      nd_since_commit_ = true;
+    }
+    return {};
+  }
+  void OnCommitted() override { nd_since_commit_ = false; }
+  bool HasUncommittedNd() const override { return nd_since_commit_; }
+  std::unique_ptr<ftx_proto::Protocol> Clone() const override {
+    return std::make_unique<CommitTooLittleProtocol>();
+  }
+
+ private:
+  bool nd_since_commit_ = false;
+};
+
+std::unique_ptr<ftx::Computation> BuildBrokenProtocolRun(uint64_t seed) {
+  ftx_apps::WorkloadSetup setup =
+      ftx_apps::MakeWorkload("nvi", /*scale=*/30, seed, /*interactive=*/false);
+  ftx::ComputationOptions options;
+  options.seed = seed;
+  options.audit = true;
+  options.protocol_factory = [] { return std::make_unique<CommitTooLittleProtocol>(); };
+  auto computation =
+      std::make_unique<ftx::Computation>(std::move(options), std::move(setup.apps));
+  computation->SetInputScript(0, setup.scripts[0]);
+  return computation;
+}
+
+TEST(CausalAuditIntegration, BrokenProtocolIsFlaggedWithFlightDump) {
+  auto computation = BuildBrokenProtocolRun(/*seed=*/7);
+  auto result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+  ftx_causal::CausalAudit* audit = computation->audit();
+  ASSERT_NE(audit, nullptr);
+  ASSERT_GT(audit->violations(), 0);
+
+  // The offline oracle agrees with every online finding.
+  EXPECT_EQ(OnlinePairs(audit->auditor()), OfflinePairs(computation->trace()));
+
+  // Each finding became a flight-recorder incident whose reason names the
+  // uncovered ND event, and whose dump marks it on the causal chain.
+  ASSERT_FALSE(audit->flight().incidents().empty());
+  const ftx_causal::SaveWorkFinding& first = audit->auditor().findings()[0];
+  const ftx_causal::FlightRecorder::Incident& incident = audit->flight().incidents()[0];
+  EXPECT_NE(incident.reason.find("save-work violation"), std::string::npos);
+  EXPECT_NE(incident.reason.find(ftx_causal::RefToString(first.nd)), std::string::npos);
+  EXPECT_NE(incident.dump.find("* "), std::string::npos);
+  EXPECT_NE(incident.dump.find(ftx_causal::RefToString(first.nd)), std::string::npos);
+
+  // The structured report carries the findings for --json consumers.
+  ftx_obs::Json report = audit->ToJson();
+  EXPECT_GT(report.Find("violations")->integer(), 0);
+  ASSERT_GT(report.Find("findings")->size(), 0u);
+  EXPECT_NE(report.Find("findings")->at(0).Find("detail")->str().find("uncovered"),
+            std::string::npos);
+}
+
+TEST(CausalAuditIntegration, FlightDumpsAreDeterministic) {
+  auto a = BuildBrokenProtocolRun(/*seed=*/7);
+  auto b = BuildBrokenProtocolRun(/*seed=*/7);
+  a->Run();
+  b->Run();
+  ASSERT_NE(a->audit(), nullptr);
+  ASSERT_NE(b->audit(), nullptr);
+  EXPECT_EQ(a->audit()->ToJson().Dump(2), b->audit()->ToJson().Dump(2));
+  ASSERT_FALSE(a->audit()->flight().incidents().empty());
+  EXPECT_EQ(a->audit()->flight().incidents()[0].dump,
+            b->audit()->flight().incidents()[0].dump);
+}
+
+TEST(CausalAuditIntegration, CrashingFaultStudyRunsStayViolationFree) {
+  // Crashes and recoveries do not fool the online check: under CPVS the
+  // commit-before-visible covers every earlier in-process position, rolled
+  // back or not, so audited crashing runs report zero violations while the
+  // crash itself lands as a flight-recorder incident.
+  int crashed_and_audited = 0;
+  for (uint64_t seed = 1; seed <= 20 && crashed_and_audited < 3; ++seed) {
+    ftx::FaultRunResult result = ftx::RunApplicationFault(
+        "postgres", ftx_fault::FaultType::kHeapBitFlip, seed, "cpvs", ftx::StoreKind::kRio,
+        /*audit=*/true);
+    ASSERT_TRUE(result.audited);
+    EXPECT_EQ(result.audit_violations, 0) << "seed=" << seed;
+    if (!result.crashed) {
+      continue;
+    }
+    ++crashed_and_audited;
+    EXPECT_GE(result.audit_incidents, 1) << "seed=" << seed;
+    EXPECT_NE(result.audit_first_dump.find("flight recorder"), std::string::npos);
+    EXPECT_NE(result.audit_first_dump.find("crash"), std::string::npos);
+  }
+  EXPECT_EQ(crashed_and_audited, 3) << "heap bit flips should crash postgres regularly";
+}
+
+TEST(CausalAuditIntegration, BaselineModeIgnoresAuditToggle) {
+  ftx::RunSpec spec;
+  spec.workload = "nvi";
+  spec.scale = 20;
+  spec.mode = ftx_dc::RuntimeMode::kBaseline;
+  spec.audit = true;
+  auto computation = ftx::BuildComputation(spec);
+  EXPECT_EQ(computation->audit(), nullptr);  // baseline runs have no trace
+  auto result = computation->Run();
+  EXPECT_TRUE(result.all_done);
+}
+
+TEST(CausalAuditIntegration, CommitCostAttributionPartitionsTheCommit) {
+  // Every audited commit carries staged costs whose components sum to the
+  // interval the commit occupies on the simulated timeline.
+  for (ftx::StoreKind store : {ftx::StoreKind::kRio, ftx::StoreKind::kDisk}) {
+    ftx::RunSpec spec;
+    spec.workload = "magic";
+    spec.protocol = "cpvs";
+    spec.scale = 25;
+    spec.store = store;
+    spec.audit = true;
+    auto computation = ftx::BuildComputation(spec);
+    auto result = computation->Run();
+    ASSERT_TRUE(result.all_done);
+    ASSERT_NE(computation->audit(), nullptr);
+    int64_t commits_with_costs = 0;
+    computation->audit()->ledger().ForEach([&](const ftx_causal::LedgerEntry& entry) {
+      if (entry.kind != ftx_sm::EventKind::kCommit || !entry.has_costs) {
+        return;
+      }
+      ++commits_with_costs;
+      const ftx_causal::CommitCosts& costs = entry.costs;
+      EXPECT_EQ(costs.TotalNs(), costs.end_ns - costs.begin_ns);
+      EXPECT_GT(costs.fixed_ns, 0);
+      EXPECT_GE(costs.before_image_ns, 0);
+      EXPECT_GE(costs.reprotect_ns, 0);
+      EXPECT_GE(costs.persist_ns, 0);
+      EXPECT_GE(costs.pages, 0);
+      if (store == ftx::StoreKind::kDisk) {
+        EXPECT_GT(costs.payload_bytes, 0);
+      }
+    });
+    EXPECT_GT(commits_with_costs, 0);
+  }
+}
+
+}  // namespace

@@ -124,6 +124,58 @@ TEST(MetricsTest, HistogramBucketsAndStats) {
   EXPECT_EQ(h.bucket_counts()[3], 1);
 }
 
+TEST(MetricsTest, HistogramQuantileInterpolation) {
+  // Bucket-interpolated quantiles, pinned: two observations per bucket of
+  // {(-inf,10], (10,100], (100,1000], (1000,inf)} with min=4 and max=4000.
+  ftx_obs::Histogram h({10, 100, 1000});
+  for (int64_t v : {4, 6, 20, 80, 200, 600, 2000, 4000}) {
+    h.Observe(v);
+  }
+  // p50: rank 4.0 lands at the end of bucket 1, interpolated to its upper
+  // bound; p90/p99 land in the overflow bucket, whose upper edge clamps to
+  // the observed max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 2800.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 3880.0);
+  // The extremes clamp to the true min/max, not the bucket edges.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4000.0);
+}
+
+TEST(MetricsTest, HistogramQuantileDegenerateCases) {
+  ftx_obs::Histogram empty({10});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  // All observations equal: every quantile is that value (the bucket's
+  // nominal [min, bound] range clamps to [7, 7]).
+  ftx_obs::Histogram point({10});
+  point.Observe(7);
+  point.Observe(7);
+  point.Observe(7);
+  EXPECT_DOUBLE_EQ(point.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(point.Quantile(0.99), 7.0);
+}
+
+TEST(MetricsTest, SnapshotJsonCarriesQuantiles) {
+  ftx_obs::Registry registry;
+  ftx_obs::Histogram* h = registry.GetHistogram("q.latency_ns", {10, 100, 1000});
+  for (int64_t v : {4, 6, 20, 80, 200, 600, 2000, 4000}) {
+    h->Observe(v);
+  }
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(registry.ToJsonString(), &parsed));
+  const Json* hist = parsed.Find("q.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("p50")->number(), h->Quantile(0.5));
+  EXPECT_DOUBLE_EQ(hist->Find("p90")->number(), h->Quantile(0.9));
+  EXPECT_DOUBLE_EQ(hist->Find("p99")->number(), h->Quantile(0.99));
+  // Monotone: min <= p50 <= p90 <= p99 <= max (the JSON validator gates
+  // the same ordering on every bench results file).
+  EXPECT_LE(static_cast<double>(hist->Find("min")->integer()), hist->Find("p50")->number());
+  EXPECT_LE(hist->Find("p50")->number(), hist->Find("p90")->number());
+  EXPECT_LE(hist->Find("p90")->number(), hist->Find("p99")->number());
+  EXPECT_LE(hist->Find("p99")->number(), static_cast<double>(hist->Find("max")->integer()));
+}
+
 TEST(MetricsTest, RegistryGetOrCreateReturnsSameInstrument) {
   ftx_obs::Registry registry;
   ftx_obs::Counter* a = registry.GetCounter("x.count");
@@ -267,6 +319,113 @@ TEST(TracerTest, LaneMetadataNamesEveryTrackInUse) {
     }
   }
   EXPECT_TRUE(found_thread_name);
+}
+
+TEST(TracerTest, FlowEventsPairOnCategoryNameAndId) {
+  ftx_obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.FlowStart(0, ftx_obs::TraceLane::kStep, "causal", "msg", AtNs(100), /*flow_id=*/7);
+  tracer.FlowFinish(1, ftx_obs::TraceLane::kStep, "causal", "msg", AtNs(300), /*flow_id=*/7);
+  CheckChromeTraceWellFormed(tracer);
+
+  Json doc;
+  ASSERT_TRUE(Json::Parse(tracer.ToChromeTraceJson(), &doc));
+  const Json* start = nullptr;
+  const Json* finish = nullptr;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    const std::string& phase = event.Find("ph")->str();
+    if (phase == "s") {
+      start = &event;
+    } else if (phase == "f") {
+      finish = &event;
+    }
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  // The two ends pair on (cat, name, id)...
+  EXPECT_EQ(start->Find("cat")->str(), finish->Find("cat")->str());
+  EXPECT_EQ(start->Find("name")->str(), finish->Find("name")->str());
+  EXPECT_EQ(start->Find("id")->integer(), 7);
+  EXPECT_EQ(finish->Find("id")->integer(), 7);
+  // ...the finish binds to its enclosing slice, and the arrow points
+  // forward in time across tracks.
+  EXPECT_EQ(finish->Find("bp")->str(), "e");
+  EXPECT_LT(start->Find("ts")->number(), finish->Find("ts")->number());
+  EXPECT_NE(start->Find("pid")->integer(), finish->Find("pid")->integer());
+}
+
+TEST(TracerTest, CounterSampleExportsArgsSeries) {
+  ftx_obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.CounterSample(2, "dc", "commit cost (ns)", AtNs(500),
+                       {{"fixed", 40.0}, {"persist", 160.0}});
+  CheckChromeTraceWellFormed(tracer);
+
+  Json doc;
+  ASSERT_TRUE(Json::Parse(tracer.ToChromeTraceJson(), &doc));
+  const Json* counter = nullptr;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    if (event.Find("ph")->str() == "C") {
+      counter = &event;
+    }
+  }
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Find("name")->str(), "commit cost (ns)");
+  const Json* args = counter->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("fixed")->number(), 40.0);
+  EXPECT_DOUBLE_EQ(args->Find("persist")->number(), 160.0);
+}
+
+TEST(TracerTest, DisabledTracerIgnoresFlowsAndCounters) {
+  ftx_obs::Tracer tracer;
+  tracer.FlowStart(0, ftx_obs::TraceLane::kStep, "causal", "msg", AtNs(0), 1);
+  tracer.FlowFinish(0, ftx_obs::TraceLane::kStep, "causal", "msg", AtNs(1), 1);
+  tracer.CounterSample(0, "dc", "x", AtNs(2), {{"a", 1.0}});
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, AuditedTracedRunEmitsCausalFlowsAndCostTracks) {
+  // End-to-end: an audited run with tracing on exports send->receive and
+  // nd->commit flow arrows plus per-commit cost-attribution counters, and
+  // the whole document still satisfies every Chrome-export invariant.
+  ftx::RunSpec spec;
+  spec.workload = "treadmarks";
+  spec.protocol = "cpvs";
+  spec.scale = 3;
+  spec.audit = true;
+  auto computation = ftx::BuildComputation(spec);
+  computation->tracer().SetEnabled(true);
+  auto result = computation->Run();
+  ASSERT_TRUE(result.all_done);
+  CheckChromeTraceWellFormed(computation->tracer());
+
+  Json doc;
+  ASSERT_TRUE(Json::Parse(computation->tracer().ToChromeTraceJson(), &doc));
+  int msg_starts = 0, msg_finishes = 0, nd_flows = 0, cost_samples = 0;
+  for (const Json& event : doc.Find("traceEvents")->items()) {
+    const std::string& phase = event.Find("ph")->str();
+    const std::string& name = event.Find("name")->str();
+    if (phase == "s" && name == "msg") {
+      ++msg_starts;
+    } else if (phase == "f" && name == "msg") {
+      ++msg_finishes;
+      EXPECT_EQ(event.Find("bp")->str(), "e");
+    } else if ((phase == "s" || phase == "f") && name == "nd->commit") {
+      ++nd_flows;
+    } else if (phase == "C" && name == "commit cost (ns)") {
+      ++cost_samples;
+      EXPECT_NE(event.Find("args")->Find("fixed"), nullptr);
+      EXPECT_NE(event.Find("args")->Find("persist"), nullptr);
+    }
+  }
+  EXPECT_GT(msg_starts, 0);
+  // Every received message's arrow has both ends (sends whose delivery was
+  // still in flight at the end may leave unpaired starts).
+  EXPECT_GT(msg_finishes, 0);
+  EXPECT_LE(msg_finishes, msg_starts);
+  EXPECT_GT(nd_flows, 0);
+  EXPECT_GT(cost_samples, 0);
 }
 
 // --- results emitter ---

@@ -8,6 +8,8 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -180,6 +182,53 @@ TEST(FaultStudyParallel, ShardedStudyMatchesSerialStudy) {
   EXPECT_EQ(serial.failed_recoveries, sharded.failed_recoveries);
   EXPECT_EQ(serial.violation_fraction, sharded.violation_fraction);
   EXPECT_EQ(serial.failed_recovery_fraction, sharded.failed_recovery_fraction);
+}
+
+TEST(RegistryConfinement, ParallelTrialsShareNoInstruments) {
+  // The ownership rule documented in src/obs/metrics.h, exercised the way
+  // the trial engine actually uses registries: each trial builds, runs,
+  // snapshots, and destroys a whole Computation (its Registry included) on
+  // whichever pool thread picked the trial up; the caller only reads the
+  // value-semantic snapshots after the ParallelFor join. Run under
+  // -DFTX_SANITIZE=thread this is the regression test that no instrument or
+  // probe is shared across trials — TSan flags any cross-thread access the
+  // confinement contract forbids.
+  constexpr int64_t kTrials = 8;
+  auto run_trials = [](ftx::TrialPool* pool) {
+    std::vector<std::string> snapshots(kTrials);
+    std::vector<int64_t> commits(kTrials);
+    auto body = [&](int64_t i) {
+      ftx::RunSpec spec;
+      spec.workload = "magic";
+      spec.scale = 20;
+      spec.seed = ftx::DeriveTrialSeed(42, static_cast<uint64_t>(i));
+      spec.protocol = "cpvs";
+      auto computation = ftx::BuildComputation(spec);
+      ftx::ComputationResult result = computation->Run();
+      // Snapshot on the thread that ran the trial, before destruction.
+      snapshots[static_cast<size_t>(i)] = computation->metrics().ToJsonString();
+      commits[static_cast<size_t>(i)] = result.total_commits;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(kTrials, body);
+    } else {
+      for (int64_t i = 0; i < kTrials; ++i) {
+        body(i);
+      }
+    }
+    return std::make_pair(snapshots, commits);
+  };
+
+  ftx::TrialPool pool(4);
+  auto parallel = run_trials(&pool);
+  auto serial = run_trials(nullptr);
+  // The join is the only synchronization, and it suffices: the merged
+  // snapshots are byte-identical to a fully serial run.
+  EXPECT_EQ(parallel.first, serial.first);
+  EXPECT_EQ(parallel.second, serial.second);
+  for (int64_t i = 0; i < kTrials; ++i) {
+    EXPECT_GT(parallel.second[static_cast<size_t>(i)], 0) << "trial " << i;
+  }
 }
 
 TEST(MeasureOverheadParallel, PoolAndSerialRowsAgree) {
