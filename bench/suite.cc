@@ -1,11 +1,14 @@
 #include "bench/suite.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/obs/prof/prof.h"
 
 namespace ftx_bench {
 namespace {
@@ -35,6 +38,12 @@ constexpr FlagSpec kBenchFlags[] = {
      [](BenchOptions* options, const char* value) { options->trace_path = value; }},
     {"--audit", nullptr, "enable the live causal audit on every recoverable run",
      [](BenchOptions* options, const char*) { options->audit = true; }},
+    {"--repeat", "N", "host-time repetitions for wall-clock rows (min/median reported)",
+     [](BenchOptions* options, const char* value) {
+       options->repeat = std::max(1, std::atoi(value));
+     }},
+    {"--prof", "PATH", "write a collapsed-stack host-time profile (FlameGraph format)",
+     [](BenchOptions* options, const char* value) { options->prof_path = value; }},
     {"--log-level", "LEVEL", "error|warning|info|debug (default warning)",
      [](BenchOptions* options, const char* value) {
        ftx::LogLevel level;
@@ -111,6 +120,18 @@ std::string Sprintf(const char* format, ...) {
   return text;
 }
 
+double MinOf(const std::vector<double>& samples) {
+  FTX_CHECK(!samples.empty());
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double MedianOf(std::vector<double> samples) {
+  FTX_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2] : (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
 uint64_t RowContext::SeedOr(uint64_t bench_default) const {
   if (options == nullptr || options->seed == 0) {
     return bench_default;
@@ -159,16 +180,24 @@ int Suite::Run() {
     }
   }
   std::vector<RowResult> row_results(static_cast<size_t>(num_rows_));
-  pool_.ParallelFor(num_rows_, [&](int64_t i) {
-    RowContext ctx;
-    ctx.pool = &pool_;
-    ctx.options = &options_;
-    ctx.row_index = static_cast<int>(i);
-    if (i == num_rows_ - 1) {
-      ctx.trace_path = options_.trace_path;  // "last traced run wins"
-    }
-    row_results[static_cast<size_t>(i)] = rows[static_cast<size_t>(i)]->row_fn(ctx);
-  });
+  // With --prof, the whole computation runs under one profiler; ParallelFor
+  // propagates the activation to every worker, so scopes from concurrent
+  // rows merge into a single profile. Simulated results are untouched — the
+  // profiler only ever reads the host clock.
+  ftx_prof::Profiler profiler;
+  {
+    ftx_prof::Activation prof_on(options_.prof_path.empty() ? nullptr : &profiler);
+    pool_.ParallelFor(num_rows_, [&](int64_t i) {
+      RowContext ctx;
+      ctx.pool = &pool_;
+      ctx.options = &options_;
+      ctx.row_index = static_cast<int>(i);
+      if (i == num_rows_ - 1) {
+        ctx.trace_path = options_.trace_path;  // "last traced run wins"
+      }
+      row_results[static_cast<size_t>(i)] = rows[static_cast<size_t>(i)]->row_fn(ctx);
+    });
+  }
 
   // Render strictly in declaration order: identical output for any --jobs.
   for (const Item& item : items_) {
@@ -188,6 +217,19 @@ int Suite::Run() {
         std::fputs(item.summarize_fn(row_results).c_str(), stdout);
         break;
     }
+  }
+
+  if (!options_.prof_path.empty()) {
+    ftx_prof::Profile profile = profiler.Merge();
+    ftx::Status status =
+        ftx_obs::WriteFileContents(options_.prof_path, profile.ToCollapsed(/*weight_ns=*/true));
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", options_.prof_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu profile stacks to %s\n", profile.entries.size(),
+                options_.prof_path.c_str());
   }
 
   if (options_.json_path.empty()) {

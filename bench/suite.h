@@ -45,6 +45,10 @@ namespace ftx_bench {
 //   --trace PATH   write a Chrome trace_event JSON of the traced run
 //   --audit        enable the live causal audit (src/obs/causal/) on every
 //                  recoverable run; rows report it under "audit"
+//   --repeat N     host-time repetitions for wall-clock rows; rows report
+//                  min/median over the samples (simulated rows ignore it)
+//   --prof PATH    write a collapsed-stack host-time profile of the run
+//                  (ftx::prof; FlameGraph / speedscope compatible)
 //   --log-level L  error|warning|info|debug (default warning)
 // Unknown flags, missing values, and bad --log-level names print the usage
 // table and exit 2.
@@ -56,6 +60,8 @@ struct BenchOptions {
   std::string json_path;
   std::string trace_path;
   bool audit = false;
+  int repeat = 1;          // wall-clock repetitions (clamped to >= 1)
+  std::string prof_path;   // collapsed-stack profile output; empty = prof off
   std::string log_level;  // as given; applied via ftx::SetLogLevel at parse
 };
 
@@ -66,6 +72,12 @@ std::string BenchUsageText(const char* argv0);
 
 // printf into a std::string (rows build their console text with this).
 std::string Sprintf(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Aggregation for --repeat wall-clock samples. Min is the canonical "best
+// case, least noise" statistic; median is robust to a slow outlier run.
+// Both FTX_CHECK on an empty vector.
+double MinOf(const std::vector<double>& samples);
+double MedianOf(std::vector<double> samples);
 
 // What one row hands back to the suite.
 struct RowResult {

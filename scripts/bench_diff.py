@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Diff wall-clock bench results against a reference (file or ledger).
+
+Compares the host-time fields (every numeric row field ending in "_ns") of
+a current ftx.bench-results file against either a committed reference file
+or the most recent same-host entry of a bench_history.py ledger. Rows are
+matched on their identity fields (all string/bool members, e.g.
+section/workload/protocol); deterministic fields (counts, replays,
+violations) must match exactly, wall-clock fields are compared as ratios.
+
+Advisory by default: regressions are printed but the exit code stays 0, so
+a CTest entry can surface drift without making perf a hard gate on shared
+machines. --strict turns regressions (and identity/count mismatches) into
+exit 1.
+
+Different hosts produce incomparable nanoseconds: when the two files carry
+different host fingerprints the wall-clock comparison is skipped with a
+notice (count mismatches still report).
+
+Usage:
+  bench_diff.py CURRENT.json REFERENCE.json [--threshold 1.5] [--strict]
+  bench_diff.py CURRENT.json --ledger PATH [--threshold 1.5] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ftx.bench-results":
+        raise ValueError(f"{path}: not an ftx.bench-results file")
+    return doc
+
+
+def fingerprint(doc):
+    host = doc.get("meta", {}).get("host") or doc.get("host")
+    if not isinstance(host, dict):
+        return None
+    return (host.get("cpu_model"), host.get("num_cpus"),
+            host.get("ftx_native"), host.get("sanitizer"))
+
+
+IDENTITY_NUMERIC_FIELDS = {"scale", "crash_fraction", "iterations"}
+
+
+def row_key(row):
+    """Identity of a row: its string/bool members plus the sweep-position
+    numerics — two runs at different scales are different measurements, not
+    a regression."""
+    return tuple(sorted((k, v) for k, v in row.items()
+                 if isinstance(v, (str, bool))
+                 or k in IDENTITY_NUMERIC_FIELDS))
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def is_wall_field(name):
+    return name.endswith("_ns") or name.endswith("_ns_median")
+
+
+def wall_fields(row):
+    return {k: v for k, v in row.items() if is_wall_field(k) and is_number(v)}
+
+
+def count_fields(row):
+    """Deterministic numeric fields: everything numeric that is not host ns."""
+    return {k: v for k, v in row.items()
+            if is_number(v) and not is_wall_field(k)
+            and not k.startswith("mttr_sim_ns_") and k != "repeats"}
+
+
+def latest_ledger_entry(path, bench, host):
+    """Most recent ledger entry for this bench, preferring the same host."""
+    best = best_same_host = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("bench") != bench:
+                continue
+            best = entry
+            entry_host = entry.get("host", {})
+            entry_fp = (entry_host.get("cpu_model"), entry_host.get("num_cpus"),
+                        entry_host.get("ftx_native"), entry_host.get("sanitizer"))
+            if host is not None and entry_fp == host:
+                best_same_host = entry
+    return best_same_host or best
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("reference", nargs="?")
+    parser.add_argument("--ledger", help="compare against the latest "
+                        "same-host entry of this bench_history.py ledger")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="wall-clock ratio above which a row regresses "
+                        "(default 1.5)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions/mismatches")
+    args = parser.parse_args(argv[1:])
+
+    current = load_results(args.current)
+    current_host = fingerprint(current)
+    if args.ledger:
+        entry = latest_ledger_entry(args.ledger, current.get("bench"),
+                                    current_host)
+        if entry is None:
+            print(f"{args.ledger}: no entry for bench "
+                  f"{current.get('bench')!r}; nothing to diff")
+            return 0
+        reference_rows = entry.get("rows", [])
+        reference_host = tuple(entry.get("host", {}).get(k) for k in
+                               ("cpu_model", "num_cpus", "ftx_native",
+                                "sanitizer"))
+        reference_name = f"{args.ledger} @ {entry.get('recorded_at')}"
+    elif args.reference:
+        reference = load_results(args.reference)
+        reference_rows = reference.get("rows", [])
+        reference_host = fingerprint(reference)
+        reference_name = args.reference
+    else:
+        parser.error("need REFERENCE.json or --ledger PATH")
+
+    same_host = (current_host is not None and reference_host is not None
+                 and current_host == tuple(reference_host))
+    if not same_host:
+        print(f"note: host fingerprints differ ({current_host} vs "
+              f"{reference_host}) — wall-clock ratios skipped")
+
+    reference_by_key = {row_key(r): r for r in reference_rows}
+    regressions = mismatches = compared = 0
+    for row in current.get("rows", []):
+        key = row_key(row)
+        ref = reference_by_key.get(key)
+        label = " ".join(str(v) for _, v in key
+                         if isinstance(v, str)) or "<row>"
+        if ref is None:
+            print(f"  new row (no reference): {label}")
+            continue
+        for field, value in sorted(count_fields(row).items()):
+            if field in ref and is_number(ref[field]) and ref[field] != value:
+                mismatches += 1
+                print(f"  COUNT MISMATCH {label}: {field} "
+                      f"{ref[field]} -> {value}")
+        if not same_host:
+            continue
+        for field, value in sorted(wall_fields(row).items()):
+            ref_value = ref.get(field)
+            if not is_number(ref_value) or ref_value <= 0 or value <= 0:
+                continue
+            compared += 1
+            ratio = value / ref_value
+            if ratio >= args.threshold:
+                regressions += 1
+                print(f"  REGRESSION {label}: {field} "
+                      f"{ref_value} -> {value}  ({ratio:.2f}x)")
+            elif ratio <= 1.0 / args.threshold:
+                print(f"  improvement {label}: {field} "
+                      f"{ref_value} -> {value}  ({ratio:.2f}x)")
+
+    print(f"{args.current} vs {reference_name}: {compared} wall-clock fields "
+          f"compared, {regressions} regressions, {mismatches} count "
+          f"mismatches (threshold {args.threshold:.2f}x"
+          f"{', strict' if args.strict else ', advisory'})")
+    if args.strict and (regressions or mismatches):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Host-keyed performance-history ledger for wall-clock bench results.
+
+Simulated benches are pinned by golden byte-compares (bench/golden/); the
+wall-clock benches (BENCH_recovery.json, BENCH_hotpath.json) cannot be — a
+different machine legitimately produces different nanoseconds. This script
+keeps their trajectory reviewable anyway: it appends one JSON line per run
+to a ledger file, keyed by the host fingerprint the bench recorded in its
+meta block (scripts are expected to compare entries only within one host;
+see bench_diff.py).
+
+Usage:
+  bench_history.py append FILE.json [--ledger PATH] [--note TEXT]
+  bench_history.py list [--ledger PATH] [--bench NAME]
+
+The default ledger is bench/history/<bench>.jsonl next to this repository.
+Each entry carries the record time, the host fingerprint, the git revision
+when available, and every scalar numeric row field (nested metrics/audit
+objects are dropped — the ledger tracks the headline numbers, the full file
+is the artifact).
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def host_fingerprint(meta):
+    """A short, stable identity for 'numbers from this machine'."""
+    host = meta.get("host")
+    if not isinstance(host, dict):
+        return {"cpu_model": "unknown", "num_cpus": 0}
+    return {
+        "cpu_model": host.get("cpu_model", "unknown"),
+        "num_cpus": host.get("num_cpus", 0),
+        "ftx_native": host.get("ftx_native", False),
+        "sanitizer": host.get("sanitizer", "none"),
+    }
+
+
+def git_revision():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=REPO_ROOT, capture_output=True, text=True,
+                             timeout=10)
+        return out.stdout.strip() if out.returncode == 0 else None
+    except OSError:
+        return None
+
+
+def scalar_rows(rows):
+    """Rows with only scalar members (identity strings + headline numbers)."""
+    kept = []
+    for row in rows:
+        kept.append({k: v for k, v in row.items()
+                     if isinstance(v, (str, int, float, bool))})
+    return kept
+
+
+def default_ledger(bench):
+    return os.path.join(REPO_ROOT, "bench", "history", f"{bench}.jsonl")
+
+
+def cmd_append(args):
+    with open(args.file, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ftx.bench-results":
+        print(f"{args.file}: not an ftx.bench-results file", file=sys.stderr)
+        return 1
+    bench = doc.get("bench", "unknown")
+    entry = {
+        "bench": bench,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "git": git_revision(),
+        "full_scale": doc.get("full_scale", False),
+        "host": host_fingerprint(doc.get("meta", {})),
+        "rows": scalar_rows(doc.get("rows", [])),
+    }
+    if args.note:
+        entry["note"] = args.note
+    ledger = args.ledger or default_ledger(bench)
+    os.makedirs(os.path.dirname(ledger), exist_ok=True)
+    with open(ledger, "a", encoding="utf-8") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"appended {bench} ({len(entry['rows'])} rows, "
+          f"host {entry['host']['cpu_model']!r}) to {ledger}")
+    return 0
+
+
+def cmd_list(args):
+    ledger = args.ledger or (default_ledger(args.bench) if args.bench else None)
+    if ledger is None:
+        print("list needs --ledger PATH or --bench NAME", file=sys.stderr)
+        return 2
+    if not os.path.exists(ledger):
+        print(f"{ledger}: no ledger yet")
+        return 0
+    with open(ledger, encoding="utf-8") as f:
+        for line_number, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"{ledger}:{line_number}: bad entry: {e}",
+                      file=sys.stderr)
+                continue
+            host = entry.get("host", {})
+            print(f"{entry.get('recorded_at')}  {entry.get('bench')}  "
+                  f"git={entry.get('git')}  rows={len(entry.get('rows', []))}  "
+                  f"host={host.get('cpu_model')!r} x{host.get('num_cpus')}"
+                  + (f"  note={entry['note']!r}" if entry.get("note") else ""))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_append = sub.add_parser("append", help="record one bench JSON file")
+    p_append.add_argument("file")
+    p_append.add_argument("--ledger")
+    p_append.add_argument("--note")
+    p_append.set_defaults(fn=cmd_append)
+    p_list = sub.add_parser("list", help="show ledger entries")
+    p_list.add_argument("--ledger")
+    p_list.add_argument("--bench")
+    p_list.set_defaults(fn=cmd_list)
+    args = parser.parse_args(argv[1:])
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -39,11 +39,50 @@ trap 'rm -f "$RAW"' EXIT
 "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
   --benchmark_filter='BM_Segment|BM_RedoRecordAppend|BM_Crc32' >"$RAW"
 
-python3 - "$RAW" "$OUT" "$MIN_TIME" <<'PYEOF'
+python3 - "$RAW" "$OUT" "$MIN_TIME" "$BUILD_DIR" <<'PYEOF'
 import json
+import os
 import sys
 
-raw_path, out_path, min_time = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, min_time, build_dir = (sys.argv[1], sys.argv[2],
+                                           sys.argv[3], sys.argv[4])
+
+
+def host_meta():
+    """Real host metadata (the benchmark-library context reports its
+    compiled-in defaults — num_cpus=1, mhz_per_cpu=2100 — which made the
+    recorded trajectories uninterpretable across machines). Mirrors
+    ftx_prof::HostMetaJson so bench_diff.py can fingerprint both formats."""
+    cpu_model = "unknown"
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    ftx_native = False
+    sanitizer = "none"
+    try:
+        with open(os.path.join(build_dir, "CMakeCache.txt"),
+                  encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("FTX_NATIVE:"):
+                    ftx_native = line.rstrip().split("=", 1)[1] in ("ON", "1",
+                                                                   "TRUE")
+                elif line.startswith("FTX_SANITIZE:"):
+                    value = line.rstrip().split("=", 1)[1]
+                    if value and value != "OFF":
+                        sanitizer = value
+    except OSError:
+        pass
+    return {
+        "cpu_model": cpu_model,
+        "num_cpus": os.cpu_count() or 0,
+        "ftx_native": ftx_native,
+        "sanitizer": sanitizer,
+    }
 
 # Pre-overhaul cpu-time baseline (ns) measured on the original development
 # host with the std::set / per-page-allocation implementation, for speedup
@@ -111,6 +150,7 @@ out = {
     "full_scale": float(min_time) >= 0.5,
     "meta": {
         "benchmark_min_time": float(min_time),
+        "host": host_meta(),
         "num_cpus": context.get("num_cpus", 0),
         "mhz_per_cpu": context.get("mhz_per_cpu", 0),
         "library_build_type": context.get("library_build_type", ""),

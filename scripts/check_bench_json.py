@@ -54,6 +54,18 @@ REQUIRED_ROW_FIELDS = {
                        "reorder_states", "survivor_committed",
                        "survivor_inflight", "survivor_none", "replays",
                        "replays_consistent", "violations", "ok"],
+    "recovery_profile": ["section", "workload", "protocol", "store", "scale",
+                         "crash_fraction", "repeats", "ok", "violations",
+                         "replays", "redo_records", "mttr_count",
+                         "mttr_sim_ns_mean", "mttr_sim_ns_p50",
+                         "mttr_sim_ns_p90", "mttr_sim_ns_p99",
+                         "recover_wall_ns",
+                         "phase_log_scan_ns", "phase_crc_validate_ns",
+                         "phase_page_install_ns", "phase_reprotect_ns",
+                         "phase_nd_replay_ns",
+                         "phase_log_scan_count", "phase_crc_validate_count",
+                         "phase_page_install_count", "phase_reprotect_count",
+                         "phase_nd_replay_count"],
 }
 
 HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "p50", "p90", "p99",
@@ -219,6 +231,24 @@ def check_file(path):
                 ok = fail(path, f"rows[{i}]: {row.get('replays')} replays but "
                                 f"only {row.get('replays_consistent')} "
                                 f"consistent")
+        # Recovery-profile rows gate hard too: every sweep point must have
+        # actually recovered (replays > 0) into a consistent state, and its
+        # host-time phase attribution must have fired (the recovery ran
+        # under the profiler, so the log-scan scope count cannot be zero).
+        if bench == "recovery_profile":
+            if row.get("violations") != 0 or row.get("ok") is not True:
+                ok = fail(path, f"rows[{i}]: recovery inconsistent "
+                                f"(violations={row.get('violations')!r}, "
+                                f"ok={row.get('ok')!r})")
+            if not (is_number(row.get("replays")) and row["replays"] > 0):
+                ok = fail(path, f"rows[{i}]: zero replays — no recovery was "
+                                f"exercised (replays="
+                                f"{row.get('replays')!r})")
+            if not (is_number(row.get("phase_log_scan_count"))
+                    and row["phase_log_scan_count"] > 0):
+                ok = fail(path, f"rows[{i}]: profiler saw no recover.log_scan "
+                                f"scope (count="
+                                f"{row.get('phase_log_scan_count')!r})")
     if ok:
         print(f"{path}: ok ({bench}, {len(rows)} rows)")
     return ok

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/obs/causal/audit.h"
+#include "src/obs/prof/prof.h"
 
 namespace ftx_dc {
 namespace {
@@ -239,6 +240,7 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
     segment_->Commit();
     return ftx::Duration();
   }
+  FTX_PROF_SCOPE("commit");
   const ftx::Duration fixed_cost = deps_.store->CommitFixedCost();
   // Volatile (recomputable) ranges are excluded from what a commit
   // persists; their pages still pay the COW trap but not the persist path.
@@ -264,19 +266,26 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   if (deps_.redo_log != nullptr) {
     // DC-disk: synchronous redo record of the dirty pages + metadata. The
     // segment's visitor hands page spans straight to record serialization —
-    // the only copy is the one the persist itself requires.
+    // the only copy is the one the persist itself requires. The serialize
+    // phase includes the incremental CRC AppendPage computes over each page.
     ftx_store::RedoRecord record;
-    record.ReservePages(pages, segment_->page_size());
-    segment_->ForEachPersistedDirtyPage(
-        [&record](int64_t offset, const uint8_t* image, size_t size) {
-          record.AppendPage(offset, image, size);
-        });
-    ftx::AppendValue(&record.metadata, meta);
+    {
+      FTX_PROF_SCOPE("commit.serialize_crc");
+      record.ReservePages(pages, segment_->page_size());
+      segment_->ForEachPersistedDirtyPage(
+          [&record](int64_t offset, const uint8_t* image, size_t size) {
+            record.AppendPage(offset, image, size);
+          });
+      ftx::AppendValue(&record.metadata, meta);
+    }
     payload_bytes = record.PayloadBytes() + 64;
     persist_cost = deps_.store->PersistCost(payload_bytes);
     cost += persist_cost;
     stats_.bytes_persisted += payload_bytes;
-    deps_.redo_log->Append(std::move(record));
+    {
+      FTX_PROF_SCOPE("commit.persist");
+      deps_.redo_log->Append(std::move(record));
+    }
   } else {
     // Rio: data is already in the persistent segment; commit atomically
     // discards the undo log. Charge the (memory-speed) cost of retiring it.
@@ -287,7 +296,12 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   }
   committed_ = meta;
 
-  segment_->Commit();
+  {
+    // Host-time equivalent of the reprotect_cost charge above: retire the
+    // undo log and clear the dirty bitmaps.
+    FTX_PROF_SCOPE("commit.reprotect");
+    segment_->Commit();
+  }
   deps_.network->ReleaseAllDelivered(pid_);
   communicated_mask_ = 0;  // dependencies up to here are now stable
 
@@ -361,6 +375,7 @@ ftx::Duration Runtime::CommitNow(bool coordinated, bool charge_inline, int64_t a
 
 ftx::Duration Runtime::Recover() {
   FTX_CHECK(!alive_);
+  FTX_PROF_SCOPE("recover");
   ++stats_.rollbacks;
   ftx::Duration cost = costs_.recovery_fixed;
 
@@ -373,22 +388,33 @@ ftx::Duration Runtime::Recover() {
     if (disk_store != nullptr) {
       disk_params = &disk_store->disk()->parameters();
     }
-    for (const ftx_store::RedoRecord& record : deps_.redo_log->records()) {
-      FTX_CHECK_MSG(record.ValidatePages(), "redo record failed CRC validation");
-      bool well_formed =
-          record.ForEachPage([this](int64_t offset, const uint8_t* image, size_t size) {
-            segment_->InstallPage(offset, image, size);
-          });
-      FTX_CHECK_MSG(well_formed, "redo record page payload malformed");
-      if (disk_params != nullptr) {
-        cost += disk_params->half_rotation;
-        cost += ftx::Nanoseconds(disk_params->per_byte.nanos() * record.PayloadBytes());
+    {
+      FTX_PROF_SCOPE("recover.log_scan");
+      for (const ftx_store::RedoRecord& record : deps_.redo_log->records()) {
+        {
+          FTX_PROF_SCOPE("recover.crc_validate");
+          FTX_CHECK_MSG(record.ValidatePages(), "redo record failed CRC validation");
+        }
+        FTX_PROF_SCOPE("recover.page_install");
+        bool well_formed =
+            record.ForEachPage([this](int64_t offset, const uint8_t* image, size_t size) {
+              segment_->InstallPage(offset, image, size);
+            });
+        FTX_CHECK_MSG(well_formed, "redo record page payload malformed");
+        if (disk_params != nullptr) {
+          cost += disk_params->half_rotation;
+          cost += ftx::Nanoseconds(disk_params->per_byte.nanos() * record.PayloadBytes());
+        }
       }
     }
-    segment_->Commit();
+    {
+      FTX_PROF_SCOPE("recover.reprotect");
+      segment_->Commit();
+    }
     // Restore the capture point from the latest record's metadata.
     const ftx_store::RedoRecord* latest = deps_.redo_log->Latest();
     if (latest != nullptr) {
+      FTX_PROF_SCOPE("recover.meta_restore");
       size_t offset = 0;
       CommittedMeta meta;
       FTX_CHECK(ftx::ReadValue(latest->metadata, &offset, &meta));
@@ -397,6 +423,7 @@ ftx::Duration Runtime::Recover() {
   } else {
     // Rio: the segment and undo log survived; roll back in place.
     cost += costs_.recovery_per_page * static_cast<int64_t>(segment_->dirty_page_count());
+    FTX_PROF_SCOPE("recover.undo_rollback");
     segment_->Abort();
   }
 
@@ -411,12 +438,18 @@ ftx::Duration Runtime::Recover() {
     nd_log_.resize(survivors);
   }
   unflushed_log_bytes_ = 0;
-  FTX_CHECK(deps_.kernel->ReconstructFor(pid_, committed_.kernel_records).ok());
+  {
+    FTX_PROF_SCOPE("recover.kernel_replay");
+    FTX_CHECK(deps_.kernel->ReconstructFor(pid_, committed_.kernel_records).ok());
+  }
   deps_.network->RequeueRetained(pid_);
 
   // Volatile ranges were not part of the committed state: zero them and let
   // the application recompute (possibly avoiding re-corruption, §2.6).
-  segment_->ZeroVolatileRanges();
+  {
+    FTX_PROF_SCOPE("recover.volatile_zero");
+    segment_->ZeroVolatileRanges();
+  }
 
   alive_ = true;
   crashed_ = false;
@@ -430,7 +463,10 @@ ftx::Duration Runtime::Recover() {
   step_cost_ = ftx::Duration();
   bool was_in_step = in_step_;
   in_step_ = true;
-  app_->OnRecovered(*this);
+  {
+    FTX_PROF_SCOPE("recover.app_rebuild");
+    app_->OnRecovered(*this);
+  }
   in_step_ = was_in_step;
   cost += step_cost_;
   step_cost_ = saved_step_cost;
@@ -500,6 +536,7 @@ ftx::TimePoint Runtime::GetTimeOfDay() {
   }
   // Replay: a logged clock read is deterministic (full-logging protocols).
   if (InNdReplay() && nd_log_[nd_consumed_].kind == NdLogRecord::Kind::kTimeOfDay) {
+    FTX_PROF_SCOPE("recover.nd_replay");
     ftx::TimePoint value = nd_log_[nd_consumed_].time_value;
     ++nd_consumed_;
     AppendTraceEvent(ftx_proto::AppEvent::kTransientNd, -1, /*logged=*/true, "time-replay");
@@ -526,6 +563,7 @@ void Runtime::DeliverSignal() {
   }
   // Replay: a logged delivery point replays trivially (no result to carry).
   if (InNdReplay() && nd_log_[nd_consumed_].kind == NdLogRecord::Kind::kSignal) {
+    FTX_PROF_SCOPE("recover.nd_replay");
     ++nd_consumed_;
     AppendTraceEvent(ftx_proto::AppEvent::kSignal, -1, /*logged=*/true, "signal-replay");
     ++stats_.events;
@@ -554,6 +592,7 @@ std::optional<ftx::Bytes> Runtime::ReadUserInput() {
   if (InNdReplay()) {
     const NdLogRecord& record = nd_log_[nd_consumed_];
     if (record.kind == NdLogRecord::Kind::kUserInput) {
+      FTX_PROF_SCOPE("recover.nd_replay");
       ++nd_consumed_;
       ++input_cursor_;
       AppendTraceEvent(ftx_proto::AppEvent::kUserInput, -1, /*logged=*/true, "input-replay");
@@ -622,6 +661,7 @@ std::optional<ftx_sim::Message> Runtime::TryReceive() {
   if (InNdReplay()) {
     const NdLogRecord& record = nd_log_[nd_consumed_];
     if (record.kind == NdLogRecord::Kind::kReceive) {
+      FTX_PROF_SCOPE("recover.nd_replay");
       ++nd_consumed_;
       ++stats_.events;
       ++stats_.nd_events;
@@ -631,6 +671,7 @@ std::optional<ftx_sim::Message> Runtime::TryReceive() {
       return record.message;
     }
     if (record.kind == NdLogRecord::Kind::kEmptyPoll) {
+      FTX_PROF_SCOPE("recover.nd_replay");
       ++nd_consumed_;
       ++stats_.events;
       ++stats_.nd_events;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/prof/prof.h"
+
 namespace ftx {
 
 int TrialPool::DefaultJobs() {
@@ -71,6 +73,24 @@ void TrialPool::WorkerLoop() {
 }
 
 void TrialPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  // Propagate the caller's active wall-clock profiler (ftx::prof) into
+  // whichever worker runs each index, so a profiled bench row that shards
+  // trials still captures every scope in one profile. The per-thread shards
+  // keep the hot path contention-free; Profiler::Merge() re-aggregates them
+  // deterministically. No-op when profiling is off.
+  if (ftx_prof::Profiler* profiler = ftx_prof::Profiler::ActiveOnThisThread();
+      profiler != nullptr) {
+    const std::function<void(int64_t)> wrapped = [profiler, &fn](int64_t i) {
+      ftx_prof::Activation activate(profiler);
+      fn(i);
+    };
+    ParallelForImpl(n, wrapped);
+    return;
+  }
+  ParallelForImpl(n, fn);
+}
+
+void TrialPool::ParallelForImpl(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) {
     return;
   }

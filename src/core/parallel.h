@@ -56,10 +56,14 @@ class TrialPool {
   // thread helps drain its own batch, so fn may itself call ParallelFor.
   // All n indices run even if some throw; afterwards the lowest-index
   // exception (a deterministic choice) is rethrown. The pool remains usable
-  // after an exception.
+  // after an exception. When the calling thread has an active ftx::prof
+  // profiler, every index runs under it (per-thread shards; see
+  // src/obs/prof/prof.h), so profiles span sharded work.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
  private:
+  void ParallelForImpl(int64_t n, const std::function<void(int64_t)>& fn);
+
   struct Batch {
     const std::function<void(int64_t)>* fn = nullptr;
     int64_t n = 0;

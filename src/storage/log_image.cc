@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/crc32.h"
+#include "src/obs/prof/prof.h"
 
 namespace ftx_store {
 namespace {
@@ -167,6 +168,7 @@ DecodeStatus DecodeRecord(const ftx::Bytes& image, int64_t offset, RedoRecord* r
 }
 
 bool SelectCommitSlot(const ftx::Bytes& image, CommitSlot* out) {
+  FTX_PROF_SCOPE("logimage.slot_select");
   // Pick the winning slot: the valid one with the highest sequence. A torn
   // or never-written slot simply fails validation and cedes to its sibling.
   CommitSlot best;
@@ -189,6 +191,7 @@ bool SelectCommitSlot(const ftx::Bytes& image, CommitSlot* out) {
 }
 
 SurvivorLog DecodeSurvivorImage(const ftx::Bytes& image) {
+  FTX_PROF_SCOPE("logimage.decode");
   SurvivorLog out;
 
   CommitSlot best;

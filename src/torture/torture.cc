@@ -12,6 +12,7 @@
 #include "src/common/rng.h"
 #include "src/core/experiment.h"
 #include "src/obs/causal/audit.h"
+#include "src/obs/prof/prof.h"
 #include "src/recovery/consistency.h"
 #include "src/storage/log_image.h"
 #include "src/storage/write_journal.h"
@@ -186,6 +187,7 @@ ftx::Bytes BuildImage(const std::vector<DiskOp>& ops, const CrashState& state,
 // it with the real survivor decoder, exactly like a rebooted machine.
 StateOutcome CheckStateBlackBox(const CheckContext& ctx, const CrashState& state, size_t index,
                                 const std::vector<size_t>& subset) {
+  FTX_PROF_SCOPE("torture.image_check");
   StateOutcome out;
   const ftx::Bytes image = BuildImage(*ctx.ops, state, subset);
   const ftx_store::SurvivorLog survivor = ftx_store::DecodeSurvivorImage(image);
@@ -934,6 +936,7 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   std::vector<ReplayOutcome> replays = ftx::RunSharded(
       *pool, static_cast<int64_t>(replay_survivors.size()), spec.seed,
       [&](int64_t i, uint64_t) {
+        FTX_PROF_SCOPE("torture.survivor_replay");
         const int64_t m = replay_survivors[static_cast<size_t>(i)];
         ftx::RunSpec replay_spec = base;
         replay_spec.mode = ftx_dc::RuntimeMode::kRecoverable;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/crc32.h"
+#include "src/obs/prof/prof.h"
 
 namespace ftx_vista {
 
@@ -65,6 +66,7 @@ void Segment::UpdateFastRange(int64_t page) {
 }
 
 void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
+  FTX_PROF_SCOPE("barrier.first_touch");
   FTX_CHECK_GE(offset, 0);
   FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
   if (size == 0) {
@@ -89,6 +91,7 @@ void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
 }
 
 uint8_t* Segment::OpenForWriteSlow(int64_t offset, size_t size) {
+  FTX_PROF_SCOPE("barrier.first_touch");
   FTX_CHECK_GE(offset, 0);
   FTX_CHECK_LE(static_cast<size_t>(offset) + size, data_.size());
   if (size > 0) {

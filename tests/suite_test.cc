@@ -20,7 +20,8 @@ TEST(BenchUsage, GeneratedTextCoversEveryFlag) {
   // One line per kBenchFlags entry; a flag added without a doc line (or a
   // doc edited without its flag) fails here.
   for (const char* needle : {"--full", "--scale N", "--jobs N", "--seed S", "--json PATH",
-                             "--trace PATH", "--audit", "--log-level LEVEL"}) {
+                             "--trace PATH", "--audit", "--log-level LEVEL", "--repeat N",
+                             "--prof PATH"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << "missing from usage: " << needle;
   }
   EXPECT_NE(usage.find("live causal audit"), std::string::npos);
@@ -30,7 +31,8 @@ TEST(BenchUsage, GeneratedTextCoversEveryFlag) {
 TEST(BenchUsage, ParseFillsOptionsFromArgv) {
   const char* argv[] = {"bench",  "--full", "--scale",     "40",   "--jobs", "3",
                         "--seed", "99",     "--json",      "r.json", "--trace", "t.json",
-                        "--audit", "--log-level", "debug"};
+                        "--audit", "--log-level", "debug", "--repeat", "5",
+                        "--prof", "p.collapsed"};
   ftx_bench::BenchOptions options =
       ftx_bench::ParseBenchOptions(static_cast<int>(std::size(argv)),
                                    const_cast<char**>(argv));
@@ -42,6 +44,8 @@ TEST(BenchUsage, ParseFillsOptionsFromArgv) {
   EXPECT_EQ(options.trace_path, "t.json");
   EXPECT_TRUE(options.audit);
   EXPECT_EQ(options.log_level, "debug");
+  EXPECT_EQ(options.repeat, 5);
+  EXPECT_EQ(options.prof_path, "p.collapsed");
   EXPECT_EQ(ftx::GetLogLevel(), ftx::LogLevel::kDebug);
   ftx::SetLogLevel(ftx::LogLevel::kWarning);  // restore the default
 }
@@ -58,6 +62,8 @@ TEST(BenchUsage, DefaultsLeaveEverythingOff) {
   EXPECT_TRUE(options.trace_path.empty());
   EXPECT_FALSE(options.audit);
   EXPECT_TRUE(options.log_level.empty());
+  EXPECT_EQ(options.repeat, 1);
+  EXPECT_TRUE(options.prof_path.empty());
 }
 
 TEST(LogLevelParse, AcceptsNamesAliasesAndDigits) {
