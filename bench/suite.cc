@@ -44,6 +44,14 @@ constexpr FlagSpec kBenchFlags[] = {
      }},
     {"--prof", "PATH", "write a collapsed-stack host-time profile (FlameGraph format)",
      [](BenchOptions* options, const char* value) { options->prof_path = value; }},
+    {"--backend", "NAME", "ftx::env execution backend: sim|threads (default: bench's choice)",
+     [](BenchOptions* options, const char* value) {
+       if (std::strcmp(value, "sim") != 0 && std::strcmp(value, "threads") != 0) {
+         std::fprintf(stderr, "invalid --backend: %s (want sim or threads)\n", value);
+         std::exit(2);
+       }
+       options->backend = value;
+     }},
     {"--log-level", "LEVEL", "error|warning|info|debug (default warning)",
      [](BenchOptions* options, const char* value) {
        ftx::LogLevel level;

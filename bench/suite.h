@@ -49,6 +49,9 @@ namespace ftx_bench {
 //                  min/median over the samples (simulated rows ignore it)
 //   --prof PATH    write a collapsed-stack host-time profile of the run
 //                  (ftx::prof; FlameGraph / speedscope compatible)
+//   --backend B    execution backend for benches that support the ftx::env
+//                  seam: sim | threads (default: the bench's own choice —
+//                  backend_equiv runs both and byte-compares)
 //   --log-level L  error|warning|info|debug (default warning)
 // Unknown flags, missing values, and bad --log-level names print the usage
 // table and exit 2.
@@ -62,6 +65,7 @@ struct BenchOptions {
   bool audit = false;
   int repeat = 1;          // wall-clock repetitions (clamped to >= 1)
   std::string prof_path;   // collapsed-stack profile output; empty = prof off
+  std::string backend;    // "sim" | "threads"; empty = the bench's default
   std::string log_level;  // as given; applied via ftx::SetLogLevel at parse
 };
 

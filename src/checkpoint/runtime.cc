@@ -34,24 +34,29 @@ ftx_sm::EventKind ToTraceKind(ftx_proto::AppEvent event) {
 }  // namespace
 
 Runtime::Runtime(int pid, int num_processes, App* app,
-                 std::unique_ptr<ftx_proto::Protocol> protocol, RuntimeDeps deps, RuntimeMode mode,
-                 RuntimeCosts costs)
+                 std::unique_ptr<ftx_proto::Protocol> protocol, ftx::env::Environment env,
+                 RuntimeMode mode, RuntimeCosts costs)
     : pid_(pid),
       num_processes_(num_processes),
       app_(app),
       protocol_(std::move(protocol)),
-      deps_(deps),
+      env_(std::move(env)),
       mode_(mode),
       costs_(costs) {
   FTX_CHECK(app != nullptr);
-  FTX_CHECK(deps_.sim != nullptr);
-  FTX_CHECK(deps_.network != nullptr);
-  FTX_CHECK(deps_.kernel != nullptr);
-  FTX_CHECK(deps_.recorder != nullptr);
+  // The Environment builder already validated clock/transport/kernel/
+  // recorder; the mode-dependent requirements are enforced here in the same
+  // named-field style.
+  FTX_CHECK_MSG(env_.clock != nullptr, "Runtime: missing required dependency 'clock'");
+  FTX_CHECK_MSG(env_.transport != nullptr, "Runtime: missing required dependency 'transport'");
+  FTX_CHECK_MSG(env_.kernel != nullptr, "Runtime: missing required dependency 'kernel'");
+  FTX_CHECK_MSG(env_.recorder != nullptr, "Runtime: missing required dependency 'recorder'");
   if (mode_ == RuntimeMode::kRecoverable) {
-    FTX_CHECK(protocol_ != nullptr);
-    FTX_CHECK(deps_.trace != nullptr);
-    FTX_CHECK(deps_.store != nullptr);
+    FTX_CHECK_MSG(protocol_ != nullptr, "Runtime: recoverable mode requires a protocol");
+    FTX_CHECK_MSG(env_.trace != nullptr,
+                  "Runtime: recoverable mode requires dependency 'trace'");
+    FTX_CHECK_MSG(env_.store != nullptr,
+                  "Runtime: recoverable mode requires dependency 'store'");
   }
   segment_ = std::make_unique<ftx_vista::Segment>(app->SegmentBytes());
   if (app->HeapBytes() > 0) {
@@ -59,13 +64,13 @@ Runtime::Runtime(int pid, int num_processes, App* app,
                                                      app->HeapBytes());
     heap_->Format();
   }
-  if (deps_.metrics != nullptr) {
+  if (env_.metrics != nullptr) {
     BindMetrics();
   }
 }
 
 void Runtime::BindMetrics() {
-  ftx_obs::Registry* r = deps_.metrics;
+  ftx_obs::Registry* r = env_.metrics;
   const std::string p = "p" + std::to_string(pid_) + ".";
   // Probes read the very fields stats() exposes: the registry view and the
   // legacy struct are the same memory.
@@ -132,16 +137,16 @@ StepOutcome Runtime::RunStep(ftx::Duration* cost_out) {
     done_ = true;
   }
   *cost_out = step_cost_;
-  if (deps_.tracer != nullptr) {
-    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kStep, "app", "step", step_begin,
+  if (env_.tracer != nullptr) {
+    env_.tracer->Span(pid_, ftx_obs::TraceLane::kStep, "app", "step", step_begin,
                        step_begin + step_cost_);
   }
   return outcome;
 }
 
 void Runtime::Kill() {
-  if (deps_.tracer != nullptr) {
-    deps_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "stop-failure", Now());
+  if (env_.tracer != nullptr) {
+    env_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "stop-failure", Now());
   }
   alive_ = false;
 }
@@ -160,16 +165,16 @@ ftx_proto::CommitDecision Runtime::PreEvent(ftx_proto::AppEvent event) {
   }
   FlushPendingCommit();
   decision = protocol_->Decide(event);
-  if (deps_.audit != nullptr) {
-    deps_.audit->OnProtocolDecision(pid_, event, decision);
+  if (env_.audit != nullptr) {
+    env_.audit->OnProtocolDecision(pid_, event, decision);
   }
   if (decision.flush_log_before && unflushed_log_bytes_ > 0) {
     // Optimistic Logging's output commit: wait for every outstanding log
     // record to reach stable storage — one batched sequential append.
-    ftx::Duration flush_cost = deps_.store->LogAppendCost(unflushed_log_bytes_);
-    if (deps_.tracer != nullptr) {
+    ftx::Duration flush_cost = env_.store->LogAppendCost(unflushed_log_bytes_);
+    if (env_.tracer != nullptr) {
       ftx::TimePoint base = Now() + step_cost_;
-      deps_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc", "ndlog.flush", base,
+      env_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc", "ndlog.flush", base,
                          base + flush_cost);
     }
     if (flush_counter_ != nullptr) {
@@ -180,11 +185,11 @@ ftx_proto::CommitDecision Runtime::PreEvent(ftx_proto::AppEvent event) {
     flushed_log_records_ = nd_log_.size();
   }
   if (decision.commit_before) {
-    if (decision.coordinated && deps_.coordinated_commit && num_processes_ > 1) {
+    if (decision.coordinated && env_.coordinated_commit && num_processes_ > 1) {
       // The coordinator callback runs the 2PC round: participants commit,
       // acks flow back, and this process commits — all recorded in the
       // trace and charged to this step.
-      deps_.coordinated_commit(decision.scope);
+      env_.coordinated_commit(decision.scope);
     } else {
       Charge(DoCommit(/*coordinated=*/false));
     }
@@ -210,14 +215,14 @@ void Runtime::PostEvent(ftx_proto::AppEvent event, const ftx_proto::CommitDecisi
 
 void Runtime::AppendTraceEvent(ftx_proto::AppEvent event, int64_t message_id, bool logged,
                                const char* label) {
-  if (deps_.trace == nullptr) {
+  if (env_.trace == nullptr) {
     return;
   }
   int64_t atomic_group = -1;
-  if (event == ftx_proto::AppEvent::kVisible && deps_.latest_atomic_group) {
-    atomic_group = deps_.latest_atomic_group();
+  if (event == ftx_proto::AppEvent::kVisible && env_.latest_atomic_group) {
+    atomic_group = env_.latest_atomic_group();
   }
-  deps_.trace->Append(pid_, ToTraceKind(event), message_id, logged,
+  env_.trace->Append(pid_, ToTraceKind(event), message_id, logged,
                       label != nullptr ? label : "", atomic_group);
 }
 
@@ -230,7 +235,7 @@ void Runtime::AppendNdLog(NdLogRecord record, bool log_async) {
   if (log_async) {
     unflushed_log_bytes_ += bytes;
   } else {
-    Charge(deps_.store->LogAppendCost(bytes));
+    Charge(env_.store->LogAppendCost(bytes));
     flushed_log_records_ = nd_log_.size();
   }
 }
@@ -241,7 +246,7 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
     return ftx::Duration();
   }
   FTX_PROF_SCOPE("commit");
-  const ftx::Duration fixed_cost = deps_.store->CommitFixedCost();
+  const ftx::Duration fixed_cost = env_.store->CommitFixedCost();
   // Volatile (recomputable) ranges are excluded from what a commit
   // persists; their pages still pay the COW trap but not the persist path.
   const auto trapped = static_cast<int64_t>(segment_->dirty_page_count());
@@ -255,15 +260,15 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   // the kernel / input / ND-log cursors recovery must restore.
   CommittedMeta meta;
   meta.registers[0] = static_cast<uint64_t>(step_count_);
-  meta.registers[1] = static_cast<uint64_t>(deps_.sim->Now().nanos());
+  meta.registers[1] = static_cast<uint64_t>(env_.clock->Now().nanos());
   meta.step_count = step_count_;
-  meta.kernel_records = deps_.kernel->RecordCount(pid_);
+  meta.kernel_records = env_.kernel->RecordCount(pid_);
   meta.input_cursor = input_cursor_;
   meta.nd_consumed = nd_consumed_;
 
   ftx::Duration persist_cost;
   int64_t payload_bytes = 0;
-  if (deps_.redo_log != nullptr) {
+  if (env_.redo_log != nullptr) {
     // DC-disk: synchronous redo record of the dirty pages + metadata. The
     // segment's visitor hands page spans straight to record serialization —
     // the only copy is the one the persist itself requires. The serialize
@@ -279,18 +284,18 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
       ftx::AppendValue(&record.metadata, meta);
     }
     payload_bytes = record.PayloadBytes() + 64;
-    persist_cost = deps_.store->PersistCost(payload_bytes);
+    persist_cost = env_.store->PersistCost(payload_bytes);
     cost += persist_cost;
     stats_.bytes_persisted += payload_bytes;
     {
       FTX_PROF_SCOPE("commit.persist");
-      deps_.redo_log->Append(std::move(record));
+      env_.redo_log->Append(std::move(record));
     }
   } else {
     // Rio: data is already in the persistent segment; commit atomically
     // discards the undo log. Charge the (memory-speed) cost of retiring it.
     payload_bytes = segment_->undo_bytes();
-    persist_cost = deps_.store->PersistCost(payload_bytes);
+    persist_cost = env_.store->PersistCost(payload_bytes);
     cost += persist_cost;
     stats_.bytes_persisted += payload_bytes;
   }
@@ -302,7 +307,7 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
     FTX_PROF_SCOPE("commit.reprotect");
     segment_->Commit();
   }
-  deps_.network->ReleaseAllDelivered(pid_);
+  env_.transport->ReleaseAllDelivered(pid_);
   communicated_mask_ = 0;  // dependencies up to here are now stable
 
   ++stats_.commits;
@@ -312,7 +317,7 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   stats_.commit_time += cost;
   stats_.pages_committed += pages;
 
-  if (deps_.audit != nullptr) {
+  if (env_.audit != nullptr) {
     // Stage the component breakdown so the audit ledger can attach it to the
     // kCommit trace event appended just below. Purely observational: every
     // quantity here was already computed for the charge above.
@@ -326,19 +331,19 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
     const ftx::TimePoint base = Now() + (in_step_ ? step_cost_ : pending_overhead_);
     cc.begin_ns = base.nanos();
     cc.end_ns = (base + cost).nanos();
-    deps_.audit->StageCommitCosts(pid_, cc);
+    env_.audit->StageCommitCosts(pid_, cc);
   }
-  if (deps_.trace != nullptr) {
-    deps_.trace->Append(pid_, ftx_sm::EventKind::kCommit, -1, false, "", atomic_group);
+  if (env_.trace != nullptr) {
+    env_.trace->Append(pid_, ftx_sm::EventKind::kCommit, -1, false, "", atomic_group);
   }
   if (commit_hist_ != nullptr) {
     commit_hist_->Observe(cost.nanos());
   }
-  if (deps_.tracer != nullptr) {
+  if (env_.tracer != nullptr) {
     // The commit occupies the simulated interval just past what this process
     // has already accrued (the clock itself only advances between events).
     ftx::TimePoint base = Now() + (in_step_ ? step_cost_ : pending_overhead_);
-    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc",
+    env_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc",
                        coordinated ? "commit(2pc)" : "commit", base, base + cost);
   }
   protocol_->OnCommitted();
@@ -346,12 +351,12 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
 }
 
 void Runtime::AppendCoordinationEvent(ftx_sm::EventKind kind, int64_t message_id) {
-  if (deps_.trace != nullptr && mode_ == RuntimeMode::kRecoverable) {
+  if (env_.trace != nullptr && mode_ == RuntimeMode::kRecoverable) {
     // Coordination receives are recovery-system events, not application
     // non-determinism: the recovery system regenerates its own protocol
     // messages deterministically, so they are recorded as logged.
     bool logged = kind == ftx_sm::EventKind::kReceive;
-    deps_.trace->Append(pid_, kind, message_id, logged, "2pc");
+    env_.trace->Append(pid_, kind, message_id, logged, "2pc");
   }
 }
 
@@ -379,18 +384,18 @@ ftx::Duration Runtime::Recover() {
   ++stats_.rollbacks;
   ftx::Duration cost = costs_.recovery_fixed;
 
-  if (deps_.redo_log != nullptr) {
+  if (env_.redo_log != nullptr) {
     // DC-disk: the volatile segment is gone; rebuild it by replaying the
     // redo chain from disk. Charge a read per record plus transfer.
     segment_->ResetToZero();
     const ftx_store::DiskParameters* disk_params = nullptr;
-    auto* disk_store = dynamic_cast<ftx_store::DiskStore*>(deps_.store);
+    auto* disk_store = dynamic_cast<ftx_store::DiskStore*>(env_.store);
     if (disk_store != nullptr) {
       disk_params = &disk_store->disk()->parameters();
     }
     {
       FTX_PROF_SCOPE("recover.log_scan");
-      for (const ftx_store::RedoRecord& record : deps_.redo_log->records()) {
+      for (const ftx_store::RedoRecord& record : env_.redo_log->records()) {
         {
           FTX_PROF_SCOPE("recover.crc_validate");
           FTX_CHECK_MSG(record.ValidatePages(), "redo record failed CRC validation");
@@ -412,7 +417,7 @@ ftx::Duration Runtime::Recover() {
       segment_->Commit();
     }
     // Restore the capture point from the latest record's metadata.
-    const ftx_store::RedoRecord* latest = deps_.redo_log->Latest();
+    const ftx_store::RedoRecord* latest = env_.redo_log->Latest();
     if (latest != nullptr) {
       FTX_PROF_SCOPE("recover.meta_restore");
       size_t offset = 0;
@@ -440,9 +445,9 @@ ftx::Duration Runtime::Recover() {
   unflushed_log_bytes_ = 0;
   {
     FTX_PROF_SCOPE("recover.kernel_replay");
-    FTX_CHECK(deps_.kernel->ReconstructFor(pid_, committed_.kernel_records).ok());
+    FTX_CHECK(env_.kernel->ReconstructFor(pid_, committed_.kernel_records).ok());
   }
-  deps_.network->RequeueRetained(pid_);
+  env_.transport->RequeueRetained(pid_);
 
   // Volatile ranges were not part of the committed state: zero them and let
   // the application recompute (possibly avoiding re-corruption, §2.6).
@@ -475,11 +480,11 @@ ftx::Duration Runtime::Recover() {
   if (recovery_hist_ != nullptr) {
     recovery_hist_->Observe(cost.nanos());
   }
-  if (deps_.tracer != nullptr) {
-    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "recover", Now(), Now() + cost);
+  if (env_.tracer != nullptr) {
+    env_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "recover", Now(), Now() + cost);
   }
-  if (deps_.audit != nullptr) {
-    deps_.audit->OnRecovery(pid_, "recover", cost.nanos());
+  if (env_.audit != nullptr) {
+    env_.audit->OnRecovery(pid_, "recover", cost.nanos());
   }
   FTX_LOG(kInfo, "p%d recovered to step %lld (cost %s)", pid_,
           static_cast<long long>(step_count_), cost.ToString().c_str());
@@ -493,8 +498,8 @@ ftx::Duration Runtime::RestartFromScratch() {
   if (heap_ != nullptr) {
     heap_->Format();
   }
-  FTX_CHECK(deps_.kernel->ReconstructFor(pid_, 0).ok());
-  deps_.network->ReleaseAllDelivered(pid_);
+  FTX_CHECK(env_.kernel->ReconstructFor(pid_, 0).ok());
+  env_.transport->ReleaseAllDelivered(pid_);
   input_cursor_ = 0;
   step_count_ = 0;
   nd_log_.clear();
@@ -517,11 +522,11 @@ ftx::Duration Runtime::RestartFromScratch() {
   if (recovery_hist_ != nullptr) {
     recovery_hist_->Observe(cost.nanos());
   }
-  if (deps_.tracer != nullptr) {
-    deps_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "restart", Now(), Now() + cost);
+  if (env_.tracer != nullptr) {
+    env_.tracer->Span(pid_, ftx_obs::TraceLane::kRecovery, "dc", "restart", Now(), Now() + cost);
   }
-  if (deps_.audit != nullptr) {
-    deps_.audit->OnRecovery(pid_, "restart", cost.nanos());
+  if (env_.audit != nullptr) {
+    env_.audit->OnRecovery(pid_, "restart", cost.nanos());
   }
   FTX_LOG(kInfo, "p%d restarted from scratch (all committed work lost)", pid_);
   return cost;
@@ -532,7 +537,7 @@ ftx::Duration Runtime::RestartFromScratch() {
 ftx::TimePoint Runtime::GetTimeOfDay() {
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    return deps_.kernel->GetTimeOfDay(pid_);
+    return env_.kernel->GetTimeOfDay(pid_);
   }
   // Replay: a logged clock read is deterministic (full-logging protocols).
   if (InNdReplay() && nd_log_[nd_consumed_].kind == NdLogRecord::Kind::kTimeOfDay) {
@@ -546,7 +551,7 @@ ftx::TimePoint Runtime::GetTimeOfDay() {
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kTransientNd);
   Charge(costs_.syscall_service);
-  ftx::TimePoint result = deps_.kernel->GetTimeOfDay(pid_);
+  ftx::TimePoint result = env_.kernel->GetTimeOfDay(pid_);
   if (d.log_event) {
     NdLogRecord record;
     record.kind = NdLogRecord::Kind::kTimeOfDay;
@@ -622,12 +627,12 @@ void Runtime::Print(ftx::Bytes payload) {
   ++stats_.visible_events;
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    deps_.recorder->Record(pid_, Now(), std::move(payload));
+    env_.recorder->Record(pid_, Now(), std::move(payload));
     return;
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kVisible);
   Charge(costs_.syscall_service);
-  deps_.recorder->Record(pid_, Now(), std::move(payload));
+  env_.recorder->Record(pid_, Now(), std::move(payload));
   PostEvent(ftx_proto::AppEvent::kVisible, d, -1, false, "visible");
 }
 
@@ -635,7 +640,7 @@ void Runtime::Send(int dst, ftx::Bytes payload) {
   ++stats_.sends;
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    deps_.network->Send(pid_, dst, std::move(payload));
+    env_.transport->Send(pid_, dst, std::move(payload));
     return;
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kSend);
@@ -643,17 +648,17 @@ void Runtime::Send(int dst, ftx::Bytes payload) {
   if (dst >= 0 && dst < 64) {
     communicated_mask_ |= 1ULL << dst;
   }
-  int64_t message_id = deps_.network->Send(pid_, dst, std::move(payload));
+  int64_t message_id = env_.transport->Send(pid_, dst, std::move(payload));
   PostEvent(ftx_proto::AppEvent::kSend, d, message_id, false, "send");
 }
 
-std::optional<ftx_sim::Message> Runtime::TryReceive() {
+std::optional<ftx::env::Message> Runtime::TryReceive() {
   if (mode_ == RuntimeMode::kBaseline) {
-    std::optional<ftx_sim::Message> msg = deps_.network->Deliver(pid_);
+    std::optional<ftx::env::Message> msg = env_.transport->Deliver(pid_);
     if (msg.has_value()) {
       ++stats_.receives;
       Charge(costs_.syscall_service);
-      deps_.network->ReleaseAllDelivered(pid_);
+      env_.transport->ReleaseAllDelivered(pid_);
     }
     return msg;
   }
@@ -679,7 +684,7 @@ std::optional<ftx_sim::Message> Runtime::TryReceive() {
       return std::nullopt;
     }
   }
-  std::optional<ftx_sim::Message> msg = deps_.network->Deliver(pid_);
+  std::optional<ftx::env::Message> msg = env_.transport->Deliver(pid_);
   if (!msg.has_value()) {
     // A poll that finds nothing: whether the message had arrived yet is
     // scheduling-dependent, i.e. a transient ND event (select).
@@ -705,13 +710,13 @@ std::optional<ftx_sim::Message> Runtime::TryReceive() {
     record.message = *msg;
     AppendNdLog(std::move(record), d.log_async);
     // The log now owns redelivery of this message.
-    deps_.network->DropNewestRetained(pid_, msg->id);
+    env_.transport->DropNewestRetained(pid_, msg->id);
   }
   PostEvent(ftx_proto::AppEvent::kReceive, d, msg->id, logged, "recv");
   return msg;
 }
 
-const ftx_sim::Message* Runtime::PeekMessage() {
+const ftx::env::Message* Runtime::PeekMessage() {
   // During ND-log replay, the logged receive is what the next consuming
   // TryReceive returns; present it for inspection.
   if (mode_ != RuntimeMode::kBaseline && InNdReplay()) {
@@ -723,7 +728,7 @@ const ftx_sim::Message* Runtime::PeekMessage() {
       return nullptr;  // the logged poll found nothing; replay agrees
     }
   }
-  return deps_.network->PeekNext(pid_);
+  return env_.transport->PeekNext(pid_);
 }
 
 void Runtime::Compute(ftx::Duration work) {
@@ -746,11 +751,11 @@ void Runtime::Compute(ftx::Duration work) {
 ftx::Result<int> Runtime::Open(const std::string& path, bool writable) {
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    return deps_.kernel->Open(pid_, path, writable);
+    return env_.kernel->Open(pid_, path, writable);
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kFixedNd);
   Charge(costs_.syscall_service);
-  ftx::Result<int> result = deps_.kernel->Open(pid_, path, writable);
+  ftx::Result<int> result = env_.kernel->Open(pid_, path, writable);
   PostEvent(ftx_proto::AppEvent::kFixedNd, d, -1, false, "open");
   return result;
 }
@@ -758,11 +763,11 @@ ftx::Result<int> Runtime::Open(const std::string& path, bool writable) {
 ftx::Status Runtime::Close(int fd) {
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    return deps_.kernel->Close(pid_, fd);
+    return env_.kernel->Close(pid_, fd);
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kInternal);
   Charge(costs_.syscall_service);
-  ftx::Status status = deps_.kernel->Close(pid_, fd);
+  ftx::Status status = env_.kernel->Close(pid_, fd);
   PostEvent(ftx_proto::AppEvent::kInternal, d, -1, false, "close");
   return status;
 }
@@ -770,11 +775,11 @@ ftx::Status Runtime::Close(int fd) {
 ftx::Result<int64_t> Runtime::WriteFile(int fd, int64_t bytes) {
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    return deps_.kernel->Write(pid_, fd, bytes);
+    return env_.kernel->Write(pid_, fd, bytes);
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kFixedNd);
   Charge(costs_.syscall_service);
-  ftx::Result<int64_t> result = deps_.kernel->Write(pid_, fd, bytes);
+  ftx::Result<int64_t> result = env_.kernel->Write(pid_, fd, bytes);
   PostEvent(ftx_proto::AppEvent::kFixedNd, d, -1, false, "write");
   return result;
 }
@@ -782,11 +787,11 @@ ftx::Result<int64_t> Runtime::WriteFile(int fd, int64_t bytes) {
 ftx::Status Runtime::Bind(uint16_t port) {
   if (mode_ == RuntimeMode::kBaseline) {
     Charge(costs_.syscall_service);
-    return deps_.kernel->Bind(pid_, port);
+    return env_.kernel->Bind(pid_, port);
   }
   ftx_proto::CommitDecision d = PreEvent(ftx_proto::AppEvent::kInternal);
   Charge(costs_.syscall_service);
-  ftx::Status status = deps_.kernel->Bind(pid_, port);
+  ftx::Status status = env_.kernel->Bind(pid_, port);
   PostEvent(ftx_proto::AppEvent::kInternal, d, -1, false, "bind");
   return status;
 }
@@ -796,11 +801,11 @@ void Runtime::Crash(const std::string& reason) {
   if (crash_counter_ != nullptr) {
     crash_counter_->Increment();
   }
-  if (deps_.tracer != nullptr) {
-    deps_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "crash: " + reason, Now());
+  if (env_.tracer != nullptr) {
+    env_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "crash: " + reason, Now());
   }
-  if (mode_ == RuntimeMode::kRecoverable && deps_.trace != nullptr) {
-    deps_.trace->Append(pid_, ftx_sm::EventKind::kCrash, -1, false, reason);
+  if (mode_ == RuntimeMode::kRecoverable && env_.trace != nullptr) {
+    env_.trace->Append(pid_, ftx_sm::EventKind::kCrash, -1, false, reason);
   }
   alive_ = false;
   crashed_ = true;
@@ -814,18 +819,18 @@ void Runtime::MarkFaultActivation() {
   if (fault_counter_ != nullptr) {
     fault_counter_->Increment();
   }
-  if (deps_.tracer != nullptr) {
-    deps_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "fault-activation", Now());
+  if (env_.tracer != nullptr) {
+    env_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "fault-activation", Now());
   }
-  if (deps_.trace == nullptr || mode_ == RuntimeMode::kBaseline) {
+  if (env_.trace == nullptr || mode_ == RuntimeMode::kBaseline) {
     return;
   }
   // The activation of a bug is itself an (internal) event the process
   // executed; record it explicitly so the Lose-work window has a precise
   // start.
   ftx_sm::EventRef ref =
-      deps_.trace->Append(pid_, ftx_sm::EventKind::kInternal, -1, false, "fault-activation");
-  deps_.trace->MarkFaultActivation(ref);
+      env_.trace->Append(pid_, ftx_sm::EventKind::kInternal, -1, false, "fault-activation");
+  env_.trace->MarkFaultActivation(ref);
 }
 
 }  // namespace ftx_dc

@@ -28,13 +28,12 @@
 #include <vector>
 
 #include "src/checkpoint/app.h"
+#include "src/env/env.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
 #include "src/protocol/protocol.h"
 #include "src/recovery/output_recorder.h"
 #include "src/sim/kernel.h"
-#include "src/sim/network.h"
-#include "src/sim/simulator.h"
 #include "src/statemachine/trace.h"
 #include "src/storage/redo_log.h"
 #include "src/storage/stable_store.h"
@@ -86,44 +85,15 @@ struct RuntimeStats {
   ftx::Duration recovery_time;
 };
 
-// Everything a Runtime needs from the surrounding computation.
-struct RuntimeDeps {
-  ftx_sim::Simulator* sim = nullptr;
-  ftx_sim::Network* network = nullptr;
-  ftx_sim::KernelSim* kernel = nullptr;
-  ftx_sm::Trace* trace = nullptr;
-  ftx_rec::OutputRecorder* recorder = nullptr;
-  ftx_store::StableStore* store = nullptr;
-  // Non-null in DC-disk mode: commits append redo records here and recovery
-  // replays them.
-  ftx_store::RedoLog* redo_log = nullptr;
-  // Initiates a coordinated (2PC) commit across the computation; installed
-  // by the Computation runner. The scope narrows participation: everyone
-  // (CPV-2PC), ND-dirty processes (CBNDV-2PC), or the transitive
-  // communication closure (Coordinated Checkpointing).
-  std::function<void(ftx_proto::CoordinationScope scope)> coordinated_commit;
-  // Id of the most recently completed coordinated round (-1/0 = none).
-  // Visible events are stamped with it: rounds are serialized, so every
-  // commit of round g <= current truly precedes this visible in real time —
-  // the "atomic with" ordering the Save-work checker uses for 2PC.
-  std::function<int64_t()> latest_atomic_group;
-  // Optional observability sinks. When non-null, the runtime registers
-  // probes for its RuntimeStats fields under "p<pid>." (the registry reads
-  // the same memory stats() reports, so the two views cannot diverge) and
-  // records commit / recovery / crash activity on the simulated timeline.
-  ftx_obs::Registry* metrics = nullptr;
-  ftx_obs::Tracer* tracer = nullptr;
-  // Live causal audit (src/obs/causal/). When non-null the runtime reports
-  // protocol decisions, stages per-commit cost attribution just before the
-  // commit's trace event, and annotates recoveries. Strictly observational:
-  // no simulated quantity depends on it.
-  ftx_causal::CausalAudit* audit = nullptr;
-};
-
+// Everything a Runtime needs from the surrounding computation now arrives
+// through the backend-agnostic ftx::env::Environment (src/env/env.h): a
+// Clock, a Transport, the kernel, trace/recorder/store/redo_log, the 2PC
+// hooks, and the optional observability sinks. Construct one with
+// Environment::Builder, which validates required dependencies by name.
 class Runtime : public ProcessEnv {
  public:
   Runtime(int pid, int num_processes, App* app, std::unique_ptr<ftx_proto::Protocol> protocol,
-          RuntimeDeps deps, RuntimeMode mode, RuntimeCosts costs = {});
+          ftx::env::Environment env, RuntimeMode mode, RuntimeCosts costs = {});
 
   // --- lifecycle (driven by the Computation runner) ---
 
@@ -184,7 +154,7 @@ class Runtime : public ProcessEnv {
   // --- ProcessEnv ---
   int pid() const override { return pid_; }
   int num_processes() const override { return num_processes_; }
-  ftx::TimePoint Now() const override { return deps_.sim->Now(); }
+  ftx::TimePoint Now() const override { return env_.clock->Now(); }
   ftx_vista::Segment& segment() override { return *segment_; }
   ftx_vista::SegmentHeap& heap() override { return *heap_; }
   ftx::TimePoint GetTimeOfDay() override;
@@ -192,8 +162,8 @@ class Runtime : public ProcessEnv {
   std::optional<ftx::Bytes> ReadUserInput() override;
   void Print(ftx::Bytes payload) override;
   void Send(int dst, ftx::Bytes payload) override;
-  std::optional<ftx_sim::Message> TryReceive() override;
-  const ftx_sim::Message* PeekMessage() override;
+  std::optional<ftx::env::Message> TryReceive() override;
+  const ftx::env::Message* PeekMessage() override;
   void Compute(ftx::Duration work) override;
   ftx::Result<int> Open(const std::string& path, bool writable) override;
   ftx::Status Close(int fd) override;
@@ -211,8 +181,8 @@ class Runtime : public ProcessEnv {
   struct NdLogRecord {
     enum class Kind : uint8_t { kUserInput, kReceive, kTimeOfDay, kEmptyPoll, kSignal };
     Kind kind = Kind::kUserInput;
-    ftx::Bytes payload;         // input bytes
-    ftx_sim::Message message;   // for receives
+    ftx::Bytes payload;          // input bytes
+    ftx::env::Message message;   // for receives
     ftx::TimePoint time_value;  // for gettimeofday
 
     int64_t CostBytes() const {
@@ -270,7 +240,7 @@ class Runtime : public ProcessEnv {
   ftx::Duration DoCommit(bool coordinated, int64_t atomic_group = -1);
 
   // Registers "p<pid>.*" probes over stats_ and creates the owned
-  // instruments below. Called from the constructor when deps_.metrics is
+  // instruments below. Called from the constructor when env_.metrics is
   // set.
   void BindMetrics();
 
@@ -278,7 +248,7 @@ class Runtime : public ProcessEnv {
   int num_processes_;
   App* app_;
   std::unique_ptr<ftx_proto::Protocol> protocol_;
-  RuntimeDeps deps_;
+  ftx::env::Environment env_;
   RuntimeMode mode_;
   RuntimeCosts costs_;
 

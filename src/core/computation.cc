@@ -15,7 +15,11 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
 
   sim_ = std::make_unique<ftx_sim::Simulator>(options_.seed);
   network_ = std::make_unique<ftx_sim::Network>(sim_.get(), n, options_.network);
-  kernel_ = std::make_unique<ftx_sim::KernelSim>(sim_.get(), n, options_.kernel_limits);
+  // The runtimes consume the simulator/network only through the env::sim
+  // adapters (pure forwarding — the Computation runner IS the sim backend).
+  env_clock_ = std::make_unique<ftx::env::SimClock>(sim_.get());
+  env_transport_ = std::make_unique<ftx::env::SimTransport>(network_.get());
+  kernel_ = std::make_unique<ftx_sim::KernelSim>(env_clock_.get(), n, options_.kernel_limits);
   trace_ = std::make_unique<ftx_sm::Trace>(n);
 
   tracer_.SetEnabled(options_.enable_tracing || !options_.trace_path.empty());
@@ -66,21 +70,26 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
       redo_logs_.push_back(nullptr);
     }
 
-    ftx_dc::RuntimeDeps deps;
-    deps.sim = sim_.get();
-    deps.network = network_.get();
-    deps.kernel = kernel_.get();
-    deps.trace = recoverable ? trace_.get() : nullptr;
-    deps.recorder = &recorder_;
-    deps.store = stores_.back().get();
-    deps.redo_log = redo_log;
-    deps.coordinated_commit = [this, pid](ftx_proto::CoordinationScope scope) {
-      CoordinatedCommit(pid, scope);
-    };
-    deps.latest_atomic_group = [this]() { return next_atomic_group_ - 1; };
-    deps.metrics = &metrics_;
-    deps.tracer = &tracer_;
-    deps.audit = audit_.get();
+    ftx::env::Environment::Builder env_builder;
+    env_builder.WithClock(env_clock_.get())
+        .WithTransport(env_transport_.get())
+        .WithKernel(kernel_.get())
+        .WithRecorder(&recorder_)
+        .WithStore(stores_.back().get())
+        .WithRedoLog(redo_log)
+        .WithCoordinatedCommit(
+            [this, pid](ftx_proto::CoordinationScope scope) { CoordinatedCommit(pid, scope); })
+        .WithLatestAtomicGroup([this]() { return next_atomic_group_ - 1; })
+        .WithMetrics(&metrics_)
+        .WithTracer(&tracer_)
+        .WithAudit(audit_.get());
+    ftx::env::Environment env;
+    if (recoverable) {
+      env_builder.WithTrace(trace_.get());
+      env = env_builder.BuildRecoverable();
+    } else {
+      env = env_builder.Build();
+    }
     const std::string prefix = "p" + std::to_string(pid) + ".";
     if (disks_.back() != nullptr) {
       disks_.back()->BindMetrics(&metrics_, prefix);
@@ -94,9 +103,9 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
       protocol = options_.protocol_factory ? options_.protocol_factory()
                                            : ftx_proto::MakeProtocolByName(options_.protocol);
     }
-    runtimes_.push_back(std::make_unique<ftx_dc::Runtime>(pid, n, apps_[static_cast<size_t>(pid)].get(),
-                                                          std::move(protocol), deps, options_.mode,
-                                                          options_.costs));
+    runtimes_.push_back(std::make_unique<ftx_dc::Runtime>(
+        pid, n, apps_[static_cast<size_t>(pid)].get(), std::move(protocol), std::move(env),
+        options_.mode, options_.costs));
     network_->SetArrivalCallback(pid, [this, pid]() { WakeIfBlocked(pid); });
   }
 }

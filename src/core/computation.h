@@ -20,6 +20,7 @@
 
 #include "src/checkpoint/app.h"
 #include "src/checkpoint/runtime.h"
+#include "src/env/sim_env.h"
 #include "src/obs/causal/audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
@@ -172,6 +173,9 @@ class Computation {
 
   std::unique_ptr<ftx_sim::Simulator> sim_;
   std::unique_ptr<ftx_sim::Network> network_;
+  // env::sim adapters the runtimes consume the simulator/network through.
+  std::unique_ptr<ftx::env::SimClock> env_clock_;
+  std::unique_ptr<ftx::env::SimTransport> env_transport_;
   std::unique_ptr<ftx_sim::KernelSim> kernel_;
   std::unique_ptr<ftx_sm::Trace> trace_;
   ftx_rec::OutputRecorder recorder_;

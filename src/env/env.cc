@@ -1,0 +1,91 @@
+#include "src/env/env.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace ftx::env {
+
+Environment::Builder& Environment::Builder::WithClock(Clock* clock) {
+  env_.clock = clock;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithTransport(Transport* transport) {
+  env_.transport = transport;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithKernel(ftx_sim::KernelSim* kernel) {
+  env_.kernel = kernel;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithTrace(ftx_sm::Trace* trace) {
+  env_.trace = trace;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithRecorder(ftx_rec::OutputRecorder* recorder) {
+  env_.recorder = recorder;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithStore(ftx_store::StableStore* store) {
+  env_.store = store;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithRedoLog(ftx_store::RedoLog* redo_log) {
+  env_.redo_log = redo_log;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithCoordinatedCommit(
+    std::function<void(ftx_proto::CoordinationScope)> fn) {
+  env_.coordinated_commit = std::move(fn);
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithLatestAtomicGroup(std::function<int64_t()> fn) {
+  env_.latest_atomic_group = std::move(fn);
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithMetrics(ftx_obs::Registry* metrics) {
+  env_.metrics = metrics;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithTracer(ftx_obs::Tracer* tracer) {
+  env_.tracer = tracer;
+  return *this;
+}
+
+Environment::Builder& Environment::Builder::WithAudit(ftx_causal::CausalAudit* audit) {
+  env_.audit = audit;
+  return *this;
+}
+
+namespace {
+void RequireField(bool present, const char* field) {
+  FTX_CHECK_MSG(present, "ftx::env::Environment: missing required dependency '%s'", field);
+}
+}  // namespace
+
+Environment Environment::Builder::Build() const {
+  RequireField(env_.clock != nullptr, "clock");
+  RequireField(env_.transport != nullptr, "transport");
+  RequireField(env_.kernel != nullptr, "kernel");
+  RequireField(env_.recorder != nullptr, "recorder");
+  return env_;
+}
+
+Environment Environment::Builder::BuildRecoverable() const {
+  Environment env = Build();
+  RequireField(env.trace != nullptr, "trace");
+  RequireField(env.store != nullptr, "store");
+  return env;
+}
+
+}  // namespace ftx::env

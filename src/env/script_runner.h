@@ -1,0 +1,83 @@
+// Cross-backend scripted execution: the backend-equivalence harness.
+//
+// The same seeded event script (ftx_sm::MakeRandomScript, optionally with
+// injected crash events) is executed on two substrates — the discrete-event
+// simulator through the env::sim adapters, and real std::threads through
+// env::threads — driving each backend's Transport / StableMedium / Clock for
+// real: sends and receives move actual payloads through the fabric, every
+// commit appends + syncs a framed record to the process's stable medium, and
+// a crash arms the kill switch mid-commit (the torn-commit window), drops
+// the unsynced buffer, then recovers by reading back the durable record
+// count and re-delivering the retained messages in order (the paper's
+// redoable-receive property, verified against what was originally
+// delivered).
+//
+// Each run produces a DecisionLog: the canonical rendering of every protocol
+// consultation, commit, coordinated round, and rollback, in global script
+// order. Acceptance for the env::threads backend is byte-equality of the two
+// logs plus zero transport/durability mismatches on either side — the
+// simulator stays the oracle, the threads backend must reproduce its
+// decision sequence exactly.
+//
+// Deliberate scope limit: a crash rolls the protocol back to its last
+// committed state but the script is not re-executed from there (the
+// decision sequence models first execution + rollback, not replay); the
+// full replay path is exercised end-to-end by the Computation runner.
+
+#ifndef FTX_SRC_ENV_SCRIPT_RUNNER_H_
+#define FTX_SRC_ENV_SCRIPT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/statemachine/random_model.h"
+
+namespace ftx::env {
+
+struct ScriptRunOptions {
+  int num_processes = 3;
+  std::string protocol = "cpvs";
+  uint64_t sim_seed = 1;  // seed of the oracle's simulator instance
+};
+
+// Canonical record of one scripted run. Lines are appended in global script
+// order; Canonical() is the byte-comparable rendering.
+struct DecisionLog {
+  std::vector<std::string> lines;
+  int64_t commits = 0;
+  int64_t rollbacks = 0;
+  int64_t coordinated_rounds = 0;
+  int64_t logged_events = 0;
+  // Deliveries whose id/payload did not match the script pairing, plus
+  // post-crash redeliveries that differed from the original delivery.
+  int64_t transport_mismatches = 0;
+  // Recoveries where the durable record count != the commits performed.
+  int64_t durable_mismatches = 0;
+
+  std::string Canonical() const;
+  uint32_t Crc() const;
+  bool clean() const { return transport_mismatches == 0 && durable_mismatches == 0; }
+};
+
+// Inserts `num_crashes` kCrash events into a copy of `script` at
+// seed-deterministic positions (never before the first event).
+std::vector<ftx_sm::ScriptedEvent> InjectCrashes(std::vector<ftx_sm::ScriptedEvent> script,
+                                                 int num_crashes, uint64_t seed,
+                                                 int num_processes);
+
+// Executes the script on the simulator backend (SimClock / SimTransport over
+// a private Simulator+Network, MemMedium per process), inline on the calling
+// thread. Pure function of (script, options) — safe to shard across jobs.
+DecisionLog RunScriptOnSim(const std::vector<ftx_sm::ScriptedEvent>& script,
+                           const ScriptRunOptions& options);
+
+// Executes the script on the threads backend: one std::thread per process
+// (RealClock / ChannelTransport / FileMedium), each executing its own
+// events under a global turn discipline that enforces script order.
+DecisionLog RunScriptOnThreads(const std::vector<ftx_sm::ScriptedEvent>& script,
+                               const ScriptRunOptions& options);
+
+}  // namespace ftx::env
+
+#endif  // FTX_SRC_ENV_SCRIPT_RUNNER_H_

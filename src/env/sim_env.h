@@ -1,0 +1,91 @@
+// env::sim — adapters binding the ftx::env seam to the discrete-event
+// simulator. Pure forwarding: no state of its own, no reordering, no extra
+// RNG draws. Routing the runtime through these adapters leaves every
+// simulated quantity (goldens, torture states, causal-audit reports)
+// byte-identical, which is what keeps the simulator usable as the
+// deterministic oracle for other backends.
+
+#ifndef FTX_SRC_ENV_SIM_ENV_H_
+#define FTX_SRC_ENV_SIM_ENV_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "src/env/env.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace ftx::env {
+
+// Clock over the simulator: Now is simulated time, Charge is a no-op (the
+// scheduling loop charges cost by scheduling the next step later), and
+// NextNoise draws from the simulator's single RNG stream — the exact draw
+// KernelSim::GetTimeOfDay used to make directly.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(ftx_sim::Simulator* sim) : sim_(sim) {}
+
+  ftx::TimePoint Now() const override { return sim_->Now(); }
+  void Charge(ftx::Duration work) override { (void)work; }
+  uint64_t NextNoise(uint64_t bound) override { return sim_->rng().NextBounded(bound); }
+
+ private:
+  ftx_sim::Simulator* sim_;
+};
+
+// Transport over the simulated network: every method forwards verbatim.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(ftx_sim::Network* network) : network_(network) {}
+
+  int num_processes() const override { return network_->num_processes(); }
+  int64_t Send(int src, int dst, ftx::Bytes payload) override {
+    return network_->Send(src, dst, std::move(payload));
+  }
+  bool HasPending(int dst) const override { return network_->HasPending(dst); }
+  std::optional<Message> Deliver(int dst) override { return network_->Deliver(dst); }
+  const Message* PeekNext(int dst) const override { return network_->PeekNext(dst); }
+  void ReleaseAllDelivered(int dst) override { network_->ReleaseAllDelivered(dst); }
+  void DropNewestRetained(int dst, int64_t message_id) override {
+    network_->DropNewestRetained(dst, message_id);
+  }
+  void RequeueRetained(int dst) override { network_->RequeueRetained(dst); }
+  void SetArrivalCallback(int dst, std::function<void()> callback) override {
+    network_->SetArrivalCallback(dst, std::move(callback));
+  }
+
+ private:
+  ftx_sim::Network* network_;
+};
+
+// In-memory stable medium with the volatile/durable boundary made explicit.
+// Backend-agnostic (no simulator dependency) — it is the medium the sim side
+// of cross-backend runs uses, and a convenient test double.
+class MemMedium final : public StableMedium {
+ public:
+  std::string_view name() const override { return "mem"; }
+  void Append(const void* data, size_t size) override {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    buffered_.insert(buffered_.end(), bytes, bytes + size);
+  }
+  void Sync() override {
+    durable_.insert(durable_.end(), buffered_.begin(), buffered_.end());
+    buffered_.clear();
+  }
+  void CrashDropBuffered() override { buffered_.clear(); }
+  int64_t durable_bytes() const override { return static_cast<int64_t>(durable_.size()); }
+  void ReadDurable(ftx::Bytes* out) const override { *out = durable_; }
+  void Reset() override {
+    buffered_.clear();
+    durable_.clear();
+  }
+
+ private:
+  ftx::Bytes buffered_;
+  ftx::Bytes durable_;
+};
+
+}  // namespace ftx::env
+
+#endif  // FTX_SRC_ENV_SIM_ENV_H_

@@ -6,9 +6,9 @@
 
 namespace ftx_sim {
 
-KernelSim::KernelSim(Simulator* sim, int num_processes, KernelLimits limits)
-    : sim_(sim), limits_(limits) {
-  FTX_CHECK(sim != nullptr);
+KernelSim::KernelSim(ftx::env::Clock* clock, int num_processes, KernelLimits limits)
+    : clock_(clock), limits_(limits) {
+  FTX_CHECK(clock != nullptr);
   FTX_CHECK_GT(num_processes, 0);
   states_.resize(static_cast<size_t>(num_processes));
   records_.resize(static_cast<size_t>(num_processes));
@@ -181,10 +181,11 @@ ftx::TimePoint KernelSim::GetTimeOfDay(int pid) {
   (void)pid;
   ++syscalls_;
   // The perturbation models clock-read granularity; more importantly it is
-  // drawn from the simulator's RNG stream, so a reexecuting process sees a
-  // different value — the definition of a transient ND event.
-  int64_t noise = static_cast<int64_t>(sim_->rng().NextBounded(1000));
-  return sim_->Now() + ftx::Nanoseconds(noise);
+  // drawn from the clock's noise stream (the simulator's RNG under env::sim),
+  // so a reexecuting process sees a different value — the definition of a
+  // transient ND event.
+  int64_t noise = static_cast<int64_t>(clock_->NextNoise(1000));
+  return clock_->Now() + ftx::Nanoseconds(noise);
 }
 
 ftx::Status KernelSim::ReconstructFor(int pid, size_t record_count) {

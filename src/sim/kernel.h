@@ -26,8 +26,8 @@
 
 #include "src/common/status.h"
 #include "src/common/sim_time.h"
+#include "src/env/env.h"
 #include "src/obs/metrics.h"
-#include "src/sim/simulator.h"
 
 namespace ftx_sim {
 
@@ -69,7 +69,9 @@ struct KernelLimits {
 
 class KernelSim {
  public:
-  KernelSim(Simulator* sim, int num_processes, KernelLimits limits = {});
+  // The kernel is backend-agnostic: it only needs a clock (time-of-day and
+  // its transient-ND perturbation source), not the simulator itself.
+  KernelSim(ftx::env::Clock* clock, int num_processes, KernelLimits limits = {});
 
   // --- syscalls (all record into the process's replay log) ---
 
@@ -108,7 +110,7 @@ class KernelSim {
   ftx::Status Apply(int pid, const SyscallRecord& record, int* out_fd, int64_t* out_written);
   KernelState& MutableStateOf(int pid);
 
-  Simulator* sim_;
+  ftx::env::Clock* clock_;
   KernelLimits limits_;
   int64_t syscalls_ = 0;
   int64_t reconstructions_ = 0;

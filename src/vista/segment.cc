@@ -137,15 +137,6 @@ void Segment::ResetToZero() {
   ClearDirtyTracking();
 }
 
-std::vector<std::pair<int64_t, ftx::Bytes>> Segment::DirtyPages() const {
-  std::vector<std::pair<int64_t, ftx::Bytes>> pages;
-  pages.reserve(persisted_dirty_);
-  ForEachPersistedDirtyPage([&](int64_t offset, const uint8_t* image, size_t size) {
-    pages.emplace_back(offset, ftx::Bytes(image, image + size));
-  });
-  return pages;
-}
-
 void Segment::MarkVolatile(int64_t offset, int64_t size) {
   FTX_CHECK_GE(offset, 0);
   FTX_CHECK_GT(size, 0);

@@ -167,11 +167,6 @@ class Segment {
     }
   }
 
-  // Compatibility wrapper over ForEachPersistedDirtyPage: copies of the
-  // currently dirty pages (offset, image). Tests and tools only — the
-  // commit path serializes via the visitor without this intermediate copy.
-  std::vector<std::pair<int64_t, ftx::Bytes>> DirtyPages() const;
-
   // Overwrites a page image directly (used when applying a redo record
   // during DC-disk recovery). Does not log undo.
   void InstallPage(int64_t offset, const uint8_t* image, size_t size);

@@ -21,7 +21,7 @@ TEST(BenchUsage, GeneratedTextCoversEveryFlag) {
   // doc edited without its flag) fails here.
   for (const char* needle : {"--full", "--scale N", "--jobs N", "--seed S", "--json PATH",
                              "--trace PATH", "--audit", "--log-level LEVEL", "--repeat N",
-                             "--prof PATH"}) {
+                             "--prof PATH", "--backend NAME"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << "missing from usage: " << needle;
   }
   EXPECT_NE(usage.find("live causal audit"), std::string::npos);
@@ -32,7 +32,7 @@ TEST(BenchUsage, ParseFillsOptionsFromArgv) {
   const char* argv[] = {"bench",  "--full", "--scale",     "40",   "--jobs", "3",
                         "--seed", "99",     "--json",      "r.json", "--trace", "t.json",
                         "--audit", "--log-level", "debug", "--repeat", "5",
-                        "--prof", "p.collapsed"};
+                        "--prof", "p.collapsed", "--backend", "threads"};
   ftx_bench::BenchOptions options =
       ftx_bench::ParseBenchOptions(static_cast<int>(std::size(argv)),
                                    const_cast<char**>(argv));
@@ -46,6 +46,7 @@ TEST(BenchUsage, ParseFillsOptionsFromArgv) {
   EXPECT_EQ(options.log_level, "debug");
   EXPECT_EQ(options.repeat, 5);
   EXPECT_EQ(options.prof_path, "p.collapsed");
+  EXPECT_EQ(options.backend, "threads");
   EXPECT_EQ(ftx::GetLogLevel(), ftx::LogLevel::kDebug);
   ftx::SetLogLevel(ftx::LogLevel::kWarning);  // restore the default
 }
@@ -64,6 +65,7 @@ TEST(BenchUsage, DefaultsLeaveEverythingOff) {
   EXPECT_TRUE(options.log_level.empty());
   EXPECT_EQ(options.repeat, 1);
   EXPECT_TRUE(options.prof_path.empty());
+  EXPECT_TRUE(options.backend.empty());
 }
 
 TEST(LogLevelParse, AcceptsNamesAliasesAndDigits) {

@@ -83,7 +83,10 @@ TEST(Segment, OpenForWriteAllowsInPlaceMutation) {
 TEST(Segment, DirtyPagesSnapshotForRedo) {
   Segment segment(32 * 1024, 4096);
   segment.WriteValue<int32_t>(4096, 42);
-  auto pages = segment.DirtyPages();
+  std::vector<std::pair<int64_t, ftx::Bytes>> pages;
+  segment.ForEachPersistedDirtyPage([&](int64_t offset, const uint8_t* image, size_t size) {
+    pages.emplace_back(offset, ftx::Bytes(image, image + size));
+  });
   ASSERT_EQ(pages.size(), 1u);
   EXPECT_EQ(pages[0].first, 4096);
   EXPECT_EQ(pages[0].second.size(), 4096u);
