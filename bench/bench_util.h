@@ -39,13 +39,22 @@ struct Fig8Cell {
 
 inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& protocol, int scale,
                             uint64_t seed, ftx::TrialPool* pool,
-                            const std::string& trace_path = "", bool audit = false) {
+                            const std::string& trace_path = "", bool audit = false,
+                            int64_t batch = 0) {
   ftx::RunSpec spec;
   spec.workload = workload;
   spec.protocol = protocol;
   spec.scale = scale;
   spec.seed = seed;
   spec.audit = audit;
+  if (batch > 1) {
+    // --batch: recoverable runs stage commits through the group-commit
+    // pipeline (whole windows persist under one sync pair on DC-disk).
+    spec.tweak_options = [batch](ftx::ComputationOptions* o) {
+      o->group_commit.enabled = true;
+      o->group_commit.max_records = batch;
+    };
+  }
 
   spec.store = ftx::StoreKind::kRio;
   spec.trace_path = trace_path;  // only the recoverable rio run writes it
@@ -72,11 +81,15 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
 // The Fig. 8 results row shared by all four workload benches, carrying the
 // rio recoverable run's registry snapshot under "metrics".
 inline ftx_obs::Json Fig8RowJson(const std::string& workload, const std::string& protocol,
-                                 int scale, const Fig8Cell& cell) {
+                                 int scale, const Fig8Cell& cell, int64_t batch = 0) {
   ftx_obs::Json row = ftx_obs::Json::Object();
   row.Set("workload", workload);
   row.Set("protocol", protocol);
   row.Set("scale", scale);
+  if (batch > 1) {
+    // Only batched rows carry the field: unbatched goldens stay byte-stable.
+    row.Set("batch", batch);
+  }
   row.Set("checkpoints", cell.checkpoints);
   row.Set("checkpoints_per_second", cell.ckps_per_sec);
   row.Set("rio_overhead_pct", cell.rio_overhead_pct);
@@ -114,8 +127,9 @@ inline std::string Fig8Header(const char* figure, const char* workload, int scal
 inline void AddFig8Row(Suite& suite, const std::string& workload, const std::string& protocol,
                        int scale, uint64_t seed, bool fps_mode) {
   suite.AddRow([workload, protocol, scale, seed, fps_mode](RowContext& ctx) {
+    const int64_t batch = ctx.options->batch;
     Fig8Cell cell = RunFig8Cell(workload, protocol, scale, ctx.SeedOr(seed), ctx.pool,
-                                ctx.trace_path, ctx.options->audit);
+                                ctx.trace_path, ctx.options->audit, batch);
     RowResult result;
     if (fps_mode) {
       result.console = Sprintf("%-12s %10.0f %11.1f fps %11.1f fps\n", protocol.c_str(),
@@ -125,7 +139,7 @@ inline void AddFig8Row(Suite& suite, const std::string& workload, const std::str
                                static_cast<long long>(cell.checkpoints), cell.rio_overhead_pct,
                                cell.disk_overhead_pct);
     }
-    result.json.push_back(Fig8RowJson(workload, protocol, scale, cell));
+    result.json.push_back(Fig8RowJson(workload, protocol, scale, cell, batch));
     return result;
   });
 }

@@ -52,6 +52,10 @@ constexpr FlagSpec kBenchFlags[] = {
        }
        options->backend = value;
      }},
+    {"--batch", "N", "group-commit window size for DC-disk runs (records per sync; 0 = off)",
+     [](BenchOptions* options, const char* value) {
+       options->batch = std::strtoll(value, nullptr, 10);
+     }},
     {"--log-level", "LEVEL", "error|warning|info|debug (default warning)",
      [](BenchOptions* options, const char* value) {
        ftx::LogLevel level;

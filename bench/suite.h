@@ -52,6 +52,8 @@ namespace ftx_bench {
 //   --backend B    execution backend for benches that support the ftx::env
 //                  seam: sim | threads (default: the bench's own choice —
 //                  backend_equiv runs both and byte-compares)
+//   --batch N      group-commit window size for DC-disk runs (records per
+//                  sync window; 0 or 1 = the one-sync-pair-per-commit path)
 //   --log-level L  error|warning|info|debug (default warning)
 // Unknown flags, missing values, and bad --log-level names print the usage
 // table and exit 2.
@@ -66,6 +68,7 @@ struct BenchOptions {
   int repeat = 1;          // wall-clock repetitions (clamped to >= 1)
   std::string prof_path;   // collapsed-stack profile output; empty = prof off
   std::string backend;    // "sim" | "threads"; empty = the bench's default
+  int64_t batch = 0;      // group-commit window size; <= 1 = batching off
   std::string log_level;  // as given; applied via ftx::SetLogLevel at parse
 };
 

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   ftx_bench::Suite suite("torture_commit", options);
   suite.SetMeta("mode", options.full_scale ? "full" : "smoke");
   suite.SetMeta("seed", 29);
+  suite.SetMeta("batch", options.batch > 1 ? options.batch : 1);
 
   suite.Text(
       "================================================================\n"
@@ -72,6 +73,16 @@ int main(int argc, char** argv) {
       }
 
       spec.audit = ctx.options->audit;
+      // --batch N > 1: torture the group-commit pipeline instead of the
+      // one-sync-pair-per-commit path (batched window shapes end to end).
+      // CPVS commits right before every visible/send event, which the
+      // pipeline also flushes on, so its windows stay singletons; CAND
+      // commits after each ND event and accumulates genuine multi-record
+      // windows between output flushes — the shapes worth torturing.
+      spec.batch_records = ctx.options->batch > 1 ? ctx.options->batch : 1;
+      if (spec.batch_records > 1) {
+        spec.protocol = "cand";
+      }
 
       ftx_torture::TortureReport report = ftx_torture::ExploreCommitPath(spec, ctx.pool);
       total_violations.fetch_add(report.violations + report.audit_violations,

@@ -49,14 +49,15 @@ REQUIRED_ROW_FIELDS = {
     "ablation_protocol_faults": ["protocol", "crashes", "violation_fraction"],
     "micro_commit_hotpath": ["benchmark", "real_time_ns", "cpu_time_ns",
                              "iterations"],
-    "torture_commit": ["workload", "protocol", "scale", "commits",
+    "torture_commit": ["workload", "protocol", "scale", "batch", "commits",
                        "crash_states", "prefix_states", "torn_states",
                        "reorder_states", "survivor_committed",
                        "survivor_inflight", "survivor_none", "replays",
                        "replays_consistent", "violations", "ok"],
     "backend_equiv": ["workload", "protocol", "backend", "processes", "events",
-                      "crashes", "commits", "rollbacks", "coordinated_rounds",
-                      "decisions", "decision_crc", "transport_mismatches",
+                      "crashes", "batch", "commits", "window_syncs",
+                      "rollbacks", "coordinated_rounds", "decisions",
+                      "decision_crc", "transport_mismatches",
                       "durable_mismatches", "equal", "mismatch_index", "ok"],
     "recovery_profile": ["section", "workload", "protocol", "store", "scale",
                          "crash_fraction", "repeats", "ok", "violations",

@@ -7,6 +7,7 @@
 #include "src/common/log.h"
 #include "src/obs/causal/audit.h"
 #include "src/obs/prof/prof.h"
+#include "src/storage/commit_pipeline.h"
 
 namespace ftx_dc {
 namespace {
@@ -114,6 +115,9 @@ void Runtime::Initialize() {
   // recoverable and baseline versions start from a settled initial state).
   if (mode_ == RuntimeMode::kRecoverable) {
     DoCommit(/*coordinated=*/false);
+    // "The initial state of any application is always committed" — durably:
+    // checkpoint #0 never waits in an open group-commit window.
+    FlushCommitWindow();
   } else {
     segment_->Commit();
   }
@@ -131,6 +135,10 @@ StepOutcome Runtime::RunStep(ftx::Duration* cost_out) {
   StepOutcome outcome = app_->Step(*this);
   if (alive_) {
     FlushPendingCommit();
+    if (outcome.status == StepOutcome::Status::kDone) {
+      // Clean shutdown: the final commits must not ride an open window.
+      Charge(FlushCommitWindow());
+    }
   }
   in_step_ = false;
   if (outcome.status == StepOutcome::Status::kDone) {
@@ -148,6 +156,9 @@ void Runtime::Kill() {
   if (env_.tracer != nullptr) {
     env_.tracer->Instant(pid_, ftx_obs::TraceLane::kRecovery, "fault", "stop-failure", Now());
   }
+  // Staged group-commit records die with the process: they were never
+  // durable and never reported committed.
+  DropStagedCommits();
   alive_ = false;
 }
 
@@ -193,6 +204,12 @@ ftx_proto::CommitDecision Runtime::PreEvent(ftx_proto::AppEvent event) {
     } else {
       Charge(DoCommit(/*coordinated=*/false));
     }
+  }
+  if (event == ftx_proto::AppEvent::kVisible || event == ftx_proto::AppEvent::kSend) {
+    // Output commit: anything about to escape the process (visible output,
+    // a message another process may act on) must find every staged
+    // group-commit window durable first.
+    Charge(FlushCommitWindow());
   }
   Charge(costs_.event_intercept);
   return decision;
@@ -284,6 +301,53 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
       ftx::AppendValue(&record.metadata, meta);
     }
     payload_bytes = record.PayloadBytes() + 64;
+    if (GroupCommitActive()) {
+      // Group commit: stage the record into the open window instead of
+      // syncing it now. The window's single sync pair is paid at flush —
+      // policy trip, ND-visible/send event, coordinated round, or clean
+      // shutdown — and nothing is *reported* committed (trace event, audit
+      // breakdown, message release) until then, so Save-work is untouched.
+      bool must_flush = false;
+      {
+        FTX_PROF_SCOPE("commit.stage");
+        must_flush = env_.commit_pipeline->Stage(std::move(record));
+      }
+      StagedCommitMeta sm;
+      sm.coordinated = coordinated;
+      sm.atomic_group = atomic_group;
+      sm.pages = pages;
+      sm.payload_bytes = payload_bytes;
+      sm.fixed_cost = fixed_cost;
+      sm.capture_cost = before_image_cost;
+      sm.reprotect_cost = reprotect_cost;
+      sm.begin_ns = (Now() + (in_step_ ? step_cost_ : pending_overhead_)).nanos();
+      staged_meta_.push_back(sm);
+
+      committed_ = meta;
+      {
+        FTX_PROF_SCOPE("commit.reprotect");
+        segment_->Commit();
+      }
+      communicated_mask_ = 0;  // dependencies up to here ride this window
+      ++stats_.commits;
+      if (coordinated) {
+        ++stats_.coordinated_commits;
+      }
+      stats_.commit_time += cost;  // capture portion; the window adds at flush
+      stats_.pages_committed += pages;
+      if (env_.tracer != nullptr) {
+        ftx::TimePoint base = Now() + (in_step_ ? step_cost_ : pending_overhead_);
+        env_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc", "commit(stage)", base,
+                           base + cost);
+      }
+      protocol_->OnCommitted();
+      if (must_flush || coordinated) {
+        // Coordinated rounds externalize through protocol messages, so a
+        // 2PC commit must be durable before the round reports completion.
+        cost += FlushCommitWindow();
+      }
+      return cost;
+    }
     persist_cost = env_.store->PersistCost(payload_bytes);
     cost += persist_cost;
     stats_.bytes_persisted += payload_bytes;
@@ -350,6 +414,81 @@ ftx::Duration Runtime::DoCommit(bool coordinated, int64_t atomic_group) {
   return cost;
 }
 
+bool Runtime::GroupCommitActive() const {
+  return env_.commit_pipeline != nullptr && env_.commit_pipeline->policy().enabled &&
+         env_.redo_log != nullptr && mode_ == RuntimeMode::kRecoverable;
+}
+
+ftx::Duration Runtime::FlushCommitWindow() {
+  if (!GroupCommitActive() || env_.commit_pipeline->empty()) {
+    return ftx::Duration();
+  }
+  FTX_PROF_SCOPE("commit.window_flush");
+  const int64_t records = env_.commit_pipeline->staged_records();
+  FTX_CHECK_EQ(records, static_cast<int64_t>(staged_meta_.size()));
+  int64_t window_bytes = 0;
+  for (const StagedCommitMeta& sm : staged_meta_) {
+    window_bytes += sm.payload_bytes;
+  }
+  {
+    FTX_PROF_SCOPE("commit.persist");
+    env_.commit_pipeline->Flush();
+  }
+  const ftx::Duration window_cost = env_.store->WindowPersistCost(records, window_bytes);
+  // Overlap credit: a pipelined implementation captures + CRCs record N+1
+  // while record N's window I/O is in flight. The capture cost of records
+  // 2..N was already charged at their stage time; hand it back here, capped
+  // at the window share the earlier records' I/O occupies (a singleton
+  // window gets no credit — there is nothing to overlap with).
+  ftx::Duration credit;
+  for (size_t i = 1; i < staged_meta_.size(); ++i) {
+    credit += staged_meta_[i].capture_cost;
+  }
+  const ftx::Duration cap = ftx::Nanoseconds(window_cost.nanos() * (records - 1) / records);
+  if (credit > cap) {
+    credit = cap;
+  }
+  const ftx::Duration cost = window_cost - credit;
+  stats_.commit_time += cost;
+  stats_.bytes_persisted += window_bytes;
+
+  const ftx::TimePoint base = Now() + (in_step_ ? step_cost_ : pending_overhead_);
+  for (const StagedCommitMeta& sm : staged_meta_) {
+    if (env_.audit != nullptr) {
+      ftx_causal::CommitCosts cc;
+      cc.fixed_ns = sm.fixed_cost.nanos();
+      cc.before_image_ns = sm.capture_cost.nanos();
+      cc.reprotect_ns = sm.reprotect_cost.nanos();
+      cc.persist_ns = window_cost.nanos() / records;  // per-record window share
+      cc.pages = sm.pages;
+      cc.payload_bytes = sm.payload_bytes;
+      cc.begin_ns = sm.begin_ns;
+      cc.end_ns = (base + cost).nanos();
+      env_.audit->StageCommitCosts(pid_, cc);
+    }
+    if (env_.trace != nullptr) {
+      env_.trace->Append(pid_, ftx_sm::EventKind::kCommit, -1, false, "", sm.atomic_group);
+    }
+    if (commit_hist_ != nullptr) {
+      commit_hist_->Observe(sm.capture_cost.nanos() + cost.nanos() / records);
+    }
+  }
+  if (env_.tracer != nullptr) {
+    env_.tracer->Span(pid_, ftx_obs::TraceLane::kStorage, "dc",
+                       "commit(window x" + std::to_string(records) + ")", base, base + cost);
+  }
+  env_.transport->ReleaseAllDelivered(pid_);
+  staged_meta_.clear();
+  return cost;
+}
+
+void Runtime::DropStagedCommits() {
+  if (env_.commit_pipeline != nullptr) {
+    env_.commit_pipeline->Drop();
+  }
+  staged_meta_.clear();
+}
+
 void Runtime::AppendCoordinationEvent(ftx_sm::EventKind kind, int64_t message_id) {
   if (env_.trace != nullptr && mode_ == RuntimeMode::kRecoverable) {
     // Coordination receives are recovery-system events, not application
@@ -381,6 +520,7 @@ ftx::Duration Runtime::CommitNow(bool coordinated, bool charge_inline, int64_t a
 ftx::Duration Runtime::Recover() {
   FTX_CHECK(!alive_);
   FTX_PROF_SCOPE("recover");
+  DropStagedCommits();  // belt-and-braces; Kill() already dropped them
   ++stats_.rollbacks;
   ftx::Duration cost = costs_.recovery_fixed;
 
@@ -493,6 +633,7 @@ ftx::Duration Runtime::Recover() {
 
 ftx::Duration Runtime::RestartFromScratch() {
   FTX_CHECK(!alive_);
+  DropStagedCommits();
   ++stats_.rollbacks;
   segment_->ResetToZero();
   if (heap_ != nullptr) {

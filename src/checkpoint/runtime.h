@@ -201,6 +201,23 @@ class Runtime : public ProcessEnv {
     }
   };
 
+  // One staged (not yet durable) group commit's deferred bookkeeping: what
+  // the runtime still owes the observers — audit cost breakdown, kCommit
+  // trace event, retained-message release — once the window's sync lands.
+  // The storage-side redo record itself is staged in env_.commit_pipeline.
+  struct StagedCommitMeta {
+    bool coordinated = false;
+    int64_t atomic_group = -1;
+    int64_t pages = 0;
+    int64_t payload_bytes = 0;
+    ftx::Duration fixed_cost;
+    ftx::Duration capture_cost;  // before-image copy + serialize/CRC; the
+                                 // portion a pipelined implementation hides
+                                 // under the persist of earlier records
+    ftx::Duration reprotect_cost;
+    int64_t begin_ns = 0;  // simulated stage instant (audit interval start)
+  };
+
   // Auxiliary (non-segment) state that must travel with commits.
   struct CommittedMeta {
     uint64_t registers[4] = {0, 0, 0, 0};  // synthetic register file image
@@ -238,6 +255,22 @@ class Runtime : public ProcessEnv {
   void FlushPendingCommit();
 
   ftx::Duration DoCommit(bool coordinated, int64_t atomic_group = -1);
+
+  // True when commits are being staged into group-commit windows: an
+  // enabled CommitPipeline is attached, the store is a redo log (DC-disk),
+  // and the runtime is recoverable.
+  bool GroupCommitActive() const;
+
+  // Persists the open group-commit window — one pair of sync I/Os for every
+  // staged record — then emits the deferred per-record observers (audit
+  // breakdown, kCommit trace events in stage order) and releases retained
+  // messages. Returns the window's simulated cost after the pipeline
+  // overlap credit; zero when nothing is staged. The caller charges it.
+  ftx::Duration FlushCommitWindow();
+
+  // Crash/kill/restart path: staged records never became durable and were
+  // never reported committed — forget them (all-or-prefix semantics).
+  void DropStagedCommits();
 
   // Registers "p<pid>.*" probes over stats_ and creates the owned
   // instruments below. Called from the constructor when env_.metrics is
@@ -277,6 +310,9 @@ class Runtime : public ProcessEnv {
   int64_t step_count_ = 0;
   bool pending_commit_ = false;
   CommittedMeta committed_;
+  // Deferred observer bookkeeping for records staged in the group-commit
+  // pipeline, parallel (same order) to env_.commit_pipeline's window.
+  std::vector<StagedCommitMeta> staged_meta_;
 
   ftx::Duration step_cost_;
   ftx::Duration pending_overhead_;  // costs charged outside a step (2PC)

@@ -1,6 +1,7 @@
 #include "src/common/crc32.h"
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -11,6 +12,13 @@ static_assert(std::endian::native == std::endian::little,
               "Crc32Extend's slice-by-8 loop requires a little-endian host");
 
 namespace ftx {
+
+// Implemented in crc32_hw.cc (stubbed false/portable on non-x86 targets).
+namespace crc32_internal {
+bool HardwareProbe();
+uint32_t HardwareExtend(uint32_t seed, const void* data, size_t size);
+}  // namespace crc32_internal
+
 namespace {
 
 constexpr uint32_t kPolynomial = 0xedb88320u;  // reflected IEEE 802.3
@@ -44,9 +52,26 @@ const SliceTables& Tables() {
   return tables;
 }
 
+using CrcFn = uint32_t (*)(uint32_t, const void*, size_t);
+
+// Resolved lazily on first use (relaxed atomics: the resolution is
+// idempotent, so a racing first-call pair just probes CPUID twice).
+std::atomic<CrcFn> g_active_fn{nullptr};
+std::atomic<Crc32Impl> g_active_impl{Crc32Impl::kAuto};
+
+CrcFn Resolve(Crc32Impl impl) {
+  const bool hw = (impl == Crc32Impl::kAuto || impl == Crc32Impl::kHardware) &&
+                  crc32_internal::HardwareProbe();
+  g_active_impl.store(hw ? Crc32Impl::kHardware : Crc32Impl::kPortable,
+                      std::memory_order_relaxed);
+  CrcFn fn = hw ? &crc32_internal::HardwareExtend : &Crc32PortableExtend;
+  g_active_fn.store(fn, std::memory_order_relaxed);
+  return fn;
+}
+
 }  // namespace
 
-uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size) {
+uint32_t Crc32PortableExtend(uint32_t seed, const void* data, size_t size) {
   const SliceTables& t = Tables();
   const auto* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xffffffffu;
@@ -68,6 +93,28 @@ uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size) {
     c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
+}
+
+Crc32Impl SetCrc32Impl(Crc32Impl impl) {
+  Resolve(impl);
+  return g_active_impl.load(std::memory_order_relaxed);
+}
+
+Crc32Impl ActiveCrc32Impl() {
+  if (g_active_fn.load(std::memory_order_relaxed) == nullptr) {
+    Resolve(Crc32Impl::kAuto);
+  }
+  return g_active_impl.load(std::memory_order_relaxed);
+}
+
+bool Crc32HardwareAvailable() { return crc32_internal::HardwareProbe(); }
+
+uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size) {
+  CrcFn fn = g_active_fn.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+    fn = Resolve(Crc32Impl::kAuto);
+  }
+  return fn(seed, data, size);
 }
 
 uint32_t Crc32(const void* data, size_t size) { return Crc32Extend(0, data, size); }

@@ -50,6 +50,7 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
   for (int pid = 0; pid < n; ++pid) {
     // One storage stack per machine.
     ftx_store::RedoLog* redo_log = nullptr;
+    ftx_store::CommitPipeline* commit_pipeline = nullptr;
     if (options_.store == StoreKind::kDisk) {
       disks_.push_back(std::make_unique<ftx_store::DiskModel>(options_.disk));
       stores_.push_back(std::make_unique<ftx_store::DiskStore>(disks_.back().get()));
@@ -60,14 +61,23 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
         journal->SetClock([this]() { return sim_->Now(); });
         redo_log->AttachJournal(journal);
       }
+      if (options_.group_commit.enabled) {
+        commit_pipelines_.push_back(
+            std::make_unique<ftx_store::CommitPipeline>(redo_log, options_.group_commit));
+        commit_pipeline = commit_pipelines_.back().get();
+      } else {
+        commit_pipelines_.push_back(nullptr);
+      }
     } else if (options_.store == StoreKind::kVolatileMemory) {
       disks_.push_back(nullptr);
       stores_.push_back(std::make_unique<ftx_store::MemoryStore>());
       redo_logs_.push_back(nullptr);
+      commit_pipelines_.push_back(nullptr);
     } else {
       disks_.push_back(nullptr);
       stores_.push_back(std::make_unique<ftx_store::RioStore>());
       redo_logs_.push_back(nullptr);
+      commit_pipelines_.push_back(nullptr);
     }
 
     ftx::env::Environment::Builder env_builder;
@@ -77,6 +87,7 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
         .WithRecorder(&recorder_)
         .WithStore(stores_.back().get())
         .WithRedoLog(redo_log)
+        .WithCommitPipeline(commit_pipeline)
         .WithCoordinatedCommit(
             [this, pid](ftx_proto::CoordinationScope scope) { CoordinatedCommit(pid, scope); })
         .WithLatestAtomicGroup([this]() { return next_atomic_group_ - 1; })
@@ -125,6 +136,11 @@ ftx_dc::App& Computation::app(int pid) {
 ftx_store::RedoLog* Computation::redo_log(int pid) {
   FTX_CHECK(pid >= 0 && pid < num_processes());
   return redo_logs_[static_cast<size_t>(pid)].get();
+}
+
+ftx_store::CommitPipeline* Computation::commit_pipeline(int pid) {
+  FTX_CHECK(pid >= 0 && pid < num_processes());
+  return commit_pipelines_[static_cast<size_t>(pid)].get();
 }
 
 ftx_store::WriteJournal* Computation::write_journal(int pid) {

@@ -30,6 +30,7 @@
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/statemachine/trace.h"
+#include "src/storage/commit_pipeline.h"
 #include "src/storage/disk_model.h"
 #include "src/storage/redo_log.h"
 #include "src/storage/stable_store.h"
@@ -60,6 +61,14 @@ struct ComputationOptions {
   // every byte ever committed, and only the crash-state exploration engine
   // (src/torture/) consumes it. Never changes any simulated quantity.
   bool journal_disk_writes = false;
+  // DC-disk only: group-commit batching policy. Off by default — batching
+  // changes the disk write schedule and therefore simulated commit
+  // latencies, so golden-reproducing runs must leave it disabled (a
+  // disabled policy is byte-identical to one-sync-pair-per-commit). When
+  // enabled, each runtime stages commits into a ftx_store::CommitPipeline
+  // and whole windows persist under a single sync pair; the runtime forces
+  // a flush before any visible/send event, so Save-work is unaffected.
+  ftx_store::BatchPolicy group_commit;
   // Automatic recovery after a crash event (propagation-failure studies).
   bool auto_recover = true;
   Duration recovery_delay = Milliseconds(50);
@@ -150,6 +159,8 @@ class Computation {
   // a scheduled recovery.
   ftx_store::RedoLog* redo_log(int pid);
   ftx_store::WriteJournal* write_journal(int pid);
+  // Non-null only in DC-disk mode with options.group_commit.enabled.
+  ftx_store::CommitPipeline* commit_pipeline(int pid);
   const ComputationOptions& options() const { return options_; }
   int recovery_attempts(int pid) const;
   // True when a process exhausted max_recovery_attempts (it kept crashing
@@ -185,6 +196,7 @@ class Computation {
   std::vector<std::unique_ptr<ftx_store::DiskModel>> disks_;
   std::vector<std::unique_ptr<ftx_store::StableStore>> stores_;
   std::vector<std::unique_ptr<ftx_store::RedoLog>> redo_logs_;
+  std::vector<std::unique_ptr<ftx_store::CommitPipeline>> commit_pipelines_;
 
   std::vector<std::unique_ptr<ftx_dc::Runtime>> runtimes_;
 

@@ -41,6 +41,12 @@ Environment::Builder& Environment::Builder::WithRedoLog(ftx_store::RedoLog* redo
   return *this;
 }
 
+Environment::Builder& Environment::Builder::WithCommitPipeline(
+    ftx_store::CommitPipeline* pipeline) {
+  env_.commit_pipeline = pipeline;
+  return *this;
+}
+
 Environment::Builder& Environment::Builder::WithCoordinatedCommit(
     std::function<void(ftx_proto::CoordinationScope)> fn) {
   env_.coordinated_commit = std::move(fn);

@@ -63,6 +63,7 @@ class OutputRecorder;
 namespace ftx_store {
 class StableStore;
 class RedoLog;
+class CommitPipeline;
 }  // namespace ftx_store
 namespace ftx_obs {
 class Registry;
@@ -195,6 +196,11 @@ struct Environment {
   ftx_rec::OutputRecorder* recorder = nullptr;
   ftx_store::StableStore* store = nullptr;
   ftx_store::RedoLog* redo_log = nullptr;
+  // Optional group-commit staging pipeline over redo_log. When present and
+  // its policy is enabled, the runtime stages commits here and a whole
+  // window is persisted under one sync pair (flushed before anything
+  // externally visible escapes — the Save-work invariant is untouched).
+  ftx_store::CommitPipeline* commit_pipeline = nullptr;
   // Initiates a coordinated commit round over the given participant scope.
   std::function<void(ftx_proto::CoordinationScope)> coordinated_commit;
   // Atomic group id of the most recent coordinated round (2PC bookkeeping).
@@ -218,6 +224,7 @@ class Environment::Builder {
   Builder& WithRecorder(ftx_rec::OutputRecorder* recorder);
   Builder& WithStore(ftx_store::StableStore* store);
   Builder& WithRedoLog(ftx_store::RedoLog* redo_log);
+  Builder& WithCommitPipeline(ftx_store::CommitPipeline* pipeline);
   Builder& WithCoordinatedCommit(std::function<void(ftx_proto::CoordinationScope)> fn);
   Builder& WithLatestAtomicGroup(std::function<int64_t()> fn);
   Builder& WithMetrics(ftx_obs::Registry* metrics);

@@ -111,6 +111,7 @@ class ScriptExecutor {
                  std::vector<KillSwitch*> kills, std::function<void()> quiesce)
       : script_(script),
         num_processes_(options.num_processes),
+        batch_records_(options.batch_records),
         clock_(clock),
         transport_(transport),
         media_(std::move(media)),
@@ -118,7 +119,9 @@ class ScriptExecutor {
         quiesce_(std::move(quiesce)),
         communicated_(static_cast<size_t>(options.num_processes), 0),
         committed_count_(static_cast<size_t>(options.num_processes), 0),
+        staged_(static_cast<size_t>(options.num_processes), 0),
         delivered_(static_cast<size_t>(options.num_processes)) {
+    FTX_CHECK_GE(batch_records_, 1);
     FTX_CHECK_GT(num_processes_, 0);
     FTX_CHECK_EQ(media_.size(), static_cast<size_t>(num_processes_));
     FTX_CHECK_EQ(kills_.size(), static_cast<size_t>(num_processes_));
@@ -157,6 +160,12 @@ class ScriptExecutor {
       }
     }
     TrackCommunication(ev);
+    if (batch_records_ > 1 &&
+        (ev.kind == ftx_sm::EventKind::kSend || ev.kind == ftx_sm::EventKind::kVisible)) {
+      // Output commit: the staged window must be durable before any bytes
+      // escape the process (a message or visible output).
+      SyncWindow(p);
+    }
     switch (ev.kind) {
       case ftx_sm::EventKind::kSend: {
         // A send whose receive never appears in the script has no scripted
@@ -200,6 +209,14 @@ class ScriptExecutor {
     }
   }
 
+  // End of script: every open window syncs (ascending pid order — both
+  // drivers call this single-threaded after the last scripted event).
+  void FinishWindows() {
+    for (int p = 0; p < num_processes_; ++p) {
+      SyncWindow(p);
+    }
+  }
+
   DecisionLog TakeLog() { return std::move(log_); }
 
  private:
@@ -232,8 +249,13 @@ class ScriptExecutor {
   }
 
   void Commit(int p, int64_t atomic_group) {
+    if (batch_records_ > 1) {
+      StageCommit(p, atomic_group);
+      return;
+    }
     FTX_CHECK(CommitThroughMedium(p));  // the kill switch is armed only by CrashAndRecover
     ++committed_count_[static_cast<size_t>(p)];
+    ++log_.window_syncs;
     transport_->ReleaseAllDelivered(p);
     delivered_[static_cast<size_t>(p)].clear();
     protocols_[static_cast<size_t>(p)]->OnCommitted();
@@ -241,6 +263,46 @@ class ScriptExecutor {
     ++log_.commits;
     log_.lines.push_back(Format("commit p%d g=%lld n=%lld", p,
                                 static_cast<long long>(atomic_group),
+                                static_cast<long long>(committed_count_[static_cast<size_t>(p)])));
+  }
+
+  // Group-commit path: the record is appended to the medium but NOT synced —
+  // it joins the open window. The protocol observes the commit immediately
+  // (the process continues from it), but durability arrives only with the
+  // window's sync; a crash first drops the whole staged suffix.
+  void StageCommit(int p, int64_t atomic_group) {
+    ftx::Bytes record;
+    EncodeCommitRecord(&record, p, committed_count_[static_cast<size_t>(p)]);
+    media_[static_cast<size_t>(p)]->Append(record.data(), record.size());
+    ++committed_count_[static_cast<size_t>(p)];
+    ++staged_[static_cast<size_t>(p)];
+    protocols_[static_cast<size_t>(p)]->OnCommitted();
+    communicated_[static_cast<size_t>(p)] = 0;
+    ++log_.commits;
+    log_.lines.push_back(Format("commit p%d g=%lld n=%lld", p,
+                                static_cast<long long>(atomic_group),
+                                static_cast<long long>(committed_count_[static_cast<size_t>(p)])));
+    // Coordinated rounds externalize through protocol messages: their
+    // commits must be durable when the round completes, so they never wait
+    // in an open window.
+    if (atomic_group >= 0 || staged_[static_cast<size_t>(p)] >= batch_records_) {
+      SyncWindow(p);
+    }
+  }
+
+  // Makes the open window durable: one Sync for every staged record, then
+  // the deferred commit reporting (retained-message release).
+  void SyncWindow(int p) {
+    const int64_t staged = staged_[static_cast<size_t>(p)];
+    if (staged == 0) {
+      return;
+    }
+    media_[static_cast<size_t>(p)]->Sync();
+    ++log_.window_syncs;
+    staged_[static_cast<size_t>(p)] = 0;
+    transport_->ReleaseAllDelivered(p);
+    delivered_[static_cast<size_t>(p)].clear();
+    log_.lines.push_back(Format("sync p%d w=%lld n=%lld", p, static_cast<long long>(staged),
                                 static_cast<long long>(committed_count_[static_cast<size_t>(p)])));
   }
 
@@ -298,6 +360,12 @@ class ScriptExecutor {
       kills_[static_cast<size_t>(p)]->armed.store(false);
     }
 
+    // Staged group-commit records (appended, never synced) died with the
+    // buffer: the commit count rolls back to the durable prefix — the
+    // all-or-prefix survivor semantics of a batched window.
+    committed_count_[static_cast<size_t>(p)] -= staged_[static_cast<size_t>(p)];
+    staged_[static_cast<size_t>(p)] = 0;
+
     // Recovery, phase 1: the durable log must contain exactly the committed
     // records — nothing torn, nothing lost.
     ftx::Bytes durable;
@@ -333,6 +401,7 @@ class ScriptExecutor {
 
   const std::vector<ftx_sm::ScriptedEvent>& script_;
   const int num_processes_;
+  const int64_t batch_records_;
   Clock* clock_;
   Transport* transport_;
   std::vector<StableMedium*> media_;
@@ -342,6 +411,7 @@ class ScriptExecutor {
   std::vector<std::unique_ptr<ftx_proto::Protocol>> protocols_;
   std::vector<uint64_t> communicated_;
   std::vector<int64_t> committed_count_;
+  std::vector<int64_t> staged_;  // open-window records per process (batched)
   // Unlogged deliveries since each process's last commit (what a rollback
   // must see redelivered).
   std::vector<std::vector<Message>> delivered_;
@@ -440,6 +510,7 @@ DecisionLog RunScriptOnSim(const std::vector<ftx_sm::ScriptedEvent>& script,
     sim.ScheduleAfter(ftx::Microseconds(1), [] {});
     sim.RunUntilIdle();
   }
+  executor.FinishWindows();
   return executor.TakeLog();
 }
 
@@ -475,6 +546,7 @@ DecisionLog RunScriptOnThreads(const std::vector<ftx_sm::ScriptedEvent>& script,
   for (std::thread& worker : workers) {
     worker.join();
   }
+  executor.FinishWindows();
   return executor.TakeLog();
 }
 

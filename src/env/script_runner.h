@@ -39,6 +39,14 @@ struct ScriptRunOptions {
   int num_processes = 3;
   std::string protocol = "cpvs";
   uint64_t sim_seed = 1;  // seed of the oracle's simulator instance
+  // Group-commit window size (mirrors ftx_store::BatchPolicy::max_records).
+  // 1 = sync every commit record as it is appended (the historical path,
+  // byte-identical to the committed decision-log goldens). >1 = commits
+  // stage unsynced on the medium and the open window syncs when it fills,
+  // before any send/visible event, at every coordinated round, and at end
+  // of script; a crash drops the staged window and rolls the commit count
+  // back to the durable prefix (all-or-prefix semantics).
+  int64_t batch_records = 1;
 };
 
 // Canonical record of one scripted run. Lines are appended in global script
@@ -54,6 +62,8 @@ struct DecisionLog {
   int64_t transport_mismatches = 0;
   // Recoveries where the durable record count != the commits performed.
   int64_t durable_mismatches = 0;
+  // Group-commit window syncs (equals commits when batch_records == 1).
+  int64_t window_syncs = 0;
 
   std::string Canonical() const;
   uint32_t Crc() const;

@@ -238,11 +238,13 @@ SurvivorLog DecodeSurvivorImage(const ftx::Bytes& image) {
     scan_from = best.log_end;
   }
 
-  // Classify the tail: one record's worth of bytes past the committed range.
-  // kOk = the record write finished but its commit sector didn't (or a crash
-  // landed between the two sync I/Os); recovery must and does ignore it.
-  RedoRecord tail;
-  DecodeStatus tail_status = DecodeRecord(image, scan_from, &tail, nullptr);
+  // Classify the tail: bytes past the committed range belong to an
+  // in-flight window whose commit sector never landed (or a crash between
+  // the window's two sync I/Os); recovery must and does ignore them. Walk
+  // every consecutive intact record — the window was appended in sequence
+  // order before its one sync, so intact survivors are always a prefix of
+  // the window; the scan stops at the first torn/corrupt frame or sequence
+  // gap (stale bytes from a superseded epoch).
   bool tail_bytes_present = false;
   for (size_t i = static_cast<size_t>(scan_from); i < image.size(); ++i) {
     if (image[i] != 0) {
@@ -252,9 +254,26 @@ SurvivorLog DecodeSurvivorImage(const ftx::Bytes& image) {
   }
   if (tail_bytes_present) {
     out.tail_record_present = true;
-    out.tail_status = tail_status;
-    if (tail_status == DecodeStatus::kOk) {
-      out.tail_record = std::move(tail);
+    int64_t offset = scan_from;
+    for (;;) {
+      RedoRecord tail;
+      int64_t next_offset = 0;
+      DecodeStatus status = DecodeRecord(image, offset, &tail, &next_offset);
+      if (out.tail_records.empty()) {
+        out.tail_status = status;
+      }
+      if (status != DecodeStatus::kOk) {
+        break;
+      }
+      if (!out.tail_records.empty() &&
+          tail.sequence != out.tail_records.back().sequence + 1) {
+        break;
+      }
+      if (out.tail_records.empty()) {
+        out.tail_record = tail;
+      }
+      out.tail_records.push_back(std::move(tail));
+      offset = next_offset;
     }
   }
   return out;

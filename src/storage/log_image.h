@@ -97,18 +97,25 @@ struct SurvivorLog {
   int64_t last_sequence = -1;
   int64_t start_sequence = 0;
   bool decode_ok = false;   // committed range parsed and validated fully
-  // Tail scan past log_end: a record there was written but never committed.
-  // kOk means the record landed intact (its commit sector did not) — it is
-  // still correctly ignored, because only the slot makes a record durable.
+  // Tail scan past log_end: records there were written but never committed
+  // — under group commit, a whole in-flight window of them. kOk means the
+  // first record landed intact (its commit sector did not); they are all
+  // still correctly ignored, because only the slot makes records durable.
   bool tail_record_present = false;
   DecodeStatus tail_status = DecodeStatus::kTruncated;
-  RedoRecord tail_record;
+  RedoRecord tail_record;  // first intact tail record, when tail_status == kOk
+  // Every consecutively-intact, sequence-contiguous tail record in append
+  // order. Because a window's records are written in sequence order before
+  // the single sync, any crash leaves all-or-a-prefix of the window intact
+  // — the torture engine asserts survivors match this shape (no holes).
+  std::vector<RedoRecord> tail_records;
   std::string diagnostic;
 };
 
 // Reads the image the way DC-disk recovery would: pick the valid commit
 // slot with the highest sequence, decode exactly the records it vouches
-// for, and scan one record past log_end to classify the uncommitted tail.
+// for, and scan past log_end to classify the uncommitted tail (all
+// consecutive intact records of the in-flight window).
 SurvivorLog DecodeSurvivorImage(const ftx::Bytes& image);
 
 }  // namespace ftx_store

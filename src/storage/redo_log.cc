@@ -18,6 +18,11 @@ void RedoRecord::ReservePages(int64_t pages, size_t image_size) {
 }
 
 void RedoRecord::AppendPage(int64_t offset, const uint8_t* data, size_t size) {
+  // One geometric reservation for the whole header+image run. Without this,
+  // an unreserved record could reallocate up to three times inside a single
+  // page append (offset, size, image) — and the image memcpy is exactly the
+  // bytes a realloc would move again.
+  ftx::EnsureAppendCapacity(&pages_payload, 2 * sizeof(int64_t) + size);
   size_t run_begin = pages_payload.size();
   ftx::AppendValue(&pages_payload, offset);
   ftx::AppendValue(&pages_payload, static_cast<int64_t>(size));
@@ -38,49 +43,76 @@ void RedoLog::AttachJournal(WriteJournal* journal) {
   journal_tail_ = kLogStartOffset;
   journal_log_start_ = kLogStartOffset;
   journal_start_sequence_ = next_sequence_;
+  // A fresh journal image starts a fresh parity cycle aligned with the
+  // sequence counter, preserving the singleton-window identity
+  // window_count_ == next_sequence_ that unbatched goldens depend on.
+  window_count_ = next_sequence_;
   journal_offsets_.clear();
 }
 
 int64_t RedoLog::Append(RedoRecord record) {
-  record.sequence = next_sequence_++;
-  int64_t payload = record.PayloadBytes() + 64;  // record header
-  bytes_written_ += payload;
+  std::vector<RedoRecord> batch;
+  batch.push_back(std::move(record));
+  return AppendBatch(std::move(batch));
+}
+
+int64_t RedoLog::AppendBatch(std::vector<RedoRecord> batch) {
+  FTX_CHECK(!batch.empty());
+  int64_t payload_total = 0;
+  for (RedoRecord& record : batch) {
+    record.sequence = next_sequence_++;
+    payload_total += record.PayloadBytes() + 64;  // record header
+  }
+  bytes_written_ += payload_total;
+  const int64_t last_sequence = batch.back().sequence;
 
   if (journal_ != nullptr) {
-    // The paper's two synchronous I/Os, in order: (1) the record body, then
-    // a sync barrier; (2) the one-sector commit slot, then a sync barrier.
-    // Slot parity alternates with the sequence, so this commit never touches
-    // the sector that vouches for the previous one.
-    ftx::Bytes encoded = EncodeRecord(record);
-    journal_offsets_.emplace_back(record.sequence, journal_tail_);
-    journal_->Write(journal_tail_, encoded.data(), encoded.size(), record.sequence);
-    journal_->Barrier(record.sequence);
+    // The paper's two synchronous I/Os, amortized over the window, in
+    // order: (1) every record body of the window, contiguously, then one
+    // sync barrier; (2) the one-sector commit slot vouching for the whole
+    // window, then one sync barrier. Slot parity alternates with the window
+    // count, so this window never touches the sector that vouches for the
+    // previous one — a crash mid-window leaves the old slot intact and the
+    // new records unvouched (recoverable as all-or-prefix tail records).
+    for (const RedoRecord& record : batch) {
+      ftx::Bytes encoded = EncodeRecord(record);
+      journal_offsets_.emplace_back(record.sequence, journal_tail_);
+      journal_->Write(journal_tail_, encoded.data(), encoded.size(), record.sequence);
+      journal_tail_ += static_cast<int64_t>(encoded.size());
+    }
+    journal_->Barrier(last_sequence);
 
     CommitSlot slot;
-    slot.sequence = record.sequence;
+    slot.sequence = last_sequence;
     slot.log_start = journal_log_start_;
-    slot.log_end = journal_tail_ + static_cast<int64_t>(encoded.size());
+    slot.log_end = journal_tail_;
     slot.start_sequence = journal_start_sequence_;
     ftx::Bytes slot_sector = EncodeCommitSlot(slot);
-    journal_->Write((record.sequence & 1) * kSectorBytes, slot_sector.data(), slot_sector.size(),
-                    record.sequence);
-    journal_->Barrier(record.sequence);
-
-    journal_tail_ = slot.log_end;
+    journal_->Write((window_count_ & 1) * kSectorBytes, slot_sector.data(), slot_sector.size(),
+                    last_sequence);
+    journal_->Barrier(last_sequence);
   }
 
   if (medium_ != nullptr) {
-    // Real durability through the env seam: the encoded record is buffered,
-    // then synced — the same append-then-sync discipline the journal models,
-    // but against a backend's actual StableMedium (a host file under
-    // env::threads). A crash between the two genuinely loses the record.
-    ftx::Bytes encoded = EncodeRecord(record);
-    medium_->Append(encoded.data(), encoded.size());
+    // Real durability through the env seam: the encoded records are
+    // buffered, then synced once for the window — the same append-then-sync
+    // discipline the journal models, but against a backend's actual
+    // StableMedium (a host file under env::threads). A crash between the
+    // two genuinely loses the whole window; a crash mid-append loses a
+    // suffix of it (append order = sequence order, so survivors are always
+    // a prefix).
+    for (const RedoRecord& record : batch) {
+      ftx::Bytes encoded = EncodeRecord(record);
+      medium_->Append(encoded.data(), encoded.size());
+    }
     medium_->Sync();
   }
 
-  records_.push_back(std::move(record));
-  return payload;
+  ++window_count_;
+  for (RedoRecord& record : batch) {
+    records_.push_back(std::move(record));
+  }
+  return payload_total;
 }
 
 void RedoLog::AttachMedium(ftx::env::StableMedium* medium) { medium_ = medium; }
@@ -132,7 +164,12 @@ void RedoLog::TruncateThrough(int64_t sequence) {
     slot.log_end = journal_tail_;
     slot.start_sequence = std::min(journal_start_sequence_, newest + 1);
     ftx::Bytes slot_sector = EncodeCommitSlot(slot);
-    journal_->Write((newest & 1) * kSectorBytes, slot_sector.data(), slot_sector.size(), newest);
+    // Same parity as the newest window's live slot ((window_count_ - 1) & 1
+    // — equal to `newest & 1` while windows are singletons), so the update
+    // supersedes in place rather than clobbering the alternate sector a
+    // crash might still need.
+    journal_->Write(((window_count_ - 1) & 1) * kSectorBytes, slot_sector.data(),
+                    slot_sector.size(), newest);
     journal_->Barrier(newest);
   }
 }
@@ -142,6 +179,10 @@ void RedoLog::RestoreForRecovery(std::vector<RedoRecord> records) {
     FTX_CHECK_EQ(records[i].sequence, records[i - 1].sequence + 1);
   }
   next_sequence_ = records.empty() ? 0 : records.back().sequence + 1;
+  // Survivor chains carry no window framing; resume as if every survivor
+  // was its own window (exact for unbatched runs, and for batched runs the
+  // parity cycle merely restarts — recovery attaches a fresh journal).
+  window_count_ = next_sequence_;
   records_ = std::move(records);
 }
 

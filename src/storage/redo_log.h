@@ -85,7 +85,20 @@ class WriteJournal;
 class RedoLog {
  public:
   // Appends a record; returns its payload size in bytes (for I/O charging).
+  // Equivalent to AppendBatch of a single record: one sync window.
   int64_t Append(RedoRecord record);
+
+  // Group commit: appends a whole window of records under ONE pair of sync
+  // barriers — all record bodies land contiguously, one barrier, then one
+  // commit slot vouching for the entire window (it carries the last
+  // record's sequence; SelectCommitSlot's [log_start, log_end) spans every
+  // record in the window), one barrier. Slot parity alternates per
+  // *window*, not per record, so the slot never overwrites the sector that
+  // vouches for the previous window. With singleton windows this emits
+  // exactly the same journal ops as Append — window count equals sequence
+  // — which is what keeps unbatched runs byte-identical to the goldens.
+  // Returns the summed payload bytes (for I/O charging).
+  int64_t AppendBatch(std::vector<RedoRecord> batch);
 
   // Full record history (recovery replays every record in order).
   const std::vector<RedoRecord>& records() const { return records_; }
@@ -148,6 +161,9 @@ class RedoLog {
   int64_t journal_tail_ = 0;
   int64_t journal_log_start_ = 0;
   int64_t journal_start_sequence_ = 0;
+  // Windows appended so far; its parity picks the commit-slot sector. Kept
+  // equal to next_sequence_ while every window is a singleton.
+  int64_t window_count_ = 0;
   std::vector<std::pair<int64_t, int64_t>> journal_offsets_;  // (sequence, offset)
 };
 

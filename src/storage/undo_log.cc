@@ -8,12 +8,15 @@ namespace ftx_store {
 
 UndoLog::UndoLog(size_t slot_size) : slot_size_(slot_size) { FTX_CHECK_GT(slot_size, 0u); }
 
-void UndoLog::RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size) {
+int32_t UndoLog::RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size) {
   FTX_CHECK_GE(offset, 0);
+  FTX_CHECK_LT(records_.size(), static_cast<size_t>(INT32_MAX));
   UndoRecord record;
   record.offset = offset;
   record.size = static_cast<int64_t>(size);
-  if (size == slot_size_) {
+  const int64_t slot_size = static_cast<int64_t>(slot_size_);
+  if (size > 0 && offset / slot_size == (offset + record.size - 1) / slot_size) {
+    // Fits one slot-aligned window: pooled path, mirror layout.
     if (free_slots_.empty()) {
       FTX_CHECK_LT(slots_.size(), static_cast<size_t>(INT32_MAX));
       free_slots_.push_back(static_cast<int32_t>(slots_.size()));
@@ -21,12 +24,39 @@ void UndoLog::RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size
     }
     record.slot = free_slots_.back();
     free_slots_.pop_back();
-    std::memcpy(slots_[record.slot].get(), data, size);
+    std::memcpy(slots_[record.slot].get() + offset % slot_size, data, size);
   } else {
-    record.odd_bytes.assign(data, data + size);
+    if (odd_free_.empty()) {
+      FTX_CHECK_LT(odd_buffers_.size(), static_cast<size_t>(INT32_MAX));
+      odd_free_.push_back(static_cast<int32_t>(odd_buffers_.size()));
+      odd_buffers_.emplace_back();
+    }
+    record.odd_index = odd_free_.back();
+    odd_free_.pop_back();
+    odd_buffers_[record.odd_index].assign(data, data + size);
   }
-  byte_size_ += static_cast<int64_t>(size);
-  records_.push_back(std::move(record));
+  byte_size_ += record.size;
+  records_.push_back(record);
+  return static_cast<int32_t>(records_.size()) - 1;
+}
+
+void UndoLog::WidenToWindow(int32_t index, const uint8_t* window) {
+  FTX_CHECK_GE(index, 0);
+  FTX_CHECK_LT(static_cast<size_t>(index), records_.size());
+  UndoRecord& record = records_[index];
+  FTX_CHECK_GE(record.slot, 0);
+  const int64_t slot_size = static_cast<int64_t>(slot_size_);
+  if (record.size == slot_size) {
+    return;
+  }
+  uint8_t* slot = slots_[record.slot].get();
+  const int64_t lo = record.offset % slot_size;
+  const int64_t hi = lo + record.size;
+  std::memcpy(slot, window, static_cast<size_t>(lo));
+  std::memcpy(slot + hi, window + hi, static_cast<size_t>(slot_size - hi));
+  byte_size_ += slot_size - record.size;
+  record.offset -= lo;
+  record.size = slot_size;
 }
 
 void UndoLog::ApplyReverseInto(uint8_t* base, size_t base_size) {
@@ -41,6 +71,8 @@ void UndoLog::Discard() {
   for (const UndoRecord& record : records_) {
     if (record.slot >= 0) {
       free_slots_.push_back(record.slot);
+    } else if (record.odd_index >= 0) {
+      odd_free_.push_back(record.odd_index);
     }
   }
   records_.clear();

@@ -5,19 +5,33 @@
 // recovery) applies the before-images in reverse order, restoring the
 // segment to its last committed state.
 //
-// Vista's 5 µs transactions come from never allocating on the logging path:
-// before-images land in a pooled arena of page-sized slots that are recycled
-// across commit epochs. RecordBeforeImage of a slot-sized region costs one
-// memcpy into a reused buffer at steady state; Discard / ApplyReverseInto
-// return every slot to the free list instead of freeing it. Regions of any
-// other size fall back to a per-record heap buffer (rare: the write barrier
-// always logs whole pages).
+// Vista's 5 µs transactions come from never allocating on the logging path,
+// and this log is engineered to the same standard:
+//
+//   * before-images land in a pooled arena of slot-sized buffers recycled
+//     across commit epochs — Discard / ApplyReverseInto return every slot
+//     to the free list instead of freeing it;
+//   * records are trivially destructible POD (asserted below), so clearing
+//     the record vector is a pointer reset, not a destructor walk;
+//   * a record may cover just an *extent* of its slot-aligned window rather
+//     than the whole slot. Extent images live at their window-relative
+//     offset inside the slot (mirror layout), which lets WidenToWindow
+//     grow a partial image to the full window in place — no second slot,
+//     no moving bytes already captured;
+//   * regions that straddle a window boundary (never produced by the page
+//     barrier) fall back to pooled byte buffers with their own free list,
+//     so even the odd path stops allocating at steady state.
+//
+// Abort cost is therefore proportional to the bytes actually captured, not
+// to slot_size × pages touched: a transaction that pokes 8 bytes into each
+// of N pages logs N small extents and aborts by copying those extents back.
 
 #ifndef FTX_SRC_STORAGE_UNDO_LOG_H_
 #define FTX_SRC_STORAGE_UNDO_LOG_H_
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -27,20 +41,34 @@ namespace ftx_store {
 struct UndoRecord {
   int64_t offset = 0;
   int64_t size = 0;
-  // Pooled storage: index into the log's slot arena, or -1 when the region
-  // was not slot-sized and lives in `odd_bytes` instead.
+  // Pooled storage: index into the log's slot arena (image bytes at the
+  // record's window-relative offset), or -1 when the region straddled a
+  // window boundary and lives in an odd-size fallback buffer instead.
   int32_t slot = -1;
-  ftx::Bytes odd_bytes;
+  int32_t odd_index = -1;
 };
+// The abort path clears thousands of these per epoch; keeping them POD makes
+// records_.clear() free and the vector growth a memmove.
+static_assert(std::is_trivially_destructible_v<UndoRecord>);
+static_assert(std::is_trivially_copyable_v<UndoRecord>);
 
 class UndoLog {
  public:
-  // `slot_size` is the region size served from the pooled arena — the
-  // owning segment's page size, since the barrier logs whole pages.
+  // `slot_size` is the arena's buffer size and the alignment of slot
+  // windows — the owning segment's page size.
   explicit UndoLog(size_t slot_size = 4096);
 
-  // Logs the previous contents of [offset, offset+size) (copied from `data`).
-  void RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size);
+  // Logs the previous contents of [offset, offset+size) (copied from
+  // `data`). Returns the record's index, stable until the next Discard /
+  // ApplyReverseInto, for use with WidenToWindow.
+  int32_t RecordBeforeImage(int64_t offset, const uint8_t* data, size_t size);
+
+  // Grows record `index` (a pooled, partial record) to cover its whole
+  // slot-aligned window. `window` must point at the window's *current*
+  // bytes; everything outside the already-recorded extent is by contract
+  // still the committed image (the write barrier logs before mutating), so
+  // copying it in completes the before-image. No-op when already whole.
+  void WidenToWindow(int32_t index, const uint8_t* window);
 
   // Applies all before-images in reverse order into the buffer at `base`
   // (which must span at least the logged offsets), then clears the log.
@@ -57,7 +85,9 @@ class UndoLog {
 
   // Before-image bytes of a record (pooled slot or odd-size fallback).
   const uint8_t* RecordData(const UndoRecord& record) const {
-    return record.slot >= 0 ? slots_[record.slot].get() : record.odd_bytes.data();
+    return record.slot >= 0
+               ? slots_[record.slot].get() + record.offset % static_cast<int64_t>(slot_size_)
+               : odd_buffers_[record.odd_index].data();
   }
 
   // Pool instrumentation: total slots ever allocated. Steady state (same
@@ -73,6 +103,9 @@ class UndoLog {
   // Arena of slot_size_-byte buffers; free_slots_ indexes the reusable ones.
   std::vector<std::unique_ptr<uint8_t[]>> slots_;
   std::vector<int32_t> free_slots_;
+  // Fallback pool for window-straddling regions, recycled like the slots.
+  std::vector<ftx::Bytes> odd_buffers_;
+  std::vector<int32_t> odd_free_;
 };
 
 }  // namespace ftx_store

@@ -23,8 +23,10 @@ namespace {
 using ftx_store::CommitSlot;
 using ftx_store::DiskOp;
 using ftx_store::DiskOpKind;
+using ftx_store::EncodeRecord;
 using ftx_store::kLogStartOffset;
 using ftx_store::kSectorBytes;
+using ftx_store::RedoRecord;
 
 // One enumerated crash state. `gen_k` is the op index the state was
 // generated at; `base` is the op prefix fully applied before any variant
@@ -103,6 +105,13 @@ struct CheckContext {
   // committed_at[c]: last sequence whose both sync barriers lie within the
   // first c ops (-1 = none) — the checkpoint Save-work says must survive.
   const std::vector<int64_t>* committed_at = nullptr;
+  // Sorted final sequences of every completed commit window. Under group
+  // commit one slot vouches for a whole window, so a crash that exposes the
+  // in-flight slot legally advances the survivor to that window's *end* —
+  // possibly several sequences past the last durable one, but never a
+  // mid-window sequence. Unbatched runs make every entry sequence == window
+  // end, reducing the legal in-flight survivor to committed + 1 exactly.
+  const std::vector<int64_t>* window_ends = nullptr;
   // Slot tuples the run actually issued, keyed by sequence. A decoded slot
   // must match one of these exactly; anything else is a fabricated commit.
   const std::map<int64_t, std::vector<CommitSlot>>* issued_slots = nullptr;
@@ -110,6 +119,30 @@ struct CheckContext {
 
 int64_t CanonicalRecordBegin(const CheckContext& ctx, int64_t sequence) {
   return sequence == 0 ? 0 : (*ctx.record_end)[static_cast<size_t>(sequence - 1)];
+}
+
+// The end sequence of the window in flight after `committed`: the smallest
+// completed-window end strictly greater than it (ctx.num_records when the
+// trace holds no later window, which the m >= num_records bound rejects).
+int64_t InflightWindowEnd(const CheckContext& ctx, int64_t committed) {
+  auto it = std::upper_bound(ctx.window_ends->begin(), ctx.window_ends->end(), committed);
+  return it == ctx.window_ends->end() ? ctx.num_records : *it;
+}
+
+// Checks one decoded-intact uncommitted tail record against the canonical
+// record chain (sequence `next`); returns the violation text ("" = ok).
+std::string CheckTailRecord(const CheckContext& ctx, const RedoRecord& tail, int64_t next) {
+  if (next >= ctx.num_records) {
+    return "intact tail record beyond the last canonical commit";
+  }
+  const ftx::Bytes want = EncodeRecord(tail);
+  const int64_t begin = CanonicalRecordBegin(ctx, next);
+  const int64_t end = (*ctx.record_end)[static_cast<size_t>(next)];
+  if (static_cast<int64_t>(want.size()) != end - begin ||
+      std::memcmp(want.data(), ctx.canonical->data() + begin, want.size()) != 0) {
+    return "intact tail record differs from canonical record " + std::to_string(next);
+  }
+  return "";
 }
 
 bool SlotMatchesIssued(const CheckContext& ctx, const CommitSlot& slot) {
@@ -207,12 +240,14 @@ StateOutcome CheckStateBlackBox(const CheckContext& ctx, const CrashState& state
     return out;
   }
 
-  // (b) Save-work invariant: survivor is the last fully-committed
-  // checkpoint, or the in-flight one when its slot sector landed.
+  // (b) Save-work invariant: survivor is the last fully-committed window's
+  // end, or the in-flight window's end when its slot sector landed — never
+  // a mid-window sequence or anything older.
   const int64_t m = survivor.last_sequence;
-  if (m < committed || m > committed + 1 || m >= ctx.num_records) {
+  const int64_t inflight = InflightWindowEnd(ctx, committed);
+  if (m < committed || (m != committed && m != inflight) || m >= ctx.num_records) {
     violate("survivor " + std::to_string(m) + " outside {" + std::to_string(committed) + ", " +
-            std::to_string(committed + 1) + "}");
+            std::to_string(inflight) + "}");
     return out;
   }
   out.survivor_class = m < 0 ? 0 : (m == committed ? 1 : 2);
@@ -244,22 +279,21 @@ StateOutcome CheckStateBlackBox(const CheckContext& ctx, const CrashState& state
     }
   }
 
-  // (d) An intact uncommitted tail record must be the *next* canonical
-  // record — a fully-landed record the crash denied a commit sector.
+  // (d) Intact uncommitted tail records must be the *next* canonical
+  // records in sequence order — fully-landed records the crash denied a
+  // commit sector. Group commit can strand several (a prefix of the
+  // interrupted window); each must match its canonical counterpart, with
+  // no gap in the sequence.
   if (survivor.tail_record_present && survivor.tail_status == ftx_store::DecodeStatus::kOk) {
     out.tail_seen = true;
-    const int64_t next = m + 1;
-    if (next >= ctx.num_records) {
-      violate("intact tail record beyond the last canonical commit");
-      return out;
-    }
-    const ftx::Bytes want = ftx_store::EncodeRecord(survivor.tail_record);
-    const int64_t begin = CanonicalRecordBegin(ctx, next);
-    const int64_t end = (*ctx.record_end)[static_cast<size_t>(next)];
-    if (static_cast<int64_t>(want.size()) != end - begin ||
-        std::memcmp(want.data(), ctx.canonical->data() + begin, want.size()) != 0) {
-      violate("intact tail record differs from canonical record " + std::to_string(next));
-      return out;
+    int64_t next = m + 1;
+    for (const RedoRecord& tail : survivor.tail_records) {
+      const std::string why = CheckTailRecord(ctx, tail, next);
+      if (!why.empty()) {
+        violate(why);
+        return out;
+      }
+      ++next;
     }
   }
   return out;
@@ -412,9 +446,10 @@ class RollingChecker {
     out.survivor = m;
 
     // (b) Save-work invariant.
-    if (m < committed || m > committed + 1 || m >= ctx_.num_records) {
+    const int64_t inflight = InflightWindowEnd(ctx_, committed);
+    if (m < committed || (m != committed && m != inflight) || m >= ctx_.num_records) {
       violate("survivor " + std::to_string(m) + " outside {" + std::to_string(committed) +
-              ", " + std::to_string(committed + 1) + "}");
+              ", " + std::to_string(inflight) + "}");
       return out;
     }
     out.survivor_class = m < 0 ? 0 : (m == committed ? 1 : 2);
@@ -442,26 +477,28 @@ class RollingChecker {
 
     // (d) Tail classification over the state's own extent (framing rejects
     // partial records in O(1); CRC only runs when a record fully landed).
-    if (state_extent > tail_from) {
+    // Under group commit an interrupted window can leave several intact
+    // uncommitted records, but only as a sequence-contiguous prefix of the
+    // window's canonical records — the walk stops at the first framing or
+    // CRC failure, and any intact record out of canonical order is a hole.
+    int64_t cursor = tail_from;
+    int64_t next = m + 1;
+    while (state_extent > cursor) {
       ftx_store::RedoRecord tail;
+      int64_t rel_next = 0;
       ftx_store::DecodeStatus status = ftx_store::DecodeRecordSpan(
-          image_.data() + tail_from, state_extent - tail_from, 0, &tail, nullptr);
-      if (status == ftx_store::DecodeStatus::kOk) {
-        out.tail_seen = true;
-        const int64_t next = m + 1;
-        if (next >= ctx_.num_records) {
-          violate("intact tail record beyond the last canonical commit");
-          return out;
-        }
-        const ftx::Bytes want = ftx_store::EncodeRecord(tail);
-        const int64_t begin = CanonicalRecordBegin(ctx_, next);
-        const int64_t end = (*ctx_.record_end)[static_cast<size_t>(next)];
-        if (static_cast<int64_t>(want.size()) != end - begin ||
-            std::memcmp(want.data(), ctx_.canonical->data() + begin, want.size()) != 0) {
-          violate("intact tail record differs from canonical record " + std::to_string(next));
-          return out;
-        }
+          image_.data() + cursor, state_extent - cursor, 0, &tail, &rel_next);
+      if (status != ftx_store::DecodeStatus::kOk) {
+        break;
       }
+      out.tail_seen = true;
+      const std::string why = CheckTailRecord(ctx_, tail, next);
+      if (!why.empty()) {
+        violate(why);
+        return out;
+      }
+      cursor += rel_next;
+      ++next;
     }
     return out;
   }
@@ -486,6 +523,7 @@ ftx_obs::Json TortureReport::ToJsonRow() const {
   row.Set("scale", scale);
   row.Set("seed", static_cast<int64_t>(seed));
   row.Set("processes", num_processes);
+  row.Set("batch", batch_records);
   row.Set("commits", commits);
   row.Set("journal_ops", journal_ops);
   row.Set("explored_ops", explored_ops);
@@ -542,6 +580,19 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   report.scale = spec.scale > 0
                      ? spec.scale
                      : ftx_apps::DefaultScale(spec.workload, /*full_scale=*/false);
+  report.batch_records = spec.batch_records > 1 ? spec.batch_records : 1;
+
+  // Group-commit policy applied to every recoverable run of the exploration
+  // (traced and replayed alike, so the replay timeline reproduces the
+  // traced one). Captured by value: replay lambdas outlive this frame's
+  // locals on the shard workers.
+  const int64_t batch_records = report.batch_records;
+  auto apply_batch = [batch_records](ftx::ComputationOptions* o) {
+    if (batch_records > 1) {
+      o->group_commit.enabled = true;
+      o->group_commit.max_records = batch_records;
+    }
+  };
 
   ftx::RunSpec base;
   base.workload = spec.workload;
@@ -550,6 +601,7 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   base.interactive = spec.interactive;
   base.protocol = spec.protocol;
   base.store = ftx::StoreKind::kDisk;
+  base.tweak_options = apply_batch;
 
   // Phase 1: failure-free baseline — the consistency oracle's reference.
   ftx::RunSpec reference_spec = base;
@@ -562,7 +614,10 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   ftx::RunSpec traced_spec = base;
   traced_spec.mode = ftx_dc::RuntimeMode::kRecoverable;
   traced_spec.audit = spec.audit;
-  traced_spec.tweak_options = [](ftx::ComputationOptions* o) { o->journal_disk_writes = true; };
+  traced_spec.tweak_options = [apply_batch](ftx::ComputationOptions* o) {
+    o->journal_disk_writes = true;
+    apply_batch(o);
+  };
   std::unique_ptr<ftx::Computation> traced = ftx::BuildComputation(traced_spec);
   ftx::ComputationResult traced_result = traced->Run();
   FTX_CHECK_MSG(traced_result.all_done, "torture trace run did not complete");
@@ -619,8 +674,13 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   // committed_at[c] = the checkpoint durable after the first c ops: the
   // highest sequence with both of its sync barriers in the prefix. Counted
   // per sequence (not barriers/2) so an odd barrier — e.g. a journaled log
-  // truncation — can never skew the count.
+  // truncation — can never skew the count. Both barriers of a group-commit
+  // window carry the window's *last* sequence, so under batching this jumps
+  // straight from one window end to the next — mid-window sequences are
+  // never reported durable. window_ends collects those completed-window
+  // last sequences (sorted, deduped) for the in-flight survivor bound.
   std::vector<int64_t> committed_at(ops.size() + 1, -1);
+  std::vector<int64_t> window_ends;
   {
     int64_t committed = -1;
     int64_t barrier_seq = -1;
@@ -633,6 +693,9 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
         }
         if (++barrier_count == 2) {
           committed = std::max(committed, barrier_seq);
+          if (window_ends.empty() || window_ends.back() < barrier_seq) {
+            window_ends.push_back(barrier_seq);
+          }
         }
       }
       committed_at[i + 1] = committed;
@@ -775,6 +838,7 @@ TortureReport ExploreCommitPath(const TortureSpec& spec, ftx::TrialPool* pool) {
   ctx.record_end = &record_end;
   ctx.num_records = report.commits;
   ctx.committed_at = &committed_at;
+  ctx.window_ends = &window_ends;
   ctx.issued_slots = &issued_slots;
 
   // Phase 4: check every state, one parallel task per commit window, each

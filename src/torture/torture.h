@@ -67,6 +67,15 @@ struct TortureSpec {
   // Caps exploration to the ops of the first N commit windows (0 = every
   // window). Smoke mode uses this to bound depth; --full leaves it at 0.
   int max_commit_windows = 0;
+  // Group-commit window size for the traced and replayed runs (maps to
+  // ftx_store::BatchPolicy::max_records; <= 1 = the historical
+  // one-sync-pair-per-commit path). When > 1 the traced run stages commits
+  // through the CommitPipeline and whole windows persist under a single
+  // barrier pair, so the enumeration explores batched window shapes: the
+  // in-flight slot may advance the survivor to the window's *end* (several
+  // sequences past the last durable one), and an interrupted window must
+  // leave all-or-a-prefix of its records intact — never a hole.
+  int64_t batch_records = 1;
   // Replay every distinct survivor checkpoint through recovery (phase 5).
   // Decode-level exploration (phase 4) always runs.
   bool replay = true;
@@ -84,6 +93,7 @@ struct TortureReport {
   int scale = 0;
   uint64_t seed = 0;
   int num_processes = 0;
+  int64_t batch_records = 1;  // group-commit window size the runs used
 
   // Trace-run shape.
   int64_t commits = 0;        // redo records the traced machine-0 run wrote

@@ -17,6 +17,7 @@ Segment::Segment(size_t size, size_t page_size) : page_size_(page_size), undo_(p
   dirty_bits_.assign(words, 0);
   pending_bits_.assign(words, 0);
   volatile_bits_.assign(words, 0);
+  undo_index_.assign(num_pages_, -1);
 }
 
 void Segment::ReadRaw(int64_t offset, void* dst, size_t size) const {
@@ -42,15 +43,40 @@ void Segment::MarkDirtyPending(int64_t page) {
   }
 }
 
-void Segment::MaterializeBeforeImage(int64_t page) {
+void Segment::MaterializeBeforeImage(int64_t page, int64_t begin, int64_t end) {
   uint64_t& word = pending_bits_[page >> 6];
   uint64_t bit = 1ull << (page & 63);
+  const int64_t page_begin = page * static_cast<int64_t>(page_size_);
+  const int64_t page_end = page_begin + static_cast<int64_t>(page_size_);
   if ((word & bit) == 0) {
+    // Already materialized this epoch. A whole-page image covers any write;
+    // a partial extent covers writes inside it. A write escaping the extent
+    // widens the image to the whole page — everything outside the extent
+    // still holds committed bytes (only barrier-covered stores mutate, and
+    // they all landed inside it), so the live page completes the image.
+    const int32_t index = undo_index_[page];
+    if (index < 0) {
+      return;
+    }
+    const ftx_store::UndoRecord& record = undo_.records()[index];
+    if (record.size == static_cast<int64_t>(page_size_) ||
+        (begin >= record.offset && end <= record.offset + record.size)) {
+      return;
+    }
+    undo_.WidenToWindow(index, data_.data() + page_begin);
     return;
   }
   word &= ~bit;
-  undo_.RecordBeforeImage(page * static_cast<int64_t>(page_size_),
-                          data_.data() + page * static_cast<int64_t>(page_size_), page_size_);
+  // Capture the touched bytes of this page, rounded out to chunk boundaries.
+  int64_t lo = begin > page_begin ? begin : page_begin;
+  int64_t hi = end < page_end ? end : page_end;
+  lo = page_begin + (lo - page_begin) / kExtentChunk * kExtentChunk;
+  hi = page_begin + (hi - page_begin + kExtentChunk - 1) / kExtentChunk * kExtentChunk;
+  if (hi > page_end) {
+    hi = page_end;
+  }
+  undo_index_[page] =
+      undo_.RecordBeforeImage(lo, data_.data() + lo, static_cast<size_t>(hi - lo));
 }
 
 void Segment::UpdateFastRange(int64_t page) {
@@ -61,8 +87,18 @@ void Segment::UpdateFastRange(int64_t page) {
     fast_end_ = 0;
     return;
   }
-  fast_begin_ = page * static_cast<int64_t>(page_size_);
-  fast_end_ = fast_begin_ + static_cast<int64_t>(page_size_);
+  const int32_t index = undo_index_[page];
+  if (index < 0) {
+    fast_begin_ = 0;
+    fast_end_ = 0;
+    return;
+  }
+  // The fast range is exactly the materialized extent: stores inside it are
+  // covered by undo, stores outside must come back through the barrier so
+  // the image can widen.
+  const ftx_store::UndoRecord& record = undo_.records()[index];
+  fast_begin_ = record.offset;
+  fast_end_ = record.offset + record.size;
 }
 
 void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
@@ -84,7 +120,7 @@ void Segment::WriteSlow(int64_t offset, const void* src, size_t size) {
     return;
   }
   for (int64_t page = first; page <= last; ++page) {
-    MaterializeBeforeImage(page);
+    MaterializeBeforeImage(page, offset, offset + static_cast<int64_t>(size));
   }
   std::memcpy(data_.data() + offset, src, size);
   UpdateFastRange(last);
@@ -101,7 +137,7 @@ uint8_t* Segment::OpenForWriteSlow(int64_t offset, size_t size) {
       // The caller mutates through a raw pointer the barrier cannot watch:
       // materialize eagerly.
       MarkDirtyPending(page);
-      MaterializeBeforeImage(page);
+      MaterializeBeforeImage(page, offset, offset + static_cast<int64_t>(size));
     }
     UpdateFastRange(last);
   }
@@ -112,6 +148,7 @@ void Segment::ClearDirtyTracking() {
   for (int64_t page : dirty_order_) {
     dirty_bits_[page >> 6] &= ~(1ull << (page & 63));
     pending_bits_[page >> 6] &= ~(1ull << (page & 63));
+    undo_index_[page] = -1;
   }
   dirty_order_.clear();
   persisted_dirty_ = 0;

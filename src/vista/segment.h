@@ -20,8 +20,15 @@
 //   * before-images are *lazy*: first touch only marks the page
 //     dirty-pending. The physical copy into a pooled undo slot happens the
 //     first time a write actually changes the page's bytes — a store of a
-//     value already present (a silent store) never pays the 4 KB copy.
-//     OpenForWrite hands out a raw pointer, so it materializes eagerly.
+//     value already present (a silent store) never pays the copy.
+//     OpenForWrite hands out a raw pointer, so it materializes eagerly;
+//   * before-images are *extents*, not whole pages: the first
+//     content-changing touch captures only the touched range, rounded out
+//     to 256-byte chunks, and the fast range narrows to that extent. A
+//     later write escaping the extent widens the image to the whole page in
+//     place (at most one widen per page per epoch). A transaction that
+//     pokes a few bytes per page logs and aborts kilobytes, not
+//     page-size × pages.
 //
 // Dirty-page counts, persisted counts, and undo_bytes() are identical to an
 // eager implementation — the simulated cost models charge logical pages
@@ -190,10 +197,19 @@ class Segment {
   void CorruptBit(int64_t offset, int bit);
 
  private:
+  // Before-image extents round out to this granularity: big enough that a
+  // run of small neighboring stores coalesces into one capture, small
+  // enough that a single poked word doesn't log a whole page.
+  static constexpr int64_t kExtentChunk = 256;
+
   void WriteSlow(int64_t offset, const void* src, size_t size);
   uint8_t* OpenForWriteSlow(int64_t offset, size_t size);
   void MarkDirtyPending(int64_t page);
-  void MaterializeBeforeImage(int64_t page);
+  // Ensures the undo log covers the about-to-change bytes [begin, end) of
+  // `page` (clipped to the page): captures a chunk-rounded extent on the
+  // first content-changing touch, widens to the whole page when a later
+  // write escapes the captured extent.
+  void MaterializeBeforeImage(int64_t page, int64_t begin, int64_t end);
   void UpdateFastRange(int64_t page);
   void ClearDirtyTracking();
 
@@ -211,10 +227,13 @@ class Segment {
   std::vector<uint64_t> pending_bits_;
   std::vector<uint64_t> volatile_bits_;
   std::vector<int64_t> dirty_order_;  // dirty pages in first-touch order
+  // Per page: index of its undo record this epoch (-1 none). Lets the
+  // barrier find and widen a page's partial before-image in O(1).
+  std::vector<int32_t> undo_index_;
   size_t persisted_dirty_ = 0;
-  // [fast_begin_, fast_end_): byte range of the last touched page, valid
-  // only while that page's before-image is materialized — writes inside it
-  // need no bookkeeping at all. Empty (0,0) when invalid.
+  // [fast_begin_, fast_end_): the last touched page's materialized extent —
+  // writes inside it are already covered by undo, so they need no
+  // bookkeeping at all. Empty (0,0) when invalid.
   int64_t fast_begin_ = 0;
   int64_t fast_end_ = 0;
   ftx_store::UndoLog undo_;

@@ -1,0 +1,138 @@
+// Hardware-vs-portable CRC32 dispatch equality.
+//
+// The PCLMUL kernel must be byte-identical to the slice-by-8 reference on
+// every input — the log format, goldens, and torture checksums are all
+// committed to the IEEE digests, so a single divergent bit anywhere in the
+// fold algebra would corrupt durability checks silently. These tests fuzz
+// the two paths against each other across lengths, alignments, and seeds,
+// exercise the incremental-extend contract, pin the Segment::Checksum range
+// overload under both implementations, and verify the forced-portable
+// (CPUID-fallback) selector.
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+#include "src/vista/segment.h"
+
+namespace ftx {
+namespace {
+
+// Restores the auto-probed dispatch no matter how a test exits, so a failed
+// forced-portable test can't leak a slow path into the rest of the suite.
+class ScopedCrc32Impl {
+ public:
+  explicit ScopedCrc32Impl(Crc32Impl impl) { SetCrc32Impl(impl); }
+  ~ScopedCrc32Impl() { SetCrc32Impl(Crc32Impl::kAuto); }
+};
+
+std::vector<uint8_t> RandomBuffer(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> buf(size);
+  for (auto& b : buf) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return buf;
+}
+
+TEST(Crc32DispatchTest, HardwareMatchesPortableAcrossLengthsAndAlignments) {
+  if (!Crc32HardwareAvailable()) {
+    GTEST_SKIP() << "no PCLMUL on this host";
+  }
+  ScopedCrc32Impl forced(Crc32Impl::kHardware);
+  ASSERT_EQ(ActiveCrc32Impl(), Crc32Impl::kHardware);
+
+  // +64 slack so every offset still leaves `len` addressable bytes.
+  const std::vector<uint8_t> buf = RandomBuffer(1 << 18, 0x5eed);
+  const size_t lengths[] = {0,  1,   7,   8,    15,   16,   63,    64,    65,    80,
+                            96, 127, 128, 1000, 4096, 4097, 65536, 99999, 262080};
+  const size_t offsets[] = {0, 1, 3, 7, 8, 15, 63};
+  for (size_t len : lengths) {
+    for (size_t off : offsets) {
+      if (off + len > buf.size()) {
+        continue;
+      }
+      const uint8_t* p = buf.data() + off;
+      EXPECT_EQ(Crc32Extend(0, p, len), Crc32PortableExtend(0, p, len))
+          << "len=" << len << " off=" << off;
+      EXPECT_EQ(Crc32Extend(0xdeadbeefu, p, len), Crc32PortableExtend(0xdeadbeefu, p, len))
+          << "seeded len=" << len << " off=" << off;
+    }
+  }
+}
+
+TEST(Crc32DispatchTest, RandomizedSplitsPreserveIncrementalContract) {
+  if (!Crc32HardwareAvailable()) {
+    GTEST_SKIP() << "no PCLMUL on this host";
+  }
+  ScopedCrc32Impl forced(Crc32Impl::kHardware);
+
+  Rng rng(0xc4c32);
+  const std::vector<uint8_t> buf = RandomBuffer(1 << 16, 0xfeed);
+  for (int round = 0; round < 200; ++round) {
+    const size_t len = static_cast<size_t>(rng.NextU64() % buf.size());
+    const size_t off = static_cast<size_t>(rng.NextU64() % (buf.size() - len + 1));
+    const size_t split = len == 0 ? 0 : static_cast<size_t>(rng.NextU64() % (len + 1));
+    const uint8_t* p = buf.data() + off;
+    const uint32_t whole = Crc32PortableExtend(0, p, len);
+    // Hardware one-shot and hardware two-part extend both match the
+    // portable one-shot.
+    EXPECT_EQ(Crc32Extend(0, p, len), whole) << "round " << round;
+    const uint32_t part = Crc32Extend(0, p, split);
+    EXPECT_EQ(Crc32Extend(part, p + split, len - split), whole)
+        << "round " << round << " split=" << split;
+  }
+}
+
+TEST(Crc32DispatchTest, SegmentChecksumRangeOverloadIsImplementationInvariant) {
+  ftx_vista::Segment segment(64 * 1024);
+  Rng rng(0x5e9);
+  for (int i = 0; i < 512; ++i) {
+    const int64_t offset = static_cast<int64_t>(rng.NextU64() % (segment.size() - 8));
+    segment.WriteValue<uint64_t>(offset, rng.NextU64());
+  }
+  segment.Commit();
+
+  struct Range {
+    int64_t offset;
+    size_t size;
+  };
+  const Range ranges[] = {{0, 64 * 1024}, {0, 1}, {4095, 2}, {100, 9000}, {60000, 4000}, {512, 0}};
+  for (const Range& r : ranges) {
+    SetCrc32Impl(Crc32Impl::kPortable);
+    const uint32_t portable = segment.Checksum(r.offset, r.size);
+    SetCrc32Impl(Crc32Impl::kAuto);
+    const uint32_t active = segment.Checksum(r.offset, r.size);
+    EXPECT_EQ(portable, active) << "offset=" << r.offset << " size=" << r.size;
+  }
+  SetCrc32Impl(Crc32Impl::kAuto);
+}
+
+TEST(Crc32DispatchTest, ForcedPortableSelectorTakesEffect) {
+  // The CPUID-fallback path: regardless of host support, kPortable must win
+  // and still produce the canonical digests.
+  ScopedCrc32Impl forced(Crc32Impl::kPortable);
+  ASSERT_EQ(ActiveCrc32Impl(), Crc32Impl::kPortable);
+  const char msg[] = "123456789";
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32(msg, 9), 0xcbf43926u);
+  const std::vector<uint8_t> buf = RandomBuffer(4096, 1);
+  EXPECT_EQ(Crc32(buf.data(), buf.size()), Crc32PortableExtend(0, buf.data(), buf.size()));
+}
+
+TEST(Crc32DispatchTest, HardwareForcingFallsBackWhenUnsupported) {
+  ScopedCrc32Impl forced(Crc32Impl::kHardware);
+  if (Crc32HardwareAvailable()) {
+    EXPECT_EQ(ActiveCrc32Impl(), Crc32Impl::kHardware);
+  } else {
+    // Forcing hardware on a host without PCLMUL must degrade, not crash.
+    EXPECT_EQ(ActiveCrc32Impl(), Crc32Impl::kPortable);
+    const char msg[] = "123456789";
+    EXPECT_EQ(Crc32(msg, 9), 0xcbf43926u);
+  }
+}
+
+}  // namespace
+}  // namespace ftx

@@ -209,6 +209,69 @@ TEST(Runtime, NdLogReplayKeepsLoggedProtocolConsistent) {
   EXPECT_TRUE(check.consistent) << check.diagnostic;
 }
 
+TEST(Runtime, GroupCommitMatchesUnbatchedRunAndAuditsClean) {
+  // Group-commit staging must be invisible to everything but the sync
+  // schedule: same app state, same commit count, and a clean online
+  // Save-work audit. cand commits after each ND event, so a step with two
+  // ND events stages two records into one window; every Print flushes the
+  // open window before the output escapes.
+  auto run = [](bool batched) {
+    ftx::ComputationOptions options;
+    options.seed = 7;
+    options.protocol = "cand";
+    options.store = ftx::StoreKind::kDisk;
+    options.audit = true;
+    if (batched) {
+      options.group_commit.enabled = true;
+      options.group_commit.max_records = 8;
+    }
+    std::vector<std::unique_ptr<ftx_dc::App>> apps;
+    apps.push_back(std::make_unique<CounterApp>());
+    auto computation = std::make_unique<ftx::Computation>(options, std::move(apps));
+    computation->SetInputScript(0, TokenScript(40));
+    ftx::ComputationResult result = computation->Run();
+    return std::make_pair(std::move(computation), result);
+  };
+
+  auto [unbatched, base] = run(false);
+  auto [batched, grouped] = run(true);
+  EXPECT_TRUE(base.all_done);
+  EXPECT_TRUE(grouped.all_done);
+  EXPECT_EQ(grouped.total_commits, base.total_commits);
+  auto base_state = CounterApp::Read(unbatched->runtime(0));
+  auto grouped_state = CounterApp::Read(batched->runtime(0));
+  EXPECT_EQ(grouped_state.steps, base_state.steps);
+  EXPECT_EQ(grouped_state.accumulator, base_state.accumulator);
+  ASSERT_NE(batched->audit(), nullptr);
+  EXPECT_EQ(batched->audit()->violations(), 0);
+  // Clean shutdown leaves nothing staged.
+  ASSERT_NE(batched->commit_pipeline(0), nullptr);
+  EXPECT_TRUE(batched->commit_pipeline(0)->empty());
+}
+
+TEST(Runtime, GroupCommitSurvivesMidRunFailure) {
+  // A kill with a window open drops the staged (never-reported) commits;
+  // recovery replays the durable prefix and the run still finishes with
+  // the exact expected state.
+  ftx::ComputationOptions options;
+  options.seed = 7;
+  options.protocol = "cand";
+  options.store = ftx::StoreKind::kDisk;
+  options.group_commit.enabled = true;
+  options.group_commit.max_records = 8;
+  std::vector<std::unique_ptr<ftx_dc::App>> apps;
+  apps.push_back(std::make_unique<CounterApp>());
+  ftx::Computation computation(options, std::move(apps));
+  computation.SetInputScript(0, TokenScript(40));
+  computation.ScheduleStopFailure(0, ftx::TimePoint() + ftx::Milliseconds(500));
+  ftx::ComputationResult result = computation.Run();
+  EXPECT_TRUE(result.all_done);
+  auto state = CounterApp::Read(computation.runtime(0));
+  EXPECT_EQ(state.steps, 40);
+  EXPECT_EQ(state.accumulator, ExpectedAccumulator(40));
+  EXPECT_GE(computation.runtime(0).stats().rollbacks, 1);
+}
+
 TEST(Runtime, BaselineModeDoesNoRecoveryWork) {
   ftx::ComputationOptions options;
   options.mode = ftx_dc::RuntimeMode::kBaseline;

@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include "src/storage/commit_pipeline.h"
 #include "src/storage/disk_model.h"
+#include "src/storage/log_image.h"
 #include "src/storage/redo_log.h"
 #include "src/storage/stable_store.h"
 #include "src/storage/undo_log.h"
+#include "src/storage/write_journal.h"
 
 namespace {
 
@@ -126,12 +129,63 @@ TEST(UndoLog, PooledSlotsAreReusedAcrossEpochs) {
 TEST(UndoLog, OddSizedRegionsUseFallback) {
   std::vector<uint8_t> buffer(100, 7);
   ftx_store::UndoLog log(64);
-  log.RecordBeforeImage(0, buffer.data(), 100);  // not slot-sized
+  log.RecordBeforeImage(0, buffer.data(), 100);  // straddles a slot window
   EXPECT_EQ(log.allocated_slots(), 0u);
   EXPECT_EQ(log.records()[0].slot, -1);
   std::fill(buffer.begin(), buffer.end(), 9);
   log.ApplyReverseInto(buffer.data(), buffer.size());
   EXPECT_EQ(buffer, std::vector<uint8_t>(100, 7));
+}
+
+TEST(UndoLog, PartialExtentUsesPooledSlotAtWindowOffset) {
+  std::vector<uint8_t> buffer(128);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<uint8_t>(i);
+  }
+  ftx_store::UndoLog log(64);
+  // 16 bytes inside window 1: pooled despite not being slot-sized.
+  int32_t index = log.RecordBeforeImage(80, buffer.data() + 80, 16);
+  EXPECT_EQ(log.allocated_slots(), 1u);
+  EXPECT_GE(log.records()[index].slot, 0);
+  std::fill(buffer.begin() + 80, buffer.begin() + 96, 0xff);
+  log.ApplyReverseInto(buffer.data(), buffer.size());
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], static_cast<uint8_t>(i)) << i;
+  }
+}
+
+TEST(UndoLog, WidenToWindowCompletesPartialImageInPlace) {
+  std::vector<uint8_t> buffer(128);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<uint8_t>(i);
+  }
+  const std::vector<uint8_t> committed = buffer;
+  ftx_store::UndoLog log(64);
+  int32_t index = log.RecordBeforeImage(80, buffer.data() + 80, 16);
+  // Mutate inside the extent, then widen with the live window (bytes
+  // outside the extent are still committed), then mutate outside it.
+  std::fill(buffer.begin() + 80, buffer.begin() + 96, 0xaa);
+  log.WidenToWindow(index, buffer.data() + 64);
+  EXPECT_EQ(log.records()[index].offset, 64);
+  EXPECT_EQ(log.records()[index].size, 64);
+  EXPECT_EQ(log.byte_size(), 64);
+  std::fill(buffer.begin() + 64, buffer.end(), 0xbb);
+  log.ApplyReverseInto(buffer.data(), buffer.size());
+  EXPECT_EQ(buffer, committed);
+  // The widened record's slot went back to the pool.
+  EXPECT_EQ(log.free_slots(), 1u);
+}
+
+TEST(UndoLog, OddFallbackBuffersAreRecycledAcrossEpochs) {
+  std::vector<uint8_t> buffer(256, 3);
+  ftx_store::UndoLog log(64);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    log.RecordBeforeImage(32, buffer.data() + 32, 64);   // straddles windows
+    log.RecordBeforeImage(130, buffer.data() + 130, 70);  // straddles windows
+    EXPECT_EQ(log.allocated_slots(), 0u);
+    log.Discard();
+  }
+  EXPECT_EQ(log.byte_size(), 0);
 }
 
 // --- RedoLog ---
@@ -199,6 +253,100 @@ TEST(RedoLog, TruncateDropsPrefix) {
   log.TruncateThrough(2);
   ASSERT_EQ(log.records().size(), 2u);
   EXPECT_EQ(log.records()[0].sequence, 3);
+}
+
+// --- CommitPipeline (group commit) ---
+
+ftx_store::RedoRecord PageRecord(uint8_t fill, size_t bytes = 4096) {
+  ftx_store::RedoRecord record;
+  ftx::Bytes image(bytes, fill);
+  record.AppendPage(0, image.data(), image.size());
+  return record;
+}
+
+TEST(CommitPipeline, WindowFillsAtMaxRecordsAndFlushesUnderOneSlot) {
+  ftx_store::RedoLog log;
+  ftx_store::WriteJournal journal;
+  log.AttachJournal(&journal);
+  ftx_store::BatchPolicy policy;
+  policy.enabled = true;
+  policy.max_records = 3;
+  ftx_store::CommitPipeline pipeline(&log, policy);
+
+  EXPECT_FALSE(pipeline.Stage(PageRecord(1)));
+  EXPECT_FALSE(pipeline.Stage(PageRecord(2)));
+  EXPECT_TRUE(pipeline.Stage(PageRecord(3)));  // window full: flush now
+  EXPECT_EQ(pipeline.staged_records(), 3);
+  EXPECT_GT(pipeline.Flush(), 0);
+  EXPECT_TRUE(pipeline.empty());
+
+  // One window: three record bodies, ONE commit slot, two barriers — and
+  // the slot (the only write below the record area) vouches for the last
+  // staged sequence.
+  ASSERT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.records().back().sequence, 2);
+  EXPECT_EQ(journal.barriers(), 2);
+  int slot_writes = 0;
+  for (const ftx_store::DiskOp& op : journal.ops()) {
+    if (op.kind == ftx_store::DiskOpKind::kSectorWrite &&
+        op.offset < ftx_store::kLogStartOffset) {
+      ++slot_writes;
+      EXPECT_EQ(op.sequence, 2);
+    }
+  }
+  EXPECT_EQ(slot_writes, 1);
+}
+
+TEST(CommitPipeline, MaxBytesOverflowRecordJoinsItsWindow) {
+  // The record that crosses max_bytes still joins the window (flush fires
+  // right after staging it), so one oversized commit can never wedge the
+  // pipeline — and the window holds BOTH records, not the pre-overflow
+  // prefix.
+  ftx_store::RedoLog log;
+  ftx_store::BatchPolicy policy;
+  policy.enabled = true;
+  policy.max_records = 100;
+  policy.max_bytes = 6000;
+  ftx_store::CommitPipeline pipeline(&log, policy);
+
+  EXPECT_FALSE(pipeline.Stage(PageRecord(1)));         // ~4KB staged
+  EXPECT_TRUE(pipeline.Stage(PageRecord(2, 8192)));    // crosses mid-batch
+  EXPECT_EQ(pipeline.staged_records(), 2);
+  EXPECT_GT(pipeline.staged_bytes(), policy.max_bytes);
+  EXPECT_GT(pipeline.Flush(), 0);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.next_sequence(), 2);
+
+  // A single record larger than max_bytes flushes immediately as its own
+  // window.
+  EXPECT_TRUE(pipeline.Stage(PageRecord(3, 16384)));
+  EXPECT_GT(pipeline.Flush(), 0);
+  EXPECT_EQ(log.records().size(), 3u);
+}
+
+TEST(CommitPipeline, DropDiscardsStagedWindowWithoutPersisting) {
+  // Crash/kill semantics: a dropped window never reaches the log, and the
+  // next staged window resumes sequence numbering as if the dropped records
+  // never happened (they were never reported committed).
+  ftx_store::RedoLog log;
+  ftx_store::BatchPolicy policy;
+  policy.enabled = true;
+  policy.max_records = 8;
+  ftx_store::CommitPipeline pipeline(&log, policy);
+
+  pipeline.Stage(PageRecord(1));
+  pipeline.Stage(PageRecord(2));
+  EXPECT_EQ(pipeline.staged_records(), 2);
+  pipeline.Drop();
+  EXPECT_TRUE(pipeline.empty());
+  EXPECT_EQ(pipeline.staged_bytes(), 0);
+  EXPECT_EQ(log.records().size(), 0u);
+  EXPECT_EQ(pipeline.Flush(), 0);  // nothing staged: no-op
+
+  pipeline.Stage(PageRecord(3));
+  pipeline.Flush();
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].sequence, 0);
 }
 
 // --- StableStore policies ---

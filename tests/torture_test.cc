@@ -404,4 +404,46 @@ TEST(TortureEngine, ReportIsIdenticalAcrossPoolSizes) {
   EXPECT_EQ(serial.ToJsonRow().Dump(2), parallel.ToJsonRow().Dump(2));
 }
 
+TEST(TortureEngine, BatchedWindowsHoldInvariantWithMultiRecordWindows) {
+  // Group-commit torture: CAND commits between output events, so 4-record
+  // windows genuinely accumulate. Every crash state must still satisfy
+  // Save-work with the batched bound — the survivor is a *window end*, and
+  // interrupted windows leave all-or-a-prefix of their records intact.
+  ftx_torture::TortureSpec spec;
+  spec.workload = "nvi";
+  spec.protocol = "cand";
+  spec.scale = 20;
+  spec.seed = 17;
+  spec.max_commit_windows = 6;
+  spec.batch_records = 4;
+  ftx_torture::TortureReport report = ftx_torture::ExploreCommitPath(spec, nullptr);
+
+  EXPECT_EQ(report.violations, 0) << (report.violation_diagnostics.empty()
+                                          ? ""
+                                          : report.violation_diagnostics.front());
+  EXPECT_EQ(report.batch_records, 4);
+  EXPECT_GE(report.commits, 2);
+  EXPECT_GT(report.crash_states, 0);
+  EXPECT_GT(report.survivor_committed, 0);
+  EXPECT_GT(report.replays, 0);
+  EXPECT_EQ(report.replays, report.replays_consistent);
+  // Interrupted multi-record windows strand intact-but-uncommitted tails.
+  EXPECT_GT(report.tail_records_seen, 0);
+}
+
+TEST(TortureEngine, BatchedReportIsIdenticalAcrossPoolSizes) {
+  ftx_torture::TortureSpec spec;
+  spec.workload = "nvi";
+  spec.protocol = "cand";
+  spec.scale = 20;
+  spec.seed = 17;
+  spec.max_commit_windows = 4;
+  spec.batch_records = 4;
+
+  ftx::TrialPool pool4(4);
+  ftx_torture::TortureReport serial = ftx_torture::ExploreCommitPath(spec, nullptr);
+  ftx_torture::TortureReport parallel = ftx_torture::ExploreCommitPath(spec, &pool4);
+  EXPECT_EQ(serial.ToJsonRow().Dump(2), parallel.ToJsonRow().Dump(2));
+}
+
 }  // namespace

@@ -167,6 +167,60 @@ TEST(Segment, ChecksumDetectsAnyChange) {
   EXPECT_NE(segment.Checksum(), empty);
 }
 
+// The extent-based undo path: a small store captures only its chunk, a
+// later store escaping the chunk widens the image to the whole page, and
+// abort restores every byte either way.
+TEST(Segment, WriteEscapingCapturedExtentStillAbortsCleanly) {
+  Segment segment(8 * 1024, 4096);
+  for (int64_t i = 0; i < 4096; i += 8) {
+    segment.WriteValue<uint64_t>(i, static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+  }
+  segment.Commit();
+  uint32_t committed = segment.Checksum();
+
+  // First touch: extent around offset 0. Second store lands far outside the
+  // extent (same page), forcing the widen. Third store goes through the
+  // now-page-wide fast range.
+  segment.WriteValue<uint64_t>(0, 0xdeadbeefull);
+  segment.WriteValue<uint64_t>(2048, 0xfeedfaceull);
+  segment.WriteValue<uint64_t>(2056, 0xabad1deaull);
+  EXPECT_EQ(segment.dirty_page_count(), 1u);
+  segment.Abort();
+  EXPECT_EQ(segment.Checksum(), committed);
+}
+
+TEST(Segment, NeighboringStoresShareOneExtent) {
+  Segment segment(8 * 1024, 4096);
+  segment.WriteValue<uint64_t>(512, 1u);
+  segment.Commit();
+  uint32_t committed = segment.Checksum();
+
+  // All inside one 256-byte chunk: a single captured extent covers them.
+  for (int64_t i = 512; i < 768; i += 8) {
+    segment.WriteValue<uint64_t>(i, static_cast<uint64_t>(i));
+  }
+  segment.Abort();
+  EXPECT_EQ(segment.Checksum(), committed);
+}
+
+TEST(Segment, SilentStoreThenRealStoreOutsideFirstTouchRange) {
+  Segment segment(8 * 1024, 4096);
+  segment.WriteValue<uint64_t>(0, 7u);
+  segment.WriteValue<uint64_t>(3000, 9u);
+  segment.Commit();
+  uint32_t committed = segment.Checksum();
+
+  // Silent store: page goes dirty-pending, nothing materialized. The later
+  // content-changing store at a different offset must capture its own
+  // extent, and abort must restore both regions.
+  segment.WriteValue<uint64_t>(0, 7u);     // same value — silent
+  segment.WriteValue<uint64_t>(3000, 1u);  // real change
+  segment.Abort();
+  EXPECT_EQ(segment.Checksum(), committed);
+  EXPECT_EQ(segment.Read<uint64_t>(0), 7u);
+  EXPECT_EQ(segment.Read<uint64_t>(3000), 9u);
+}
+
 class SegmentProperty : public ::testing::TestWithParam<uint64_t> {};
 
 // Property: any interleaving of writes/commits/aborts leaves the segment
