@@ -56,6 +56,8 @@ constexpr FlagSpec kBenchFlags[] = {
      [](BenchOptions* options, const char* value) {
        options->batch = std::strtoll(value, nullptr, 10);
      }},
+    {"--shards", "N", "partitioned event-engine shards (byte-identical results; 0 = default)",
+     [](BenchOptions* options, const char* value) { options->shards = std::atoi(value); }},
     {"--log-level", "LEVEL", "error|warning|info|debug (default warning)",
      [](BenchOptions* options, const char* value) {
        ftx::LogLevel level;

@@ -54,6 +54,9 @@ namespace ftx_bench {
 //                  backend_equiv runs both and byte-compares)
 //   --batch N      group-commit window size for DC-disk runs (records per
 //                  sync window; 0 or 1 = the one-sync-pair-per-commit path)
+//   --shards N     partitioned event-engine shard count for benches that
+//                  build fleet-scale computations (results byte-identical
+//                  for every value; 0 = the bench's own choice)
 //   --log-level L  error|warning|info|debug (default warning)
 // Unknown flags, missing values, and bad --log-level names print the usage
 // table and exit 2.
@@ -69,6 +72,7 @@ struct BenchOptions {
   std::string prof_path;   // collapsed-stack profile output; empty = prof off
   std::string backend;    // "sim" | "threads"; empty = the bench's default
   int64_t batch = 0;      // group-commit window size; <= 1 = batching off
+  int shards = 0;         // event-engine shards; 0 = the bench's own choice
   std::string log_level;  // as given; applied via ftx::SetLogLevel at parse
 };
 

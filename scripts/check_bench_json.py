@@ -59,6 +59,9 @@ REQUIRED_ROW_FIELDS = {
                       "rollbacks", "coordinated_rounds", "decisions",
                       "decision_crc", "transport_mismatches",
                       "durable_mismatches", "equal", "mismatch_index", "ok"],
+    "fleet_faults": ["protocol", "crashes", "clients", "servers",
+                     "requests_per_client", "necessary_ops", "executed_ops",
+                     "efficiency", "violations", "commits", "rollbacks"],
     "recovery_profile": ["section", "workload", "protocol", "store", "scale",
                          "crash_fraction", "repeats", "ok", "violations",
                          "replays", "redo_records", "mttr_count",
@@ -270,6 +273,41 @@ def check_file(path):
                 ok = fail(path, f"rows[{i}]: profiler saw no recover.log_scan "
                                 f"scope (count="
                                 f"{row.get('phase_log_scan_count')!r})")
+    # Fleet efficiency rows gate hard: exactly-once must hold at every fault
+    # rate, efficiency is necessary/executed so it lives in (0, 1] and is
+    # exactly 1.0 fault-free, each protocol's curve must be (near-)monotone
+    # nonincreasing in the injected crash count — the crash sets are prefixes
+    # of each other, so added faults can only add rolled-back work — and a
+    # full-scale run must actually be the 10k-client ROADMAP fleet.
+    if bench == "fleet_faults":
+        curves = {}
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            if row.get("violations") != 0:
+                ok = fail(path, f"rows[{i}]: exactly-once violated "
+                                f"(violations={row.get('violations')!r})")
+            eff = row.get("efficiency")
+            if not is_number(eff) or not 0.0 < eff <= 1.0:
+                ok = fail(path, f"rows[{i}]: efficiency {eff!r} outside (0, 1]")
+                continue
+            if row.get("crashes") == 0 and eff != 1.0:
+                ok = fail(path, f"rows[{i}]: fault-free efficiency is {eff!r},"
+                                f" expected exactly 1.0")
+            curves.setdefault(row.get("protocol"), []).append(
+                (row.get("crashes"), eff))
+        for protocol, points in curves.items():
+            points.sort()
+            for (c0, e0), (c1, e1) in zip(points, points[1:]):
+                if e1 > e0 + 0.01:
+                    ok = fail(path, f"{protocol!r}: efficiency rises from "
+                                    f"{e0} at {c0} crashes to {e1} at {c1} "
+                                    f"crashes (curve must be nonincreasing)")
+        if doc.get("full_scale") is True:
+            clients = [r.get("clients") for r in rows if isinstance(r, dict)]
+            if any(not is_number(c) or c < 10000 for c in clients):
+                ok = fail(path, f"full-scale fleet run with fewer than 10000 "
+                                f"clients: {sorted(set(clients))!r}")
     if ok:
         print(f"{path}: ok ({bench}, {len(rows)} rows)")
     return ok

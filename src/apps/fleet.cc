@@ -1,0 +1,365 @@
+#include "src/apps/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/check.h"
+
+namespace ftx_apps {
+namespace {
+
+constexpr uint64_t kServerMagic = 0x666c740073727600ULL;  // "flt\0srv\0"
+constexpr uint64_t kClientMagic = 0x666c7400636c6900ULL;  // "flt\0cli\0"
+
+// Wire tags. Fields are appended individually (no struct padding on the
+// wire — message bytes must be deterministic).
+constexpr uint8_t kTagRequest = 'R';
+constexpr uint8_t kTagAck = 'A';
+constexpr uint8_t kTagBye = 'B';
+
+// --- server segment layout ---
+// Ledger header at 0, then a per-client last-applied-seq table (dedup
+// against resends after client rollback), then a per-client bye flag table
+// (dedup against re-sent session ends).
+constexpr int64_t kServerHeaderOffset = 0;
+constexpr int64_t kServerTablesOffset = 128;
+
+struct ServerState {
+  uint64_t magic = kServerMagic;
+  int64_t applied = 0;    // requests applied exactly once
+  int64_t value_sum = 0;  // running ledger total
+  int64_t byes = 0;       // client sessions ended
+  int64_t reports = 0;    // progress lines printed
+  int64_t since_report = 0;
+};
+
+// --- client segment layout ---
+constexpr int64_t kClientHeaderOffset = 0;
+
+struct ClientState {
+  uint64_t magic = kClientMagic;
+  int64_t phase = 0;     // 0 = send next request, 1 = awaiting ack
+  int64_t next_seq = 0;  // requests sent so far
+  int64_t acked = 0;     // acks processed
+  int64_t last_applied_seen = 0;  // server-side per-client count echoed back
+};
+
+// Deterministic per-(pid, seq) jitter so the fleet's sends spread out
+// instead of phase-locking (pure function of committed state — safe to
+// reexecute).
+int64_t MixJitter(int pid, int64_t seq, int64_t bound) {
+  uint64_t x = static_cast<uint64_t>(pid) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(seq) * 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 29;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 32;
+  return static_cast<int64_t>(x % static_cast<uint64_t>(bound));
+}
+
+int64_t LastSeqOffset(int local_client) {
+  return kServerTablesOffset + static_cast<int64_t>(local_client) * 8;
+}
+
+int64_t ByeFlagOffset(const FleetConfig& config, int server_pid, int local_client) {
+  return kServerTablesOffset + static_cast<int64_t>(FleetClientsOfServer(config, server_pid)) * 8 +
+         local_client;
+}
+
+}  // namespace
+
+int FleetServerOf(const FleetConfig& config, int client_pid) {
+  const int index = client_pid - config.num_servers;
+  FTX_CHECK(index >= 0 && index < config.num_clients);
+  return index % config.num_servers;
+}
+
+int FleetClientsOfServer(const FleetConfig& config, int server_pid) {
+  FTX_CHECK(server_pid >= 0 && server_pid < config.num_servers);
+  if (server_pid >= config.num_clients) {
+    return 0;
+  }
+  return (config.num_clients - server_pid - 1) / config.num_servers + 1;
+}
+
+int64_t FleetRequestValue(int client_pid, int64_t seq) {
+  uint64_t x = static_cast<uint64_t>(client_pid) * 0xd1342543de82ef95ULL +
+               static_cast<uint64_t>(seq) + 1;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<int64_t>(x & 0xffff);
+}
+
+int64_t FleetExpectedValueSum(const FleetConfig& config) {
+  int64_t sum = 0;
+  for (int i = 0; i < config.num_clients; ++i) {
+    for (int64_t seq = 0; seq < config.requests_per_client; ++seq) {
+      sum += FleetRequestValue(config.num_servers + i, seq);
+    }
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------- server
+
+FleetServer::FleetServer(FleetConfig config) : config_(config) {}
+
+size_t FleetServer::SegmentBytes() const {
+  // Worst-case table width: the server with the most assigned clients.
+  const int max_clients =
+      config_.num_servers > 0 ? FleetClientsOfServer(config_, 0) : config_.num_clients;
+  const size_t raw = static_cast<size_t>(kServerTablesOffset) +
+                     static_cast<size_t>(max_clients) * 9;  // 8B seq + 1B bye flag
+  return (raw + 4095) / 4096 * 4096;
+}
+
+void FleetServer::Init(ftx_dc::ProcessEnv& env) {
+  ServerState state;
+  env.segment().WriteValue(kServerHeaderOffset, state);
+  const int assigned = FleetClientsOfServer(config_, env.pid());
+  for (int c = 0; c < assigned; ++c) {
+    env.segment().WriteValue(LastSeqOffset(c), int64_t{-1});
+    env.segment().WriteValue(ByeFlagOffset(config_, env.pid(), c), uint8_t{0});
+  }
+}
+
+ftx_dc::StepOutcome FleetServer::Step(ftx_dc::ProcessEnv& env) {
+  ServerState state = env.segment().Read<ServerState>(kServerHeaderOffset);
+  if (state.magic != kServerMagic) {
+    env.Crash("fleet-server: ledger header corrupted");
+    return ftx_dc::StepOutcome{};
+  }
+  const int assigned = FleetClientsOfServer(config_, env.pid());
+
+  std::optional<ftx_sim::Message> msg = env.TryReceive();
+  if (!msg.has_value()) {
+    if (state.byes >= assigned) {
+      // Every client session ended: final summary line, then done.
+      ftx::Bytes row;
+      ftx::AppendValue(&row, uint8_t{'F'});
+      ftx::AppendValue(&row, state.applied);
+      ftx::AppendValue(&row, state.value_sum);
+      env.Print(std::move(row));
+      return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+    }
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kBlocked, ftx::Duration()};
+  }
+
+  size_t offset = 0;
+  uint8_t tag = 0;
+  if (!ftx::ReadValue(msg->payload, &offset, &tag)) {
+    env.Crash("fleet-server: empty message");
+    return ftx_dc::StepOutcome{};
+  }
+
+  if (tag == kTagRequest) {
+    int64_t client_pid = 0;
+    int64_t seq = 0;
+    int64_t value = 0;
+    if (!ftx::ReadValue(msg->payload, &offset, &client_pid) ||
+        !ftx::ReadValue(msg->payload, &offset, &seq) ||
+        !ftx::ReadValue(msg->payload, &offset, &value)) {
+      env.Crash("fleet-server: truncated request");
+      return ftx_dc::StepOutcome{};
+    }
+    const int local = (static_cast<int>(client_pid) - config_.num_servers) / config_.num_servers;
+    if (local < 0 || local >= assigned ||
+        FleetServerOf(config_, static_cast<int>(client_pid)) != env.pid()) {
+      env.Crash("fleet-server: request from a client of another server");
+      return ftx_dc::StepOutcome{};
+    }
+    const int64_t last_seq = env.segment().Read<int64_t>(LastSeqOffset(local));
+    if (seq == last_seq + 1) {
+      // Fresh request: apply exactly once.
+      ++executed_ops_;
+      state.applied += 1;
+      state.value_sum += value;
+      state.since_report += 1;
+      env.segment().WriteValue(LastSeqOffset(local), seq);
+      env.Compute(config_.work_per_op);
+    }
+    // A resend (seq <= last_seq, after a client rollback) is acked again
+    // without re-applying; a gap (seq > last_seq + 1) cannot happen on a
+    // FIFO channel and would have been a lost update — crash on it.
+    if (seq > last_seq + 1) {
+      env.Crash("fleet-server: sequence gap");
+      return ftx_dc::StepOutcome{};
+    }
+    // The ack echoes the per-client applied count, so duplicate acks for
+    // one seq are byte-identical no matter when they are produced.
+    ftx::Bytes ack;
+    ftx::AppendValue(&ack, kTagAck);
+    ftx::AppendValue(&ack, seq);
+    int64_t client_applied = env.segment().Read<int64_t>(LastSeqOffset(local)) + 1;
+    ftx::AppendValue(&ack, client_applied);
+    env.Send(static_cast<int>(client_pid), std::move(ack));
+
+    if (config_.report_every > 0 && state.since_report >= config_.report_every) {
+      state.since_report = 0;
+      state.reports += 1;
+      env.segment().WriteValue(kServerHeaderOffset, state);
+      // Progress line: the visible event that drives fleet-wide coordinated
+      // commits under the 2PC protocols.
+      ftx::Bytes row;
+      ftx::AppendValue(&row, uint8_t{'P'});
+      ftx::AppendValue(&row, state.reports);
+      ftx::AppendValue(&row, state.applied);
+      env.Print(std::move(row));
+    } else {
+      env.segment().WriteValue(kServerHeaderOffset, state);
+    }
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+  }
+
+  if (tag == kTagBye) {
+    int64_t client_pid = 0;
+    if (!ftx::ReadValue(msg->payload, &offset, &client_pid)) {
+      env.Crash("fleet-server: truncated bye");
+      return ftx_dc::StepOutcome{};
+    }
+    const int local = (static_cast<int>(client_pid) - config_.num_servers) / config_.num_servers;
+    if (local < 0 || local >= assigned) {
+      env.Crash("fleet-server: bye from a client of another server");
+      return ftx_dc::StepOutcome{};
+    }
+    const int64_t flag_offset = ByeFlagOffset(config_, env.pid(), local);
+    if (env.segment().Read<uint8_t>(flag_offset) == 0) {
+      env.segment().WriteValue(flag_offset, uint8_t{1});
+      state.byes += 1;
+      env.segment().WriteValue(kServerHeaderOffset, state);
+    }
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+  }
+
+  env.Crash("fleet-server: unknown message tag");
+  return ftx_dc::StepOutcome{};
+}
+
+ftx::Status FleetServer::CheckIntegrity(ftx_dc::ProcessEnv& env) {
+  ServerState state = env.segment().Read<ServerState>(kServerHeaderOffset);
+  if (state.magic != kServerMagic) {
+    return ftx::DataLossError("fleet-server: header corrupted");
+  }
+  if (state.applied < 0 || state.byes < 0 ||
+      state.byes > FleetClientsOfServer(config_, env.pid())) {
+    return ftx::DataLossError("fleet-server: ledger counters out of range");
+  }
+  return ftx::Status::Ok();
+}
+
+int64_t FleetServer::AppliedCount(ftx_dc::ProcessEnv& env) {
+  return env.segment().Read<ServerState>(kServerHeaderOffset).applied;
+}
+
+int64_t FleetServer::ValueSum(ftx_dc::ProcessEnv& env) {
+  return env.segment().Read<ServerState>(kServerHeaderOffset).value_sum;
+}
+
+// ---------------------------------------------------------------- client
+
+FleetClient::FleetClient(FleetConfig config) : config_(config) {}
+
+void FleetClient::Init(ftx_dc::ProcessEnv& env) {
+  ClientState state;
+  env.segment().WriteValue(kClientHeaderOffset, state);
+}
+
+ftx_dc::StepOutcome FleetClient::Step(ftx_dc::ProcessEnv& env) {
+  ClientState state = env.segment().Read<ClientState>(kClientHeaderOffset);
+  if (state.magic != kClientMagic) {
+    env.Crash("fleet-client: state corrupted");
+    return ftx_dc::StepOutcome{};
+  }
+  const int server = FleetServerOf(config_, env.pid());
+
+  if (state.phase == 0) {
+    if (state.acked >= config_.requests_per_client) {
+      // Session complete: tell the server and finish.
+      ftx::Bytes bye;
+      ftx::AppendValue(&bye, kTagBye);
+      ftx::AppendValue(&bye, static_cast<int64_t>(env.pid()));
+      env.Send(server, std::move(bye));
+      return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kDone, ftx::Duration()};
+    }
+    ftx::Bytes request;
+    ftx::AppendValue(&request, kTagRequest);
+    ftx::AppendValue(&request, static_cast<int64_t>(env.pid()));
+    ftx::AppendValue(&request, state.next_seq);
+    ftx::AppendValue(&request, FleetRequestValue(env.pid(), state.next_seq));
+    env.Send(server, std::move(request));
+    state.phase = 1;
+    state.next_seq += 1;
+    env.segment().WriteValue(kClientHeaderOffset, state);
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+  }
+
+  // Awaiting the ack for next_seq - 1.
+  std::optional<ftx_sim::Message> msg = env.TryReceive();
+  if (!msg.has_value()) {
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kBlocked, ftx::Duration()};
+  }
+  size_t offset = 0;
+  uint8_t tag = 0;
+  int64_t seq = -1;
+  int64_t client_applied = 0;
+  if (!ftx::ReadValue(msg->payload, &offset, &tag) || tag != kTagAck ||
+      !ftx::ReadValue(msg->payload, &offset, &seq) ||
+      !ftx::ReadValue(msg->payload, &offset, &client_applied)) {
+    env.Crash("fleet-client: malformed ack");
+    return ftx_dc::StepOutcome{};
+  }
+  if (seq == state.next_seq - 1) {
+    ++executed_ops_;
+    state.acked += 1;
+    state.last_applied_seen = client_applied;
+    state.phase = 0;
+    env.segment().WriteValue(kClientHeaderOffset, state);
+    // Deterministic think time before the next request spreads the fleet's
+    // traffic out in simulated time.
+    ftx::Duration think =
+        config_.client_think +
+        ftx::Microseconds(MixJitter(env.pid(), state.next_seq,
+                                    std::max<int64_t>(config_.client_think.nanos() / 250, 1)));
+    return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, think};
+  }
+  if (seq >= state.next_seq) {
+    env.Crash("fleet-client: ack from the future");
+    return ftx_dc::StepOutcome{};
+  }
+  // Stale duplicate (redelivered after a rollback): drop it and poll again.
+  return ftx_dc::StepOutcome{ftx_dc::StepOutcome::Status::kContinue, ftx::Duration()};
+}
+
+ftx::Status FleetClient::CheckIntegrity(ftx_dc::ProcessEnv& env) {
+  ClientState state = env.segment().Read<ClientState>(kClientHeaderOffset);
+  if (state.magic != kClientMagic) {
+    return ftx::DataLossError("fleet-client: state corrupted");
+  }
+  if (state.acked < 0 || state.acked > state.next_seq ||
+      state.next_seq > config_.requests_per_client) {
+    return ftx::DataLossError("fleet-client: sequence counters out of range");
+  }
+  return ftx::Status::Ok();
+}
+
+int64_t FleetClient::AckedCount(ftx_dc::ProcessEnv& env) {
+  return env.segment().Read<ClientState>(kClientHeaderOffset).acked;
+}
+
+std::vector<std::unique_ptr<ftx_dc::App>> MakeFleetApps(const FleetConfig& config) {
+  FTX_CHECK(config.num_servers >= 1);
+  FTX_CHECK(config.num_clients >= 1);
+  FTX_CHECK(config.requests_per_client >= 1);
+  std::vector<std::unique_ptr<ftx_dc::App>> apps;
+  apps.reserve(static_cast<size_t>(config.num_processes()));
+  for (int s = 0; s < config.num_servers; ++s) {
+    apps.push_back(std::make_unique<FleetServer>(config));
+  }
+  for (int c = 0; c < config.num_clients; ++c) {
+    apps.push_back(std::make_unique<FleetClient>(config));
+  }
+  return apps;
+}
+
+}  // namespace ftx_apps

@@ -1,0 +1,105 @@
+// fleet: the fleet-scale client/server workload (ROADMAP: 10k+ processes).
+//
+// N client processes drive M server processes through a request/ack RPC
+// loop: each client sends K sequenced requests to its home server (client i
+// talks to server i % M), the server applies each request exactly once to
+// its in-segment ledger (per-client sequence table for dedup) and replies,
+// and every client ends its session with a "bye". Servers emit a progress
+// line (a visible event) every `report_every` applies and a final summary
+// line when all of their clients have said bye — under the 2PC protocols
+// those visibles drive fleet-wide coordinated commits, which is the whole
+// point: crash a process anywhere and the protocol decides how much of the
+// fleet's work survives.
+//
+// The workload is the measurement substrate for the Dwork/Halpern/Waarts
+// efficiency curve (bench/fleet_faults.cc): "necessary" work is one apply
+// and one ack-processing per request (2·N·K units); every re-execution
+// after a rollback re-counts in the host-side executed-work counters, so
+//   efficiency = necessary / executed
+// is 1.0 in a fault-free run and decays as injected crash rates grow.
+// Exactly-once application (dedup despite resends and server rollbacks) is
+// asserted separately as the bench's violation count.
+
+#ifndef FTX_SRC_APPS_FLEET_H_
+#define FTX_SRC_APPS_FLEET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/checkpoint/app.h"
+
+namespace ftx_apps {
+
+struct FleetConfig {
+  int num_servers = 2;          // pids [0, num_servers)
+  int num_clients = 8;          // pids [num_servers, num_servers + num_clients)
+  int requests_per_client = 4;  // K sequenced requests per client session
+  ftx::Duration work_per_op = ftx::Microseconds(20);   // server apply cost
+  ftx::Duration client_think = ftx::Microseconds(50);  // base think time
+  int report_every = 256;       // server progress line (visible) cadence
+
+  int num_processes() const { return num_servers + num_clients; }
+};
+
+// Topology helpers (shared by the apps, the bench, and the tests).
+int FleetServerOf(const FleetConfig& config, int client_pid);
+int FleetClientsOfServer(const FleetConfig& config, int server_pid);
+// Deterministic request payload value for (client_pid, seq).
+int64_t FleetRequestValue(int client_pid, int64_t seq);
+// Sum of FleetRequestValue over every request in the run (the ledger total
+// every violation check compares against).
+int64_t FleetExpectedValueSum(const FleetConfig& config);
+
+class FleetServer : public ftx_dc::App {
+ public:
+  explicit FleetServer(FleetConfig config);
+
+  std::string_view name() const override { return "fleet-server"; }
+  size_t SegmentBytes() const override;
+  int64_t HeapOffset() const override { return 0; }
+  int64_t HeapBytes() const override { return 0; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override;
+
+  // Host-side work counter: applies executed, INCLUDING re-executions after
+  // rollback (not simulated state; the efficiency denominator).
+  int64_t executed_ops() const { return executed_ops_; }
+
+  // Committed-ledger readers for violation checks / tests.
+  static int64_t AppliedCount(ftx_dc::ProcessEnv& env);
+  static int64_t ValueSum(ftx_dc::ProcessEnv& env);
+
+ private:
+  FleetConfig config_;
+  int64_t executed_ops_ = 0;
+};
+
+class FleetClient : public ftx_dc::App {
+ public:
+  explicit FleetClient(FleetConfig config);
+
+  std::string_view name() const override { return "fleet-client"; }
+  size_t SegmentBytes() const override { return 4096; }
+  int64_t HeapOffset() const override { return 0; }
+  int64_t HeapBytes() const override { return 0; }
+  void Init(ftx_dc::ProcessEnv& env) override;
+  ftx_dc::StepOutcome Step(ftx_dc::ProcessEnv& env) override;
+  ftx::Status CheckIntegrity(ftx_dc::ProcessEnv& env) override;
+
+  // Host-side work counter: acks processed, including re-executions.
+  int64_t executed_ops() const { return executed_ops_; }
+
+  static int64_t AckedCount(ftx_dc::ProcessEnv& env);
+
+ private:
+  FleetConfig config_;
+  int64_t executed_ops_ = 0;
+};
+
+// The full fleet: servers first, then clients (one app per pid).
+std::vector<std::unique_ptr<ftx_dc::App>> MakeFleetApps(const FleetConfig& config);
+
+}  // namespace ftx_apps
+
+#endif  // FTX_SRC_APPS_FLEET_H_

@@ -13,14 +13,20 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
   FTX_CHECK(!apps_.empty());
   const int n = num_processes();
 
-  sim_ = std::make_unique<ftx_sim::Simulator>(options_.seed);
+  // Shard layout for the partitioned engine. Results are byte-identical for
+  // every shard count; the default (1) is exactly the monolithic engine.
+  const ftx_sim::ShardPlan plan = ftx_sim::ShardPlan::Uniform(n, options_.shards);
+  sim_ = std::make_unique<ftx_sim::Simulator>(options_.seed, plan);
   network_ = std::make_unique<ftx_sim::Network>(sim_.get(), n, options_.network);
   // The runtimes consume the simulator/network only through the env::sim
   // adapters (pure forwarding — the Computation runner IS the sim backend).
   env_clock_ = std::make_unique<ftx::env::SimClock>(sim_.get());
   env_transport_ = std::make_unique<ftx::env::SimTransport>(network_.get());
-  kernel_ = std::make_unique<ftx_sim::KernelSim>(env_clock_.get(), n, options_.kernel_limits);
-  trace_ = std::make_unique<ftx_sm::Trace>(n);
+  kernel_ = std::make_unique<ftx_sim::KernelSim>(env_clock_.get(), plan, options_.kernel_limits);
+  // The audit needs full vector clocks, so it overrides lean_trace.
+  ftx_sm::TraceOptions trace_options;
+  trace_options.record_clocks = !options_.lean_trace || options_.audit;
+  trace_ = std::make_unique<ftx_sm::Trace>(n, trace_options);
 
   tracer_.SetEnabled(options_.enable_tracing || !options_.trace_path.empty());
   sim_->BindMetrics(&metrics_);
@@ -164,12 +170,15 @@ bool Computation::recovery_abandoned(int pid) const {
 }
 
 bool Computation::AllDone() const {
-  for (const auto& rt : runtimes_) {
-    if (!rt->done()) {
-      return false;
-    }
+  // Done is monotone (finished processes are never killed or restarted), so
+  // the scan resumes past the done prefix instead of rescanning it — Run()
+  // calls this once per simulated event, which would be O(N) per event at
+  // fleet scale.
+  while (all_done_scan_ < static_cast<size_t>(num_processes()) &&
+         runtimes_[all_done_scan_]->done()) {
+    ++all_done_scan_;
   }
-  return true;
+  return all_done_scan_ == static_cast<size_t>(num_processes());
 }
 
 void Computation::SchedulePump(int pid, Duration delay) {
@@ -181,7 +190,7 @@ void Computation::SchedulePump(int pid, Duration delay) {
     delay = busy_gap;
   }
   int64_t token = ++pump_token_[static_cast<size_t>(pid)];
-  sim_->ScheduleAfter(delay, [this, pid, token]() {
+  sim_->ScheduleAfterFor(pid, delay, [this, pid, token]() {
     if (pump_token_[static_cast<size_t>(pid)] == token) {
       Pump(pid);
     }
@@ -223,7 +232,7 @@ void Computation::Pump(int pid) {
         return;
       }
       ++recovery_attempts_[static_cast<size_t>(pid)];
-      sim_->ScheduleAfter(options_.recovery_delay, [this, pid]() {
+      sim_->ScheduleAfterFor(pid, options_.recovery_delay, [this, pid]() {
         auto& failed = *runtimes_[static_cast<size_t>(pid)];
         if (failed.alive()) {
           return;  // already recovered by someone else
@@ -273,7 +282,12 @@ void Computation::CoordinatedCommit(int initiator, ftx_proto::CoordinationScope 
   if (scope == ftx_proto::CoordinationScope::kCommunicated) {
     // Koo-Toueg-style dependency closure: include every process that has
     // communicated (sent to or received from), directly or transitively,
-    // with a member of the set since its own last commit.
+    // with a member of the set since its own last commit. The closure runs
+    // on the runtimes' 64-bit communication masks, so this scope (CPV-2PC
+    // family) caps at 64 processes; fleet-scale protocols use kNdDirty.
+    FTX_CHECK_MSG(num_processes() <= 64,
+                  "kCommunicated coordination scope supports at most 64 processes (got %d)",
+                  num_processes());
     uint64_t members = 1ULL << initiator;
     bool grew = true;
     while (grew) {
@@ -351,7 +365,7 @@ void Computation::CoordinatedCommit(int initiator, ftx_proto::CoordinationScope 
 }
 
 void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_delay) {
-  sim_->ScheduleAt(at, [this, pid, recovery_delay]() {
+  sim_->ScheduleAtFor(pid, at, [this, pid, recovery_delay]() {
     auto& rt = *runtimes_[static_cast<size_t>(pid)];
     if (!rt.alive() || rt.done()) {
       return;
@@ -359,7 +373,7 @@ void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_d
     FTX_LOG(kInfo, "stop failure: p%d at %s", pid, sim_->Now().ToString().c_str());
     rt.Kill();
     ++pump_token_[static_cast<size_t>(pid)];  // cancel any scheduled pump
-    sim_->ScheduleAfter(recovery_delay, [this, pid]() {
+    sim_->ScheduleAfterFor(pid, recovery_delay, [this, pid]() {
       auto& failed = *runtimes_[static_cast<size_t>(pid)];
       if (failed.alive()) {
         return;
@@ -379,7 +393,7 @@ void Computation::ScheduleOsStopFailure(TimePoint at, Duration reboot_delay) {
     // Without Rio (or a disk log), the OS crash destroys the segment, the
     // undo log, and every checkpoint: the application can only restart from
     // scratch — all committed work is forfeit.
-    sim_->ScheduleAt(at, [this, pid, reboot_delay]() {
+    sim_->ScheduleAtFor(pid, at, [this, pid, reboot_delay]() {
       auto& rt = *runtimes_[static_cast<size_t>(pid)];
       if (!rt.alive() || rt.done()) {
         return;
@@ -387,7 +401,7 @@ void Computation::ScheduleOsStopFailure(TimePoint at, Duration reboot_delay) {
       FTX_LOG(kInfo, "OS crash with volatile store: p%d restarts from scratch", pid);
       rt.Kill();
       ++pump_token_[static_cast<size_t>(pid)];
-      sim_->ScheduleAfter(reboot_delay, [this, pid]() {
+      sim_->ScheduleAfterFor(pid, reboot_delay, [this, pid]() {
         auto& failed = *runtimes_[static_cast<size_t>(pid)];
         if (failed.alive()) {
           return;

@@ -55,6 +55,18 @@ struct ComputationOptions {
   ftx_sim::NetworkOptions network;
   ftx_sim::KernelLimits kernel_limits;
   ftx_store::DiskParameters disk;
+  // Number of contiguous-pid shards for the partitioned event engine
+  // (src/sim/partition.h). Simulated results are byte-identical for every
+  // value — the merge front replays the monolithic event order — so this is
+  // purely a fleet-scale layout knob. Uniform partition; must be in
+  // [1, num_processes].
+  int shards = 1;
+  // Fleet-scale trace mode: keep the replayable per-process event log but
+  // skip the dense vector-clock snapshots (O(N) per event — quadratic
+  // memory at 10k processes). Commit/rollback replay is unaffected;
+  // ClockOf/EventHappensBefore (and therefore the causal audit) are
+  // unavailable. Ignored (full clocks kept) when audit is on.
+  bool lean_trace = false;
   // DC-disk only: journal every redo-log disk write as sector-granular ops
   // with barriers at the commit's two sync points (see
   // src/storage/write_journal.h). Off by default — the journal retains
@@ -208,6 +220,9 @@ class Computation {
   std::vector<bool> recovery_abandoned_;
   int64_t next_coord_message_id_ = 1000000000000000LL;  // disjoint from network ids
   int64_t next_atomic_group_ = 1;
+  // AllDone() resume point: runtimes below this index are known done (done
+  // is monotone), so the per-event loop check is amortized O(1).
+  mutable size_t all_done_scan_ = 0;
   bool started_ = false;
 };
 

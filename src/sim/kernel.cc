@@ -7,36 +7,78 @@
 namespace ftx_sim {
 
 KernelSim::KernelSim(ftx::env::Clock* clock, int num_processes, KernelLimits limits)
-    : clock_(clock), limits_(limits) {
+    : KernelSim(clock, ShardPlan::Single(num_processes), limits) {}
+
+KernelSim::KernelSim(ftx::env::Clock* clock, ShardPlan plan, KernelLimits limits)
+    : clock_(clock), plan_(std::move(plan)), limits_(limits) {
   FTX_CHECK(clock != nullptr);
-  FTX_CHECK_GT(num_processes, 0);
-  states_.resize(static_cast<size_t>(num_processes));
-  records_.resize(static_cast<size_t>(num_processes));
+  ftx::Status valid = ValidateShardPlan(plan_);
+  FTX_CHECK_MSG(valid.ok(), "invalid shard plan: %s", valid.message().c_str());
+  shards_.resize(static_cast<size_t>(plan_.num_shards()));
+  for (int s = 0; s < plan_.num_shards(); ++s) {
+    const size_t width = static_cast<size_t>(plan_.ShardEnd(s) - plan_.ShardBegin(s));
+    shards_[static_cast<size_t>(s)].states.resize(width);
+    shards_[static_cast<size_t>(s)].records.resize(width);
+  }
+}
+
+KernelSim::ShardBlock& KernelSim::BlockOf(int pid) {
+  FTX_CHECK_MSG(plan_.Covers(pid), "pid %d outside kernel shard plan %s", pid,
+                plan_.ToString().c_str());
+  return shards_[static_cast<size_t>(plan_.OwnerOf(pid))];
+}
+
+const KernelSim::ShardBlock& KernelSim::BlockOf(int pid) const {
+  FTX_CHECK_MSG(plan_.Covers(pid), "pid %d outside kernel shard plan %s", pid,
+                plan_.ToString().c_str());
+  return shards_[static_cast<size_t>(plan_.OwnerOf(pid))];
 }
 
 KernelState& KernelSim::MutableStateOf(int pid) {
-  FTX_CHECK(pid >= 0 && static_cast<size_t>(pid) < states_.size());
-  return states_[static_cast<size_t>(pid)];
+  return BlockOf(pid).states[static_cast<size_t>(pid - plan_.ShardBegin(plan_.OwnerOf(pid)))];
 }
 
 const KernelState& KernelSim::StateOf(int pid) const {
-  FTX_CHECK(pid >= 0 && static_cast<size_t>(pid) < states_.size());
-  return states_[static_cast<size_t>(pid)];
+  return BlockOf(pid).states[static_cast<size_t>(pid - plan_.ShardBegin(plan_.OwnerOf(pid)))];
+}
+
+std::vector<SyscallRecord>& KernelSim::LogOf(int pid) {
+  return BlockOf(pid).records[static_cast<size_t>(pid - plan_.ShardBegin(plan_.OwnerOf(pid)))];
+}
+
+void KernelSim::CountSyscall(int pid) {
+  ++syscalls_;
+  ++BlockOf(pid).syscalls;
 }
 
 KernelState KernelSim::SnapshotFor(int pid) const { return StateOf(pid); }
 
 size_t KernelSim::RecordCount(int pid) const {
-  FTX_CHECK(pid >= 0 && static_cast<size_t>(pid) < records_.size());
-  return records_[static_cast<size_t>(pid)].size();
+  return BlockOf(pid).records[static_cast<size_t>(pid - plan_.ShardBegin(plan_.OwnerOf(pid)))]
+      .size();
 }
 
 int64_t KernelSim::disk_blocks_free() const {
+  // The disk is shared; each shard tracks its range's usage incrementally,
+  // so the global check is O(num_shards) instead of O(num_processes). The
+  // sum equals the per-process sum exactly.
   int64_t used = 0;
-  for (const KernelState& s : states_) {
-    used += s.disk_blocks_used;
+  for (const ShardBlock& block : shards_) {
+    used += block.disk_blocks_used;
   }
   return limits_.disk_blocks_total - used;
+}
+
+int64_t KernelSim::ShardDiskBlocksUsed(int shard) const {
+  FTX_CHECK_GE(shard, 0);
+  FTX_CHECK_LT(shard, num_shards());
+  return shards_[static_cast<size_t>(shard)].disk_blocks_used;
+}
+
+int64_t KernelSim::ShardSyscalls(int shard) const {
+  FTX_CHECK_GE(shard, 0);
+  FTX_CHECK_LT(shard, num_shards());
+  return shards_[static_cast<size_t>(shard)].syscalls;
 }
 
 // Applies one syscall to pid's kernel state. Shared by the live syscall
@@ -104,6 +146,7 @@ ftx::Status KernelSim::Apply(int pid, const SyscallRecord& record, int* out_fd,
         return ftx::ResourceExhaustedError("disk full");
       }
       state.disk_blocks_used += blocks;
+      BlockOf(pid).disk_blocks_used += blocks;
       file.offset += record.amount;
       if (out_written != nullptr) {
         *out_written = record.amount;
@@ -115,7 +158,7 @@ ftx::Status KernelSim::Apply(int pid, const SyscallRecord& record, int* out_fd,
 }
 
 ftx::Result<int> KernelSim::Open(int pid, const std::string& path, bool writable) {
-  ++syscalls_;
+  CountSyscall(pid);
   SyscallRecord record;
   record.op = SyscallRecord::Op::kOpen;
   record.path = path;
@@ -126,43 +169,43 @@ ftx::Result<int> KernelSim::Open(int pid, const std::string& path, bool writable
     return status;
   }
   record.fd = fd;
-  records_[static_cast<size_t>(pid)].push_back(std::move(record));
+  LogOf(pid).push_back(std::move(record));
   return fd;
 }
 
 ftx::Status KernelSim::Close(int pid, int fd) {
-  ++syscalls_;
+  CountSyscall(pid);
   SyscallRecord record;
   record.op = SyscallRecord::Op::kClose;
   record.fd = fd;
   FTX_RETURN_IF_ERROR(Apply(pid, record, nullptr, nullptr));
-  records_[static_cast<size_t>(pid)].push_back(std::move(record));
+  LogOf(pid).push_back(std::move(record));
   return ftx::Status::Ok();
 }
 
 ftx::Status KernelSim::Bind(int pid, uint16_t port) {
-  ++syscalls_;
+  CountSyscall(pid);
   SyscallRecord record;
   record.op = SyscallRecord::Op::kBind;
   record.port = port;
   FTX_RETURN_IF_ERROR(Apply(pid, record, nullptr, nullptr));
-  records_[static_cast<size_t>(pid)].push_back(std::move(record));
+  LogOf(pid).push_back(std::move(record));
   return ftx::Status::Ok();
 }
 
 ftx::Status KernelSim::Seek(int pid, int fd, int64_t offset) {
-  ++syscalls_;
+  CountSyscall(pid);
   SyscallRecord record;
   record.op = SyscallRecord::Op::kSeek;
   record.fd = fd;
   record.amount = offset;
   FTX_RETURN_IF_ERROR(Apply(pid, record, nullptr, nullptr));
-  records_[static_cast<size_t>(pid)].push_back(std::move(record));
+  LogOf(pid).push_back(std::move(record));
   return ftx::Status::Ok();
 }
 
 ftx::Result<int64_t> KernelSim::Write(int pid, int fd, int64_t nbytes) {
-  ++syscalls_;
+  CountSyscall(pid);
   FTX_CHECK_GE(nbytes, 0);
   SyscallRecord record;
   record.op = SyscallRecord::Op::kWrite;
@@ -173,13 +216,12 @@ ftx::Result<int64_t> KernelSim::Write(int pid, int fd, int64_t nbytes) {
   if (!status.ok()) {
     return status;
   }
-  records_[static_cast<size_t>(pid)].push_back(std::move(record));
+  LogOf(pid).push_back(std::move(record));
   return written;
 }
 
 ftx::TimePoint KernelSim::GetTimeOfDay(int pid) {
-  (void)pid;
-  ++syscalls_;
+  CountSyscall(pid);
   // The perturbation models clock-read granularity; more importantly it is
   // drawn from the clock's noise stream (the simulator's RNG under env::sim),
   // so a reexecuting process sees a different value — the definition of a
@@ -190,13 +232,14 @@ ftx::TimePoint KernelSim::GetTimeOfDay(int pid) {
 
 ftx::Status KernelSim::ReconstructFor(int pid, size_t record_count) {
   ++reconstructions_;
-  FTX_CHECK(pid >= 0 && static_cast<size_t>(pid) < records_.size());
-  auto& log = records_[static_cast<size_t>(pid)];
+  auto& log = LogOf(pid);
   FTX_CHECK_LE(record_count, log.size());
 
   // Release this process's disk usage before rebuilding (replayed writes
-  // re-account it).
-  MutableStateOf(pid) = KernelState{};
+  // re-account it, in its shard's tally as well as its own state).
+  KernelState& state = MutableStateOf(pid);
+  BlockOf(pid).disk_blocks_used -= state.disk_blocks_used;
+  state = KernelState{};
 
   for (size_t i = 0; i < record_count; ++i) {
     int fd = -1;

@@ -1,0 +1,73 @@
+#include "src/sim/partition.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ftx_sim {
+
+int ShardPlan::OwnerOf(int pid) const {
+  FTX_CHECK_MSG(Covers(pid), "pid %d outside shard plan %s", pid, ToString().c_str());
+  // First bound strictly greater than pid; its predecessor range owns pid.
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), pid);
+  return static_cast<int>(it - bounds.begin()) - 1;
+}
+
+std::string ShardPlan::ToString() const {
+  std::string text = "{";
+  for (int s = 0; s < num_shards(); ++s) {
+    if (s > 0) {
+      text += ",";
+    }
+    text += "[";
+    text += std::to_string(ShardBegin(s));
+    text += ",";
+    text += std::to_string(ShardEnd(s));
+    text += ")";
+  }
+  text += "}";
+  return text;
+}
+
+ShardPlan ShardPlan::Single(int num_processes) {
+  FTX_CHECK_GT(num_processes, 0);
+  ShardPlan plan;
+  plan.bounds = {0, num_processes};
+  return plan;
+}
+
+ShardPlan ShardPlan::Uniform(int num_processes, int num_shards) {
+  FTX_CHECK_MSG(num_processes >= 1, "shard plan needs at least one process (got %d)",
+                num_processes);
+  FTX_CHECK_MSG(num_shards >= 1, "shard plan needs at least one shard (got %d)", num_shards);
+  FTX_CHECK_MSG(num_shards <= num_processes,
+                "more shards than processes (%d shards, %d processes)", num_shards,
+                num_processes);
+  ShardPlan plan;
+  plan.bounds.assign(static_cast<size_t>(num_shards) + 1, 0);
+  const int base = num_processes / num_shards;
+  const int extra = num_processes % num_shards;
+  for (int s = 0; s < num_shards; ++s) {
+    plan.bounds[static_cast<size_t>(s) + 1] =
+        plan.bounds[static_cast<size_t>(s)] + base + (s < extra ? 1 : 0);
+  }
+  return plan;
+}
+
+ftx::Status ValidateShardPlan(const ShardPlan& plan) {
+  if (plan.num_shards() < 1) {
+    return ftx::InvalidArgumentError("shard plan has no shards");
+  }
+  if (plan.bounds.front() != 0) {
+    return ftx::InvalidArgumentError("shard plan does not start at pid 0: " + plan.ToString());
+  }
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    if (plan.ShardEnd(s) <= plan.ShardBegin(s)) {
+      return ftx::InvalidArgumentError("shard plan has empty or non-contiguous range: " +
+                                       plan.ToString());
+    }
+  }
+  return ftx::Status::Ok();
+}
+
+}  // namespace ftx_sim

@@ -6,13 +6,15 @@
 
 namespace ftx_sm {
 
-Trace::Trace(int num_processes) {
+Trace::Trace(int num_processes, TraceOptions options) : options_(options) {
   FTX_CHECK_GT(num_processes, 0);
   per_process_.resize(static_cast<size_t>(num_processes));
   clocks_.resize(static_cast<size_t>(num_processes));
   commit_indices_.resize(static_cast<size_t>(num_processes));
-  current_clock_.assign(static_cast<size_t>(num_processes),
-                        VectorClock(static_cast<size_t>(num_processes)));
+  if (options_.record_clocks) {
+    current_clock_.assign(static_cast<size_t>(num_processes),
+                          VectorClock(static_cast<size_t>(num_processes)));
+  }
 }
 
 int64_t Trace::NumEvents(ProcessId p) const {
@@ -47,9 +49,13 @@ EventRef Trace::Append(ProcessId p, EventKind kind, int64_t message_id, bool log
     auto it = send_of_message_.find(message_id);
     FTX_CHECK_MSG(it != send_of_message_.end(), "receive of message %lld with no recorded send",
                   static_cast<long long>(message_id));
-    current_clock_[sp].MergeFrom(ClockOf(it->second));
+    if (options_.record_clocks) {
+      current_clock_[sp].MergeFrom(ClockOf(it->second));
+    }
   }
-  current_clock_[sp].Tick(p);
+  if (options_.record_clocks) {
+    current_clock_[sp].Tick(p);
+  }
 
   if (kind == EventKind::kSend) {
     FTX_CHECK_MSG(message_id >= 0, "send events require a message id");
@@ -62,12 +68,15 @@ EventRef Trace::Append(ProcessId p, EventKind kind, int64_t message_id, bool log
 
   EventRef ref{p, ev.index};
   per_process_[sp].push_back(std::move(ev));
-  clocks_[sp].push_back(current_clock_[sp]);
+  if (options_.record_clocks) {
+    clocks_[sp].push_back(current_clock_[sp]);
+  }
   if (kind == EventKind::kSend) {
     send_of_message_[message_id] = ref;
   }
   if (observer_) {
-    observer_(ref, per_process_[sp].back(), clocks_[sp].back());
+    observer_(ref, per_process_[sp].back(),
+              options_.record_clocks ? clocks_[sp].back() : empty_clock_);
   }
   return ref;
 }
@@ -87,6 +96,7 @@ const TraceEvent& Trace::event(EventRef ref) const {
 }
 
 const VectorClock& Trace::ClockOf(EventRef ref) const {
+  FTX_CHECK_MSG(options_.record_clocks, "ClockOf on a lean trace (record_clocks off)");
   FTX_CHECK(ref.valid());
   auto sp = static_cast<size_t>(ref.process);
   FTX_CHECK_LT(static_cast<size_t>(ref.index), clocks_[sp].size());

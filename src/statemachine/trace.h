@@ -50,9 +50,20 @@ struct TraceEvent {
   std::string label;
 };
 
+struct TraceOptions {
+  // Maintain per-event vector-clock snapshots (and the running clock per
+  // process). Required by ClockOf/EventHappensBefore and the causal audit.
+  // Fleet-scale runs turn this off: each snapshot is O(num_processes), so a
+  // 10k-process trace would hold quadratic clock state. With clocks off the
+  // replayable event log (kinds, message pairing, commit indices, labels)
+  // is recorded exactly as before — commit replay and rollback accounting
+  // are unaffected.
+  bool record_clocks = true;
+};
+
 class Trace {
  public:
-  explicit Trace(int num_processes);
+  explicit Trace(int num_processes, TraceOptions options = {});
 
   int num_processes() const { return static_cast<int>(per_process_.size()); }
   int64_t NumEvents(ProcessId p) const;
@@ -76,7 +87,10 @@ class Trace {
   // Marks an already-recorded event as the activation of an injected fault.
   void MarkFaultActivation(EventRef ref);
 
+  bool record_clocks() const { return options_.record_clocks; }
+
   const TraceEvent& event(EventRef ref) const;
+  // Aborts when record_clocks is off (lean traces have no clock state).
   const VectorClock& ClockOf(EventRef ref) const;
 
   // Strict happens-before between two executed events.
@@ -105,11 +119,13 @@ class Trace {
   std::optional<EventRef> SendOfMessage(int64_t message_id) const;
 
  private:
+  TraceOptions options_;
   std::vector<std::vector<TraceEvent>> per_process_;
-  std::vector<std::vector<VectorClock>> clocks_;     // snapshot per event
+  std::vector<std::vector<VectorClock>> clocks_;     // snapshot per event (empty when lean)
   std::vector<VectorClock> current_clock_;           // running clock per process
   std::vector<std::vector<int64_t>> commit_indices_; // sorted commit positions
   std::map<int64_t, EventRef> send_of_message_;
+  VectorClock empty_clock_;                          // observer arg in lean mode
   AppendObserver observer_;
 };
 
