@@ -20,7 +20,8 @@ inline int ResolveScale(const std::string& workload, const BenchOptions& options
 
 // Runs one Fig. 8 cell: workload × protocol × {rio, dc-disk}. The four
 // underlying simulations (two baselines, two recoverable runs) fan out
-// across `pool`; only the rio recoverable run writes `trace_path`.
+// across `pool`; only the rio recoverable run writes `trace_path` and
+// `timeseries_path`.
 struct Fig8Cell {
   int64_t checkpoints = 0;
   double ckps_per_sec = 0.0;
@@ -40,7 +41,7 @@ struct Fig8Cell {
 inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& protocol, int scale,
                             uint64_t seed, ftx::TrialPool* pool,
                             const std::string& trace_path = "", bool audit = false,
-                            int64_t batch = 0) {
+                            int64_t batch = 0, const std::string& timeseries_path = "") {
   ftx::RunSpec spec;
   spec.workload = workload;
   spec.protocol = protocol;
@@ -58,9 +59,11 @@ inline Fig8Cell RunFig8Cell(const std::string& workload, const std::string& prot
 
   spec.store = ftx::StoreKind::kRio;
   spec.trace_path = trace_path;  // only the recoverable rio run writes it
+  spec.timeseries_path = timeseries_path;  // ditto for the telemetry JSONL
   ftx::OverheadRow rio = ftx::MeasureOverhead(spec, pool);
   spec.store = ftx::StoreKind::kDisk;
   spec.trace_path.clear();
+  spec.timeseries_path.clear();
   ftx::OverheadRow disk = ftx::MeasureOverhead(spec, pool);
 
   Fig8Cell cell;
@@ -129,7 +132,7 @@ inline void AddFig8Row(Suite& suite, const std::string& workload, const std::str
   suite.AddRow([workload, protocol, scale, seed, fps_mode](RowContext& ctx) {
     const int64_t batch = ctx.options->batch;
     Fig8Cell cell = RunFig8Cell(workload, protocol, scale, ctx.SeedOr(seed), ctx.pool,
-                                ctx.trace_path, ctx.options->audit, batch);
+                                ctx.trace_path, ctx.options->audit, batch, ctx.timeseries_path);
     RowResult result;
     if (fps_mode) {
       result.console = Sprintf("%-12s %10.0f %11.1f fps %11.1f fps\n", protocol.c_str(),

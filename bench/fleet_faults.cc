@@ -44,6 +44,12 @@ struct FleetRunOutcome {
   int violations = 0;
   double sim_ms = 0.0;     // simulated completion time
   ftx::TimePoint end_time;
+  // Critical-path report of crash-injected runs (JSON null otherwise).
+  // Computed unconditionally for the max-crash run of every row — not
+  // gated on any flag — so the emitted rows are byte-identical whether or
+  // not --timeseries/--trace was given (the neutrality compare relies on
+  // this).
+  ftx_obs::Json critical_path;
 };
 
 struct CrashPlan {
@@ -52,7 +58,8 @@ struct CrashPlan {
 };
 
 FleetRunOutcome RunFleet(const ftx_apps::FleetConfig& config, const std::string& protocol,
-                         uint64_t seed, int shards, bool audit,
+                         uint64_t seed, int shards, bool audit, bool critical_path,
+                         const std::string& timeseries_path,
                          const std::vector<CrashPlan>& crashes) {
   ftx::ComputationOptions copt;
   copt.seed = seed;
@@ -61,14 +68,83 @@ FleetRunOutcome RunFleet(const ftx_apps::FleetConfig& config, const std::string&
   copt.shards = shards;
   copt.lean_trace = true;  // fleet scale: skip dense clock snapshots (audit overrides)
   copt.audit = audit;
+  copt.critical_path = critical_path;
+  copt.timeseries_path = timeseries_path;
+  // Fleet runs last tens of simulated ms; a 250 µs cadence resolves the
+  // efficiency dip and recovery window the report plots.
+  copt.timeseries_options.cadence_ns = 250'000;
   copt.recovery_delay = ftx::Microseconds(200);
   ftx::Computation computation(copt, ftx_apps::MakeFleetApps(config));
+
+  if (ftx_obs::TimeSeriesDb* tsdb = computation.timeseries()) {
+    // Fleet lanes on top of the computation's core columns: host-side
+    // executed work, committed-ledger progress, and the running
+    // Dwork-Halpern-Waarts efficiency. All simulated (or
+    // simulated-determined) quantities, so the export stays byte-identical
+    // across --jobs/--shards; the final efficiency sample equals the row's
+    // end-of-run efficiency (the checker cross-validates the two).
+    tsdb->SetMeta("workload", "fleet");
+    std::vector<ftx_apps::FleetServer*> servers;
+    std::vector<ftx_apps::FleetClient*> clients;
+    for (int pid = 0; pid < config.num_processes(); ++pid) {
+      ftx_dc::App& app = computation.app(pid);
+      if (auto* server = dynamic_cast<ftx_apps::FleetServer*>(&app)) {
+        servers.push_back(server);
+      } else if (auto* client = dynamic_cast<ftx_apps::FleetClient*>(&app)) {
+        clients.push_back(client);
+      }
+    }
+    auto executed_now = [servers, clients]() {
+      int64_t total = 0;
+      for (const auto* server : servers) {
+        total += server->executed_ops();
+      }
+      for (const auto* client : clients) {
+        total += client->executed_ops();
+      }
+      return total;
+    };
+    auto comp = &computation;
+    auto applied_now = [comp, num_servers = config.num_servers]() {
+      int64_t applied = 0;
+      for (int s = 0; s < num_servers; ++s) {
+        applied += ftx_apps::FleetServer::AppliedCount(comp->runtime(s));
+      }
+      return applied;
+    };
+    auto acked_now = [comp, config]() {
+      int64_t acked = 0;
+      for (int c = 0; c < config.num_clients; ++c) {
+        acked += ftx_apps::FleetClient::AckedCount(comp->runtime(config.num_servers + c));
+      }
+      return acked;
+    };
+    tsdb->AddCounter("fleet.executed", executed_now);
+    // Ledger gauges, not counters: rollbacks legitimately retreat them.
+    tsdb->AddGauge("fleet.applied",
+                   [applied_now]() { return static_cast<double>(applied_now()); });
+    tsdb->AddGauge("fleet.acked", [acked_now]() { return static_cast<double>(acked_now()); });
+    tsdb->AddGauge("fleet.efficiency", [executed_now, applied_now, acked_now]() {
+      // Running efficiency: committed useful work over executed work. At
+      // completion applied + acked == 2·N·K == the report's necessary ops,
+      // so the closing sample equals the end-of-run efficiency exactly.
+      const int64_t executed = executed_now();
+      if (executed <= 0) {
+        return 1.0;  // no work attempted yet, none wasted
+      }
+      return static_cast<double>(applied_now() + acked_now()) / static_cast<double>(executed);
+    });
+  }
+
   for (const CrashPlan& crash : crashes) {
     computation.ScheduleStopFailure(crash.pid, crash.at, ftx::Microseconds(200));
   }
   ftx::ComputationResult result = computation.Run();
 
   FleetRunOutcome out;
+  if (computation.critical_path() != nullptr) {
+    out.critical_path = computation.critical_path()->ToJson();
+  }
   out.commits = result.total_commits;
   out.rollbacks = result.total_rollbacks;
   out.end_time = result.end_time;
@@ -133,6 +209,13 @@ int main(int argc, char** argv) {
   }
   if (options.scale_override > 0) {
     config.num_clients = options.scale_override;
+    if (options.scale_override >= 256 && !options.full_scale) {
+      // Mid-size fleets get the full server tier: --scale 1000 reproduces
+      // the 16-server acceptance configuration without the 10k-client cost
+      // (and without tripping the checker's full-scale client floor).
+      config.num_servers = 16;
+      config.report_every = 256;
+    }
   }
   const int num_processes = config.num_processes();
   const int shards = std::clamp(options.shards > 0 ? options.shards : 8, 1, num_processes);
@@ -167,8 +250,9 @@ int main(int argc, char** argv) {
 
       // Calibration: the fault-free run is the first curve point and fixes
       // the time window the crash plan draws from.
-      const FleetRunOutcome baseline =
-          RunFleet(config, protocol, seed, shards, ctx.options->audit, {});
+      const FleetRunOutcome baseline = RunFleet(config, protocol, seed, shards,
+                                                ctx.options->audit, /*critical_path=*/false,
+                                                /*timeseries_path=*/{}, {});
 
       // One master crash list per protocol; row r injects its first
       // crash_counts[r] entries. Times are uniform over the middle 80% of
@@ -183,14 +267,20 @@ int main(int argc, char** argv) {
       }
 
       // The crashing points are independent given the shared plan: shard
-      // them over the pool (byte-identical for every --jobs).
+      // them over the pool (byte-identical for every --jobs). The max-crash
+      // run — the curve's most degraded point — additionally extracts the
+      // causal critical path (always, flag-independent) and, when this row
+      // owns --timeseries, writes the telemetry JSONL.
+      const int64_t last = static_cast<int64_t>(crash_counts.size()) - 2;
       std::vector<FleetRunOutcome> outcomes =
           ftx::RunSharded(*ctx.pool, static_cast<int64_t>(crash_counts.size()) - 1, seed,
                           [&](int64_t i, uint64_t) {
                             const std::vector<CrashPlan> prefix(
                                 master.begin(), master.begin() + crash_counts[static_cast<size_t>(i) + 1]);
                             return RunFleet(config, protocol, seed, shards,
-                                            ctx.options->audit, prefix);
+                                            ctx.options->audit, /*critical_path=*/i == last,
+                                            i == last ? ctx.timeseries_path : std::string(),
+                                            prefix);
                           });
       outcomes.insert(outcomes.begin(), baseline);
 
@@ -218,6 +308,22 @@ int main(int argc, char** argv) {
         row.Set("rollbacks", out.rollbacks);
         row.Set("recoveries", out.recoveries);
         row.Set("sim_ms", out.sim_ms);
+        if (!out.critical_path.is_null()) {
+          row.Set("critical_path", out.critical_path);
+          // Console attribution: which process and which recovery phase
+          // bound the fleet's end-to-end recovery at this fault rate.
+          const ftx_obs::Json* found = out.critical_path.Find("found");
+          const ftx_obs::Json* binding = out.critical_path.Find("binding");
+          const ftx_obs::Json* span = out.critical_path.Find("span_ns");
+          if (found != nullptr && found->boolean() && binding != nullptr && span != nullptr) {
+            result.console += ftx_bench::Sprintf(
+                "%-11s   critical path: %.3f ms crash-to-commit, bound by p%lld %s "
+                "(%.3f ms)\n",
+                protocol, span->number() / 1e6,
+                static_cast<long long>(binding->Find("pid")->integer()),
+                binding->Find("phase")->str().c_str(), binding->Find("ns")->number() / 1e6);
+          }
+        }
         result.json.push_back(std::move(row));
         result.values.push_back(efficiency);
       }

@@ -89,7 +89,14 @@ ftx_bench::RowResult RunPoint(ftx_bench::RowContext& ctx, const SweepPoint& pt, 
   ftx::RunOutput recovered;
   ftx_rec::ConsistencyResult consistency;
   bool completed = false;
+  // --timeseries: only repeat 0 samples and writes the JSONL; the later
+  // repeats run telemetry-off, so the FTX_CHECK_EQs below double as a
+  // neutrality assertion (sampling must not move simulated quantities).
+  spec.timeseries_path = ctx.timeseries_path;
   for (int rep = 0; rep < repeat; ++rep) {
+    if (rep == 1) {
+      spec.timeseries_path.clear();
+    }
     std::unique_ptr<ftx::Computation> computation = ftx::BuildComputation(spec);
     computation->ScheduleStopFailure(0, ftx::TimePoint() + crash_at, ftx::Milliseconds(50));
     ftx_prof::Profiler profiler;

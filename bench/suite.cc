@@ -36,6 +36,8 @@ constexpr FlagSpec kBenchFlags[] = {
      [](BenchOptions* options, const char* value) { options->json_path = value; }},
     {"--trace", "PATH", "write a Chrome trace_event JSON of the traced run",
      [](BenchOptions* options, const char* value) { options->trace_path = value; }},
+    {"--timeseries", "PATH", "write the traced run's sim-time telemetry (ftx.timeseries JSONL)",
+     [](BenchOptions* options, const char* value) { options->timeseries_path = value; }},
     {"--audit", nullptr, "enable the live causal audit on every recoverable run",
      [](BenchOptions* options, const char*) { options->audit = true; }},
     {"--repeat", "N", "host-time repetitions for wall-clock rows (min/median reported)",
@@ -208,6 +210,7 @@ int Suite::Run() {
       ctx.row_index = static_cast<int>(i);
       if (i == num_rows_ - 1) {
         ctx.trace_path = options_.trace_path;  // "last traced run wins"
+        ctx.timeseries_path = options_.timeseries_path;  // same single-file rule
       }
       row_results[static_cast<size_t>(i)] = rows[static_cast<size_t>(i)]->row_fn(ctx);
     });

@@ -43,6 +43,9 @@ namespace ftx_bench {
 //                  seeds derive from it via ftx::DeriveTrialSeed
 //   --json PATH    write machine-readable results (ftx.bench-results JSON)
 //   --trace PATH   write a Chrome trace_event JSON of the traced run
+//   --timeseries PATH  write the traced run's simulated-time telemetry as
+//                  ftx.timeseries JSONL (src/obs/tsdb/; same last-row rule
+//                  as --trace)
 //   --audit        enable the live causal audit (src/obs/causal/) on every
 //                  recoverable run; rows report it under "audit"
 //   --repeat N     host-time repetitions for wall-clock rows; rows report
@@ -67,6 +70,7 @@ struct BenchOptions {
   uint64_t seed = 0;  // 0 = use the bench's built-in seeds
   std::string json_path;
   std::string trace_path;
+  std::string timeseries_path;
   bool audit = false;
   int repeat = 1;          // wall-clock repetitions (clamped to >= 1)
   std::string prof_path;   // collapsed-stack profile output; empty = prof off
@@ -106,6 +110,7 @@ struct RowContext {
   const BenchOptions* options = nullptr;
   int row_index = 0;       // declaration index among rows
   std::string trace_path;  // non-empty only for the row that traces
+  std::string timeseries_path;  // non-empty only for the row that samples
 
   // The bench's built-in seed, unless --seed was given — then a per-row
   // seed derived from it (so rows never share an overridden seed).

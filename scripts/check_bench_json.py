@@ -9,9 +9,10 @@ Checks the schema envelope described in docs/OBSERVABILITY.md:
   * row values are strings, numbers, or bools, except an optional nested
     "metrics" object whose values are numbers (counters/gauges) or
     histogram objects with count/sum/min/max/p50/p90/p99/bounds/buckets,
-    and optional nested "audit"/"audit_disk" causal-audit reports
+    optional nested "audit"/"audit_disk" causal-audit reports
     (ftx.causal-audit schema v1) whose Save-work violation count must be
-    zero;
+    zero, and an optional nested "critical_path" report (ftx critical-path
+    schema v1) whose hop spans must tile the crash-to-commit window;
   * bench-specific required row fields for the benches we know about
     (e.g. fig8 rows must carry workload/protocol/checkpoints).
 
@@ -21,7 +22,15 @@ flow-finish ('f') must bind to a preceding flow-start ('s') with the same
 (cat, name, id), and every counter sample ('C') must carry a numeric args
 object.
 
+With --timeseries the files are ftx.timeseries JSONL (the --timeseries
+output of bench/*): a v1 header line naming the columns in strict bytewise
+name order, then one array per sample with a strictly increasing sim-time
+column, no NaN/inf anywhere, and nonnegative nondecreasing counters. With
+--results RESULTS.json alongside, the final fleet.efficiency sample must
+equal the end-of-run efficiency of the results file's last row.
+
 Usage: check_bench_json.py [--trace] FILE.json [FILE.json ...]
+       check_bench_json.py --timeseries [--results R.json] FILE.jsonl [...]
 Exits 0 if every file validates, 1 otherwise.
 """
 
@@ -31,6 +40,12 @@ import sys
 SCHEMA_NAME = "ftx.bench-results"
 SCHEMA_VERSION = 1
 AUDIT_SCHEMA_VERSION = 1
+TIMESERIES_SCHEMA_NAME = "ftx.timeseries"
+TIMESERIES_SCHEMA_VERSION = 1
+CRITICAL_PATH_SCHEMA_VERSION = 1
+# Recovery phases a critical-path hop may be attributed to (src/obs/causal/).
+CRITICAL_PATH_PHASES = {"detection", "log_scan", "page_install",
+                        "undo_rollback", "rebuild", "re_execution", "message"}
 
 # Required row fields per bench name prefix. Rows may carry more.
 REQUIRED_ROW_FIELDS = {
@@ -175,6 +190,70 @@ def check_audit(path, row_index, key, audit):
     return ok
 
 
+def check_critical_path(path, row_index, report):
+    """Validates a nested critical-path report (fleet_faults max-crash rows).
+
+    The hop chain must start at the root crash, tile the crash-to-commit
+    window without gaps or overlaps (hop i+1 starts where hop i ends), use
+    only known recovery phases, and name a binding hop that really is the
+    longest one reported."""
+    if not isinstance(report, dict):
+        return fail(path, f"rows[{row_index}].critical_path is not an object")
+    ok = True
+    if report.get("schema_version") != CRITICAL_PATH_SCHEMA_VERSION:
+        ok = fail(path, f"rows[{row_index}].critical_path.schema_version is "
+                        f"{report.get('schema_version')!r}, expected "
+                        f"{CRITICAL_PATH_SCHEMA_VERSION}")
+    if report.get("found") is not True:
+        # A crash-free or commit-free run legitimately has no path; nothing
+        # else to validate.
+        return ok
+    span = report.get("span_ns")
+    if not is_number(span) or span <= 0:
+        ok = fail(path, f"rows[{row_index}].critical_path.span_ns {span!r} "
+                        f"must be a positive number")
+    hops = report.get("hops")
+    if not isinstance(hops, list) or not hops:
+        return fail(path, f"rows[{row_index}].critical_path.hops must be a "
+                          f"non-empty list")
+    cursor = report.get("root_crash_ns")
+    longest = None
+    for j, hop in enumerate(hops):
+        if not isinstance(hop, dict):
+            ok = fail(path, f"rows[{row_index}].critical_path.hops[{j}] is "
+                            f"not an object")
+            continue
+        if hop.get("phase") not in CRITICAL_PATH_PHASES:
+            ok = fail(path, f"rows[{row_index}].critical_path.hops[{j}]: "
+                            f"unknown phase {hop.get('phase')!r}")
+        if not (is_number(hop.get("dur_ns")) and hop["dur_ns"] >= 0):
+            ok = fail(path, f"rows[{row_index}].critical_path.hops[{j}]: "
+                            f"dur_ns {hop.get('dur_ns')!r} must be >= 0")
+            continue
+        if hop.get("start_ns") != cursor:
+            ok = fail(path, f"rows[{row_index}].critical_path.hops[{j}] "
+                            f"starts at {hop.get('start_ns')!r}, expected "
+                            f"{cursor!r} (hops must tile the span)")
+        cursor = hop.get("start_ns", cursor) + hop["dur_ns"]
+        if longest is None or hop["dur_ns"] > longest["dur_ns"]:
+            longest = hop
+    # Hops may be truncated for reporting (hops_total > len(hops)); only a
+    # complete chain must land exactly on the last dependent commit.
+    if (report.get("hops_total") == len(hops)
+            and cursor != report.get("last_commit_ns")):
+        ok = fail(path, f"rows[{row_index}].critical_path: hops end at "
+                        f"{cursor!r}, not last_commit_ns="
+                        f"{report.get('last_commit_ns')!r}")
+    binding = report.get("binding")
+    if not isinstance(binding, dict):
+        ok = fail(path, f"rows[{row_index}].critical_path.binding missing")
+    elif longest is not None and binding.get("ns") != longest["dur_ns"]:
+        ok = fail(path, f"rows[{row_index}].critical_path.binding.ns "
+                        f"{binding.get('ns')!r} is not the longest reported "
+                        f"hop ({longest['dur_ns']!r})")
+    return ok
+
+
 def required_fields_for(bench):
     for prefix, fields in REQUIRED_ROW_FIELDS.items():
         if bench == prefix or (prefix.endswith("_") and bench.startswith(prefix)):
@@ -224,6 +303,8 @@ def check_file(path):
                 ok = check_metrics(path, i, value) and ok
             elif key in ("audit", "audit_disk"):
                 ok = check_audit(path, i, key, value) and ok
+            elif key == "critical_path":
+                ok = check_critical_path(path, i, value) and ok
             elif not isinstance(value, (str, int, float, bool)):
                 ok = fail(path, f"rows[{i}][{key!r}] has unexpected type "
                                 f"{type(value).__name__}")
@@ -375,12 +456,138 @@ def check_trace_file(path):
     return ok
 
 
+def is_finite_number(value):
+    return is_number(value) and value == value and abs(value) != float("inf")
+
+
+def check_timeseries_file(path, results_path=None):
+    """Validates an ftx.timeseries JSONL file (bench --timeseries output)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [line for line in (l.strip() for l in f) if line]
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    if not lines:
+        return fail(path, "empty file")
+    try:
+        header = json.loads(lines[0])
+        samples = [json.loads(line) for line in lines[1:]]
+    except json.JSONDecodeError as e:
+        return fail(path, f"invalid JSON line: {e}")
+
+    ok = True
+    if not isinstance(header, dict):
+        return fail(path, "header line is not an object")
+    if header.get("schema") != TIMESERIES_SCHEMA_NAME:
+        ok = fail(path, f"schema is {header.get('schema')!r}, expected "
+                        f"{TIMESERIES_SCHEMA_NAME!r}")
+    if header.get("version") != TIMESERIES_SCHEMA_VERSION:
+        ok = fail(path, f"version is {header.get('version')!r}, expected "
+                        f"{TIMESERIES_SCHEMA_VERSION}")
+    cadence = header.get("cadence_ns")
+    if not (is_number(cadence) and cadence > 0):
+        ok = fail(path, f"cadence_ns {cadence!r} must be a positive number")
+        cadence = None
+    columns = header.get("columns")
+    if not isinstance(columns, list) or not columns:
+        return fail(path, "'columns' must be a non-empty array")
+    names = []
+    for c, col in enumerate(columns):
+        if (not isinstance(col, dict) or not isinstance(col.get("name"), str)
+                or col.get("kind") not in ("counter", "gauge")):
+            ok = fail(path, f"columns[{c}] must carry a string name and a "
+                            f"counter|gauge kind: {col!r}")
+            continue
+        names.append(col["name"])
+    # Column order is pinned: strict bytewise (ordinal) name order, the same
+    # collation-independent order the registry snapshot uses.
+    if names != sorted(names) or len(set(names)) != len(names):
+        ok = fail(path, f"column names not in strict bytewise order: {names}")
+    if header.get("samples") != len(samples):
+        ok = fail(path, f"header says {header.get('samples')!r} samples, file "
+                        f"has {len(samples)}")
+    if not (isinstance(header.get("dropped"), int) and header["dropped"] >= 0):
+        ok = fail(path, f"'dropped' must be a nonnegative integer, got "
+                        f"{header.get('dropped')!r}")
+    if not samples:
+        return fail(path, "no samples")
+
+    prev_t = None
+    prev_counters = {}
+    counter_idx = [c for c, col in enumerate(columns)
+                   if isinstance(col, dict) and col.get("kind") == "counter"]
+    for i, sample in enumerate(samples):
+        if not isinstance(sample, list) or len(sample) != len(columns) + 1:
+            ok = fail(path, f"sample {i} must be an array of "
+                            f"{len(columns) + 1} values: {sample!r}")
+            continue
+        t = sample[0]
+        if not is_finite_number(t) or t < 0:
+            ok = fail(path, f"sample {i}: bad time {t!r}")
+            continue
+        if prev_t is not None and t <= prev_t:
+            ok = fail(path, f"sample {i}: time {t} not strictly greater than "
+                            f"{prev_t}")
+        # Every sample except the closing one lands on a cadence boundary.
+        if cadence and i < len(samples) - 1 and t % cadence != 0:
+            ok = fail(path, f"sample {i}: time {t} off the {cadence} ns "
+                            f"cadence")
+        prev_t = t
+        for c, value in enumerate(sample[1:]):
+            if not is_finite_number(value):
+                ok = fail(path, f"sample {i} column {c}: non-finite value "
+                                f"{value!r}")
+        for c in counter_idx:
+            value = sample[1 + c]
+            if not is_finite_number(value):
+                continue
+            if value < 0:
+                ok = fail(path, f"sample {i}: counter "
+                                f"{columns[c]['name']!r} negative: {value!r}")
+            if c in prev_counters and value < prev_counters[c]:
+                ok = fail(path, f"sample {i}: counter "
+                                f"{columns[c]['name']!r} retreats from "
+                                f"{prev_counters[c]!r} to {value!r}")
+            prev_counters[c] = value
+
+    # Cross-check: the closing fleet.efficiency sample is the end-of-run
+    # state, so it must equal the efficiency the results row reports for the
+    # sampled run (the last declared row's max-crash run).
+    if results_path is not None and "fleet.efficiency" in names:
+        try:
+            with open(results_path, encoding="utf-8") as f:
+                results = json.load(f)
+            row = results["rows"][-1]
+            reported = row["efficiency"]
+        except (OSError, json.JSONDecodeError, LookupError, TypeError) as e:
+            ok = fail(path, f"cannot cross-check against {results_path}: {e}")
+        else:
+            eff_col = 1 + names.index("fleet.efficiency")
+            final = samples[-1][eff_col]
+            if not is_number(reported) or abs(final - reported) > 1e-9:
+                ok = fail(path, f"final fleet.efficiency sample {final!r} != "
+                                f"reported end-of-run efficiency {reported!r} "
+                                f"({results_path} rows[-1])")
+    if ok:
+        print(f"{path}: ok (timeseries, {len(samples)} samples x "
+              f"{len(columns)} columns)")
+    return ok
+
+
 def main(argv):
     args = argv[1:]
     trace_mode = False
+    timeseries_mode = False
+    results_path = None
     if args and args[0] == "--trace":
         trace_mode = True
         args = args[1:]
+    elif args and args[0] == "--timeseries":
+        timeseries_mode = True
+        args = args[1:]
+        if len(args) >= 2 and args[0] == "--results":
+            results_path = args[1]
+            args = args[2:]
     if not args:
         print(__doc__, file=sys.stderr)
         return 2
@@ -388,6 +595,8 @@ def main(argv):
     for path in args:
         if trace_mode:
             ok = check_trace_file(path) and ok
+        elif timeseries_mode:
+            ok = check_timeseries_file(path, results_path) and ok
         else:
             ok = check_file(path) and ok
     return 0 if ok else 1

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Self-contained HTML report for ftx.timeseries JSONL telemetry.
+
+Reads the simulated-time telemetry a bench wrote via --timeseries PATH
+(src/obs/tsdb/: a header line, then one JSON array per sample) and renders
+one inline-SVG lane per column into a single HTML file with no external
+dependencies — open it from a file:// URL on an air-gapped machine.
+
+Counter columns (cumulative, nondecreasing) are plotted as rates: the
+per-interval delta divided by the interval, in events per simulated second.
+Gauge columns plot their sampled value directly. Whenever a `dc.down`
+column is present, every interval in which at least one process was down
+is shaded across all lanes — the fleet's recovery window — and the report
+header summarizes the efficiency dip (minimum and final `fleet.efficiency`)
+when that gauge exists.
+
+The output is a pure function of the input bytes: no timestamps, hostnames
+or randomness, so two runs of this script on byte-identical telemetry
+produce byte-identical HTML (the determinism tests rely on this).
+
+Usage:
+  render_timeseries.py INPUT.jsonl [-o OUT.html] [--title TEXT]
+
+Default output path is INPUT with its suffix replaced by `.html`.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+LANE_W = 860
+LANE_H = 110
+MARGIN_L = 70
+MARGIN_R = 16
+MARGIN_T = 8
+MARGIN_B = 20
+
+CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 24px auto; max-width: 980px;
+       color: #1a1a1a; background: #fcfcfc; }
+h1 { font-size: 20px; } h2 { font-size: 15px; margin: 18px 0 2px; }
+table.meta { border-collapse: collapse; margin: 8px 0 16px; }
+table.meta td { border: 1px solid #ddd; padding: 3px 10px; }
+table.meta td:first-child { background: #f3f3f3; font-weight: 600; }
+.lane { margin-bottom: 4px; }
+.axis { stroke: #999; stroke-width: 1; }
+.grid { stroke: #e8e8e8; stroke-width: 1; }
+.series { fill: none; stroke: #2060c0; stroke-width: 1.5; }
+.down { fill: #e05050; fill-opacity: 0.18; }
+.lbl { font: 11px system-ui, sans-serif; fill: #555; }
+.dip { color: #b03030; font-weight: 600; }
+"""
+
+
+def load_jsonl(path):
+    with open(path, encoding="utf-8") as f:
+        lines = [line for line in (l.strip() for l in f) if line]
+    if not lines:
+        raise ValueError(f"{path}: empty file")
+    header = json.loads(lines[0])
+    if header.get("schema") != "ftx.timeseries":
+        raise ValueError(f"{path}: not an ftx.timeseries file")
+    samples = [json.loads(line) for line in lines[1:]]
+    ncols = len(header["columns"])
+    for i, s in enumerate(samples):
+        if not isinstance(s, list) or len(s) != ncols + 1:
+            raise ValueError(f"{path}: sample {i} has {len(s)} fields, want {ncols + 1}")
+    return header, samples
+
+
+def fmt(v):
+    """Axis label: compact, deterministic."""
+    if v == 0:
+        return "0"
+    a = abs(v)
+    if a >= 1e6:
+        return f"{v / 1e6:.3g}M"
+    if a >= 1e3:
+        return f"{v / 1e3:.3g}k"
+    if a >= 1:
+        return f"{v:.4g}"
+    return f"{v:.3g}"
+
+
+def lane_svg(name, kind, times_ns, values, down_spans, t_end_ns):
+    """One column as an inline SVG lane. `values` is already rate-converted
+    for counters; `down_spans` is [(start_ns, end_ns)] shaded on every lane."""
+    w, h = LANE_W, LANE_H
+    x0, x1 = MARGIN_L, w - MARGIN_R
+    y0, y1 = MARGIN_T, h - MARGIN_B
+    t_span = max(t_end_ns, 1)
+
+    lo = min(values) if values else 0.0
+    hi = max(values) if values else 1.0
+    if name == "fleet.efficiency":
+        lo, hi = min(lo, 0.99), 1.0  # pin the top so the dip reads at a glance
+    if hi <= lo:
+        hi = lo + 1.0
+    pad = (hi - lo) * 0.06
+    lo, hi = lo - pad, hi + pad
+
+    def x(t):
+        return x0 + (x1 - x0) * (t / t_span)
+
+    def y(v):
+        return y1 - (y1 - y0) * ((v - lo) / (hi - lo))
+
+    parts = [f'<svg class="lane" width="{w}" height="{h}" viewBox="0 0 {w} {h}">']
+    for s_ns, e_ns in down_spans:
+        parts.append(
+            f'<rect class="down" x="{x(s_ns):.1f}" y="{y0}" '
+            f'width="{max(x(e_ns) - x(s_ns), 1.0):.1f}" height="{y1 - y0}"/>'
+        )
+    for frac in (0.0, 0.5, 1.0):
+        gy = y0 + (y1 - y0) * frac
+        parts.append(f'<line class="grid" x1="{x0}" y1="{gy:.1f}" x2="{x1}" y2="{gy:.1f}"/>')
+    parts.append(f'<line class="axis" x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}"/>')
+    parts.append(f'<line class="axis" x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}"/>')
+    pts = " ".join(f"{x(t):.1f},{y(v):.1f}" for t, v in zip(times_ns, values))
+    if pts:
+        parts.append(f'<polyline class="series" points="{pts}"/>')
+    unit = " (per sim s)" if kind == "counter" else ""
+    parts.append(
+        f'<text class="lbl" x="{x0}" y="{y0 + 4}" dy="6">{html.escape(name)}{unit}</text>'
+    )
+    parts.append(f'<text class="lbl" x="4" y="{y0 + 10}">{html.escape(fmt(hi))}</text>')
+    parts.append(f'<text class="lbl" x="4" y="{y1}">{html.escape(fmt(lo))}</text>')
+    parts.append(
+        f'<text class="lbl" x="{x1 - 60}" y="{h - 6}">{t_end_ns / 1e6:.3f} sim ms</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render(header, samples, title):
+    columns = header["columns"]
+    cadence_ns = header.get("cadence_ns", 0)
+    times = [s[0] for s in samples]
+    t_end = times[-1] if times else 1
+    by_name = {c["name"]: i for i, c in enumerate(columns)}
+
+    # Recovery window: merge consecutive sample intervals with dc.down > 0.
+    down_spans = []
+    down_idx = by_name.get("dc.down")
+    if down_idx is not None:
+        start = None
+        for i, s in enumerate(samples):
+            if s[1 + down_idx] > 0:
+                if start is None:
+                    start = times[i - 1] if i > 0 else times[i]
+            elif start is not None:
+                down_spans.append((start, times[i]))
+                start = None
+        if start is not None:
+            down_spans.append((start, t_end))
+
+    lanes = []
+    for ci, col in enumerate(columns):
+        vals = [s[1 + ci] for s in samples]
+        if col["kind"] == "counter":
+            # Rate over each interval, attributed to its right edge; the
+            # first sample has no predecessor and plots zero.
+            rates = [0.0]
+            for i in range(1, len(samples)):
+                dt = times[i] - times[i - 1]
+                rates.append((vals[i] - vals[i - 1]) * 1e9 / dt if dt > 0 else 0.0)
+            plot = rates
+        else:
+            plot = [float(v) for v in vals]
+        lanes.append(lane_svg(col["name"], col["kind"], times, plot, down_spans, t_end))
+
+    dip_note = ""
+    eff_idx = by_name.get("fleet.efficiency")
+    if eff_idx is not None and samples:
+        effs = [s[1 + eff_idx] for s in samples]
+        dip_note = (
+            f'<p>Efficiency dip: minimum <span class="dip">{min(effs):.4f}</span>, '
+            f"final {effs[-1]:.4f}. Shaded spans mark intervals with at least one "
+            f"process down (the recovery window).</p>"
+        )
+
+    meta_rows = "".join(
+        f"<tr><td>{html.escape(str(k))}</td><td>{html.escape(json.dumps(v))}</td></tr>"
+        for k, v in sorted(header.get("meta", {}).items())
+    )
+    meta_rows += (
+        f"<tr><td>cadence</td><td>{cadence_ns} ns</td></tr>"
+        f"<tr><td>samples</td><td>{len(samples)} retained, "
+        f"{header.get('dropped', 0)} evicted</td></tr>"
+    )
+
+    return (
+        "<!doctype html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{CSS}</style></head><body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f'<table class="meta">{meta_rows}</table>\n'
+        f"{dip_note}\n"
+        + "\n".join(f"<h2></h2>{lane}" for lane in lanes)
+        + "\n</body></html>\n"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", help="ftx.timeseries JSONL file")
+    parser.add_argument("-o", "--output", help="output HTML path (default: INPUT -> .html)")
+    parser.add_argument("--title", default="ftx sim-time telemetry", help="report title")
+    args = parser.parse_args()
+
+    header, samples = load_jsonl(args.input)
+    out_path = args.output
+    if out_path is None:
+        out_path = args.input.rsplit(".", 1)[0] + ".html"
+    doc = render(header, samples, args.title)
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(doc)
+    print(f"wrote {len(samples)} samples x {len(header['columns'])} columns to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

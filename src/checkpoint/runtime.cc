@@ -523,6 +523,11 @@ ftx::Duration Runtime::Recover() {
   DropStagedCommits();  // belt-and-braces; Kill() already dropped them
   ++stats_.rollbacks;
   ftx::Duration cost = costs_.recovery_fixed;
+  // The breakdown mirrors the charges below, bucket by bucket; every
+  // nanosecond added to `cost` lands in exactly one bucket so the phases
+  // tile the returned latency.
+  last_recovery_ = RecoveryBreakdown{};
+  last_recovery_.log_scan_ns = costs_.recovery_fixed.nanos();
 
   if (env_.redo_log != nullptr) {
     // DC-disk: the volatile segment is gone; rebuild it by replaying the
@@ -549,7 +554,10 @@ ftx::Duration Runtime::Recover() {
         if (disk_params != nullptr) {
           cost += disk_params->half_rotation;
           cost += ftx::Nanoseconds(disk_params->per_byte.nanos() * record.PayloadBytes());
+          last_recovery_.log_scan_ns += disk_params->half_rotation.nanos();
+          last_recovery_.page_install_ns += disk_params->per_byte.nanos() * record.PayloadBytes();
         }
+        ++last_recovery_.records;
       }
     }
     {
@@ -567,7 +575,10 @@ ftx::Duration Runtime::Recover() {
     }
   } else {
     // Rio: the segment and undo log survived; roll back in place.
-    cost += costs_.recovery_per_page * static_cast<int64_t>(segment_->dirty_page_count());
+    const ftx::Duration undo =
+        costs_.recovery_per_page * static_cast<int64_t>(segment_->dirty_page_count());
+    cost += undo;
+    last_recovery_.undo_rollback_ns = undo.nanos();
     FTX_PROF_SCOPE("recover.undo_rollback");
     segment_->Abort();
   }
@@ -614,7 +625,9 @@ ftx::Duration Runtime::Recover() {
   }
   in_step_ = was_in_step;
   cost += step_cost_;
+  last_recovery_.rebuild_ns = step_cost_.nanos();
   step_cost_ = saved_step_cost;
+  last_recovery_.total_ns = cost.nanos();
 
   stats_.recovery_time += cost;
   if (recovery_hist_ != nullptr) {
@@ -659,6 +672,9 @@ ftx::Duration Runtime::RestartFromScratch() {
   }
   Initialize();
   ftx::Duration cost = costs_.recovery_fixed;
+  last_recovery_ = RecoveryBreakdown{};
+  last_recovery_.log_scan_ns = cost.nanos();
+  last_recovery_.total_ns = cost.nanos();
   stats_.recovery_time += cost;
   if (recovery_hist_ != nullptr) {
     recovery_hist_->Observe(cost.nanos());

@@ -69,6 +69,21 @@ enum class RuntimeMode {
   kRecoverable,  // full Discount Checking
 };
 
+// Per-phase decomposition of the most recent Recover()/RestartFromScratch()
+// on this runtime, in simulated nanoseconds, as actually charged — the sum
+// of the phases equals the returned recovery cost exactly (no estimates).
+// The critical-path tracker (src/obs/causal/critical_path.h) consumes this
+// to attribute the binding recovery's time to a phase; the struct lives
+// here, not in obs/, so the checkpoint layer stays observer-free.
+struct RecoveryBreakdown {
+  int64_t log_scan_ns = 0;       // fixed rollback cost + per-record rotation waits
+  int64_t page_install_ns = 0;   // redo payload transfer back into the segment
+  int64_t undo_rollback_ns = 0;  // Rio per-page undo of uncommitted state
+  int64_t rebuild_ns = 0;        // application OnRecovered recomputation
+  int64_t records = 0;           // redo records replayed (DC-disk) or 0
+  int64_t total_ns = 0;          // == the Duration Recover() returned
+};
+
 struct RuntimeStats {
   int64_t commits = 0;
   int64_t coordinated_commits = 0;  // commits performed as a 2PC participant
@@ -141,6 +156,8 @@ class Runtime : public ProcessEnv {
   bool crashed() const { return crashed_; }
   const std::string& crash_reason() const { return crash_reason_; }
   const RuntimeStats& stats() const { return stats_; }
+  // Phase decomposition of the most recent recovery (zeroed until one runs).
+  const RecoveryBreakdown& last_recovery() const { return last_recovery_; }
   ftx_proto::Protocol& protocol() { return *protocol_; }
   App& app() { return *app_; }
 
@@ -318,6 +335,7 @@ class Runtime : public ProcessEnv {
   ftx::Duration pending_overhead_;  // costs charged outside a step (2PC)
 
   RuntimeStats stats_;
+  RecoveryBreakdown last_recovery_;
 
   // Owned instruments (null when no registry is attached). The histograms
   // are computation-wide ("dc.commit_ns" / "dc.recovery_ns"), shared across

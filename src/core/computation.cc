@@ -37,12 +37,82 @@ Computation::Computation(ComputationOptions options, std::vector<std::unique_ptr
     audit_ = std::make_unique<ftx_causal::CausalAudit>(n, options_.audit_options);
     audit_->SetTimeSource([this]() { return sim_->Now().nanos(); });
     audit_->SetTracer(&tracer_);
-    trace_->SetAppendObserver(
-        [this](ftx_sm::EventRef ref, const ftx_sm::TraceEvent& ev,
-               const ftx_sm::VectorClock& clock) { audit_->OnTraceEvent(ref, ev, clock); });
     network_->SetMessageObserver([this](int64_t id, int src, int dst, int64_t bytes) {
       audit_->OnMessage(id, src, dst, bytes);
     });
+  }
+  if (options_.critical_path && options_.mode == ftx_dc::RuntimeMode::kRecoverable) {
+    critical_path_ =
+        std::make_unique<ftx_causal::CriticalPathTracker>(n, options_.critical_path_options);
+    critical_path_->SetTimeSource([this]() { return sim_->Now().nanos(); });
+  }
+  // The trace exposes a single append-observer slot; the audit and the
+  // critical-path tracker share it through one forwarding closure.
+  if (audit_ != nullptr || critical_path_ != nullptr) {
+    trace_->SetAppendObserver([this](ftx_sm::EventRef ref, const ftx_sm::TraceEvent& ev,
+                                     const ftx_sm::VectorClock& clock) {
+      if (audit_ != nullptr) {
+        audit_->OnTraceEvent(ref, ev, clock);
+      }
+      if (critical_path_ != nullptr) {
+        critical_path_->OnTraceEvent(ref, ev);
+      }
+    });
+  }
+
+  if (options_.timeseries || !options_.timeseries_path.empty()) {
+    tsdb_ = std::make_unique<ftx_obs::TimeSeriesDb>(options_.timeseries_options);
+    tsdb_->SetMeta("protocol", options_.protocol);
+    switch (options_.store) {
+      case StoreKind::kRio:
+        tsdb_->SetMeta("store", "rio");
+        break;
+      case StoreKind::kDisk:
+        tsdb_->SetMeta("store", "disk");
+        break;
+      case StoreKind::kVolatileMemory:
+        tsdb_->SetMeta("store", "volatile");
+        break;
+    }
+    tsdb_->SetMeta("processes", static_cast<int64_t>(n));
+    tsdb_->SetMeta("seed", static_cast<int64_t>(options_.seed));
+    // Core lanes: simulator progress, fleet-wide DC activity, and failure
+    // state. Every one is a simulated quantity — invariant across shard
+    // layouts — so the default export honors the byte-identity contract.
+    tsdb_->AddCounter("sim.events_executed", [this]() { return sim_->events_executed(); });
+    tsdb_->AddCounter("dc.commits", [this]() {
+      int64_t total = 0;
+      for (const auto& rt : runtimes_) {
+        total += rt->stats().commits;
+      }
+      return total;
+    });
+    tsdb_->AddCounter("dc.rollbacks", [this]() {
+      int64_t total = 0;
+      for (const auto& rt : runtimes_) {
+        total += rt->stats().rollbacks;
+      }
+      return total;
+    });
+    tsdb_->AddCounter("net.messages_sent", [this]() { return network_->total_messages(); });
+    tsdb_->AddGauge("dc.down", [this]() {
+      int64_t down = 0;
+      for (const auto& rt : runtimes_) {
+        down += rt->alive() ? 0 : 1;
+      }
+      return static_cast<double>(down);
+    });
+    if (options_.timeseries_options.shard_lanes && sim_->num_shards() > 1) {
+      // Layout-dependent lanes, opt-in only (see TimeSeriesOptions).
+      tsdb_->AddCounter("sim.cross_shard_events",
+                        [this]() { return sim_->cross_shard_events(); });
+      for (int s = 0; s < sim_->num_shards(); ++s) {
+        tsdb_->AddCounter("shard" + std::to_string(s) + ".events_executed",
+                          [this, s]() { return sim_->ShardEventsExecuted(s); });
+      }
+    }
+    sim_->SetEventHook(
+        [this](int shard, TimePoint t) { (void)shard; tsdb_->OnSimTime(t.nanos()); });
   }
 
   blocked_.assign(static_cast<size_t>(n), false);
@@ -238,6 +308,7 @@ void Computation::Pump(int pid) {
           return;  // already recovered by someone else
         }
         Duration recovery_cost = failed.Recover();
+        NoteRecovery(pid, recovery_cost);
         SchedulePump(pid, recovery_cost);
       });
     }
@@ -364,6 +435,22 @@ void Computation::CoordinatedCommit(int initiator, ftx_proto::CoordinationScope 
   }
 }
 
+void Computation::NoteRecovery(int pid, Duration cost) {
+  if (critical_path_ == nullptr) {
+    return;
+  }
+  const ftx_dc::RecoveryBreakdown& br = runtimes_[static_cast<size_t>(pid)]->last_recovery();
+  ftx_causal::RecoveryPhases phases;
+  phases.log_scan_ns = br.log_scan_ns;
+  phases.page_install_ns = br.page_install_ns;
+  phases.undo_rollback_ns = br.undo_rollback_ns;
+  phases.rebuild_ns = br.rebuild_ns;
+  // Recover()/RestartFromScratch() ran at the current instant and charged
+  // `cost` forward; the gap back to the crash is detection latency, which
+  // the tracker derives itself.
+  critical_path_->OnRecovery(pid, sim_->Now().nanos(), (sim_->Now() + cost).nanos(), phases);
+}
+
 void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_delay) {
   sim_->ScheduleAtFor(pid, at, [this, pid, recovery_delay]() {
     auto& rt = *runtimes_[static_cast<size_t>(pid)];
@@ -372,6 +459,11 @@ void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_d
     }
     FTX_LOG(kInfo, "stop failure: p%d at %s", pid, sim_->Now().ToString().c_str());
     rt.Kill();
+    if (critical_path_ != nullptr) {
+      // Stop failures never append a kCrash trace event (the process simply
+      // goes silent), so the tracker is told directly.
+      critical_path_->OnCrash(pid);
+    }
     ++pump_token_[static_cast<size_t>(pid)];  // cancel any scheduled pump
     sim_->ScheduleAfterFor(pid, recovery_delay, [this, pid]() {
       auto& failed = *runtimes_[static_cast<size_t>(pid)];
@@ -379,6 +471,7 @@ void Computation::ScheduleStopFailure(int pid, TimePoint at, Duration recovery_d
         return;
       }
       Duration cost = failed.Recover();
+      NoteRecovery(pid, cost);
       SchedulePump(pid, cost);
     });
   });
@@ -400,6 +493,9 @@ void Computation::ScheduleOsStopFailure(TimePoint at, Duration reboot_delay) {
       }
       FTX_LOG(kInfo, "OS crash with volatile store: p%d restarts from scratch", pid);
       rt.Kill();
+      if (critical_path_ != nullptr) {
+        critical_path_->OnCrash(pid);
+      }
       ++pump_token_[static_cast<size_t>(pid)];
       sim_->ScheduleAfterFor(pid, reboot_delay, [this, pid]() {
         auto& failed = *runtimes_[static_cast<size_t>(pid)];
@@ -407,6 +503,7 @@ void Computation::ScheduleOsStopFailure(TimePoint at, Duration reboot_delay) {
           return;
         }
         Duration cost = failed.RestartFromScratch();
+        NoteRecovery(pid, cost);
         SchedulePump(pid, cost);
       });
     });
@@ -437,6 +534,23 @@ ComputationResult Computation::Run() {
 
   if (audit_ != nullptr) {
     audit_->Finalize();
+  }
+  if (tsdb_ != nullptr) {
+    // Close the series at the simulator's final instant so the last sample
+    // is the end-of-run state (what the checker cross-validates against the
+    // aggregate report).
+    tsdb_->Finalize(sim_->Now().nanos());
+    if (!options_.timeseries_path.empty()) {
+      Status status = tsdb_->WriteJsonl(options_.timeseries_path);
+      if (!status.ok()) {
+        FTX_LOG(kWarning, "failed to write timeseries to %s: %s",
+                options_.timeseries_path.c_str(), status.ToString().c_str());
+      } else {
+        FTX_LOG(kInfo, "wrote %lld timeseries samples to %s",
+                static_cast<long long>(tsdb_->samples_retained()),
+                options_.timeseries_path.c_str());
+      }
+    }
   }
 
   ComputationResult result;

@@ -22,8 +22,10 @@
 #include "src/checkpoint/runtime.h"
 #include "src/env/sim_env.h"
 #include "src/obs/causal/audit.h"
+#include "src/obs/causal/critical_path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
+#include "src/obs/tsdb/tsdb.h"
 #include "src/protocol/protocol.h"
 #include "src/recovery/output_recorder.h"
 #include "src/sim/kernel.h"
@@ -103,6 +105,23 @@ struct ComputationOptions {
   // bench flag turn it on.
   bool audit = false;
   ftx_causal::CausalAuditOptions audit_options;
+  // Simulated-time telemetry (src/obs/tsdb/): sample every registered
+  // counter/gauge series on a fixed sim-time cadence, driven by the
+  // simulator's pre-event hook. Strictly observational (the hook only reads
+  // state), so simulated quantities are byte-identical with it on or off,
+  // and the sampled series itself is byte-identical for any shards value
+  // unless timeseries_options.shard_lanes opts into per-shard columns.
+  // Enabled by `timeseries` or by a non-empty timeseries_path (the JSONL
+  // export Run() writes there).
+  bool timeseries = false;
+  ftx_obs::TimeSeriesOptions timeseries_options;
+  std::string timeseries_path;
+  // Causal critical-path tracking (src/obs/causal/critical_path.h): online
+  // taint propagation from crashes through message edges to the last
+  // dependent commit. Observer-only (same neutrality contract as the
+  // audit); works with lean traces. Recoverable mode only.
+  bool critical_path = false;
+  ftx_causal::CriticalPathOptions critical_path_options;
   // Test hook: when set, used instead of MakeProtocolByName(protocol) to
   // build each process's protocol (e.g. a deliberately broken
   // commit-too-little protocol the audit must flag). Called once per
@@ -163,6 +182,12 @@ class Computation {
   ftx_obs::Tracer& tracer() { return tracer_; }
   // Null unless ComputationOptions::audit was set (and mode is recoverable).
   ftx_causal::CausalAudit* audit() { return audit_.get(); }
+  // Null unless timeseries telemetry is enabled. Callers may register
+  // additional probe columns (the fleet bench adds fleet.* lanes) any time
+  // before Run() executes the first event.
+  ftx_obs::TimeSeriesDb* timeseries() { return tsdb_.get(); }
+  // Null unless ComputationOptions::critical_path was set (recoverable mode).
+  ftx_causal::CriticalPathTracker* critical_path() { return critical_path_.get(); }
   ftx_dc::Runtime& runtime(int pid);
   ftx_dc::App& app(int pid);
   // DC-disk only (nullptr otherwise): the machine's redo log, and — when
@@ -182,6 +207,10 @@ class Computation {
  private:
   void Pump(int pid);
   void SchedulePump(int pid, Duration delay);
+  // Forwards a completed recovery (its simulated interval plus the
+  // runtime's per-phase charge) to the critical-path tracker. No-op when
+  // the tracker is off.
+  void NoteRecovery(int pid, Duration cost);
   void WakeIfBlocked(int pid);
   void CoordinatedCommit(int initiator, ftx_proto::CoordinationScope scope);
   bool AllDone() const;
@@ -203,6 +232,8 @@ class Computation {
   std::unique_ptr<ftx_sm::Trace> trace_;
   ftx_rec::OutputRecorder recorder_;
   std::unique_ptr<ftx_causal::CausalAudit> audit_;
+  std::unique_ptr<ftx_obs::TimeSeriesDb> tsdb_;
+  std::unique_ptr<ftx_causal::CriticalPathTracker> critical_path_;
 
   // Per-process storage stack (one disk/log per machine in DC-disk mode).
   std::vector<std::unique_ptr<ftx_store::DiskModel>> disks_;

@@ -24,6 +24,7 @@ std::unique_ptr<Computation> BuildComputation(const RunSpec& spec) {
     options.enable_tracing = true;
     options.trace_path = spec.trace_path;
   }
+  options.timeseries_path = spec.timeseries_path;
   options.audit = spec.audit;
   if (spec.tweak_options) {
     spec.tweak_options(&options);
@@ -87,6 +88,7 @@ OverheadRow MeasureOverhead(const RunSpec& spec, TrialPool* pool) {
   // trace. (Serially the baseline's file was immediately overwritten; in
   // parallel the two runs would race on it.)
   baseline_spec.trace_path.clear();
+  baseline_spec.timeseries_path.clear();  // recoverable run owns the telemetry file too
   baseline_spec.audit = false;  // nothing to audit without a trace
 
   RunSpec recoverable_spec = spec;

@@ -27,6 +27,10 @@ struct RunSpec {
   // Non-empty: enable simulated-timeline tracing and write a Chrome
   // trace_event JSON file here when the run finishes.
   std::string trace_path;
+  // Non-empty: enable sim-time telemetry sampling (src/obs/tsdb/) and write
+  // the ftx.timeseries JSONL here when the run finishes. Like trace_path,
+  // MeasureOverhead gives this to the recoverable run only.
+  std::string timeseries_path;
   // Live causal audit (recoverable runs only; see ComputationOptions::audit).
   bool audit = false;
   // Optional hook to adjust computation options (failure schedules are

@@ -57,6 +57,29 @@
 
 namespace ftx_obs {
 
+// The one ordering every emitted metric/series name obeys: plain unsigned
+// byte-wise (ordinal) comparison, independent of the process locale. Dotted
+// names ("p2.dc.commits", "sim.events_executed") therefore sort identically
+// on every platform — "p10." before "p2.", '.' (0x2E) after '-' (0x2D) —
+// which is what keeps Registry snapshots, bench JSON, and the tsdb JSONL
+// column order byte-stable across hosts. Never substitute a collation-aware
+// comparison (strcoll, std::locale) here: locales reorder punctuation and
+// digits, and the golden byte-compares would see it.
+struct MetricNameLess {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      const unsigned char ca = static_cast<unsigned char>(a[i]);
+      const unsigned char cb = static_cast<unsigned char>(b[i]);
+      if (ca != cb) {
+        return ca < cb;
+      }
+    }
+    return a.size() < b.size();
+  }
+};
+
 // Monotonically increasing integer quantity.
 class Counter {
  public:
@@ -189,8 +212,9 @@ class Registry {
   };
 
   // std::map keeps snapshots sorted by name, which makes emitted JSON
-  // stable and diffable across runs.
-  std::map<std::string, Entry, std::less<>> entries_;
+  // stable and diffable across runs. The comparator is the explicit ordinal
+  // (locale-independent) one so the order is also stable across platforms.
+  std::map<std::string, Entry, MetricNameLess> entries_;
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
   std::deque<Histogram> histograms_;

@@ -1,0 +1,177 @@
+#include "src/obs/tsdb/tsdb.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+
+namespace ftx_obs {
+
+TimeSeriesDb::TimeSeriesDb(TimeSeriesOptions options) : options_(options) {
+  FTX_CHECK_MSG(options_.cadence_ns > 0, "tsdb cadence must be positive");
+  FTX_CHECK_MSG(options_.capacity > 0, "tsdb capacity must be positive");
+}
+
+void TimeSeriesDb::AddCounter(std::string name, std::function<int64_t()> probe) {
+  FTX_CHECK_MSG(!sealed_, "tsdb column '%s' registered after first sample", name.c_str());
+  FTX_CHECK_MSG(probe != nullptr, "tsdb counter '%s' has no probe", name.c_str());
+  for (const Column& c : columns_) {
+    FTX_CHECK_MSG(c.name != name, "duplicate tsdb column '%s'", name.c_str());
+  }
+  Column col;
+  col.name = std::move(name);
+  col.is_counter = true;
+  col.counter_probe = std::move(probe);
+  columns_.push_back(std::move(col));
+}
+
+void TimeSeriesDb::AddGauge(std::string name, std::function<double()> probe) {
+  FTX_CHECK_MSG(!sealed_, "tsdb column '%s' registered after first sample", name.c_str());
+  FTX_CHECK_MSG(probe != nullptr, "tsdb gauge '%s' has no probe", name.c_str());
+  for (const Column& c : columns_) {
+    FTX_CHECK_MSG(c.name != name, "duplicate tsdb column '%s'", name.c_str());
+  }
+  Column col;
+  col.name = std::move(name);
+  col.is_counter = false;
+  col.gauge_probe = std::move(probe);
+  columns_.push_back(std::move(col));
+}
+
+void TimeSeriesDb::SetMeta(std::string key, Json value) {
+  for (auto& kv : meta_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+void TimeSeriesDb::Seal() {
+  if (sealed_) {
+    return;
+  }
+  sealed_ = true;
+  // Column order is the one ordinal order every ftx_obs emitter uses, never
+  // registration order — so the exported header is identical no matter which
+  // subsystem registered its probes first.
+  std::sort(columns_.begin(), columns_.end(),
+            [](const Column& a, const Column& b) { return MetricNameLess()(a.name, b.name); });
+  num_counters_ = 0;
+  num_gauges_ = 0;
+  for (Column& c : columns_) {
+    c.slot = c.is_counter ? num_counters_++ : num_gauges_++;
+  }
+}
+
+void TimeSeriesDb::TakeSample(int64_t t_ns) {
+  Seal();
+  Sample s;
+  s.t_ns = t_ns;
+  s.counters.resize(static_cast<size_t>(num_counters_));
+  s.gauges.resize(static_cast<size_t>(num_gauges_));
+  for (const Column& c : columns_) {
+    if (c.is_counter) {
+      s.counters[static_cast<size_t>(c.slot)] = c.counter_probe();
+    } else {
+      s.gauges[static_cast<size_t>(c.slot)] = c.gauge_probe();
+    }
+  }
+  const size_t slot = static_cast<size_t>(samples_taken_ % options_.capacity);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(s);
+  } else {
+    ring_.push_back(std::move(s));
+  }
+  ++samples_taken_;
+  last_sample_ns_ = t_ns;
+}
+
+void TimeSeriesDb::OnSimTime(int64_t next_event_ns) {
+  FTX_CHECK_MSG(!finalized_, "tsdb sampled after Finalize");
+  // Every boundary strictly before the next event's time is now closed: no
+  // event can execute in between, so the current state IS the state at each
+  // of those boundaries.
+  while (next_boundary_ns_ < next_event_ns) {
+    TakeSample(next_boundary_ns_);
+    next_boundary_ns_ += options_.cadence_ns;
+  }
+}
+
+void TimeSeriesDb::Finalize(int64_t end_ns) {
+  if (finalized_) {
+    return;
+  }
+  while (next_boundary_ns_ <= end_ns) {
+    TakeSample(next_boundary_ns_);
+    next_boundary_ns_ += options_.cadence_ns;
+  }
+  // Close the series with the end-of-run state so the last row always equals
+  // the aggregate report (the checker's cross-validation anchor).
+  if (last_sample_ns_ < end_ns) {
+    TakeSample(end_ns);
+  }
+  finalized_ = true;
+}
+
+int64_t TimeSeriesDb::samples_retained() const {
+  return samples_taken_ < options_.capacity ? samples_taken_ : options_.capacity;
+}
+
+void TimeSeriesDb::ForEachSample(const std::function<void(const Sample&)>& fn) const {
+  const int64_t retained = samples_retained();
+  const int64_t first = samples_taken_ - retained;
+  for (int64_t i = first; i < samples_taken_; ++i) {
+    fn(ring_[static_cast<size_t>(i % options_.capacity)]);
+  }
+}
+
+std::string TimeSeriesDb::ToJsonl() const {
+  Json header = Json::Object();
+  header.Set("schema", "ftx.timeseries");
+  header.Set("version", kTimeSeriesSchemaVersion);
+  header.Set("cadence_ns", options_.cadence_ns);
+  Json cols = Json::Array();
+  for (const Column& c : columns_) {
+    Json col = Json::Object();
+    col.Set("name", c.name);
+    col.Set("kind", c.is_counter ? "counter" : "gauge");
+    cols.Push(std::move(col));
+  }
+  header.Set("columns", std::move(cols));
+  // "samples" counts the lines that follow (the checker pins the equality);
+  // evicted samples are visible only through "dropped".
+  header.Set("samples", samples_retained());
+  header.Set("dropped", samples_dropped());
+  Json meta = Json::Object();
+  for (const auto& kv : meta_) {
+    meta.Set(kv.first, kv.second);
+  }
+  header.Set("meta", std::move(meta));
+
+  std::string out = header.Dump(0);
+  out.push_back('\n');
+  ForEachSample([&](const Sample& s) {
+    Json row = Json::Array();
+    row.Push(s.t_ns);
+    for (const Column& c : columns_) {
+      if (c.is_counter) {
+        row.Push(s.counters[static_cast<size_t>(c.slot)]);
+      } else {
+        row.Push(s.gauges[static_cast<size_t>(c.slot)]);
+      }
+    }
+    out += row.Dump(0);
+    out.push_back('\n');
+  });
+  return out;
+}
+
+ftx::Status TimeSeriesDb::WriteJsonl(const std::string& path) const {
+  return WriteFileContents(path, ToJsonl());
+}
+
+}  // namespace ftx_obs

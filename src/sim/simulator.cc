@@ -83,6 +83,10 @@ bool Simulator::RunOne() {
     return false;
   }
   Shard& shard = shards_[static_cast<size_t>(front)];
+  if (event_hook_) {
+    // Observation point: state after all earlier events, before this one.
+    event_hook_(front, shard.queue.top().time);
+  }
   // priority_queue::top is const; the callback is moved out via const_cast,
   // which is safe because the element is popped immediately after.
   auto& top = const_cast<Scheduled&>(shard.queue.top());

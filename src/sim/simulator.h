@@ -59,6 +59,19 @@ class Simulator {
     return plan_.Covers(pid) ? plan_.OwnerOf(pid) : 0;
   }
 
+  // Pre-event hook: invoked in RunOne with (owner shard, event time) AFTER
+  // the merge front picks the next event but BEFORE the clock advances and
+  // the callback runs. At that instant the simulation state is exactly the
+  // state after all events at earlier times — the hook is how the tsdb
+  // samples cadence boundaries lazily (O(boundary crossings), not
+  // O(events)). The hook must only READ state: it runs outside simulated
+  // time and must never schedule events, touch the RNG, or mutate anything
+  // the simulation observes — the telemetry-neutrality goldens pin this.
+  // Unset (the default) costs one branch per event.
+  void SetEventHook(std::function<void(int shard, ftx::TimePoint)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
   // Exposes the simulator's activity counters and clock through a metrics
   // registry ("sim.events_executed", "sim.events_scheduled", "sim.now_s").
   // Multi-shard engines additionally expose "sim.shards" and
@@ -134,6 +147,7 @@ class Simulator {
   int64_t pending_ = 0;
   int64_t cross_shard_events_ = 0;
   int executing_shard_ = 0;  // shard of the currently running callback
+  std::function<void(int, ftx::TimePoint)> event_hook_;
   std::vector<Shard> shards_;
   ftx::Rng rng_;
 };
